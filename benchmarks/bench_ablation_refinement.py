@@ -1,0 +1,75 @@
+"""Ablations on the refinement design choices DESIGN.md calls out.
+
+1. **Remainder merge** (M(k) REFINENODE lines 19-26): disabling the merge
+   stamps the query's similarity value on *every* split piece, including
+   irrelevant ones that were only split by the qualified parents.  The
+   resulting index looks smaller (the inflated ``k`` values suppress later
+   refinement) but its precision claims collapse: answers returned as
+   "precise" carry thousands of false positives.  The merge is what makes
+   M(k)'s size advantage honest.
+2. **Overqualified parents** (the M*(k) motivation): on the same workload
+   M*(k)'s stored node count stays at or below M(k)'s because SPLITNODE*
+   always splits with exactly-(k-1)-similar parents.
+"""
+
+from conftest import run_once
+
+from repro.indexes.mindex import MkIndex
+from repro.indexes.mstarindex import MStarIndex
+from repro.queries.evaluator import evaluate_on_data_graph
+
+
+def _accuracy(index, graph, workload):
+    """(false positives, false negatives, exactly-answered queries)."""
+    false_pos = false_neg = exact = 0
+    for expr in workload:
+        answers = index.query(expr).answers
+        truth = evaluate_on_data_graph(graph, expr)
+        false_pos += len(answers - truth)
+        false_neg += len(truth - answers)
+        exact += answers == truth
+    return false_pos, false_neg, exact
+
+
+def test_remainder_merge_ablation(benchmark, xmark_graph, xmark_workload_len9):
+    def run():
+        merged = MkIndex(xmark_graph, merge_remainder=True)
+        unmerged = MkIndex(xmark_graph, merge_remainder=False)
+        for expr in xmark_workload_len9:
+            merged.refine(expr, merged.query(expr))
+            unmerged.refine(expr, unmerged.query(expr))
+        return merged, unmerged
+
+    merged, unmerged = run_once(benchmark, run)
+    merged_fp, merged_fn, merged_exact = _accuracy(
+        merged, xmark_graph, xmark_workload_len9)
+    unmerged_fp, unmerged_fn, unmerged_exact = _accuracy(
+        unmerged, xmark_graph, xmark_workload_len9)
+    total = len(xmark_workload_len9)
+    print()
+    print(f"M(k) with merge: {merged.size_nodes()} nodes, "
+          f"{merged_fp} false positives, {merged_exact}/{total} exact; "
+          f"without merge: {unmerged.size_nodes()} nodes, "
+          f"{unmerged_fp} false positives, {unmerged_exact}/{total} exact")
+    # Safety holds either way; the merge is what keeps precision honest.
+    assert merged_fn == 0 and unmerged_fn == 0
+    assert merged_fp < unmerged_fp
+    assert merged_exact > unmerged_exact
+
+
+def test_overqualified_parent_ablation(benchmark, xmark_graph,
+                                       xmark_workload_len4):
+    def run():
+        mk = MkIndex(xmark_graph)
+        mstar = MStarIndex(xmark_graph)
+        for expr in xmark_workload_len4:
+            mk.refine(expr, mk.query(expr))
+            mstar.refine(expr, mstar.query(expr))
+        return mk, mstar
+
+    mk, mstar = run_once(benchmark, run)
+    print()
+    print(f"M(k): {mk.size_nodes()} nodes vs M*(k): {mstar.size_nodes()} "
+          f"stored nodes (len-4 XMark workload, where overqualification "
+          f"bites hardest)")
+    assert mstar.size_nodes() <= mk.size_nodes()

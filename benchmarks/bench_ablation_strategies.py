@@ -1,0 +1,76 @@
+"""Ablation: the three M*(k) query strategies of Section 4.1.
+
+Compares the average per-query cost (the paper's node-visit metric) of
+naive, top-down, and subpath pre-filtering evaluation on the same fully
+refined M*(k)-index.  The paper argues top-down beats naive because every
+prefix runs in the coarsest component possible; pre-filtering can win on
+expressions with a highly selective interior subpath.
+"""
+
+from conftest import run_once
+
+from repro.experiments.cost_vs_size import average_workload_cost
+from repro.indexes.mstarindex import MStarIndex
+
+
+def _refined_mstar(graph, workload):
+    index = MStarIndex(graph)
+    for expr in workload:
+        index.refine(expr, index.query(expr))
+    return index
+
+
+def test_strategy_comparison_xmark(benchmark, xmark_graph,
+                                   xmark_workload_len9):
+    index = _refined_mstar(xmark_graph, xmark_workload_len9)
+
+    def run():
+        costs = {}
+        for strategy in ("naive", "topdown", "prefilter", "bottomup",
+                         "hybrid", "auto"):
+            avg, _, _ = average_workload_cost(
+                lambda expr: index.query(expr, strategy=strategy),
+                xmark_workload_len9)
+            costs[strategy] = avg
+        return costs
+
+    costs = run_once(benchmark, run)
+    print()
+    print("M*(k) strategy ablation (xmark, len 9): "
+          + ", ".join(f"{name}={cost:.1f}" for name, cost in costs.items()))
+    # Top-down must beat the naive strategy on a multiresolution index,
+    # and (Section 4.1) the downward re-checks must make bottom-up lose
+    # to top-down.
+    assert costs["topdown"] < costs["naive"]
+    assert costs["topdown"] < costs["bottomup"]
+    # The cost-based chooser (the optimisation problem the paper leaves
+    # open) must stay competitive with the best single strategy.
+    assert costs["auto"] <= costs["topdown"] * 1.1
+
+    # All strategies are safe (spot-check a sample); exact agreement is
+    # only guaranteed for freshly refined FUPs (see DESIGN.md).
+    from repro.queries.evaluator import evaluate_on_data_graph
+    for expr in list(xmark_workload_len9)[:25]:
+        truth = evaluate_on_data_graph(xmark_graph, expr)
+        for strategy in ("naive", "topdown", "prefilter"):
+            assert index.query(expr, strategy=strategy).answers >= truth
+
+
+def test_strategy_comparison_nasa(benchmark, nasa_graph, nasa_workload_len9):
+    index = _refined_mstar(nasa_graph, nasa_workload_len9)
+
+    def run():
+        costs = {}
+        for strategy in ("naive", "topdown", "prefilter", "bottomup",
+                         "hybrid"):
+            avg, _, _ = average_workload_cost(
+                lambda expr: index.query(expr, strategy=strategy),
+                nasa_workload_len9)
+            costs[strategy] = avg
+        return costs
+
+    costs = run_once(benchmark, run)
+    print()
+    print("M*(k) strategy ablation (nasa, len 9): "
+          + ", ".join(f"{name}={cost:.1f}" for name, cost in costs.items()))
+    assert costs["topdown"] < costs["naive"]

@@ -1,0 +1,90 @@
+"""Extended baseline comparison (beyond the paper's own figure set).
+
+Puts the related-work indexes the paper discusses but does not plot —
+1-index, strong DataGuide, UD(k,l), APEX — next to A(k), D(k), M(k) and
+M*(k) on the same workload, using the same (size, average-cost) metrics
+as Figures 10-13.  Expectations asserted:
+
+* exact summaries (1-index, DataGuide) pay size for zero validation;
+* APEX answers repeated FUPs almost for free but does not generalise
+  (a perturbed workload sends it back to validation);
+* M*(k) remains the best cost/size trade-off among the adaptive indexes.
+"""
+
+from conftest import run_once
+
+from repro.experiments.cost_vs_size import average_workload_cost
+from repro.indexes.apex import ApexIndex
+from repro.indexes.dataguide import DataGuide
+from repro.indexes.mstarindex import MStarIndex
+from repro.indexes.oneindex import OneIndex
+from repro.indexes.udindex import UDIndex
+from repro.queries.workload import Workload
+
+
+def test_baseline_comparison(benchmark, xmark_graph, xmark_workload_len9):
+    def run():
+        rows = {}
+        one = OneIndex(xmark_graph)
+        rows["1-index"] = (one, average_workload_cost(one.query,
+                                                      xmark_workload_len9))
+        guide = DataGuide(xmark_graph)
+        rows["DataGuide"] = (guide, average_workload_cost(
+            guide.query, xmark_workload_len9))
+        ud = UDIndex(xmark_graph, 2, 2)
+        rows["UD(2,2)"] = (ud, average_workload_cost(ud.query,
+                                                     xmark_workload_len9))
+        apex = ApexIndex(xmark_graph)
+        for expr in xmark_workload_len9:
+            apex.refine(expr, apex.query(expr))
+        rows["APEX"] = (apex, average_workload_cost(apex.query,
+                                                    xmark_workload_len9))
+        mstar = MStarIndex(xmark_graph)
+        for expr in xmark_workload_len9:
+            mstar.refine(expr, mstar.query(expr))
+        rows["M*(k)"] = (mstar, average_workload_cost(mstar.query,
+                                                      xmark_workload_len9))
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(f"{'index':<11} {'nodes':>7} {'edges':>7} {'avg cost':>9} "
+          f"{'data visits':>12}")
+    for name, (index, (avg, _, data)) in rows.items():
+        print(f"{name:<11} {index.size_nodes():>7} {index.size_edges():>7} "
+              f"{avg:>9.1f} {data:>12.1f}")
+
+    # Exact summaries never validate.
+    assert rows["1-index"][1][2] == 0.0
+    assert rows["DataGuide"][1][2] == 0.0
+    # Cached APEX answers its own FUPs without validation.
+    assert rows["APEX"][1][2] == 0.0
+
+
+def test_apex_does_not_generalise(benchmark, xmark_graph, config):
+    """APEX on a perturbed rerun: same distribution, different queries —
+    every cache miss pays the coarse-summary fallback, while M*(k)'s
+    structural refinement keeps helping."""
+    train = Workload.generate(xmark_graph, num_queries=config.num_queries,
+                              max_length=9, seed=config.seed)
+    test = Workload.generate(xmark_graph, num_queries=config.num_queries,
+                             max_length=9, seed=config.seed + 1)
+
+    def run():
+        apex = ApexIndex(xmark_graph)
+        mstar = MStarIndex(xmark_graph)
+        for expr in train:
+            apex.refine(expr, apex.query(expr))
+            mstar.refine(expr, mstar.query(expr))
+        apex_cost, _, apex_data = average_workload_cost(apex.query, test)
+        mstar_cost, _, mstar_data = average_workload_cost(mstar.query, test)
+        return apex_cost, apex_data, mstar_cost, mstar_data
+
+    apex_cost, apex_data, mstar_cost, mstar_data = run_once(benchmark, run)
+    print()
+    print(f"perturbed workload: APEX avg cost {apex_cost:.1f} "
+          f"({apex_data:.1f} data visits) vs M*(k) {mstar_cost:.1f} "
+          f"({mstar_data:.1f} data visits)")
+    # M*(k) generalises structurally; APEX pays validation on misses.
+    assert mstar_data < apex_data
+    assert mstar_cost < apex_cost

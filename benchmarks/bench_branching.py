@@ -1,0 +1,116 @@
+"""Branching (twig) query benchmark — the UD(k,l) specialty.
+
+Not a paper figure: the paper's related-work section argues the
+UD(k,l)-index "is especially efficient for branching path expressions";
+this bench quantifies that on a generated twig workload, comparing
+
+* direct evaluation on the data graph (no index),
+* A(k)-assisted evaluation (trunk on the index + full validation),
+* M*(k)-assisted evaluation (finest component + full validation),
+* UD(k,l)-assisted evaluation (down-bisimulation skips validation for
+  covered final-step predicates).
+"""
+
+from conftest import run_once
+
+from repro.cost.counters import CostCounter
+from repro.indexes.aindex import AkIndex
+from repro.indexes.fbindex import FBIndex
+from repro.indexes.mstarindex import MStarIndex
+from repro.indexes.udindex import UDIndex
+from repro.queries.branching import branching_answer, evaluate_branching
+from repro.queries.workload import generate_twig_queries
+
+
+def test_branching_query_costs(benchmark, xmark_graph, config):
+    # Selection-style twigs (predicate on the final step): the class the
+    # UD(k,l)-index answers without any validation.
+    queries = generate_twig_queries(xmark_graph, num_queries=150,
+                                    max_trunk_length=3,
+                                    max_predicate_depth=2,
+                                    predicate_positions="final",
+                                    seed=config.seed)
+
+    def run():
+        totals = {}
+        direct = 0
+        for expr in queries:
+            counter = CostCounter()
+            evaluate_branching(xmark_graph, expr, counter)
+            direct += counter.total
+        totals["direct"] = direct / len(queries)
+
+        ak = AkIndex(xmark_graph, 3)
+        totals["A(3)"] = sum(
+            branching_answer(ak.index, expr).cost.total
+            for expr in queries) / len(queries)
+
+        mstar = MStarIndex(xmark_graph)
+        for expr in queries:
+            trunk = expr.trunk
+            if not trunk.has_wildcard:
+                mstar.refine(trunk, mstar.query(trunk))
+        totals["M*(k)"] = sum(
+            mstar.query_branching(expr).cost.total
+            for expr in queries) / len(queries)
+
+        ud = UDIndex(xmark_graph, 3, 2)
+        totals["UD(3,2)"] = sum(
+            ud.query_branching(expr).cost.total
+            for expr in queries) / len(queries)
+
+        fb = FBIndex(xmark_graph)
+        totals[f"F&B({fb.size_nodes()}n)"] = sum(
+            fb.query_branching(expr).cost.total
+            for expr in queries) / len(queries)
+        return totals
+
+    totals = run_once(benchmark, run)
+    print()
+    print("branching workload avg cost: "
+          + ", ".join(f"{name}={cost:.1f}" for name, cost in totals.items()))
+
+    # Everything agrees with ground truth.
+    ak = AkIndex(xmark_graph, 3)
+    ud = UDIndex(xmark_graph, 3, 2)
+    for expr in queries[:40]:
+        truth = evaluate_branching(xmark_graph, expr)
+        assert branching_answer(ak.index, expr).answers == truth
+        assert ud.query_branching(expr).answers == truth
+
+    # The headline: down-bisimulation information pays off on twigs.
+    assert totals["UD(3,2)"] < totals["A(3)"]
+    assert totals["UD(3,2)"] < totals["direct"]
+
+
+def test_intermediate_predicates_favor_direct_evaluation(benchmark,
+                                                         xmark_graph, config):
+    """The flip side: when predicates sit on *intermediate* trunk steps,
+    no bisimulation index can certify the witnesses, every candidate is
+    validated per node, and set-at-a-time direct evaluation wins.  (This
+    is why the twig-join literature went beyond node-partition indexes.)
+    """
+    queries = generate_twig_queries(xmark_graph, num_queries=100,
+                                    max_trunk_length=3,
+                                    max_predicate_depth=2,
+                                    predicate_positions="any",
+                                    seed=config.seed + 5)
+    interesting = [expr for expr in queries
+                   if any(step.predicates for step in expr.steps[:-1])]
+    assert interesting, "workload generated no intermediate predicates"
+
+    def run():
+        direct = ud = 0
+        index = UDIndex(xmark_graph, 3, 2)
+        for expr in interesting:
+            counter = CostCounter()
+            evaluate_branching(xmark_graph, expr, counter)
+            direct += counter.total
+            ud += index.query_branching(expr).cost.total
+        return direct / len(interesting), ud / len(interesting)
+
+    direct_avg, ud_avg = run_once(benchmark, run)
+    print()
+    print(f"intermediate-predicate twigs ({len(interesting)} queries): "
+          f"direct={direct_avg:.1f}, UD(3,2)={ud_avg:.1f}")
+    assert direct_avg < ud_avg

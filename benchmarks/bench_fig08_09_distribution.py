@@ -1,0 +1,26 @@
+"""Figures 8-9: workload query-length distributions on the NASA dataset."""
+
+from conftest import run_once
+
+from repro.experiments.distribution import run_distribution
+
+
+def test_fig08_distribution_nasa_len9(benchmark, nasa_graph, config):
+    result = run_once(benchmark, lambda: run_distribution(
+        nasa_graph, "nasa", 9, num_queries=config.num_queries,
+        seed=config.seed))
+    print()
+    print(result.format_table())
+    # Short queries must dominate, as the paper's Figure 8 shows.
+    assert result.fractions[0] == max(result.fractions)
+    assert abs(sum(result.fractions) - 1.0) < 1e-9
+
+
+def test_fig09_distribution_nasa_len4(benchmark, nasa_graph, config):
+    result = run_once(benchmark, lambda: run_distribution(
+        nasa_graph, "nasa", 4, num_queries=config.num_queries,
+        seed=config.seed))
+    print()
+    print(result.format_table())
+    assert result.fractions[0] == max(result.fractions)
+    assert len(result.fractions) == 5

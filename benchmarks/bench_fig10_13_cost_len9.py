@@ -1,0 +1,42 @@
+"""Figures 10-13: query cost vs index size, max path length 9.
+
+Figures 10/11 plot XMark (node and edge axes); Figures 12/13 plot NASA.
+Each bench regenerates both axes of a figure pair and asserts the paper's
+qualitative shape: the M*(k)-index achieves the lowest average query cost
+of all indexes while using no more index nodes than the other adaptive
+indexes.
+"""
+
+from conftest import run_once
+
+from repro.experiments.cost_vs_size import run_cost_vs_size
+
+
+def _check_shape(result):
+    mstar = result.point("M*(k)")
+    for name in ("D-construct", "D-promote", "M(k)"):
+        other = result.point(name)
+        assert mstar.avg_cost < other.avg_cost, (
+            f"M*(k) should beat {name} on query cost")
+        assert mstar.nodes <= other.nodes, (
+            f"M*(k) should not exceed {name} in node count")
+    # M(k) never does worse than D(k)-promote on both metrics.
+    assert result.point("M(k)").nodes <= result.point("D-promote").nodes
+
+
+def test_fig10_11_cost_vs_size_xmark_len9(benchmark, xmark_graph,
+                                          xmark_workload_len9, config):
+    result = run_once(benchmark, lambda: run_cost_vs_size(
+        xmark_graph, xmark_workload_len9, "xmark", max_ak=config.max_ak))
+    print()
+    print(result.format_table())
+    _check_shape(result)
+
+
+def test_fig12_13_cost_vs_size_nasa_len9(benchmark, nasa_graph,
+                                         nasa_workload_len9, config):
+    result = run_once(benchmark, lambda: run_cost_vs_size(
+        nasa_graph, nasa_workload_len9, "nasa", max_ak=config.max_ak))
+    print()
+    print(result.format_table())
+    _check_shape(result)

@@ -1,0 +1,43 @@
+"""Figures 14-17: index size growth over queries, max path length 9.
+
+Figures 14/15 are XMark node/edge growth; 16/17 are NASA.  Asserted
+shapes: sizes grow monotonically, the first 50-query batch causes the
+largest node-count jump, and the M*(k)-index stays smallest in nodes.
+"""
+
+from conftest import run_once
+
+from repro.experiments.growth import run_growth
+
+
+def _check_shape(result):
+    for curve in result.curves:
+        nodes = [n for _, n in curve.nodes_series()]
+        assert nodes == sorted(nodes), f"{curve.name} node growth not monotone"
+        jumps = [b - a for a, b in zip([0] + nodes, nodes)]
+        assert jumps[0] == max(jumps), (
+            f"{curve.name}: first batch should cause the largest jump")
+    final_nodes = {curve.name: curve.checkpoints[-1][1]
+                   for curve in result.curves}
+    assert final_nodes["M*(k)"] == min(final_nodes.values())
+    assert final_nodes["M(k)"] <= final_nodes["D-promote"]
+
+
+def test_fig14_15_growth_xmark_len9(benchmark, xmark_graph,
+                                    xmark_workload_len9, config):
+    result = run_once(benchmark, lambda: run_growth(
+        xmark_graph, xmark_workload_len9, "xmark",
+        batch_size=config.batch_size))
+    print()
+    print(result.format_table())
+    _check_shape(result)
+
+
+def test_fig16_17_growth_nasa_len9(benchmark, nasa_graph,
+                                   nasa_workload_len9, config):
+    result = run_once(benchmark, lambda: run_growth(
+        nasa_graph, nasa_workload_len9, "nasa",
+        batch_size=config.batch_size))
+    print()
+    print(result.format_table())
+    _check_shape(result)

@@ -1,0 +1,47 @@
+"""Figures 18-22: query cost vs index size, max path length 4.
+
+Figure 18 shows all indexes on XMark (A(k) limited to k <= 4); Figures
+19/20 re-plot it without D(k)-promote and M(k) — both suffer heavily from
+overqualified parents on XMark's regular schema — to zoom in on
+D(k)-construct vs M*(k).  Figures 21/22 show NASA.
+"""
+
+from conftest import run_once
+
+from repro.experiments.cost_vs_size import run_cost_vs_size
+
+
+def test_fig18_cost_vs_size_xmark_len4(benchmark, xmark_graph,
+                                       xmark_workload_len4):
+    result = run_once(benchmark, lambda: run_cost_vs_size(
+        xmark_graph, xmark_workload_len4, "xmark", max_ak=4))
+    print()
+    print(result.format_table())
+    mstar = result.point("M*(k)")
+    assert mstar.avg_cost == min(point.avg_cost for point in result.points)
+
+
+def test_fig19_20_cost_vs_size_xmark_len4_zoom(benchmark, xmark_graph,
+                                               xmark_workload_len4):
+    result = run_once(benchmark, lambda: run_cost_vs_size(
+        xmark_graph, xmark_workload_len4, "xmark", max_ak=4,
+        include=("ak", "d-construct", "mstar")))
+    print()
+    print(result.format_table())
+    mstar = result.point("M*(k)")
+    construct = result.point("D-construct")
+    # The zoomed figure's headline: M*(k) has much lower query cost than
+    # D(k)-construct at comparable size.
+    assert mstar.avg_cost < construct.avg_cost
+
+
+def test_fig21_22_cost_vs_size_nasa_len4(benchmark, nasa_graph,
+                                         nasa_workload_len4):
+    result = run_once(benchmark, lambda: run_cost_vs_size(
+        nasa_graph, nasa_workload_len4, "nasa", max_ak=4))
+    print()
+    print(result.format_table())
+    mstar = result.point("M*(k)")
+    for name in ("D-construct", "D-promote", "M(k)"):
+        assert mstar.avg_cost < result.point(name).avg_cost
+        assert mstar.nodes <= result.point(name).nodes

@@ -1,0 +1,38 @@
+"""Figures 23-26: index size growth over queries, max path length 4.
+
+Figures 23/24 are XMark node/edge growth; 25/26 are NASA.  The paper's
+summary: "the M*(k)-index is almost always superior to the others".
+"""
+
+from conftest import run_once
+
+from repro.experiments.growth import run_growth
+
+
+def _check_shape(result):
+    final_nodes = {curve.name: curve.checkpoints[-1][1]
+                   for curve in result.curves}
+    assert final_nodes["M*(k)"] == min(final_nodes.values())
+    for curve in result.curves:
+        nodes = [n for _, n in curve.nodes_series()]
+        assert nodes == sorted(nodes)
+
+
+def test_fig23_24_growth_xmark_len4(benchmark, xmark_graph,
+                                    xmark_workload_len4, config):
+    result = run_once(benchmark, lambda: run_growth(
+        xmark_graph, xmark_workload_len4, "xmark",
+        batch_size=config.batch_size))
+    print()
+    print(result.format_table())
+    _check_shape(result)
+
+
+def test_fig25_26_growth_nasa_len4(benchmark, nasa_graph,
+                                   nasa_workload_len4, config):
+    result = run_once(benchmark, lambda: run_growth(
+        nasa_graph, nasa_workload_len4, "nasa",
+        batch_size=config.batch_size))
+    print()
+    print(result.format_table())
+    _check_shape(result)

@@ -1,0 +1,51 @@
+"""Micro-benchmarks of the core operations (genuinely timed, multi-round).
+
+Not a paper figure — these track the implementation's own performance:
+k-bisimulation partitioning, index construction, query evaluation
+throughput, and incremental refinement, all on the XMark dataset.
+"""
+
+import pytest
+
+from repro.indexes.aindex import AkIndex
+from repro.indexes.mindex import MkIndex
+from repro.indexes.mstarindex import MStarIndex
+from repro.indexes.partition import kbisimulation_blocks
+
+
+def test_kbisimulation_partition(benchmark, xmark_graph):
+    blocks = benchmark(kbisimulation_blocks, xmark_graph, 4)
+    assert len(blocks) == xmark_graph.num_nodes
+
+
+def test_ak_index_construction(benchmark, xmark_graph):
+    index = benchmark(AkIndex, xmark_graph, 3)
+    assert index.size_nodes() > 0
+
+
+@pytest.mark.parametrize("strategy", ["naive", "topdown", "prefilter"])
+def test_mstar_query_throughput(benchmark, xmark_graph, xmark_workload_len9,
+                                strategy):
+    index = MStarIndex(xmark_graph)
+    for expr in list(xmark_workload_len9)[:100]:
+        index.refine(expr, index.query(expr))
+    queries = list(xmark_workload_len9)[:50]
+
+    def run():
+        for expr in queries:
+            index.query(expr, strategy=strategy)
+
+    benchmark(run)
+
+
+def test_mk_refinement_throughput(benchmark, xmark_graph, xmark_workload_len9):
+    queries = list(xmark_workload_len9)[:50]
+
+    def run():
+        index = MkIndex(xmark_graph)
+        for expr in queries:
+            index.refine(expr, index.query(expr))
+        return index
+
+    index = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert index.size_nodes() > 0

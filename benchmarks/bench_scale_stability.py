@@ -1,0 +1,46 @@
+"""Scale stability: the paper's orderings hold across document scales.
+
+All reproduction metrics are counts, so the qualitative claims should
+not depend on the document scale chosen.  This bench runs the core
+cost-vs-size comparison at two scales and asserts the headline orderings
+(M*(k) cheapest; M*(k) ≤ M(k) ≤ D-promote in nodes) at both — evidence
+that the default 5%-scale figures speak for the paper-scale setup.
+"""
+
+from conftest import run_once
+
+from repro.datasets import generate_xmark
+from repro.experiments.cost_vs_size import run_cost_vs_size
+from repro.queries.workload import Workload
+
+SCALES = (0.02, 0.08)
+
+
+def test_orderings_stable_across_scales(benchmark, config):
+    def run():
+        results = {}
+        for scale in SCALES:
+            graph = generate_xmark(scale=scale)
+            workload = Workload.generate(graph, num_queries=300,
+                                         max_length=9, seed=config.seed)
+            results[scale] = run_cost_vs_size(
+                graph, workload, f"xmark@{scale}", max_ak=4,
+                include=("ak", "d-construct", "d-promote", "mk", "mstar"))
+        return results
+
+    results = run_once(benchmark, run)
+    print()
+    for scale, result in results.items():
+        mstar = result.point("M*(k)")
+        print(f"scale {scale}: M*(k) nodes={mstar.nodes} "
+              f"cost={mstar.avg_cost:.1f}; "
+              + ", ".join(f"{p.name}={p.avg_cost:.0f}"
+                          for p in result.points[-4:]))
+
+    for scale, result in results.items():
+        mstar = result.point("M*(k)")
+        for name in ("D-construct", "D-promote", "M(k)"):
+            assert mstar.avg_cost < result.point(name).avg_cost, \
+                f"M*(k) not cheapest at scale {scale}"
+        assert result.point("M(k)").nodes <= result.point("D-promote").nodes
+        assert mstar.nodes <= result.point("M(k)").nodes

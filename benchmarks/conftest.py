@@ -1,0 +1,61 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Datasets and workloads are built once per session at the configured scale
+(override with ``REPRO_SCALE`` / ``REPRO_QUERIES`` / ``REPRO_SEED``; see
+``repro.experiments.config``).  Each figure bench times one harness run
+and prints the series the paper plots, so
+``pytest benchmarks/ --benchmark-only -s`` regenerates the whole
+evaluation section.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, dataset_for
+from repro.queries.workload import Workload
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    return ExperimentConfig.from_env()
+
+
+@pytest.fixture(scope="session")
+def xmark_graph(config):
+    return dataset_for("xmark", config)
+
+
+@pytest.fixture(scope="session")
+def nasa_graph(config):
+    return dataset_for("nasa", config)
+
+
+def _workload(graph, config, max_length):
+    return Workload.generate(graph, num_queries=config.num_queries,
+                             max_length=max_length, seed=config.seed)
+
+
+@pytest.fixture(scope="session")
+def xmark_workload_len9(xmark_graph, config):
+    return _workload(xmark_graph, config, 9)
+
+
+@pytest.fixture(scope="session")
+def nasa_workload_len9(nasa_graph, config):
+    return _workload(nasa_graph, config, 9)
+
+
+@pytest.fixture(scope="session")
+def xmark_workload_len4(xmark_graph, config):
+    return _workload(xmark_graph, config, 4)
+
+
+@pytest.fixture(scope="session")
+def nasa_workload_len4(nasa_graph, config):
+    return _workload(nasa_graph, config, 4)
+
+
+def run_once(benchmark, fn):
+    """Time one full harness run (figure regenerations are not re-run)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,66 @@
+"""Index shoot-out on an astronomy catalog (the paper's NASA scenario).
+
+Builds every index family the paper evaluates — 1-index, A(k) for several
+k, D(k)-construct, D(k)-promote, M(k), M*(k) — over a NASA-like document
+(deep, irregular, reference-heavy, with ``name`` reused in seven
+contexts) and prints a compact version of the paper's Figure 12: average
+query cost against index size for a 9-length workload.
+
+Run:  python examples/astronomy_catalog.py [scale]
+"""
+
+import sys
+
+from repro import (
+    AkIndex,
+    DkIndex,
+    MkIndex,
+    MStarIndex,
+    OneIndex,
+    Workload,
+    generate_nasa,
+)
+from repro.experiments.cost_vs_size import average_workload_cost
+
+
+def main(scale: float = 0.02) -> None:
+    graph = generate_nasa(scale=scale)
+    print(f"astronomy catalog document: {graph}\n")
+
+    workload = Workload.generate(graph, num_queries=300, max_length=9, seed=5)
+
+    rows = []
+    for k in (0, 2, 4, 6):
+        rows.append((f"A({k})", AkIndex(graph, k)))
+    rows.append(("1-index", OneIndex(graph)))
+    rows.append(("D-construct", DkIndex.construct(graph, list(workload))))
+
+    promoted = DkIndex(graph)
+    for expr in workload:
+        promoted.refine(expr)
+    rows.append(("D-promote", promoted))
+
+    mk = MkIndex(graph)
+    for expr in workload:
+        mk.refine(expr, mk.query(expr))
+    rows.append(("M(k)", mk))
+
+    mstar = MStarIndex(graph)
+    for expr in workload:
+        mstar.refine(expr, mstar.query(expr))
+    rows.append(("M*(k)", mstar))
+
+    print(f"{'index':<12} {'nodes':>7} {'edges':>7} {'avg cost':>9} "
+          f"{'index visits':>13} {'data visits':>12}")
+    for name, index in rows:
+        avg, index_visits, data_visits = average_workload_cost(
+            index.query, workload)
+        print(f"{name:<12} {index.size_nodes():>7} {index.size_edges():>7} "
+              f"{avg:>9.1f} {index_visits:>13.1f} {data_visits:>12.1f}")
+
+    print("\n(the M*(k) row should show the lowest cost at the smallest "
+          "adaptive-index node count — the paper's headline result)")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.02)

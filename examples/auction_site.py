@@ -1,0 +1,47 @@
+"""Adaptive indexing of an auction site (the paper's XMark scenario).
+
+Simulates the paper's operating loop on an XMark-like document: queries
+arrive in batches, each batch is answered (with validation while the
+index is still coarse) and then fed to the refinement algorithm as FUPs.
+The script reports how the average query cost falls and the index grows
+batch by batch, then compares the three M*(k) query strategies on the
+final index.
+
+Run:  python examples/auction_site.py [scale]
+"""
+
+import sys
+
+from repro import MStarIndex, Workload, generate_xmark
+from repro.experiments.cost_vs_size import average_workload_cost
+
+
+def main(scale: float = 0.02) -> None:
+    graph = generate_xmark(scale=scale)
+    print(f"auction site document: {graph}\n")
+
+    workload = Workload.generate(graph, num_queries=200, max_length=9, seed=3)
+    index = MStarIndex(graph)
+
+    print(f"{'batch':>6} {'avg cost (live)':>16} {'nodes':>7} {'edges':>7} "
+          f"{'components':>11}")
+    for batch_number, batch in enumerate(workload.batches(40), start=1):
+        live_cost = 0
+        for expr in batch:
+            result = index.query(expr)     # pays validation while coarse
+            live_cost += result.cost.total
+            index.refine(expr, result)     # adapt to the FUP
+        print(f"{batch_number:>6} {live_cost / len(batch):>16.1f} "
+              f"{index.size_nodes():>7} {index.size_edges():>7} "
+              f"{len(index.components):>11}")
+
+    print("\nstrategies on the refined index (rerunning all 200 queries):")
+    for strategy in ("naive", "topdown", "prefilter"):
+        avg, index_visits, data_visits = average_workload_cost(
+            lambda expr: index.query(expr, strategy=strategy), workload)
+        print(f"  {strategy:<10} avg cost {avg:7.1f} "
+              f"({index_visits:.1f} index + {data_visits:.1f} data visits)")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.02)

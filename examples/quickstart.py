@@ -1,0 +1,68 @@
+"""Quickstart: index an XML document and answer path expressions.
+
+Parses a small order-management document (with ID/IDREF references),
+builds an M*(k)-index, runs a few path-expression queries — showing the
+validation step for queries the index is not yet refined for — then
+refines the index for a frequent query and shows the cost drop.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import MStarIndex, PathExpression, parse_xml
+
+DOCUMENT = """
+<store>
+  <customers>
+    <customer id="c1"><name><first/><last/></name><address><city/></address></customer>
+    <customer id="c2"><name><last/></name></customer>
+    <customer id="c3"><name><first/><last/></name><address><city/><zip/></address></customer>
+  </customers>
+  <orders>
+    <order><buyer ref="c1"/><lines><line><sku/><qty/></line></lines></order>
+    <order><buyer ref="c2"/><lines><line><sku/><qty/></line><line><sku/><qty/></line></lines></order>
+    <order><buyer ref="c3"/><lines><line><sku/><qty/></line></lines></order>
+  </orders>
+  <suppliers>
+    <supplier><name><last/></name><catalog><sku/><sku/></catalog></supplier>
+  </suppliers>
+</store>
+"""
+
+
+def main() -> None:
+    graph = parse_xml(DOCUMENT)
+    print(f"parsed document: {graph}")
+
+    index = MStarIndex(graph)
+    print(f"initial index: {index}\n")
+
+    # 'last' names exist under customers AND suppliers: the coarse index
+    # cannot tell them apart, so a structural query needs validation.
+    query = PathExpression.parse("//customer/name/last")
+    result = index.query(query)
+    print(f"{query}  ->  oids {sorted(result.answers)}")
+    print(f"  cost: {result.cost.index_visits} index visits + "
+          f"{result.cost.data_visits} data visits "
+          f"(validated={result.validated})")
+
+    # Treat it as a frequent query: refine the index to support it.
+    index.refine(query, result)
+    print(f"\nafter refine: {index}")
+
+    rerun = index.query(query)
+    print(f"{query}  ->  oids {sorted(rerun.answers)}")
+    print(f"  cost: {rerun.cost.index_visits} index visits + "
+          f"{rerun.cost.data_visits} data visits "
+          f"(validated={rerun.validated})")
+
+    # Short queries still run on the coarse component: cheap either way.
+    short = PathExpression.parse("//name")
+    print(f"\n{short}  ->  {len(index.query(short).answers)} nodes, "
+          f"cost {index.query(short).cost.total}")
+
+    assert rerun.answers == result.answers
+    assert not rerun.validated
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy build shim: the sandbox lacks the `wheel` package, so editable
+installs must go through `setup.py develop` rather than PEP 660."""
+
+from setuptools import setup
+
+setup()

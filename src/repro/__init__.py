@@ -1,0 +1,81 @@
+"""repro — reproduction of "Multiresolution Indexing of XML for Frequent
+Queries" (Hao He and Jun Yang, ICDE 2004).
+
+The package implements the paper's M(k)- and M*(k)-indexes together with
+every substrate they rest on: the labeled-directed data-graph model, XML
+parsing with ID/IDREF resolution, simple path expressions and their
+direct evaluation/validation, k-bisimulation partition refinement, the
+1-index / A(k)-index / D(k)-index baselines, the paper's cost model,
+synthetic XMark- and NASA-like datasets, the workload generator, and a
+harness regenerating every figure of the paper's evaluation section.
+
+Quickstart::
+
+    from repro import MStarIndex, Workload, generate_xmark
+
+    graph = generate_xmark(scale=0.02, seed=7)
+    index = MStarIndex(graph)
+    for query in Workload.generate(graph, num_queries=50, max_length=9):
+        result = index.query(query)     # safe; validates when imprecise
+        index.refine(query, result)     # support this FUP from now on
+"""
+
+from repro.core.engine import AdaptiveIndexEngine, EngineStats
+from repro.core.fup import FupExtractor
+from repro.cost.counters import CostCounter
+from repro.cost.metrics import IndexSize, index_size
+from repro.datasets import generate_dblp, generate_nasa, generate_xmark
+from repro.graph.builder import GraphBuilder, graph_from_edges
+from repro.graph.datagraph import DataGraph, EdgeKind
+from repro.graph.xml_io import graph_to_xml, parse_xml, parse_xml_file
+from repro.indexes.aindex import AkIndex
+from repro.indexes.apex import ApexIndex
+from repro.indexes.base import IndexGraph, IndexNode, QueryResult
+from repro.indexes.dataguide import DataGuide
+from repro.indexes.dindex import DkIndex
+from repro.indexes.fbindex import FBIndex
+from repro.indexes.mindex import MkIndex
+from repro.indexes.mstarindex import MStarIndex
+from repro.indexes.oneindex import OneIndex
+from repro.indexes.udindex import UDIndex
+from repro.queries.branching import BranchingPathExpression
+from repro.queries.pathexpr import PathExpression
+from repro.queries.workload import Workload, WorkloadSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveIndexEngine",
+    "AkIndex",
+    "BranchingPathExpression",
+    "ApexIndex",
+    "DataGuide",
+    "CostCounter",
+    "EngineStats",
+    "FupExtractor",
+    "DataGraph",
+    "DkIndex",
+    "FBIndex",
+    "EdgeKind",
+    "GraphBuilder",
+    "IndexGraph",
+    "IndexNode",
+    "IndexSize",
+    "MStarIndex",
+    "MkIndex",
+    "OneIndex",
+    "PathExpression",
+    "UDIndex",
+    "QueryResult",
+    "Workload",
+    "WorkloadSpec",
+    "generate_dblp",
+    "generate_nasa",
+    "generate_xmark",
+    "graph_from_edges",
+    "graph_to_xml",
+    "index_size",
+    "parse_xml",
+    "parse_xml_file",
+    "__version__",
+]

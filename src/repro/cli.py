@@ -1,0 +1,178 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``generate`` — synthesise an XMark- or NASA-like document to a file;
+* ``stats`` — print a document's structural statistics;
+* ``index`` — build an M*(k)-index refined for a synthetic workload and
+  save it (optionally also as a paged disk index);
+* ``query`` — run path expressions against a document (optionally
+  through a saved index), printing answers and costs;
+* ``report`` — regenerate the paper's full figure sweep as markdown.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.datasets import generate_nasa, generate_xmark
+from repro.graph.xml_io import parse_xml_file
+from repro.indexes.mstarindex import MStarIndex
+from repro.queries.pathexpr import PathExpression
+from repro.queries.workload import Workload
+from repro.storage.serialization import (
+    load_graph,
+    load_mstar,
+    save_graph,
+    save_mstar,
+)
+
+
+def _load_document(path: str):
+    """Load a document from a ``.rpgr`` file or parse it as XML."""
+    if path.endswith(".rpgr"):
+        return load_graph(path)
+    return parse_xml_file(path)
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    generator = generate_xmark if args.dataset == "xmark" else generate_nasa
+    graph = generator(scale=args.scale, seed=args.seed)
+    save_graph(graph, args.output)
+    print(f"wrote {graph} to {args.output}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    graph = _load_document(args.document)
+    print(graph)
+    labels = sorted(graph.alphabet())
+    print(f"alphabet ({len(labels)} labels): {', '.join(labels[:20])}"
+          + (" ..." if len(labels) > 20 else ""))
+    from repro.graph.paths import enumerate_rooted_label_paths
+    paths = enumerate_rooted_label_paths(graph, 4)
+    print(f"distinct rooted label paths (length <= 4): {len(paths)}")
+    from repro.indexes.partition import full_bisimulation_blocks
+    blocks, rounds = full_bisimulation_blocks(graph)
+    print(f"1-index size: {max(blocks) + 1} nodes "
+          f"(bisimulation stabilises at k = {rounds})")
+    return 0
+
+
+def cmd_index(args: argparse.Namespace) -> int:
+    graph = _load_document(args.document)
+    workload = Workload.generate(graph, num_queries=args.queries,
+                                 max_length=args.max_length, seed=args.seed)
+    index = MStarIndex(graph)
+    for expr in workload:
+        index.refine(expr, index.query(expr))
+    save_mstar(index, args.output)
+    print(f"refined {index} for {len(workload)} workload queries; "
+          f"saved to {args.output}")
+    if args.disk:
+        from repro.storage.diskindex import DiskMStarIndex
+        DiskMStarIndex.build(index, args.disk).close()
+        print(f"paged disk index written to {args.disk}")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    graph = _load_document(args.document)
+    if args.index:
+        index = load_mstar(args.index, graph)
+    else:
+        index = MStarIndex(graph)
+    for text in args.expressions:
+        expr = PathExpression.parse(text)
+        result = index.query(expr)
+        print(f"{expr}: {len(result.answers)} answers, "
+              f"cost {result.cost.index_visits} index + "
+              f"{result.cost.data_visits} data visits"
+              + (" (validated)" if result.validated else ""))
+        if args.verbose:
+            print(f"  oids: {sorted(result.answers)}")
+        if args.refine:
+            index.refine(expr, result)
+    if args.refine and args.index:
+        save_mstar(index, args.index)
+        print(f"index updated in place: {args.index}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.report import run_report
+
+    config = ExperimentConfig(scale=args.scale, num_queries=args.queries,
+                              seed=args.seed)
+    report = run_report(config)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report)
+        print(f"report written to {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multiresolution XML indexing (M(k)/M*(k)) toolkit")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate",
+                                   help="synthesise a dataset document")
+    generate.add_argument("--dataset", choices=("xmark", "nasa"),
+                          default="xmark")
+    generate.add_argument("--scale", type=float, default=0.05,
+                          help="1.0 approximates the paper's document sizes")
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("--output", "-o", required=True,
+                          help="output path (.rpgr)")
+    generate.set_defaults(handler=cmd_generate)
+
+    stats = commands.add_parser("stats", help="document statistics")
+    stats.add_argument("document", help=".rpgr file or XML document")
+    stats.set_defaults(handler=cmd_stats)
+
+    index = commands.add_parser("index",
+                                help="build a workload-refined M*(k)-index")
+    index.add_argument("document")
+    index.add_argument("--output", "-o", required=True,
+                       help="output path (.rpms)")
+    index.add_argument("--queries", type=int, default=200)
+    index.add_argument("--max-length", type=int, default=9)
+    index.add_argument("--seed", type=int, default=1)
+    index.add_argument("--disk", help="also write a paged disk index (.rpdi)")
+    index.set_defaults(handler=cmd_index)
+
+    query = commands.add_parser("query", help="run path expressions")
+    query.add_argument("document")
+    query.add_argument("expressions", nargs="+",
+                       help="XPath-style simple paths, e.g. //a/b")
+    query.add_argument("--index", help="saved M*(k)-index (.rpms)")
+    query.add_argument("--refine", action="store_true",
+                       help="refine the index for each query (FUP)")
+    query.add_argument("--verbose", "-v", action="store_true")
+    query.set_defaults(handler=cmd_query)
+
+    report = commands.add_parser(
+        "report", help="regenerate the paper's figures as markdown")
+    report.add_argument("--scale", type=float, default=0.05)
+    report.add_argument("--queries", type=int, default=500)
+    report.add_argument("--seed", type=int, default=1)
+    report.add_argument("--output", "-o")
+    report.set_defaults(handler=cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""The adaptive indexing engine — the paper's Figure 5 operating loop.
+
+Figure 5 sketches how an M(k)/M*(k)-index is operated: a *query
+processor* answers incoming queries from the index graph (validating
+against the data graph when the answer is not guaranteed precise), a
+*FUP processor* extracts frequently-used path expressions from the query
+stream, and a *refine processor* refines the index to support them.
+:class:`~repro.core.engine.AdaptiveIndexEngine` wires those pieces
+together around any of the package's indexes.
+"""
+
+from repro.core.engine import AdaptiveIndexEngine, EngineStats
+from repro.core.fup import FupExtractor
+
+__all__ = ["AdaptiveIndexEngine", "EngineStats", "FupExtractor"]

@@ -1,0 +1,109 @@
+"""The adaptive indexing engine (the paper's Figure 5).
+
+``AdaptiveIndexEngine`` answers a stream of path-expression queries from
+a structural index, extracts FUPs from the stream, and refines the index
+to support them — the full operating loop the paper's experiments
+simulate.  It works with any index in the package: adaptive ones
+(M*(k), M(k), D(k)-promote) get refined, static ones (A(k), 1-index)
+are simply queried.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.cost.counters import CostCounter
+from repro.cost.metrics import IndexSize, index_size
+from repro.core.fup import FupExtractor
+from repro.graph.datagraph import DataGraph
+from repro.indexes.base import QueryResult
+from repro.indexes.mstarindex import MStarIndex
+from repro.queries.pathexpr import PathExpression, as_expression
+
+
+@dataclass
+class EngineStats:
+    """Running totals over the engine's lifetime."""
+
+    queries: int = 0
+    validated_queries: int = 0
+    refinements: int = 0
+    cost: CostCounter = field(default_factory=CostCounter)
+
+    @property
+    def average_cost(self) -> float:
+        """Average two-part cost per query served."""
+        return self.cost.total / self.queries if self.queries else 0.0
+
+
+class AdaptiveIndexEngine:
+    """Query processor + FUP processor + refine processor in one object.
+
+    Example::
+
+        engine = AdaptiveIndexEngine(graph)        # M*(k) by default
+        for text in ("//person/name", "//person/name", "//item"):
+            answers = engine.execute(text).answers
+        engine.stats.refinements   # how often the index adapted
+    """
+
+    def __init__(self, graph: DataGraph,
+                 index_factory: Callable[[DataGraph], object] = MStarIndex,
+                 extractor: FupExtractor | None = None) -> None:
+        """``index_factory`` builds the index (default: M*(k));
+        ``extractor`` decides which queries become FUPs (default: every
+        repeatable query immediately, like the paper's experiments)."""
+        self.graph = graph
+        self.index = index_factory(graph)
+        self.extractor = extractor if extractor is not None else FupExtractor()
+        self.stats = EngineStats()
+        self._refined: set[PathExpression] = set()
+
+    @property
+    def can_refine(self) -> bool:
+        """Does the underlying index support incremental refinement?"""
+        return hasattr(self.index, "refine")
+
+    def execute(self, query: "PathExpression | str") -> QueryResult:
+        """Answer one query; adapt the index if the query is a FUP.
+
+        Accepts a :class:`PathExpression` or XPath-style text.  The
+        result is always the exact, validated-where-needed answer; when
+        the query turns out frequent the index is refined afterwards so
+        future runs avoid the validation cost.
+        """
+        expr = as_expression(query)
+        result = self.index.query(expr)
+        self.stats.queries += 1
+        self.stats.cost.add(result.cost)
+        if result.validated:
+            self.stats.validated_queries += 1
+
+        is_fup = self.extractor.observe(expr)
+        needs_refresh = expr in self._refined and result.validated
+        if is_fup and self.can_refine and (expr not in self._refined
+                                           or needs_refresh):
+            # needs_refresh: refining *other* FUPs can split this one's
+            # target nodes and reintroduce validation; refine again.
+            self.index.refine(expr, result)
+            self._refined.add(expr)
+            self.stats.refinements += 1
+        return result
+
+    def execute_all(self, queries) -> list[QueryResult]:
+        """Convenience: run a whole workload, returning every result."""
+        return [self.execute(query) for query in queries]
+
+    def size(self) -> IndexSize:
+        """Current index size in the paper's (nodes, edges) metrics."""
+        return index_size(self.index)
+
+    def supported_fups(self) -> set[PathExpression]:
+        """Expressions the engine has refined the index for so far."""
+        return set(self._refined)
+
+    def __repr__(self) -> str:
+        return (f"AdaptiveIndexEngine(index={type(self.index).__name__}, "
+                f"queries={self.stats.queries}, "
+                f"refinements={self.stats.refinements})")

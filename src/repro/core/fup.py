@@ -1,0 +1,66 @@
+"""Frequently-used path expression (FUP) extraction.
+
+The paper's operating loop (Figure 5) "extracts FUPs from queries" and
+feeds them to the refinement algorithm; in the experiments every
+workload query is treated as a FUP.  :class:`FupExtractor` generalises
+that: a query becomes a FUP once it has been seen ``threshold`` times,
+optionally counting only the last ``window`` queries so that the index
+"adapts to changing query workloads" — stale expressions lose their
+frequent status as the window slides past them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+
+from repro.queries.pathexpr import PathExpression
+
+
+class FupExtractor:
+    """Frequency-threshold FUP detection over a (possibly sliding) stream."""
+
+    def __init__(self, threshold: int = 1, window: int | None = None) -> None:
+        """``threshold``: occurrences needed before a query is a FUP.
+        ``window``: only the most recent ``window`` queries count
+        (``None`` = the whole history)."""
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if window is not None and window < 1:
+            raise ValueError("window must be >= 1 (or None)")
+        self.threshold = threshold
+        self.window = window
+        self._counts: Counter[PathExpression] = Counter()
+        self._history: deque[PathExpression] = deque()
+
+    def observe(self, expr: PathExpression) -> bool:
+        """Record one occurrence; return True if ``expr`` is now frequent.
+
+        Wildcard and descendant-axis expressions are tracked but never
+        reported as FUPs — the refinement algorithms support simple
+        child-axis label paths only.
+        """
+        self._counts[expr] += 1
+        if self.window is not None:
+            self._history.append(expr)
+            if len(self._history) > self.window:
+                expired = self._history.popleft()
+                self._counts[expired] -= 1
+                if self._counts[expired] <= 0:
+                    del self._counts[expired]
+        if expr.has_wildcard or expr.has_descendant_steps:
+            return False
+        return self._counts[expr] >= self.threshold
+
+    def count(self, expr: PathExpression) -> int:
+        """Occurrences of ``expr`` currently in scope."""
+        return self._counts.get(expr, 0)
+
+    def frequent(self) -> list[PathExpression]:
+        """All currently-frequent (non-wildcard) expressions, most first."""
+        return [expr for expr, count in self._counts.most_common()
+                if count >= self.threshold and not expr.has_wildcard
+                and not expr.has_descendant_steps]
+
+    def __repr__(self) -> str:
+        return (f"FupExtractor(threshold={self.threshold}, "
+                f"window={self.window}, tracked={len(self._counts)})")

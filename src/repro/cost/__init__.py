@@ -1,0 +1,6 @@
+"""Cost accounting: the paper's query-cost metric and index-size metrics."""
+
+from repro.cost.counters import CostCounter
+from repro.cost.metrics import IndexSize, index_size
+
+__all__ = ["CostCounter", "IndexSize", "index_size"]

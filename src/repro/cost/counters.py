@@ -1,0 +1,49 @@
+"""The main-memory cost metric of Section 5 of the paper.
+
+The cost of a query has two parts:
+
+1. the number of *index nodes visited* while evaluating the query on the
+   index graph, and
+2. the number of *data nodes visited* while validating the answer on the
+   data graph (removing false positives when the index is not precise
+   enough for the query).
+
+Data nodes sitting in the extents of target index nodes are *not* counted
+unless they are actually visited during validation, exactly as the paper
+specifies.
+"""
+
+from __future__ import annotations
+
+
+class CostCounter:
+    """Mutable counter threaded through query evaluation and validation."""
+
+    __slots__ = ("index_visits", "data_visits")
+
+    def __init__(self, index_visits: int = 0, data_visits: int = 0) -> None:
+        self.index_visits = index_visits
+        self.data_visits = data_visits
+
+    @property
+    def total(self) -> int:
+        """Total cost: index-node visits plus data-node visits."""
+        return self.index_visits + self.data_visits
+
+    def add(self, other: "CostCounter") -> None:
+        """Accumulate another counter into this one."""
+        self.index_visits += other.index_visits
+        self.data_visits += other.data_visits
+
+    def copy(self) -> "CostCounter":
+        return CostCounter(self.index_visits, self.data_visits)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CostCounter):
+            return NotImplemented
+        return (self.index_visits == other.index_visits
+                and self.data_visits == other.data_visits)
+
+    def __repr__(self) -> str:
+        return (f"CostCounter(index_visits={self.index_visits}, "
+                f"data_visits={self.data_visits})")

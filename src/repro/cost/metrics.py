@@ -1,0 +1,47 @@
+"""Index-size metrics (Section 5, "Cost metrics").
+
+Two size measures are used throughout the paper's evaluation:
+
+* the number of index nodes, and
+* the number of index edges.
+
+Plain indexes (1-, A(k)-, D(k)-, M(k)-) report their graph's node and edge
+counts directly.  The M*(k)-index counts nodes/edges across all component
+indexes but skips *duplicates* — a node in ``I(i+1)`` that is the only
+subnode of its supernode is a logical copy an implementation never stores,
+and likewise for edges connecting two such copies.  Cross-component links
+count as edges.  Each index class implements ``size_nodes()`` and
+``size_edges()`` with its own rules; this module provides the uniform
+entry point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class SizedIndex(Protocol):
+    """Anything that can report the paper's two size measures."""
+
+    def size_nodes(self) -> int: ...
+
+    def size_edges(self) -> int: ...
+
+
+@dataclass(frozen=True)
+class IndexSize:
+    """An index-size sample: (number of nodes, number of edges)."""
+
+    nodes: int
+    edges: int
+
+    def __iter__(self):
+        yield self.nodes
+        yield self.edges
+
+
+def index_size(index: SizedIndex) -> IndexSize:
+    """Measure an index using the paper's node/edge-count conventions."""
+    return IndexSize(nodes=index.size_nodes(), edges=index.size_edges())

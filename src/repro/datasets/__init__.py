@@ -1,0 +1,23 @@
+"""Synthetic datasets reproducing the structural properties of the paper's
+XMark and NASA documents (see DESIGN.md for the substitution rationale)."""
+
+from repro.datasets.dblp import dblp_schema, generate_dblp
+from repro.datasets.dtd import Child, Element, Reference, Schema
+from repro.datasets.generator import DocumentGenerator, generate_document
+from repro.datasets.nasa import generate_nasa, nasa_schema
+from repro.datasets.xmark import generate_xmark, xmark_schema
+
+__all__ = [
+    "Child",
+    "DocumentGenerator",
+    "Element",
+    "Reference",
+    "Schema",
+    "dblp_schema",
+    "generate_dblp",
+    "generate_document",
+    "generate_nasa",
+    "generate_xmark",
+    "nasa_schema",
+    "xmark_schema",
+]

@@ -1,0 +1,67 @@
+"""DBLP-like bibliography dataset (library extension, not in the paper).
+
+A third schema family exercising a different structural regime than
+XMark (regular, shallow) and NASA (irregular, deep): a *citation graph*
+— flat records whose reference edges (citations, cross-references to
+proceedings) dominate the structure.  Useful for examples and for
+stressing the indexes on reference-heavy, shallow data.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.dtd import Child, Reference, Schema, schema_from_dict
+from repro.datasets.generator import generate_document
+from repro.graph.datagraph import DataGraph
+
+#: Node budget at scale 1.0 (chosen to match the paper-dataset ballpark).
+BASE_NODES = 100_000
+
+
+def dblp_schema(multiplier: int = 1) -> Schema:
+    """The bibliography schema.
+
+    ``multiplier`` scales the number of publication records; record
+    shapes stay fixed.
+    """
+    if multiplier < 1:
+        raise ValueError("multiplier must be >= 1")
+    m = multiplier
+    declarations = {
+        "dblp": [Child("article", 4 * m, 8 * m),
+                 Child("inproceedings", 5 * m, 10 * m),
+                 Child("proceedings", 1 * m, 3 * m)],
+        "article": ["title", "year", Child("author", 1, 4),
+                    Child("journal", probability=0.9),
+                    Child("volume", probability=0.6),
+                    Child("pages", probability=0.7),
+                    Child("ee", probability=0.5),
+                    Child("cite", 0, 5)],
+        "inproceedings": ["title", "year", Child("author", 1, 4),
+                          "booktitle",
+                          Child("pages", probability=0.7),
+                          Child("crossref", probability=0.8),
+                          Child("ee", probability=0.4),
+                          Child("cite", 0, 4)],
+        "proceedings": ["title", "year", Child("editor", 1, 3),
+                        "publisher", Child("isbn", probability=0.7)],
+        "author": ["name"],
+        "editor": ["name"],
+    }
+    references = {
+        "cite": [Reference("article", probability=0.6),
+                 Reference("inproceedings", probability=0.5)],
+        "crossref": [Reference("proceedings")],
+    }
+    return schema_from_dict("dblp", declarations, references)
+
+
+def generate_dblp(scale: float = 0.05, seed: int = 13) -> DataGraph:
+    """Generate a DBLP-like bibliography document."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    max_nodes = max(200, int(BASE_NODES * scale))
+    base = generate_document(dblp_schema(), max_nodes, seed=seed)
+    if base.num_nodes >= max_nodes:
+        return base
+    multiplier = max(1, round(max_nodes / base.num_nodes))
+    return generate_document(dblp_schema(multiplier), max_nodes, seed=seed)

@@ -1,0 +1,129 @@
+"""A small DTD-like schema model for random document generation.
+
+The paper's datasets come from the XMark generator and the IBM XML
+generator applied to the NASA DTD.  Neither tool is available offline, so
+:mod:`repro.datasets.generator` plays their role: it expands a
+:class:`Schema` — element declarations with occurrence ranges,
+probabilities, and ID/IDREF reference declarations — into a
+:class:`~repro.graph.datagraph.DataGraph`.  What matters for the
+experiments is the *shape* the schema induces (depth, breadth,
+irregularity, element-name reuse, reference density), which the XMark and
+NASA schemas in this package mirror.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Child:
+    """One child slot of an element declaration.
+
+    With probability ``probability`` the slot is instantiated, producing
+    between ``min_occurs`` and ``max_occurs`` children (uniformly chosen).
+    """
+
+    name: str
+    min_occurs: int = 1
+    max_occurs: int = 1
+    probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.min_occurs <= self.max_occurs:
+            raise ValueError(f"bad occurrence range on child {self.name!r}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"bad probability on child {self.name!r}")
+
+
+@dataclass(frozen=True)
+class Reference:
+    """An IDREF attribute: instances point at instances of ``target``.
+
+    With probability ``probability`` an element of the declaring type
+    carries 1..``max_targets`` reference edges to randomly chosen
+    ``target`` elements (if any exist in the document).
+    """
+
+    target: str
+    probability: float = 1.0
+    max_targets: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_targets < 1:
+            raise ValueError("max_targets must be >= 1")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"bad probability on reference to {self.target!r}")
+
+
+@dataclass(frozen=True)
+class Element:
+    """Declaration of one element type."""
+
+    name: str
+    children: tuple[Child, ...] = ()
+    references: tuple[Reference, ...] = ()
+
+
+@dataclass(frozen=True)
+class Schema:
+    """A set of element declarations with a designated document element."""
+
+    root: str
+    elements: dict[str, Element] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.root not in self.elements:
+            raise ValueError(f"root element {self.root!r} not declared")
+        for element in self.elements.values():
+            for child in element.children:
+                if child.name not in self.elements:
+                    raise ValueError(
+                        f"{element.name!r} declares undeclared child "
+                        f"{child.name!r}")
+
+    def element(self, name: str) -> Element:
+        return self.elements[name]
+
+    def alphabet(self) -> set[str]:
+        """All element names (the label alphabet the document will use)."""
+        return set(self.elements)
+
+    def label_reuse(self) -> dict[str, int]:
+        """How many distinct parent contexts each element name appears in.
+
+        The paper attributes the NASA dataset's susceptibility to
+        irrelevant-index-node over-refinement to heavy reuse (``name``
+        appears in seven contexts); this helper lets tests assert our
+        schemas mirror that.
+        """
+        contexts: dict[str, set[str]] = {}
+        for element in self.elements.values():
+            for child in element.children:
+                contexts.setdefault(child.name, set()).add(element.name)
+        return {name: len(parents) for name, parents in contexts.items()}
+
+
+def schema_from_dict(root: str,
+                     declarations: dict[str, list],
+                     references: dict[str, list[Reference]] | None = None
+                     ) -> Schema:
+    """Compact schema constructor.
+
+    ``declarations`` maps an element name to its child slots, each either
+    a plain name (exactly one occurrence) or a :class:`Child`.  Elements
+    appearing only as children are auto-declared as leaves.
+    """
+    references = references or {}
+    names: set[str] = set(declarations) | set(references)
+    for slots in declarations.values():
+        for slot in slots:
+            names.add(slot.name if isinstance(slot, Child) else slot)
+    elements: dict[str, Element] = {}
+    for name in sorted(names):
+        slots = declarations.get(name, [])
+        children = tuple(slot if isinstance(slot, Child) else Child(slot)
+                         for slot in slots)
+        elements[name] = Element(name=name, children=children,
+                                 references=tuple(references.get(name, ())))
+    return Schema(root=root, elements=elements)

@@ -1,0 +1,95 @@
+"""Random document generation from a :class:`~repro.datasets.dtd.Schema`.
+
+Plays the role of the XMark / IBM XML generators: breadth-first expansion
+of the schema from the document element, bounded by a node budget, with
+ID/IDREF reference edges wired up afterwards.  Generation is fully
+deterministic given ``(schema, max_nodes, seed)``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets.dtd import Schema
+from repro.graph.datagraph import DataGraph, EdgeKind
+
+
+class DocumentGenerator:
+    """Expands a schema into a data graph under a node budget."""
+
+    def __init__(self, schema: Schema, max_nodes: int, seed: int = 0,
+                 root_label: str = "root") -> None:
+        if max_nodes < 2:
+            raise ValueError("max_nodes must allow at least root + document element")
+        self.schema = schema
+        self.max_nodes = max_nodes
+        self.seed = seed
+        self.root_label = root_label
+
+    def generate(self) -> DataGraph:
+        """Generate one document as a :class:`DataGraph`.
+
+        A synthetic node labeled ``root_label`` tops the document element
+        (matching the paper's Figure 1).  Expansion is breadth-first so
+        that hitting the budget truncates the deepest fringe rather than
+        whole subtrees.  Reference edges are added in a second pass, each
+        pointing at a uniformly random instance of the declared target
+        element (skipped when no instance exists or the pick would
+        duplicate an edge).
+        """
+        rng = random.Random(self.seed)
+        graph = DataGraph()
+        root_oid = graph.add_node(self.root_label)
+        doc_oid = graph.add_node(self.schema.root)
+        graph.add_edge(root_oid, doc_oid)
+        instances: dict[str, list[int]] = {self.schema.root: [doc_oid]}
+
+        queue: list[int] = [doc_oid]
+        head = 0
+        while head < len(queue) and graph.num_nodes < self.max_nodes:
+            oid = queue[head]
+            head += 1
+            declaration = self.schema.element(graph.label(oid))
+            for child_spec in declaration.children:
+                if rng.random() >= child_spec.probability:
+                    continue
+                count = rng.randint(child_spec.min_occurs,
+                                    child_spec.max_occurs)
+                for _ in range(count):
+                    if graph.num_nodes >= self.max_nodes:
+                        break
+                    child_oid = graph.add_node(child_spec.name)
+                    graph.add_edge(oid, child_oid)
+                    instances.setdefault(child_spec.name, []).append(child_oid)
+                    queue.append(child_oid)
+
+        self._add_references(graph, instances, rng)
+        graph.root = root_oid
+        return graph
+
+    def _add_references(self, graph: DataGraph,
+                        instances: dict[str, list[int]],
+                        rng: random.Random) -> None:
+        for label in sorted(instances):
+            declaration = self.schema.element(label)
+            if not declaration.references:
+                continue
+            for oid in instances[label]:
+                for reference in declaration.references:
+                    if rng.random() >= reference.probability:
+                        continue
+                    pool = instances.get(reference.target)
+                    if not pool:
+                        continue
+                    count = rng.randint(1, reference.max_targets)
+                    for _ in range(count):
+                        target = pool[rng.randrange(len(pool))]
+                        if target == oid or target in graph.children(oid):
+                            continue
+                        graph.add_edge(oid, target, kind=EdgeKind.REFERENCE)
+
+
+def generate_document(schema: Schema, max_nodes: int,
+                      seed: int = 0) -> DataGraph:
+    """One-shot convenience wrapper around :class:`DocumentGenerator`."""
+    return DocumentGenerator(schema, max_nodes, seed=seed).generate()

@@ -1,0 +1,105 @@
+"""NASA-like astronomical-dataset document.
+
+Mirrors the structural properties the paper relies on for its NASA
+experiments: a *deeper, broader, more irregular* schema than XMark, with
+more ID/IDREF references (the D(k) paper removed half of them; this paper
+keeps all) and heavy element-name reuse — ``name`` appears in seven
+different parent contexts, the paper's canonical example of why
+D(k)-construct over-refines irrelevant index nodes.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.dtd import Child, Reference, Schema, schema_from_dict
+from repro.datasets.generator import generate_document
+from repro.graph.datagraph import DataGraph
+
+#: Node budget at scale 1.0 (the paper's NASA document has ~90k nodes).
+BASE_NODES = 90_000
+
+#: The seven parent contexts of ``name`` (asserted by the test suite).
+NAME_CONTEXTS = ("author", "creator", "institution", "field", "parameter",
+                 "contact", "journal")
+
+
+def nasa_schema(multiplier: int = 1) -> Schema:
+    """The astronomy-archive schema.
+
+    ``multiplier`` scales the number of datasets in the archive; each
+    dataset subtree keeps its (irregular) shape.
+    """
+    if multiplier < 1:
+        raise ValueError("multiplier must be >= 1")
+    declarations = {
+        "datasets": [Child("dataset", 3 * multiplier, 7 * multiplier)],
+        "dataset": ["identifier",
+                    Child("altname", 1, 2),
+                    "title",
+                    Child("author", 1, 3),
+                    Child("contact", probability=0.4),
+                    Child("definitions", probability=0.5),
+                    "history",
+                    Child("reference", 0, 3),
+                    Child("keywords", probability=0.5),
+                    Child("descriptions", probability=0.6),
+                    Child("parameter", 0, 3),
+                    Child("see_also", 0, 2),
+                    "tableHead"],
+        "author": ["name", Child("affiliation", probability=0.4)],
+        "contact": ["name", Child("institution", probability=0.5)],
+        "institution": ["name"],
+        "name": [Child("first", probability=0.7), "last"],
+        "definitions": [Child("def", 1, 3)],
+        "def": ["term", "meaning"],
+        "history": [Child("creator", probability=0.8),
+                    Child("ingest", probability=0.5),
+                    Child("revision", 0, 3)],
+        "creator": ["name", Child("date", probability=0.5)],
+        "ingest": ["creator", "date"],
+        "revision": ["date", Child("comment", probability=0.4),
+                     Child("author", probability=0.5)],
+        "reference": [Child("source", probability=0.8)],
+        "source": [Child("journal", probability=0.6),
+                   Child("other", probability=0.4)],
+        "journal": ["name", "title", Child("author", 0, 2),
+                    Child("volume", probability=0.5),
+                    Child("page", probability=0.4), "year"],
+        "other": ["title", Child("date", probability=0.5)],
+        "descriptions": [Child("description", 1, 2)],
+        "description": [Child("para", 1, 3), Child("footnote", 0, 2)],
+        "footnote": [Child("para", probability=0.6)],
+        "keywords": [Child("keyword", 1, 4)],
+        "parameter": ["name", Child("unit", probability=0.5)],
+        "tableHead": [Child("tableLinks", probability=0.5), "fields"],
+        "tableLinks": [Child("tableLink", 1, 3)],
+        "fields": [Child("field", 2, 6)],
+        "field": ["name", Child("definition", probability=0.6),
+                  Child("units", probability=0.5)],
+    }
+    references = {
+        "tableLink": [Reference("dataset")],
+        "see_also": [Reference("dataset")],
+        "reference": [Reference("dataset", probability=0.4)],
+        "keyword": [Reference("field", probability=0.3)],
+        "revision": [Reference("revision", probability=0.3)],
+    }
+    return schema_from_dict("datasets", declarations, references)
+
+
+def generate_nasa(scale: float = 0.05, seed: int = 11) -> DataGraph:
+    """Generate a NASA-like document.
+
+    ``scale=1.0`` approximates the paper's ~90k-node document; the default
+    keeps full experiment sweeps fast (all metrics are counts, so shapes
+    are scale-stable — see DESIGN.md).
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    max_nodes = max(200, int(BASE_NODES * scale))
+    # Two-pass sizing (see generate_xmark): reach the target size by
+    # archive breadth, not by truncating subtrees mid-expansion.
+    base = generate_document(nasa_schema(), max_nodes, seed=seed)
+    if base.num_nodes >= max_nodes:
+        return base
+    multiplier = max(1, round(max_nodes / base.num_nodes))
+    return generate_document(nasa_schema(multiplier), max_nodes, seed=seed)

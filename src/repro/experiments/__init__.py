@@ -1,0 +1,30 @@
+"""Experiment harness regenerating every figure of the paper's Section 5.
+
+Each module computes the series one figure family plots; the
+``benchmarks/`` suite wraps them in pytest-benchmark targets and prints
+the same rows the paper charts.  ``python -m repro.experiments.report``
+runs the full sweep and emits a markdown report (the basis of
+EXPERIMENTS.md).
+"""
+
+from repro.experiments.config import ExperimentConfig, dataset_for
+from repro.experiments.cost_vs_size import (
+    CostVsSizeResult,
+    IndexPoint,
+    run_cost_vs_size,
+)
+from repro.experiments.distribution import DistributionResult, run_distribution
+from repro.experiments.growth import GrowthCurve, GrowthResult, run_growth
+
+__all__ = [
+    "CostVsSizeResult",
+    "DistributionResult",
+    "ExperimentConfig",
+    "GrowthCurve",
+    "GrowthResult",
+    "IndexPoint",
+    "dataset_for",
+    "run_cost_vs_size",
+    "run_distribution",
+    "run_growth",
+]

@@ -1,0 +1,56 @@
+"""Shared experiment configuration.
+
+The paper runs on ~120k-node (XMark) and ~90k-node (NASA) documents with
+500-query workloads.  All of our metrics are *counts* (nodes visited,
+index nodes/edges), so the reported shapes are stable under scaling; the
+default configuration uses 5%-scale documents to keep the full 19-figure
+sweep fast in CPython.  Environment variables override the defaults:
+
+* ``REPRO_SCALE`` — document scale factor (1.0 = paper size),
+* ``REPRO_QUERIES`` — workload size (paper: 500),
+* ``REPRO_SEED`` — base RNG seed.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.datasets import generate_nasa, generate_xmark
+from repro.graph.datagraph import DataGraph
+
+
+def _env_float(name: str, default: float) -> float:
+    value = os.environ.get(name)
+    return float(value) if value else default
+
+
+def _env_int(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    return int(value) if value else default
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by every figure harness."""
+
+    scale: float = 0.05
+    num_queries: int = 500
+    seed: int = 1
+    batch_size: int = 50      # growth experiments sample every 50 queries
+    max_ak: int = 7           # A(k) family upper k for the max-length-9 runs
+
+    @classmethod
+    def from_env(cls) -> "ExperimentConfig":
+        return cls(scale=_env_float("REPRO_SCALE", cls.scale),
+                   num_queries=_env_int("REPRO_QUERIES", cls.num_queries),
+                   seed=_env_int("REPRO_SEED", cls.seed))
+
+
+def dataset_for(name: str, config: ExperimentConfig) -> DataGraph:
+    """Materialise one of the paper's two datasets at the configured scale."""
+    if name == "xmark":
+        return generate_xmark(scale=config.scale)
+    if name == "nasa":
+        return generate_nasa(scale=config.scale)
+    raise ValueError(f"unknown dataset {name!r} (expected 'xmark' or 'nasa')")

@@ -1,0 +1,136 @@
+"""Figures 10-13 and 18-22: average query cost versus index size.
+
+For one dataset and one workload the harness produces a point per index:
+
+* A(k) for ``k = 0..max_ak`` — static; every workload query is evaluated
+  with validation where needed.
+* D(k)-construct — built from scratch for the whole workload, then the
+  workload is re-run to measure cost.
+* D(k)-promote, M(k), M*(k) — start from A(0) and refine incrementally
+  for every workload query (in order); the workload is then re-run on the
+  final index to measure cost, matching the paper's protocol (the rerun
+  carries no refinement, and — all queries now being supported — normally
+  no validation cost either).
+
+The point's coordinates are the paper's two size metrics (nodes, edges)
+and the measured average per-query cost.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+from repro.cost.counters import CostCounter
+from repro.graph.datagraph import DataGraph
+from repro.indexes.aindex import AkIndex
+from repro.indexes.base import QueryResult
+from repro.indexes.dindex import DkIndex
+from repro.indexes.mindex import MkIndex
+from repro.indexes.mstarindex import MStarIndex
+from repro.queries.pathexpr import PathExpression
+from repro.queries.workload import Workload
+
+
+@dataclass(frozen=True)
+class IndexPoint:
+    """One plotted point: an index's size and its average query cost."""
+
+    name: str
+    nodes: int
+    edges: int
+    avg_cost: float
+    avg_index_visits: float
+    avg_data_visits: float
+
+
+@dataclass(frozen=True)
+class CostVsSizeResult:
+    """All points of one cost-vs-size figure pair (nodes and edges axes)."""
+
+    dataset: str
+    max_length: int
+    points: tuple[IndexPoint, ...]
+
+    def point(self, name: str) -> IndexPoint:
+        for point in self.points:
+            if point.name == name:
+                return point
+        raise KeyError(name)
+
+    def format_table(self) -> str:
+        lines = [f"Query cost vs index size — {self.dataset}, "
+                 f"max path length {self.max_length}",
+                 f"{'index':<14} {'nodes':>7} {'edges':>7} "
+                 f"{'avg cost':>9} {'idx':>7} {'data':>7}"]
+        for point in self.points:
+            lines.append(f"{point.name:<14} {point.nodes:>7} {point.edges:>7} "
+                         f"{point.avg_cost:>9.1f} {point.avg_index_visits:>7.1f} "
+                         f"{point.avg_data_visits:>7.1f}")
+        return "\n".join(lines)
+
+
+def average_workload_cost(query: Callable[[PathExpression], QueryResult],
+                          workload: Iterable[PathExpression]
+                          ) -> tuple[float, float, float]:
+    """Average (total, index-visit, data-visit) cost over a workload."""
+    total = CostCounter()
+    count = 0
+    for expr in workload:
+        result = query(expr)
+        total.add(result.cost)
+        count += 1
+    if count == 0:
+        return 0.0, 0.0, 0.0
+    return (total.total / count, total.index_visits / count,
+            total.data_visits / count)
+
+
+def _point(name: str, index, workload: Workload) -> IndexPoint:
+    avg_cost, avg_index, avg_data = average_workload_cost(index.query, workload)
+    return IndexPoint(name=name, nodes=index.size_nodes(),
+                      edges=index.size_edges(), avg_cost=avg_cost,
+                      avg_index_visits=avg_index, avg_data_visits=avg_data)
+
+
+def run_cost_vs_size(graph: DataGraph, workload: Workload, dataset: str,
+                     max_ak: int = 7,
+                     include: Iterable[str] = ("ak", "d-construct",
+                                               "d-promote", "mk", "mstar"),
+                     ) -> CostVsSizeResult:
+    """Compute every point of a cost-vs-size figure.
+
+    ``include`` selects index families (Figure 19/20 drop D(k)-promote and
+    M(k) to zoom in on the rest).
+    """
+    include = set(include)
+    points: list[IndexPoint] = []
+
+    if "ak" in include:
+        for k in range(max_ak + 1):
+            points.append(_point(f"A({k})", AkIndex(graph, k), workload))
+
+    if "d-construct" in include:
+        constructed = DkIndex.construct(graph, list(workload))
+        points.append(_point("D-construct", constructed, workload))
+
+    if "d-promote" in include:
+        promoted = DkIndex(graph)
+        for expr in workload:
+            promoted.refine(expr)
+        points.append(_point("D-promote", promoted, workload))
+
+    if "mk" in include:
+        mk = MkIndex(graph)
+        for expr in workload:
+            mk.refine(expr, mk.query(expr))
+        points.append(_point("M(k)", mk, workload))
+
+    if "mstar" in include:
+        mstar = MStarIndex(graph)
+        for expr in workload:
+            mstar.refine(expr, mstar.query(expr))
+        points.append(_point("M*(k)", mstar, workload))
+
+    return CostVsSizeResult(dataset=dataset, max_length=workload.spec.max_length,
+                            points=tuple(points))

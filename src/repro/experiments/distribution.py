@@ -1,0 +1,46 @@
+"""Figures 8-9: query-length distribution of the synthetic workloads.
+
+The paper plots the fraction of workload queries at each length for the
+NASA dataset with maximum path lengths 9 and 4; both show the intended
+skew towards short queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.datagraph import DataGraph
+from repro.queries.workload import Workload
+
+
+@dataclass(frozen=True)
+class DistributionResult:
+    """The series behind one distribution figure."""
+
+    dataset: str
+    max_length: int
+    num_queries: int
+    fractions: tuple[float, ...]  # index = query length in edges
+
+    def rows(self) -> list[tuple[int, float]]:
+        return list(enumerate(self.fractions))
+
+    def format_table(self) -> str:
+        lines = [f"Query distribution — {self.dataset}, "
+                 f"max path length {self.max_length} "
+                 f"({self.num_queries} queries)",
+                 "length  fraction"]
+        for length, fraction in self.rows():
+            lines.append(f"{length:>6}  {fraction:.3f}")
+        return "\n".join(lines)
+
+
+def run_distribution(graph: DataGraph, dataset: str, max_length: int,
+                     num_queries: int = 500, seed: int = 1
+                     ) -> DistributionResult:
+    """Generate a workload and compute its length histogram."""
+    workload = Workload.generate(graph, num_queries=num_queries,
+                                 max_length=max_length, seed=seed)
+    return DistributionResult(dataset=dataset, max_length=max_length,
+                              num_queries=num_queries,
+                              fractions=tuple(workload.length_histogram()))

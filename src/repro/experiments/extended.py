@@ -1,0 +1,204 @@
+"""Extended experiments beyond the paper's own figure set.
+
+Three extra tables appear in the report appendix:
+
+* the **baseline table** — the related-work indexes the paper discusses
+  but does not plot (1-index, strong DataGuide, UD(k,l), APEX, F&B)
+  next to the refined M*(k) on the same workload/metrics;
+* the **strategy table** — average query cost of the five M*(k)
+  evaluation strategies of Section 4.1 on the refined index;
+* the **update experiment** — behaviour under live document growth
+  (subtree insertions and reference additions): how much precision the
+  demotion rule costs and how refinement recovers it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.cost_vs_size import average_workload_cost
+from repro.graph.datagraph import DataGraph
+from repro.indexes.apex import ApexIndex
+from repro.indexes.dataguide import DataGuide
+from repro.indexes.fbindex import FBIndex
+from repro.indexes.maintenance import add_reference, insert_subtree
+from repro.indexes.mstarindex import MStarIndex
+from repro.indexes.oneindex import OneIndex
+from repro.indexes.udindex import UDIndex
+from repro.queries.workload import Workload
+
+STRATEGIES = ("naive", "topdown", "prefilter", "bottomup", "hybrid")
+
+
+@dataclass(frozen=True)
+class BaselineRow:
+    name: str
+    nodes: int
+    edges: int
+    avg_cost: float
+    avg_data_visits: float
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class BaselineTable:
+    dataset: str
+    rows: tuple[BaselineRow, ...]
+
+    def row(self, name: str) -> BaselineRow:
+        for row in self.rows:
+            if row.name == name:
+                return row
+        raise KeyError(name)
+
+    def format_table(self) -> str:
+        lines = [f"Related-work baselines — {self.dataset}",
+                 f"{'index':<11} {'nodes':>7} {'edges':>7} {'avg cost':>9} "
+                 f"{'data':>7}"]
+        for row in self.rows:
+            if row.note:
+                lines.append(f"{row.name:<11} {row.note}")
+            else:
+                lines.append(f"{row.name:<11} {row.nodes:>7} {row.edges:>7} "
+                             f"{row.avg_cost:>9.1f} "
+                             f"{row.avg_data_visits:>7.1f}")
+        return "\n".join(lines)
+
+
+def run_baseline_table(graph: DataGraph, workload: Workload,
+                       dataset: str) -> BaselineTable:
+    """Measure every related-work baseline on one workload."""
+    rows: list[BaselineRow] = []
+
+    def measure(name, index):
+        avg, _, data = average_workload_cost(index.query, workload)
+        rows.append(BaselineRow(name=name, nodes=index.size_nodes(),
+                                edges=index.size_edges(), avg_cost=avg,
+                                avg_data_visits=data))
+
+    measure("1-index", OneIndex(graph))
+    try:
+        measure("DataGuide", DataGuide(graph))
+    except RuntimeError as error:
+        # Determinization blow-up on large/reference-heavy documents — the
+        # classical failure mode that motivated bisimulation summaries.
+        rows.append(BaselineRow(name="DataGuide", nodes=-1, edges=-1,
+                                avg_cost=float("nan"),
+                                avg_data_visits=float("nan"),
+                                note=f"determinization blow-up ({error})"))
+    measure("UD(2,2)", UDIndex(graph, 2, 2))
+    measure("F&B", FBIndex(graph))
+
+    apex = ApexIndex(graph)
+    for expr in workload:
+        apex.refine(expr, apex.query(expr))
+    measure("APEX", apex)
+
+    mstar = MStarIndex(graph)
+    for expr in workload:
+        mstar.refine(expr, mstar.query(expr))
+    measure("M*(k)", mstar)
+    return BaselineTable(dataset=dataset, rows=tuple(rows))
+
+
+@dataclass(frozen=True)
+class StrategyTable:
+    dataset: str
+    costs: tuple[tuple[str, float], ...]
+
+    def cost(self, strategy: str) -> float:
+        for name, value in self.costs:
+            if name == strategy:
+                return value
+        raise KeyError(strategy)
+
+    def format_table(self) -> str:
+        lines = [f"M*(k) strategy costs — {self.dataset}",
+                 f"{'strategy':<11} {'avg cost':>9}"]
+        for name, value in self.costs:
+            lines.append(f"{name:<11} {value:>9.1f}")
+        return "\n".join(lines)
+
+
+def run_strategy_table(graph: DataGraph, workload: Workload,
+                       dataset: str) -> StrategyTable:
+    """Average cost of each Section 4.1 strategy on the refined index."""
+    index = MStarIndex(graph)
+    for expr in workload:
+        index.refine(expr, index.query(expr))
+    costs = []
+    for strategy in STRATEGIES:
+        avg, _, _ = average_workload_cost(
+            lambda expr: index.query(expr, strategy=strategy), workload)
+        costs.append((strategy, avg))
+    return StrategyTable(dataset=dataset, costs=tuple(costs))
+
+
+@dataclass(frozen=True)
+class UpdateExperiment:
+    dataset: str
+    insertions: int
+    references: int
+    baseline_cost: float          # refined index before updates
+    after_insert_cost: float      # insertions alone never demote
+    after_reference_cost: float   # demotions bring validation back
+    recovered_cost: float         # after re-refining the workload
+
+    def format_table(self) -> str:
+        return "\n".join([
+            f"Live-update experiment — {self.dataset}",
+            f"{'phase':<28} {'avg cost':>9}",
+            f"{'refined (baseline)':<28} {self.baseline_cost:>9.1f}",
+            f"{'+ %d subtree insertions' % self.insertions:<28} "
+            f"{self.after_insert_cost:>9.1f}",
+            f"{'+ %d reference additions' % self.references:<28} "
+            f"{self.after_reference_cost:>9.1f}",
+            f"{'re-refined':<28} {self.recovered_cost:>9.1f}",
+        ])
+
+
+def run_update_experiment(graph: DataGraph, workload: Workload,
+                          dataset: str, insertions: int = 20,
+                          references: int = 10,
+                          seed: int = 1) -> UpdateExperiment:
+    """Quantify the cost of live updates on a refined M*(k)-index.
+
+    Mutates ``graph``; callers should pass a throwaway copy (the report
+    harness regenerates its datasets per experiment).
+    """
+    import random
+
+    rng = random.Random(seed)
+    index = MStarIndex(graph)
+    for expr in workload:
+        index.refine(expr, index.query(expr))
+    baseline, _, _ = average_workload_cost(index.query, workload)
+
+    labels = sorted(graph.alphabet())
+    parents = [oid for oid in graph.nodes()]
+    for _ in range(insertions):
+        parent = parents[rng.randrange(len(parents))]
+        label = labels[rng.randrange(len(labels))]
+        insert_subtree(graph, parent, (label, [(labels[0], [])]),
+                       indexes=[index])
+    after_insert, _, _ = average_workload_cost(index.query, workload)
+
+    added = 0
+    while added < references:
+        source = rng.randrange(graph.num_nodes)
+        target = rng.randrange(graph.num_nodes)
+        if source == target or target in graph.children(source):
+            continue
+        add_reference(graph, source, target, indexes=[index])
+        added += 1
+    after_reference, _, _ = average_workload_cost(index.query, workload)
+
+    for expr in workload:
+        index.refine(expr, index.query(expr))
+    recovered, _, _ = average_workload_cost(index.query, workload)
+
+    return UpdateExperiment(dataset=dataset, insertions=insertions,
+                            references=references, baseline_cost=baseline,
+                            after_insert_cost=after_insert,
+                            after_reference_cost=after_reference,
+                            recovered_cost=recovered)

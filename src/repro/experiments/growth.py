@@ -1,0 +1,92 @@
+"""Figures 14-17 and 23-26: index size growth as FUPs accumulate.
+
+The incrementally-refined indexes (D(k)-promote, M(k), M*(k)) are fed the
+workload in order; after every batch of 50 queries both size metrics are
+sampled.  The paper's observations: the first batch causes the largest
+jump, M*(k) stays lowest in nodes, and on reference-heavy (NASA-like)
+data the M*(k) *edge* curve can overtake the others because
+cross-component links multiply with fan-in/fan-out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.datagraph import DataGraph
+from repro.indexes.dindex import DkIndex
+from repro.indexes.mindex import MkIndex
+from repro.indexes.mstarindex import MStarIndex
+from repro.queries.workload import Workload
+
+
+@dataclass(frozen=True)
+class GrowthCurve:
+    """Size checkpoints for one index: (queries seen, nodes, edges)."""
+
+    name: str
+    checkpoints: tuple[tuple[int, int, int], ...]
+
+    def nodes_series(self) -> list[tuple[int, int]]:
+        return [(queries, nodes) for queries, nodes, _ in self.checkpoints]
+
+    def edges_series(self) -> list[tuple[int, int]]:
+        return [(queries, edges) for queries, _, edges in self.checkpoints]
+
+
+@dataclass(frozen=True)
+class GrowthResult:
+    """All curves of one growth figure pair (node and edge axes)."""
+
+    dataset: str
+    max_length: int
+    curves: tuple[GrowthCurve, ...]
+
+    def curve(self, name: str) -> GrowthCurve:
+        for curve in self.curves:
+            if curve.name == name:
+                return curve
+        raise KeyError(name)
+
+    def format_table(self) -> str:
+        lines = [f"Index size growth — {self.dataset}, "
+                 f"max path length {self.max_length}"]
+        header = f"{'queries':>8}"
+        for curve in self.curves:
+            header += f" {curve.name + ' nodes':>16} {curve.name + ' edges':>16}"
+        lines.append(header)
+        num_rows = len(self.curves[0].checkpoints)
+        for row in range(num_rows):
+            queries = self.curves[0].checkpoints[row][0]
+            line = f"{queries:>8}"
+            for curve in self.curves:
+                _, nodes, edges = curve.checkpoints[row]
+                line += f" {nodes:>16} {edges:>16}"
+            lines.append(line)
+        return "\n".join(lines)
+
+
+def run_growth(graph: DataGraph, workload: Workload, dataset: str,
+               batch_size: int = 50) -> GrowthResult:
+    """Refine the three adaptive indexes batch by batch, sampling sizes."""
+    promoted = DkIndex(graph)
+    mk = MkIndex(graph)
+    mstar = MStarIndex(graph)
+    samples: dict[str, list[tuple[int, int, int]]] = {
+        "D-promote": [], "M(k)": [], "M*(k)": []}
+
+    seen = 0
+    for batch in workload.batches(batch_size):
+        for expr in batch:
+            promoted.refine(expr)
+            mk.refine(expr, mk.query(expr))
+            mstar.refine(expr, mstar.query(expr))
+        seen += len(batch)
+        samples["D-promote"].append(
+            (seen, promoted.size_nodes(), promoted.size_edges()))
+        samples["M(k)"].append((seen, mk.size_nodes(), mk.size_edges()))
+        samples["M*(k)"].append((seen, mstar.size_nodes(), mstar.size_edges()))
+
+    curves = tuple(GrowthCurve(name=name, checkpoints=tuple(points))
+                   for name, points in samples.items())
+    return GrowthResult(dataset=dataset, max_length=workload.spec.max_length,
+                        curves=curves)

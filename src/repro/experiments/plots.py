@@ -1,0 +1,118 @@
+"""ASCII chart rendering for the experiment report.
+
+The paper's figures are scatter plots (cost vs size) and line charts
+(growth over queries).  Without a plotting dependency, the report still
+benefits from *shape*: this module renders both as fixed-width ASCII
+grids — good enough to see the A(k) curve bend, the M*(k) point sitting
+under everything, and the growth curves' ordering at a glance.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def _scale(value: float, low: float, high: float, size: int) -> int:
+    """Map ``value`` in [low, high] to a cell in [0, size - 1]."""
+    if high <= low:
+        return 0
+    position = (value - low) / (high - low)
+    return min(size - 1, max(0, round(position * (size - 1))))
+
+
+def _axis_label(value: float) -> str:
+    if value >= 10_000:
+        return f"{value / 1000:.0f}k"
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.1f}"
+
+
+def scatter_plot(points: Sequence[tuple[float, float, str]],
+                 width: int = 64, height: int = 16,
+                 x_label: str = "x", y_label: str = "y") -> str:
+    """Render labelled points as an ASCII scatter plot.
+
+    Each point is ``(x, y, marker_label)``; the first character of the
+    label becomes the marker (collisions show the later point), and a
+    legend maps markers back to labels.
+    """
+    if not points:
+        return "(no points)"
+    xs = [x for x, _, _ in points]
+    ys = [y for _, y, _ in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+
+    grid = [[" "] * width for _ in range(height)]
+    # Unique single-character markers per label: first free character of
+    # the label, falling back to digits.
+    marker_of: dict[str, str] = {}
+    taken: set[str] = set()
+    for _, _, label in points:
+        if label in marker_of:
+            continue
+        candidates = [c for c in label if c.isalnum()] + list("0123456789#@")
+        marker = next(c for c in candidates if c not in taken)
+        marker_of[label] = marker
+        taken.add(marker)
+    markers = {marker: label for label, marker in marker_of.items()}
+    for x, y, label in points:
+        column = _scale(x, x_low, x_high, width)
+        row = height - 1 - _scale(y, y_low, y_high, height)
+        grid[row][column] = marker_of[label]
+
+    lines = []
+    top_label = _axis_label(y_high)
+    bottom_label = _axis_label(y_low)
+    gutter = max(len(top_label), len(bottom_label))
+    for row_number, row in enumerate(grid):
+        if row_number == 0:
+            prefix = top_label.rjust(gutter)
+        elif row_number == height - 1:
+            prefix = bottom_label.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(f"{prefix} |{''.join(row)}|")
+    lines.append(" " * gutter + " +" + "-" * width + "+")
+    lines.append(" " * gutter + f"  {_axis_label(x_low)}"
+                 + f"{_axis_label(x_high)} ({x_label})".rjust(width - len(_axis_label(x_low))))
+    legend = ", ".join(f"{marker}={label}"
+                       for marker, label in sorted(markers.items()))
+    lines.append(f"{y_label} vertical; {legend}")
+    return "\n".join(lines)
+
+
+def line_chart(series: Sequence[tuple[str, Sequence[tuple[float, float]]]],
+               width: int = 64, height: int = 16,
+               x_label: str = "x", y_label: str = "y") -> str:
+    """Render several ``(name, [(x, y), ...])`` series as ASCII lines.
+
+    Points of each series are plotted with its first letter; between
+    samples the chart is left blank (counts change stepwise anyway).
+    """
+    all_points = [(x, y, name)
+                  for name, samples in series for x, y in samples]
+    return scatter_plot(all_points, width=width, height=height,
+                        x_label=x_label, y_label=y_label)
+
+
+def cost_vs_size_plot(result, metric: str = "nodes") -> str:
+    """ASCII rendition of a cost-vs-size figure (Figures 10-13, 18-22)."""
+    points = []
+    for point in result.points:
+        x = point.nodes if metric == "nodes" else point.edges
+        points.append((float(x), point.avg_cost, point.name))
+    return scatter_plot(points, x_label=f"index {metric}",
+                        y_label="avg cost")
+
+
+def growth_plot(result, metric: str = "nodes") -> str:
+    """ASCII rendition of a growth figure (Figures 14-17, 23-26)."""
+    series = []
+    for curve in result.curves:
+        samples = (curve.nodes_series() if metric == "nodes"
+                   else curve.edges_series())
+        series.append((curve.name,
+                       [(float(x), float(y)) for x, y in samples]))
+    return line_chart(series, x_label="queries", y_label=f"index {metric}")

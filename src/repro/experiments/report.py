@@ -1,0 +1,136 @@
+"""Full experiment sweep: regenerate every figure and emit a report.
+
+Run as ``python -m repro.experiments.report [output.md]``.  The output is
+the machine-generated half of EXPERIMENTS.md: one section per figure of
+the paper, containing the series our implementation measures plus the
+paper's qualitative expectation for that figure.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments.config import ExperimentConfig, dataset_for
+from repro.experiments.cost_vs_size import run_cost_vs_size
+from repro.experiments.distribution import run_distribution
+from repro.experiments.growth import run_growth
+from repro.queries.workload import Workload
+
+#: (figure ids, dataset, max query length, index families included)
+COST_FIGURES = [
+    ("Figures 10-11", "xmark", 9, ("ak", "d-construct", "d-promote", "mk", "mstar")),
+    ("Figures 12-13", "nasa", 9, ("ak", "d-construct", "d-promote", "mk", "mstar")),
+    ("Figures 18 (and 19-20 zoom)", "xmark", 4,
+     ("ak", "d-construct", "d-promote", "mk", "mstar")),
+    ("Figures 21-22", "nasa", 4, ("ak", "d-construct", "d-promote", "mk", "mstar")),
+]
+GROWTH_FIGURES = [
+    ("Figures 14-15", "xmark", 9),
+    ("Figures 16-17", "nasa", 9),
+    ("Figures 23-24", "xmark", 4),
+    ("Figures 25-26", "nasa", 4),
+]
+
+
+def run_report(config: ExperimentConfig | None = None) -> str:
+    """Run the full sweep and return the markdown report."""
+    config = config or ExperimentConfig.from_env()
+    sections: list[str] = [
+        "# Experiment report",
+        "",
+        f"Configuration: scale={config.scale} "
+        f"(1.0 = paper-size documents), "
+        f"{config.num_queries} workload queries, seed={config.seed}.",
+        "",
+    ]
+    graphs = {name: dataset_for(name, config) for name in ("xmark", "nasa")}
+    for name, graph in graphs.items():
+        sections.append(f"- `{name}`: {graph.num_nodes} nodes, "
+                        f"{graph.num_edges} edges "
+                        f"({graph.num_reference_edges} references)")
+    sections.append("")
+
+    for dataset, max_length in (("nasa", 9), ("nasa", 4)):
+        figure = "Figure 8" if max_length == 9 else "Figure 9"
+        result = run_distribution(graphs[dataset], dataset, max_length,
+                                  num_queries=config.num_queries,
+                                  seed=config.seed)
+        sections += [f"## {figure}", "", "```", result.format_table(), "```", ""]
+
+    from repro.experiments.plots import cost_vs_size_plot, growth_plot
+
+    for figure, dataset, max_length, include in COST_FIGURES:
+        max_ak = config.max_ak if max_length == 9 else 4
+        workload = Workload.generate(graphs[dataset],
+                                     num_queries=config.num_queries,
+                                     max_length=max_length, seed=config.seed)
+        started = time.time()
+        result = run_cost_vs_size(graphs[dataset], workload, dataset,
+                                  max_ak=max_ak, include=include)
+        elapsed = time.time() - started
+        sections += [f"## {figure}", "",
+                     f"(computed in {elapsed:.1f}s)", "",
+                     "```", result.format_table(), "",
+                     cost_vs_size_plot(result), "```", ""]
+
+    for figure, dataset, max_length in GROWTH_FIGURES:
+        workload = Workload.generate(graphs[dataset],
+                                     num_queries=config.num_queries,
+                                     max_length=max_length, seed=config.seed)
+        started = time.time()
+        result = run_growth(graphs[dataset], workload, dataset,
+                            batch_size=config.batch_size)
+        elapsed = time.time() - started
+        sections += [f"## {figure}", "",
+                     f"(computed in {elapsed:.1f}s)", "",
+                     "```", result.format_table(), "",
+                     growth_plot(result), "```", ""]
+
+    sections += _extended_sections(config, graphs)
+    return "\n".join(sections)
+
+
+def _extended_sections(config: ExperimentConfig, graphs: dict) -> list[str]:
+    """Appendix: experiments beyond the paper's own figures."""
+    from repro.experiments.extended import (
+        run_baseline_table,
+        run_strategy_table,
+        run_update_experiment,
+    )
+
+    sections = ["## Appendix: extended experiments (not in the paper)", ""]
+    workload = Workload.generate(graphs["xmark"],
+                                 num_queries=config.num_queries,
+                                 max_length=9, seed=config.seed)
+    baseline = run_baseline_table(graphs["xmark"], workload, "xmark")
+    sections += ["### Related-work baselines", "",
+                 "```", baseline.format_table(), "```", ""]
+    strategy = run_strategy_table(graphs["xmark"], workload, "xmark")
+    sections += ["### M*(k) evaluation strategies (Section 4.1)", "",
+                 "```", strategy.format_table(), "```", ""]
+    # The update experiment mutates its document: use a fresh copy.
+    update_graph = dataset_for("xmark", config)
+    update_workload = Workload.generate(update_graph,
+                                        num_queries=min(100,
+                                                        config.num_queries),
+                                        max_length=6, seed=config.seed)
+    update = run_update_experiment(update_graph, update_workload, "xmark")
+    sections += ["### Live updates (library extension)", "",
+                 "```", update.format_table(), "```", ""]
+    return sections
+
+
+def main(argv: list[str]) -> int:
+    report = run_report()
+    if len(argv) > 1:
+        with open(argv[1], "w") as handle:
+            handle.write(report)
+        print(f"report written to {argv[1]}")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

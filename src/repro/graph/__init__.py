@@ -1,0 +1,30 @@
+"""Labeled directed data graphs for semi-structured (XML) data.
+
+This subpackage provides the data-graph substrate the paper's indexes are
+built on: the :class:`~repro.graph.datagraph.DataGraph` model (Section 2 of
+the paper), construction helpers, XML parsing with ID/IDREF resolution,
+label-path machinery, and the paper's running example graphs.
+"""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.datagraph import DataGraph, EdgeKind
+from repro.graph.paths import (
+    enumerate_rooted_label_paths,
+    label_path_target_set,
+    pred_set,
+    succ_set,
+)
+from repro.graph.xml_io import graph_to_xml, parse_xml, parse_xml_file
+
+__all__ = [
+    "DataGraph",
+    "EdgeKind",
+    "GraphBuilder",
+    "enumerate_rooted_label_paths",
+    "label_path_target_set",
+    "graph_to_xml",
+    "parse_xml",
+    "parse_xml_file",
+    "pred_set",
+    "succ_set",
+]

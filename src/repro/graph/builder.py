@@ -1,0 +1,87 @@
+"""Fluent construction helpers for :class:`~repro.graph.datagraph.DataGraph`.
+
+Tests and the paper's running examples build small graphs by hand; the
+builder keeps those definitions readable::
+
+    g = (GraphBuilder()
+         .node("r")                      # oid 0 becomes the root
+         .node("a", parent=0)           # oid 1
+         .node("b", parent=1)           # oid 2
+         .edge(0, 2)                     # extra edge
+         .ref(2, 1)                      # reference edge
+         .build())
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.graph.datagraph import DataGraph, EdgeKind
+
+
+class GraphBuilder:
+    """Incrementally assemble a :class:`DataGraph`."""
+
+    def __init__(self) -> None:
+        self._graph = DataGraph()
+
+    def node(self, label: str, parent: int | None = None,
+             parents: Iterable[int] | None = None) -> "GraphBuilder":
+        """Add a node; optionally attach it under one or more parents."""
+        oid = self._graph.add_node(label)
+        if parent is not None:
+            self._graph.add_edge(parent, oid)
+        for extra_parent in parents or ():
+            self._graph.add_edge(extra_parent, oid)
+        return self
+
+    def add(self, label: str, parent: int | None = None) -> int:
+        """Like :meth:`node` but return the new oid instead of ``self``."""
+        oid = self._graph.add_node(label)
+        if parent is not None:
+            self._graph.add_edge(parent, oid)
+        return oid
+
+    def edge(self, parent: int, child: int) -> "GraphBuilder":
+        """Add a regular edge."""
+        self._graph.add_edge(parent, child)
+        return self
+
+    def ref(self, source: int, target: int) -> "GraphBuilder":
+        """Add a reference (ID/IDREF) edge."""
+        self._graph.add_edge(source, target, kind=EdgeKind.REFERENCE)
+        return self
+
+    def root(self, oid: int) -> "GraphBuilder":
+        """Designate ``oid`` as the root (default: oid 0)."""
+        if oid not in self._graph:
+            raise KeyError(f"no node with oid {oid}")
+        self._graph.root = oid
+        return self
+
+    def build(self, check: bool = True) -> DataGraph:
+        """Finish building; verifies reachability unless ``check=False``."""
+        if check:
+            self._graph.check_well_formed()
+        return self._graph
+
+
+def graph_from_edges(labels: list[str],
+                     edges: Iterable[tuple[int, int]],
+                     references: Iterable[tuple[int, int]] = (),
+                     root: int = 0) -> DataGraph:
+    """Build a graph from parallel label/edge lists (compact test fixture).
+
+    ``labels[i]`` is the label of oid ``i``; ``edges`` and ``references``
+    are ``(parent, child)`` pairs.
+    """
+    graph = DataGraph()
+    for label in labels:
+        graph.add_node(label)
+    for parent, child in edges:
+        graph.add_edge(parent, child)
+    for source, target in references:
+        graph.add_edge(source, target, kind=EdgeKind.REFERENCE)
+    graph.root = root
+    graph.check_well_formed()
+    return graph

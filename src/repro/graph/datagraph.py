@@ -1,0 +1,205 @@
+"""The labeled directed data-graph model from Section 2 of the paper.
+
+An XML document is represented by a labeled directed graph
+``G = (V_G, E_G, root_G, Sigma_G)``.  Each node is identified by an integer
+*oid* and carries a string label.  Two kinds of edges exist:
+
+* **regular** edges for parent-child element nesting, and
+* **reference** edges for ID/IDREF links.
+
+Both kinds participate identically in path-expression semantics (a label
+path may traverse either), which is how the paper treats them; the kind is
+retained only for statistics and serialisation.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Iterator
+
+
+class EdgeKind(enum.Enum):
+    """Kind of a data-graph edge."""
+
+    REGULAR = "regular"
+    REFERENCE = "reference"
+
+
+class DataGraph:
+    """A labeled directed graph over integer oids.
+
+    Nodes are created with :meth:`add_node` and receive consecutive oids
+    starting at 0.  The first node added is the root by default (it can be
+    changed via :attr:`root`).  Edges are added with :meth:`add_edge`.
+
+    The graph is append-only: indexes built on top of it keep references to
+    its adjacency lists, and the experiments in the paper never mutate the
+    document while an index is live.
+    """
+
+    __slots__ = ("_labels", "_children", "_parents", "_edge_kinds", "root",
+                 "_label_index_cache")
+
+    def __init__(self) -> None:
+        self._labels: list[str] = []
+        self._children: list[list[int]] = []
+        self._parents: list[list[int]] = []
+        # (u, v) -> EdgeKind; absent for REGULAR to keep the dict small.
+        self._edge_kinds: dict[tuple[int, int], EdgeKind] = {}
+        self.root: int = 0
+        self._label_index_cache: dict[str, list[int]] | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, label: str) -> int:
+        """Add a node with the given label and return its oid."""
+        if not isinstance(label, str) or not label:
+            raise ValueError(f"node label must be a non-empty string, got {label!r}")
+        oid = len(self._labels)
+        self._labels.append(label)
+        self._children.append([])
+        self._parents.append([])
+        self._label_index_cache = None
+        return oid
+
+    def add_edge(self, parent: int, child: int,
+                 kind: EdgeKind = EdgeKind.REGULAR) -> None:
+        """Add a directed edge ``parent -> child``.
+
+        Parallel edges are rejected: the index definitions in the paper are
+        in terms of edge *existence* between extents, so multi-edges carry
+        no information.
+        """
+        self._check_oid(parent)
+        self._check_oid(child)
+        if child in self._children[parent]:
+            raise ValueError(f"duplicate edge ({parent}, {child})")
+        self._children[parent].append(child)
+        self._parents[child].append(parent)
+        if kind is not EdgeKind.REGULAR:
+            self._edge_kinds[(parent, child)] = kind
+
+    def _check_oid(self, oid: int) -> None:
+        if not 0 <= oid < len(self._labels):
+            raise KeyError(f"no node with oid {oid}")
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._labels)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(kids) for kids in self._children)
+
+    @property
+    def num_reference_edges(self) -> int:
+        return len(self._edge_kinds)
+
+    def label(self, oid: int) -> str:
+        """Return the label of node ``oid``."""
+        return self._labels[oid]
+
+    @property
+    def labels(self) -> list[str]:
+        """The label list indexed by oid (do not mutate)."""
+        return self._labels
+
+    def children(self, oid: int) -> list[int]:
+        """Children of ``oid`` (regular and reference targets alike)."""
+        return self._children[oid]
+
+    def parents(self, oid: int) -> list[int]:
+        """Parents of ``oid`` (regular and reference sources alike)."""
+        return self._parents[oid]
+
+    @property
+    def child_lists(self) -> list[list[int]]:
+        """Adjacency (children) lists indexed by oid (do not mutate)."""
+        return self._children
+
+    @property
+    def parent_lists(self) -> list[list[int]]:
+        """Reverse adjacency (parents) lists indexed by oid (do not mutate)."""
+        return self._parents
+
+    def edge_kind(self, parent: int, child: int) -> EdgeKind:
+        """Return the kind of edge ``parent -> child``.
+
+        Raises ``KeyError`` if the edge does not exist.
+        """
+        if child not in self._children[parent]:
+            raise KeyError(f"no edge ({parent}, {child})")
+        return self._edge_kinds.get((parent, child), EdgeKind.REGULAR)
+
+    def nodes(self) -> range:
+        """All oids, in insertion order."""
+        return range(len(self._labels))
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over all edges as ``(parent, child)`` pairs."""
+        for parent, kids in enumerate(self._children):
+            for child in kids:
+                yield parent, child
+
+    def alphabet(self) -> set[str]:
+        """The set of distinct labels (``Sigma_G``)."""
+        return set(self._labels)
+
+    def nodes_with_label(self, label: str) -> list[int]:
+        """All oids carrying ``label`` (cached; cache reset on mutation)."""
+        if self._label_index_cache is None:
+            index: dict[str, list[int]] = {}
+            for oid, node_label in enumerate(self._labels):
+                index.setdefault(node_label, []).append(oid)
+            self._label_index_cache = index
+        return self._label_index_cache.get(label, [])
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __contains__(self, oid: object) -> bool:
+        return isinstance(oid, int) and 0 <= oid < len(self._labels)
+
+    def __repr__(self) -> str:
+        return (f"DataGraph(nodes={self.num_nodes}, edges={self.num_edges}, "
+                f"references={self.num_reference_edges}, "
+                f"root={self.root!r}:{self._labels[self.root] if self._labels else '?'})")
+
+    # ------------------------------------------------------------------
+    # Derived structure
+    # ------------------------------------------------------------------
+    def reachable_from_root(self) -> set[int]:
+        """Oids reachable from the root (a well-formed document covers all)."""
+        seen = {self.root}
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            for child in self._children[node]:
+                if child not in seen:
+                    seen.add(child)
+                    stack.append(child)
+        return seen
+
+    def check_well_formed(self) -> None:
+        """Raise ``ValueError`` unless every node is reachable from the root.
+
+        The paper's datasets are single documents, so every element hangs
+        off the document root; indexes rely on this when enumerating rooted
+        label paths.
+        """
+        unreachable = set(self.nodes()) - self.reachable_from_root()
+        if unreachable:
+            sample = sorted(unreachable)[:5]
+            raise ValueError(
+                f"{len(unreachable)} nodes unreachable from root, e.g. {sample}")
+
+    def subgraph_labels(self, oids: Iterable[int]) -> list[str]:
+        """Labels of the given oids, in the given order (test convenience)."""
+        return [self._labels[oid] for oid in oids]

@@ -1,0 +1,84 @@
+"""networkx interoperability for data graphs and index graphs.
+
+Lets users bring documents from (or push summaries into) the wider
+Python graph ecosystem:
+
+* :func:`to_networkx` / :func:`from_networkx` convert a
+  :class:`~repro.graph.datagraph.DataGraph` to/from a
+  ``networkx.DiGraph`` with ``label`` node attributes and ``kind`` edge
+  attributes;
+* :func:`index_to_networkx` exports any of the package's index graphs
+  (extents, similarity values, edges) for visualisation or analysis.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.graph.datagraph import DataGraph, EdgeKind
+from repro.indexes.base import IndexGraph
+
+
+def to_networkx(graph: DataGraph) -> "nx.DiGraph":
+    """Convert a data graph to a ``networkx.DiGraph``.
+
+    Nodes carry ``label``; edges carry ``kind`` (``"regular"`` or
+    ``"reference"``); the graph itself records ``root``.
+    """
+    digraph = nx.DiGraph(root=graph.root)
+    for oid in graph.nodes():
+        digraph.add_node(oid, label=graph.label(oid))
+    for parent, child in graph.edges():
+        digraph.add_edge(parent, child,
+                         kind=graph.edge_kind(parent, child).value)
+    return digraph
+
+
+def from_networkx(digraph: "nx.DiGraph", root: int | None = None) -> DataGraph:
+    """Convert a ``networkx.DiGraph`` into a data graph.
+
+    Every node needs a ``label`` attribute; edges may carry ``kind``
+    (default regular).  Node identifiers are renumbered to consecutive
+    oids in sorted order; ``root`` defaults to the graph attribute or
+    the smallest node.
+    """
+    if root is None:
+        root = digraph.graph.get("root")
+    ordering = sorted(digraph.nodes)
+    if root is None:
+        if not ordering:
+            raise ValueError("cannot convert an empty graph")
+        root = ordering[0]
+    if root not in digraph.nodes:
+        raise ValueError(f"root {root!r} is not a node")
+    oid_of = {node: position for position, node in enumerate(ordering)}
+    graph = DataGraph()
+    for node in ordering:
+        attributes = digraph.nodes[node]
+        if "label" not in attributes:
+            raise ValueError(f"node {node!r} has no 'label' attribute")
+        graph.add_node(attributes["label"])
+    for source, target, attributes in digraph.edges(data=True):
+        kind = (EdgeKind.REFERENCE
+                if attributes.get("kind") == EdgeKind.REFERENCE.value
+                else EdgeKind.REGULAR)
+        graph.add_edge(oid_of[source], oid_of[target], kind=kind)
+    graph.root = oid_of[root]
+    graph.check_well_formed()
+    return graph
+
+
+def index_to_networkx(index_graph: IndexGraph) -> "nx.DiGraph":
+    """Export an index graph (nodes = extents) as a ``networkx.DiGraph``.
+
+    Nodes carry ``label``, ``k``, ``extent`` (sorted tuple) and ``size``.
+    """
+    digraph = nx.DiGraph()
+    for nid, node in index_graph.nodes.items():
+        digraph.add_node(nid, label=node.label, k=node.k,
+                         extent=tuple(sorted(node.extent)),
+                         size=len(node.extent))
+    for nid in index_graph.nodes:
+        for child in index_graph.children_of(nid):
+            digraph.add_edge(nid, child)
+    return digraph

@@ -1,0 +1,138 @@
+"""Label-path machinery over data graphs (Section 2 of the paper).
+
+A *label path* is a sequence of labels ``l0 l1 ... ln``; a *node path*
+``v0 v1 ... vn`` is an instance of it when ``label(vi) == li`` and each
+``(v(i-1), vi)`` is an edge.  The *target set* of a label path is the set of
+end nodes of its instances.  ``length(l0...ln) = n`` (edges, not labels).
+
+``Succ``/``Pred`` are the child/parent image operators used throughout the
+refinement pseudocode.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.graph.datagraph import DataGraph
+
+
+def succ_set(graph: DataGraph, oids: Iterable[int]) -> set[int]:
+    """``Succ(s)``: all data nodes that are children of some node in ``s``."""
+    children = graph.child_lists
+    result: set[int] = set()
+    for oid in oids:
+        result.update(children[oid])
+    return result
+
+
+def pred_set(graph: DataGraph, oids: Iterable[int]) -> set[int]:
+    """``Pred(s)``: all data nodes that are parents of some node in ``s``."""
+    parents = graph.parent_lists
+    result: set[int] = set()
+    for oid in oids:
+        result.update(parents[oid])
+    return result
+
+
+def label_path_target_set(graph: DataGraph, labels: Sequence[str],
+                          start: Iterable[int] | None = None) -> set[int]:
+    """Target set of the label path ``labels`` in the data graph.
+
+    Instances may start anywhere (``//`` semantics) unless ``start`` is
+    given, in which case instances must begin at a node in ``start``.
+    A label of ``"*"`` matches any node label.
+    """
+    if not labels:
+        return set()
+    node_labels = graph.labels
+    first = labels[0]
+    if start is None:
+        if first == "*":
+            frontier = set(graph.nodes())
+        else:
+            frontier = set(graph.nodes_with_label(first))
+    else:
+        frontier = {oid for oid in start
+                    if first == "*" or node_labels[oid] == first}
+    children = graph.child_lists
+    for label in labels[1:]:
+        next_frontier: set[int] = set()
+        for oid in frontier:
+            for child in children[oid]:
+                if label == "*" or node_labels[child] == label:
+                    next_frontier.add(child)
+        frontier = next_frontier
+        if not frontier:
+            break
+    return frontier
+
+
+def enumerate_rooted_label_paths(graph: DataGraph, max_length: int,
+                                 include_root_label: bool = False,
+                                 max_paths: int | None = None
+                                 ) -> list[tuple[str, ...]]:
+    """All distinct label paths of length up to ``max_length`` starting at
+    the root's children.
+
+    This is the pool the paper's workload generator draws from ("we generate
+    all possible label paths of length up to 9 in the data graph"; the length
+    limit prevents paths through reference cycles from being enumerated
+    forever).  Enumeration is a DataGuide-style subset construction: each
+    distinct label path is expanded once, carrying the set of data nodes
+    reachable by it, so the cost is bounded by the number of *distinct*
+    paths rather than the number of node-path instances.
+
+    ``length`` here counts edges: a single label is a path of length 0.
+    When ``include_root_label`` is true the synthetic root label is kept as
+    the first component; the paper's queries omit it, which is the default.
+
+    ``max_paths`` caps the pool (breadth-first, shortest paths first) as a
+    safety valve for pathological documents; ``None`` means no cap.
+    """
+    if max_length < 0:
+        raise ValueError("max_length must be >= 0")
+    node_labels = graph.labels
+    children = graph.child_lists
+
+    if include_root_label:
+        seeds: list[tuple[tuple[str, ...], frozenset[int]]] = [
+            ((node_labels[graph.root],), frozenset({graph.root}))]
+    else:
+        by_label: dict[str, set[int]] = {}
+        for child in children[graph.root]:
+            by_label.setdefault(node_labels[child], set()).add(child)
+        seeds = [((label,), frozenset(nodes))
+                 for label, nodes in sorted(by_label.items())]
+
+    paths: list[tuple[str, ...]] = []
+    frontier = seeds
+    for path, _ in frontier:
+        paths.append(path)
+        if max_paths is not None and len(paths) >= max_paths:
+            return paths
+
+    # BFS by path length so a cap keeps the shortest (most common) paths.
+    for _ in range(max_length):
+        next_frontier: list[tuple[tuple[str, ...], frozenset[int]]] = []
+        for path, nodes in frontier:
+            extensions: dict[str, set[int]] = {}
+            for oid in nodes:
+                for child in children[oid]:
+                    extensions.setdefault(node_labels[child], set()).add(child)
+            for label, targets in sorted(extensions.items()):
+                extended = path + (label,)
+                next_frontier.append((extended, frozenset(targets)))
+                paths.append(extended)
+                if max_paths is not None and len(paths) >= max_paths:
+                    return paths
+        if not next_frontier:
+            break
+        frontier = next_frontier
+    return paths
+
+
+def path_length(labels: Sequence[str]) -> int:
+    """Length of a label path in edges (``len(labels) - 1``)."""
+    if not labels:
+        raise ValueError("empty label path has no length")
+    return len(labels) - 1

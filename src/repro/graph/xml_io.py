@@ -1,0 +1,134 @@
+"""XML <-> :class:`DataGraph` conversion.
+
+``parse_xml`` turns an XML document into the labeled directed graph of
+Section 2: element nesting becomes regular edges, and ID/IDREF(S) attribute
+pairs become reference edges.  A synthetic node labeled ``root_label``
+(default ``"root"``) is placed above the document element, matching
+Figure 1 of the paper where oid 0 is labeled ``root`` and the document
+element ``site`` hangs under it.
+
+``graph_to_xml`` performs the reverse mapping for tree-shaped portions;
+reference edges are emitted as ``idref`` attributes.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from io import StringIO
+
+from repro.graph.datagraph import DataGraph, EdgeKind
+
+#: Attribute names treated as defining an element's ID.
+ID_ATTRIBUTES = ("id", "ID", "xml:id")
+#: Attribute names treated as referencing other elements' IDs.
+IDREF_ATTRIBUTES = ("idref", "IDREF", "ref")
+#: Attribute names holding whitespace-separated lists of IDs.
+IDREFS_ATTRIBUTES = ("idrefs", "IDREFS", "refs")
+
+
+def parse_xml(text: str, root_label: str = "root") -> DataGraph:
+    """Parse an XML string into a :class:`DataGraph`.
+
+    Elements become nodes labeled by tag name.  ID/IDREF attributes are
+    resolved into reference edges.  Text content is ignored: structural
+    indexes summarise structure only.
+
+    Raises ``ValueError`` on dangling IDREFs or duplicate IDs.
+    """
+    element_root = ET.fromstring(text)
+    return _graph_from_element(element_root, root_label)
+
+
+def parse_xml_file(path: str, root_label: str = "root") -> DataGraph:
+    """Parse an XML file into a :class:`DataGraph` (see :func:`parse_xml`)."""
+    tree = ET.parse(path)
+    return _graph_from_element(tree.getroot(), root_label)
+
+
+def _graph_from_element(element_root: ET.Element, root_label: str) -> DataGraph:
+    graph = DataGraph()
+    root_oid = graph.add_node(root_label)
+    ids: dict[str, int] = {}
+    pending_refs: list[tuple[int, str]] = []
+
+    def visit(element: ET.Element, parent_oid: int) -> None:
+        oid = graph.add_node(element.tag)
+        graph.add_edge(parent_oid, oid)
+        for attr in ID_ATTRIBUTES:
+            if attr in element.attrib:
+                identifier = element.attrib[attr]
+                if identifier in ids:
+                    raise ValueError(f"duplicate ID {identifier!r}")
+                ids[identifier] = oid
+        for attr in IDREF_ATTRIBUTES:
+            if attr in element.attrib:
+                pending_refs.append((oid, element.attrib[attr]))
+        for attr in IDREFS_ATTRIBUTES:
+            if attr in element.attrib:
+                for identifier in element.attrib[attr].split():
+                    pending_refs.append((oid, identifier))
+        for child in element:
+            visit(child, oid)
+
+    visit(element_root, root_oid)
+
+    for source_oid, identifier in pending_refs:
+        if identifier not in ids:
+            raise ValueError(f"IDREF to unknown ID {identifier!r}")
+        graph.add_edge(source_oid, ids[identifier], kind=EdgeKind.REFERENCE)
+
+    graph.root = root_oid
+    return graph
+
+
+def graph_to_xml(graph: DataGraph) -> str:
+    """Serialise a graph back to XML.
+
+    The regular-edge structure must be a tree rooted at the (synthetic)
+    root's single child; reference edges become ``idref`` attributes and
+    their targets get ``id`` attributes.  Raises ``ValueError`` if the
+    regular edges do not form a tree or the root has multiple children.
+    """
+    regular_children: dict[int, list[int]] = {}
+    references: list[tuple[int, int]] = []
+    seen_as_child: set[int] = set()
+    for parent, child in graph.edges():
+        if graph.edge_kind(parent, child) is EdgeKind.REFERENCE:
+            references.append((parent, child))
+            continue
+        if child in seen_as_child:
+            raise ValueError(
+                f"node {child} has multiple regular parents; not a tree")
+        seen_as_child.add(child)
+        regular_children.setdefault(parent, []).append(child)
+
+    top_level = regular_children.get(graph.root, [])
+    if len(top_level) != 1:
+        raise ValueError(
+            f"root must have exactly one regular child, has {len(top_level)}")
+
+    ref_targets = {target for _, target in references}
+    ref_sources: dict[int, list[int]] = {}
+    for source, target in references:
+        ref_sources.setdefault(source, []).append(target)
+
+    def render(oid: int, out: StringIO) -> None:
+        tag = graph.label(oid)
+        attrs = []
+        if oid in ref_targets:
+            attrs.append(f' id="n{oid}"')
+        if oid in ref_sources:
+            targets = " ".join(f"n{t}" for t in ref_sources[oid])
+            attrs.append(f' idrefs="{targets}"')
+        children = regular_children.get(oid, [])
+        if children:
+            out.write(f"<{tag}{''.join(attrs)}>")
+            for child in children:
+                render(child, out)
+            out.write(f"</{tag}>")
+        else:
+            out.write(f"<{tag}{''.join(attrs)}/>")
+
+    out = StringIO()
+    render(top_level[0], out)
+    return out.getvalue()

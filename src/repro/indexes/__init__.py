@@ -1,0 +1,43 @@
+"""Structural indexes: 1-index, A(k), D(k), M(k), and M*(k).
+
+Every index partitions the data nodes into equivalence classes (index
+nodes) and connects two index nodes exactly when a data edge runs between
+their extents, which makes every index *safe* (no false negatives).  They
+differ in how fine the partition is and how it adapts to the workload.
+"""
+
+from repro.indexes.aindex import AkIndex
+from repro.indexes.apex import ApexIndex
+from repro.indexes.base import IndexGraph, IndexNode, QueryResult
+from repro.indexes.dataguide import DataGuide
+from repro.indexes.dindex import DkIndex
+from repro.indexes.fbindex import FBIndex
+from repro.indexes.mindex import MkIndex
+from repro.indexes.mstarindex import MStarIndex
+from repro.indexes.oneindex import OneIndex
+from repro.indexes.partition import (
+    down_kbisimulation_blocks,
+    full_bisimulation_blocks,
+    kbisimulation_blocks,
+    kbisimulation_levels,
+)
+from repro.indexes.udindex import UDIndex
+
+__all__ = [
+    "AkIndex",
+    "ApexIndex",
+    "DataGuide",
+    "FBIndex",
+    "DkIndex",
+    "IndexGraph",
+    "IndexNode",
+    "MStarIndex",
+    "MkIndex",
+    "OneIndex",
+    "QueryResult",
+    "UDIndex",
+    "down_kbisimulation_blocks",
+    "full_bisimulation_blocks",
+    "kbisimulation_blocks",
+    "kbisimulation_levels",
+]

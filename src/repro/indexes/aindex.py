@@ -1,0 +1,43 @@
+"""The A(k)-index of Kaushik et al. (k-bisimulation).
+
+All index nodes share the same local similarity ``k``: the index is
+precise for simple path expressions of length up to ``k`` and safe (but
+possibly imprecise, requiring validation) beyond.  The parameter trades
+index size for query-answering power — the trade-off Figures 10-13 of the
+paper chart before the adaptive indexes improve on it.
+"""
+
+from __future__ import annotations
+
+from repro.cost.counters import CostCounter
+from repro.graph.datagraph import DataGraph
+from repro.indexes.base import IndexGraph, QueryResult
+from repro.indexes.partition import kbisimulation_blocks
+from repro.queries.pathexpr import PathExpression
+
+
+class AkIndex:
+    """k-bisimulation structural index with a uniform resolution ``k``."""
+
+    def __init__(self, graph: DataGraph, k: int) -> None:
+        if k < 0:
+            raise ValueError("k must be >= 0")
+        self.graph = graph
+        self.k = k
+        self.index = IndexGraph.from_blocks(graph,
+                                            kbisimulation_blocks(graph, k), k=k)
+
+    def query(self, expr: PathExpression,
+              counter: CostCounter | None = None) -> QueryResult:
+        """Evaluate ``expr`` with validation for queries longer than ``k``."""
+        return self.index.answer(expr, counter)
+
+    def size_nodes(self) -> int:
+        return self.index.size_nodes()
+
+    def size_edges(self) -> int:
+        return self.index.size_edges()
+
+    def __repr__(self) -> str:
+        return (f"AkIndex(k={self.k}, nodes={self.size_nodes()}, "
+                f"edges={self.size_edges()})")

@@ -1,0 +1,471 @@
+"""Index-graph core shared by all structural indexes.
+
+An index graph ``I_G`` partitions the data nodes of ``G`` into *index
+nodes*; each index node ``v`` stores its ``extent`` (set of oids), its
+``label`` (all data nodes in an extent share one), and its local-similarity
+value ``v.k``.  There is an index edge ``(u, v)`` iff some data edge runs
+from ``u.extent`` to ``v.extent`` (Property 2 of the paper), which is
+maintained incrementally as nodes are split.
+
+The module also implements the generic query algorithm of Section 3.1:
+evaluate the label path over the index graph (counting index-node visits),
+then return extents verbatim where ``v.k >= length(query)`` and validate
+them against the data graph otherwise (counting data-node visits).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.cost.counters import CostCounter
+from repro.graph.datagraph import DataGraph
+from repro.indexes.partition import kbisimulation_blocks, refine_once
+from repro.queries.evaluator import validate_candidate
+from repro.queries.pathexpr import WILDCARD, PathExpression
+
+
+class IndexNode:
+    """One equivalence class of data nodes."""
+
+    __slots__ = ("nid", "label", "k", "extent")
+
+    def __init__(self, nid: int, label: str, k: int, extent: set[int]) -> None:
+        self.nid = nid
+        self.label = label
+        self.k = k
+        self.extent = extent
+
+    def __repr__(self) -> str:
+        sample = sorted(self.extent)
+        shown = sample if len(sample) <= 6 else sample[:6] + ["..."]
+        return f"IndexNode({self.nid}, {self.label!r}, k={self.k}, extent={shown})"
+
+
+@dataclass
+class QueryResult:
+    """Outcome of running a query through an index.
+
+    ``answers`` is the returned target set of data nodes; ``target_nodes``
+    are the index nodes the query reached; ``cost`` is the two-part cost
+    counter; ``validated`` tells whether any extent needed validation
+    (i.e. the index was not precise enough for this query on its own).
+    """
+
+    answers: set[int]
+    target_nodes: list[IndexNode]
+    cost: CostCounter = field(default_factory=CostCounter)
+    validated: bool = False
+
+
+class IndexGraph:
+    """A mutable structural-index graph over a fixed data graph."""
+
+    def __init__(self, graph: DataGraph) -> None:
+        self.graph = graph
+        self.nodes: dict[int, IndexNode] = {}
+        self._parents: dict[int, set[int]] = {}
+        self._children: dict[int, set[int]] = {}
+        self._by_label: dict[str, set[int]] = {}
+        # oid -> index-node id; filled as nodes are added.
+        self.node_of: list[int] = [-1] * graph.num_nodes
+        self._next_id = 0
+        #: Bumped by every replace_node call; refinement loops use it to
+        #: detect that a pass made no progress.
+        self.mutations = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_extents(cls, graph: DataGraph,
+                     extents: Iterable[tuple[set[int], int]]) -> "IndexGraph":
+        """Build an index graph from ``(extent, k)`` pairs.
+
+        The extents must partition the oids of ``graph`` and each must be
+        label-homogeneous.  Edges are derived from the data graph in one
+        pass.
+        """
+        index = cls(graph)
+        for extent, k in extents:
+            index._add_node(extent, k)
+        index._assert_covering()
+        index._rebuild_edges()
+        return index
+
+    @classmethod
+    def from_blocks(cls, graph: DataGraph, blocks: Sequence[int],
+                    k: int) -> "IndexGraph":
+        """Build from a block assignment (one block id per oid), uniform k."""
+        extents: dict[int, set[int]] = {}
+        for oid, block in enumerate(blocks):
+            extents.setdefault(block, set()).add(oid)
+        return cls.from_extents(graph, ((extent, k)
+                                        for _, extent in sorted(extents.items())))
+
+    def _add_node(self, extent: set[int], k: int) -> int:
+        if not extent:
+            raise ValueError("index node extent must be non-empty")
+        labels = {self.graph.labels[oid] for oid in extent}
+        if len(labels) != 1:
+            raise ValueError(f"extent mixes labels {sorted(labels)}")
+        nid = self._next_id
+        self._next_id += 1
+        node = IndexNode(nid, labels.pop(), k, extent)
+        self.nodes[nid] = node
+        self._parents[nid] = set()
+        self._children[nid] = set()
+        self._by_label.setdefault(node.label, set()).add(nid)
+        for oid in extent:
+            self.node_of[oid] = nid
+        return nid
+
+    def _assert_covering(self) -> None:
+        missing = [oid for oid, nid in enumerate(self.node_of) if nid < 0]
+        if missing:
+            raise ValueError(
+                f"{len(missing)} data nodes not covered, e.g. {missing[:5]}")
+
+    def _rebuild_edges(self) -> None:
+        for nid in self.nodes:
+            self._parents[nid].clear()
+            self._children[nid].clear()
+        node_of = self.node_of
+        for parent, child in self.graph.edges():
+            up, down = node_of[parent], node_of[child]
+            self._children[up].add(down)
+            self._parents[down].add(up)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(kids) for kids in self._children.values())
+
+    def size_nodes(self) -> int:
+        """Paper size metric: number of index nodes."""
+        return len(self.nodes)
+
+    def size_edges(self) -> int:
+        """Paper size metric: number of index edges."""
+        return self.num_edges
+
+    def parents_of(self, nid: int) -> set[int]:
+        return self._parents[nid]
+
+    def children_of(self, nid: int) -> set[int]:
+        return self._children[nid]
+
+    def nodes_with_label(self, label: str) -> set[int]:
+        return self._by_label.get(label, set())
+
+    def node_containing(self, oid: int) -> IndexNode:
+        """The index node whose extent contains data node ``oid``."""
+        return self.nodes[self.node_of[oid]]
+
+    def extents(self) -> list[frozenset[int]]:
+        """All extents as a canonical (sorted) list of frozensets."""
+        return sorted((frozenset(node.extent) for node in self.nodes.values()),
+                      key=lambda extent: min(extent))
+
+    def root_node(self) -> IndexNode:
+        return self.node_containing(self.graph.root)
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}(nodes={self.num_nodes}, "
+                f"edges={self.num_edges})")
+
+    # ------------------------------------------------------------------
+    # Mutation: node splitting
+    # ------------------------------------------------------------------
+    def replace_node(self, nid: int,
+                     parts: Sequence[tuple[set[int], int]]) -> list[int]:
+        """Replace index node ``nid`` with the given ``(extent, k)`` parts.
+
+        The parts must be a disjoint cover of the old extent.  Index edges
+        incident to the node (including self-loops) are recomputed from the
+        data graph; edges elsewhere are untouched.  Returns the new node
+        ids, in the order given.
+
+        Passing a single part simply updates ``k`` (and keeps the node id),
+        which is how refinement procedures "promote without splitting".
+        """
+        old = self.nodes[nid]
+        covered: set[int] = set()
+        total = 0
+        for extent, _ in parts:
+            covered |= extent
+            total += len(extent)
+        if covered != old.extent or total != len(old.extent):
+            raise ValueError("parts must disjointly cover the old extent")
+
+        if len(parts) == 1:
+            if old.k != parts[0][1]:
+                old.k = parts[0][1]
+                self.mutations += 1
+            return [nid]
+        self.mutations += 1
+
+        # Detach the old node.
+        for parent in self._parents[nid]:
+            if parent != nid:
+                self._children[parent].discard(nid)
+        for child in self._children[nid]:
+            if child != nid:
+                self._parents[child].discard(nid)
+        del self._parents[nid]
+        del self._children[nid]
+        del self.nodes[nid]
+        self._by_label[old.label].discard(nid)
+
+        new_ids = [self._add_node(set(extent), k) for extent, k in parts]
+
+        # Derive edges touching the new parts from the data graph.  oid ->
+        # index-node assignments were updated by _add_node, so edges among
+        # the parts themselves come out right too.
+        node_of = self.node_of
+        graph_children = self.graph.child_lists
+        graph_parents = self.graph.parent_lists
+        for new_id in new_ids:
+            extent = self.nodes[new_id].extent
+            children_out = self._children[new_id]
+            parents_in = self._parents[new_id]
+            for oid in extent:
+                for child in graph_children[oid]:
+                    down = node_of[child]
+                    children_out.add(down)
+                    self._parents[down].add(new_id)
+                for parent in graph_parents[oid]:
+                    up = node_of[parent]
+                    parents_in.add(up)
+                    self._children[up].add(new_id)
+        return new_ids
+
+    # ------------------------------------------------------------------
+    # Incremental data-graph maintenance (library extension; the paper
+    # treats documents as static)
+    # ------------------------------------------------------------------
+    def insert_data_node(self, oid: int) -> int:
+        """Register a data node appended to the graph after construction.
+
+        The node becomes a singleton index node with ``k = 0`` (always
+        sound: label equality holds trivially).  Its edges are registered
+        separately via :meth:`register_data_edge`.
+        """
+        if oid != len(self.node_of):
+            raise ValueError(
+                f"data nodes must be registered in oid order "
+                f"(expected {len(self.node_of)}, got {oid})")
+        self.node_of.append(-1)
+        return self._add_node({oid}, 0)
+
+    def register_data_edge(self, parent_oid: int, child_oid: int) -> None:
+        """Mirror a data edge added after construction; demote stale claims.
+
+        The index edge keeps the safety property.  A new edge into
+        ``child_oid`` changes the incoming label paths (beyond length
+        ``d``) of every data node ``d`` steps below it, so each index
+        node within BFS distance ``d`` of the child's node is demoted to
+        ``k = min(k, d)`` — lowering a similarity claim is always sound.
+        Subtree insertions under fresh singletons never demote anything
+        (new nodes start at ``k = 0``; existing nodes' incoming paths are
+        unchanged by gaining a child).
+        """
+        up = self.node_of[parent_oid]
+        down = self.node_of[child_oid]
+        if up < 0 or down < 0:
+            raise ValueError("both endpoints must be registered first")
+        self._children[up].add(down)
+        self._parents[down].add(up)
+        self.mutations += 1
+        self.demote_below(down)
+
+    def demote_below(self, nid: int) -> None:
+        """BFS demotion: ``k = min(k, depth)`` below a changed node.
+
+        A node ``d`` steps below keeps its incoming-path guarantees only
+        up to length ``d`` (longer paths may cross the change), and the
+        extent stays ``d``-bisimilar, so the demoted claim is sound.  The
+        walk stops at the largest claim present — deeper nodes cannot
+        need demotion.
+        """
+        max_k = max((node.k for node in self.nodes.values()), default=0)
+        frontier = {nid}
+        seen = {nid}
+        depth = 0
+        while frontier and depth < max_k:
+            for current in frontier:
+                node = self.nodes[current]
+                if node.k > depth:
+                    node.k = depth
+            next_frontier: set[int] = set()
+            for current in frontier:
+                for child in self._children[current]:
+                    if child not in seen:
+                        seen.add(child)
+                        next_frontier.add(child)
+            frontier = next_frontier
+            depth += 1
+        # Nodes at depth >= max_k have k <= depth already; nothing deeper
+        # can need demotion.
+
+    # ------------------------------------------------------------------
+    # Query evaluation (Section 3.1)
+    # ------------------------------------------------------------------
+    def evaluate(self, expr: PathExpression,
+                 counter: CostCounter | None = None) -> list[IndexNode]:
+        """Target set of ``expr`` in the index graph.
+
+        Returns the index nodes reachable by the expression's label path.
+        Each index node examined during navigation is charged as one
+        index-node visit.
+        """
+        counter = counter if counter is not None else CostCounter()
+        first = expr.labels[0]
+        if expr.rooted:
+            root_nid = self.node_of[self.graph.root]
+            counter.index_visits += 1
+            frontier = {root_nid}
+            positions = list(range(len(expr.labels)))
+        else:
+            if first == WILDCARD:
+                frontier = set(self.nodes)
+            else:
+                frontier = set(self._by_label.get(first, ()))
+            counter.index_visits += len(frontier)
+            positions = list(range(1, len(expr.labels)))
+        for position in positions:
+            label = expr.labels[position]
+            if position in expr.descendant_steps:
+                candidates = self._descendant_closure(frontier, counter)
+                frontier = {nid for nid in candidates
+                            if label == WILDCARD
+                            or self.nodes[nid].label == label}
+            else:
+                next_frontier: set[int] = set()
+                for nid in frontier:
+                    for child in self._children[nid]:
+                        counter.index_visits += 1
+                        child_node = self.nodes[child]
+                        if label == WILDCARD or child_node.label == label:
+                            next_frontier.add(child)
+                frontier = next_frontier
+            if not frontier:
+                break
+        return [self.nodes[nid] for nid in frontier]
+
+    def _descendant_closure(self, frontier: set[int],
+                            counter: CostCounter) -> set[int]:
+        """Index nodes reachable from ``frontier`` via >= 1 edges."""
+        reached: set[int] = set()
+        queue = list(frontier)
+        while queue:
+            nid = queue.pop()
+            for child in self._children[nid]:
+                counter.index_visits += 1
+                if child not in reached:
+                    reached.add(child)
+                    queue.append(child)
+        return reached
+
+    def answer(self, expr: PathExpression,
+               counter: CostCounter | None = None) -> QueryResult:
+        """Run the full query algorithm: evaluate, then validate if needed.
+
+        For each target index node ``v``: when ``v.k >= length(expr)`` the
+        extent is returned as-is (the index is precise for the query at
+        ``v``); otherwise each data node in the extent is validated against
+        the data graph, charging data-node visits.
+        """
+        cost = counter if counter is not None else CostCounter()
+        targets = self.evaluate(expr, cost)
+        answers: set[int] = set()
+        validated = False
+        # A rooted expression implicitly traverses one more edge (from the
+        # synthetic root), so precision needs one extra level of similarity;
+        # descendant axes make the instance length unbounded, so no finite
+        # similarity can certify them — always validate.
+        if expr.has_descendant_steps:
+            required = float("inf")
+        else:
+            required = expr.length + (1 if expr.rooted else 0)
+        for node in targets:
+            if node.k >= required:
+                answers |= node.extent
+            else:
+                validated = True
+                for oid in node.extent:
+                    if validate_candidate(self.graph, expr, oid, cost):
+                        answers.add(oid)
+        return QueryResult(answers=answers, target_nodes=targets,
+                           cost=cost, validated=validated)
+
+    # ------------------------------------------------------------------
+    # Invariant checking (used heavily by the test suite)
+    # ------------------------------------------------------------------
+    def check_partition(self) -> None:
+        """Extents disjointly cover the data nodes; ``node_of`` agrees."""
+        seen: set[int] = set()
+        for node in self.nodes.values():
+            if not node.extent:
+                raise AssertionError(f"empty extent in {node}")
+            overlap = seen & node.extent
+            if overlap:
+                raise AssertionError(f"extent overlap at oids {sorted(overlap)[:5]}")
+            seen |= node.extent
+            for oid in node.extent:
+                if self.node_of[oid] != node.nid:
+                    raise AssertionError(f"node_of[{oid}] stale")
+        if len(seen) != self.graph.num_nodes:
+            raise AssertionError("extents do not cover the data graph")
+
+    def check_edges(self) -> None:
+        """Property 2: index edges mirror data edges exactly."""
+        expected_children: dict[int, set[int]] = {nid: set() for nid in self.nodes}
+        node_of = self.node_of
+        for parent, child in self.graph.edges():
+            expected_children[node_of[parent]].add(node_of[child])
+        for nid, expected in expected_children.items():
+            if self._children[nid] != expected:
+                raise AssertionError(f"children of index node {nid} wrong: "
+                                     f"{self._children[nid]} != {expected}")
+        expected_parents: dict[int, set[int]] = {nid: set() for nid in self.nodes}
+        for nid, expected in expected_children.items():
+            for child in expected:
+                expected_parents[child].add(nid)
+        for nid, expected in expected_parents.items():
+            if self._parents[nid] != expected:
+                raise AssertionError(f"parents of index node {nid} wrong")
+
+    def property3_violations(self) -> list[tuple[int, int]]:
+        """Edges ``(u, v)`` where ``u.k < v.k - 1`` (Property 3 breaches)."""
+        violations = []
+        for nid, node in self.nodes.items():
+            for child in self._children[nid]:
+                if node.k < self.nodes[child].k - 1:
+                    violations.append((nid, child))
+        return violations
+
+    def property1_violations(self) -> list[int]:
+        """Index nodes whose extent is not ``v.k``-bisimilar.
+
+        Guaranteed empty for 1-/A(k)-/D(k)-construct indexes; the published
+        M(k)/M*(k) refinement can (rarely) overstate ``k`` — see Figure 6
+        of the paper — so tests treat this as a report, not an assertion,
+        for those indexes.
+        """
+        max_k = max((node.k for node in self.nodes.values()), default=0)
+        level_blocks = [kbisimulation_blocks(self.graph, 0)]
+        for _ in range(max_k):
+            level_blocks.append(refine_once(self.graph, level_blocks[-1]))
+        violating = []
+        for nid, node in self.nodes.items():
+            blocks = level_blocks[node.k]
+            if len({blocks[oid] for oid in node.extent}) > 1:
+                violating.append(nid)
+        return violating

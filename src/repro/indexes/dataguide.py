@@ -1,0 +1,158 @@
+"""The strong DataGuide of Goldman and Widom (VLDB 1997).
+
+The DataGuide is the classical structural summary the paper's Section 2
+opens with (used by Lore): a deterministic graph in which every distinct
+rooted label path of the data appears exactly once.  It is built by
+subset construction — each DataGuide node is the *set* of data nodes
+reachable by one label path — so rooted path expressions are answered
+exactly by following edges; descendant (``//``) expressions are answered
+exactly by set-at-a-time navigation over the summary.
+
+On cyclic or highly irregular data the determinization can grow larger
+than the 1-index (in the worst case exponentially), which is precisely
+why the bisimulation-based indexes took over; the baseline comparison
+bench shows this size relationship.
+"""
+
+from __future__ import annotations
+
+from repro.cost.counters import CostCounter
+from repro.graph.datagraph import DataGraph
+from repro.indexes.base import QueryResult
+from repro.queries.pathexpr import WILDCARD, PathExpression
+
+
+class DataGuide:
+    """Strong DataGuide: deterministic label-path summary of a data graph."""
+
+    def __init__(self, graph: DataGraph, max_states: int = 100_000) -> None:
+        """Build by subset construction from the root.
+
+        ``max_states`` guards against determinization blow-up on
+        pathological graphs (raises ``RuntimeError`` when exceeded).
+        """
+        self.graph = graph
+        #: DataGuide states: state id -> frozenset of data nodes (extent).
+        self.extents: list[frozenset[int]] = []
+        #: Labeled edges: state id -> {label -> state id} (deterministic).
+        self.transitions: list[dict[str, int]] = []
+        self._state_ids: dict[frozenset[int], int] = {}
+
+        node_labels = graph.labels
+        children = graph.child_lists
+        root_state = frozenset({graph.root})
+        self._add_state(root_state)
+        worklist = [0]
+        while worklist:
+            state_id = worklist.pop()
+            by_label: dict[str, set[int]] = {}
+            for oid in self.extents[state_id]:
+                for child in children[oid]:
+                    by_label.setdefault(node_labels[child], set()).add(child)
+            for label, targets in sorted(by_label.items()):
+                target_state = frozenset(targets)
+                if target_state in self._state_ids:
+                    target_id = self._state_ids[target_state]
+                else:
+                    if len(self.extents) >= max_states:
+                        raise RuntimeError(
+                            f"DataGuide exceeded {max_states} states")
+                    target_id = self._add_state(target_state)
+                    worklist.append(target_id)
+                self.transitions[state_id][label] = target_id
+
+    def _add_state(self, extent: frozenset[int]) -> int:
+        state_id = len(self.extents)
+        self._state_ids[extent] = state_id
+        self.extents.append(extent)
+        self.transitions.append({})
+        return state_id
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, expr: PathExpression,
+              counter: CostCounter | None = None) -> QueryResult:
+        """Evaluate a path expression exactly (never needs validation).
+
+        Rooted expressions follow the deterministic transitions from the
+        root state; descendant expressions run set-at-a-time over all
+        states.  Each state examined costs one index-node visit.
+        """
+        cost = counter if counter is not None else CostCounter()
+        if expr.rooted:
+            frontier = {0}
+            cost.index_visits += 1
+        else:
+            frontier = set(range(len(self.extents)))
+            first = expr.labels[0]
+            entered: set[int] = set()
+            for state_id in frontier:
+                for label, target in self.transitions[state_id].items():
+                    cost.index_visits += 1
+                    if first == WILDCARD or label == first:
+                        entered.add(target)
+            frontier = entered
+        positions = (range(len(expr.labels)) if expr.rooted
+                     else range(1, len(expr.labels)))
+        for position in positions:
+            step = expr.labels[position]
+            if position in expr.descendant_steps:
+                # Descendant axis: any number of edges, the last labeled
+                # ``step``.  Close over >= 0 edges, then take step-edges.
+                closure = set(frontier)
+                queue = list(frontier)
+                while queue:
+                    state_id = queue.pop()
+                    for _, target in self.transitions[state_id].items():
+                        cost.index_visits += 1
+                        if target not in closure:
+                            closure.add(target)
+                            queue.append(target)
+                sources = closure
+            else:
+                sources = frontier
+            stepped: set[int] = set()
+            for state_id in sources:
+                for label, target in self.transitions[state_id].items():
+                    cost.index_visits += 1
+                    if step == WILDCARD or label == step:
+                        stepped.add(target)
+            frontier = stepped
+            if not frontier:
+                break
+        answers: set[int] = set()
+        for state_id in frontier:
+            answers |= self.extents[state_id]
+        return QueryResult(answers=answers, target_nodes=[], cost=cost,
+                           validated=False)
+
+    # ------------------------------------------------------------------
+    # Size metrics
+    # ------------------------------------------------------------------
+    def size_nodes(self) -> int:
+        return len(self.extents)
+
+    def size_edges(self) -> int:
+        return sum(len(edges) for edges in self.transitions)
+
+    def label_paths(self, max_length: int) -> list[tuple[str, ...]]:
+        """All distinct rooted label paths up to ``max_length`` edges
+        (each appears exactly once — the DataGuide's defining property)."""
+        paths: list[tuple[str, ...]] = []
+        frontier: list[tuple[tuple[str, ...], int]] = [((), 0)]
+        for _ in range(max_length + 1):
+            next_frontier: list[tuple[tuple[str, ...], int]] = []
+            for path, state_id in frontier:
+                for label, target in sorted(self.transitions[state_id].items()):
+                    extended = path + (label,)
+                    paths.append(extended)
+                    next_frontier.append((extended, target))
+            frontier = next_frontier
+            if not frontier:
+                break
+        return [path for path in paths if len(path) - 1 <= max_length]
+
+    def __repr__(self) -> str:
+        return (f"DataGuide(nodes={self.size_nodes()}, "
+                f"edges={self.size_edges()})")

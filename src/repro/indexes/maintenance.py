@@ -1,0 +1,144 @@
+"""Incremental index maintenance under document updates.
+
+The paper treats documents as static (its dynamism is workload-side);
+a deployable library also needs *data* updates.  This module supports
+the two growth operations XML documents see in practice:
+
+* **subtree insertion** — a new element fragment appears under an
+  existing node.  New data nodes enter every live index as ``k = 0``
+  singletons; no existing claim is affected (gaining a child changes
+  nobody's *incoming* paths), so this is cheap and exact.
+* **reference addition** — a new IDREF edge between existing nodes.
+  The target's incoming paths change, so every index node within BFS
+  distance ``d`` below it is demoted to ``k = min(k, d)`` (sound: the
+  demoted claims never reach the new edge).  Precision lost to the
+  demotion is regained lazily by the normal FUP refinement loop.
+
+Static indexes (A(k), 1-index, UD(k,l), DataGuide) have no sound
+incremental story — rebuild them; the helpers here accept only the
+adaptive indexes plus :class:`~repro.indexes.mstarindex.MStarIndex`.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from collections.abc import Iterable, Sequence
+
+from repro.graph.datagraph import DataGraph, EdgeKind
+from repro.indexes.base import IndexGraph
+from repro.indexes.mstarindex import MStarIndex
+
+#: A subtree specification: ``(label, [children...])`` nested tuples.
+SubtreeSpec = tuple
+
+
+def _index_graphs(index) -> list[IndexGraph]:
+    """The IndexGraph(s) behind an adaptive index object."""
+    if isinstance(index, MStarIndex):
+        return index.components
+    if isinstance(index, IndexGraph):
+        return [index]
+    inner = getattr(index, "index", None)
+    if isinstance(inner, IndexGraph):
+        return [inner]
+    raise TypeError(f"cannot maintain {type(index).__name__} incrementally; "
+                    f"rebuild it instead")
+
+
+def _register_node(index, oid: int) -> None:
+    if isinstance(index, MStarIndex):
+        previous_nid = -1
+        for i, component in enumerate(index.components):
+            nid = component.insert_data_node(oid)
+            if i > 0:
+                index.supernode[i][nid] = previous_nid
+                index.subnodes[i - 1][previous_nid] = {nid}
+            if i < index.max_resolution:
+                index.subnodes[i][nid] = set()
+            previous_nid = nid
+        return
+    for index_graph in _index_graphs(index):
+        index_graph.insert_data_node(oid)
+
+
+def _register_edge(index, parent_oid: int, child_oid: int) -> None:
+    for index_graph in _index_graphs(index):
+        index_graph.register_data_edge(parent_oid, child_oid)
+    if isinstance(index, MStarIndex):
+        _reclamp_links(index)
+
+
+def _reclamp_links(index: MStarIndex) -> None:
+    """Restore Properties 4/5 after per-component demotions.
+
+    Coarser components demote at least as hard (their BFS distances are
+    no longer), so only the upper bounds can break: clamp each node to
+    its supernode's value (+1 when the supernode sits at its component's
+    cap), walking coarse to fine so clamps cascade.
+    """
+    for i in range(1, len(index.components)):
+        coarser = index.components[i - 1]
+        component = index.components[i]
+        for nid, node in component.nodes.items():
+            sup = coarser.nodes[index.supernode[i][nid]]
+            limit = sup.k + 1 if sup.k >= i - 1 else sup.k
+            if node.k > limit:
+                node.k = limit
+
+
+def insert_subtree(graph: DataGraph, parent_oid: int, subtree: SubtreeSpec,
+                   indexes: Iterable = ()) -> list[int]:
+    """Insert ``(label, [children])`` under ``parent_oid``; update indexes.
+
+    Returns the new oids (preorder).  Every index in ``indexes`` is kept
+    safe and exact (new nodes are ``k = 0`` singletons, so their answers
+    are validated until refinement promotes them).
+    """
+    if parent_oid not in graph:
+        raise KeyError(f"no node with oid {parent_oid}")
+    indexes = list(indexes)
+    new_oids: list[int] = []
+    new_edges: list[tuple[int, int]] = []
+
+    def build(spec: SubtreeSpec, parent: int) -> None:
+        if not isinstance(spec, tuple) or not spec or \
+                not isinstance(spec[0], str):
+            raise ValueError(f"bad subtree spec {spec!r}; "
+                             f"expected (label, [children])")
+        label = spec[0]
+        children: Sequence = spec[1] if len(spec) > 1 else ()
+        oid = graph.add_node(label)
+        new_oids.append(oid)
+        new_edges.append((parent, oid))
+        for child_spec in children:
+            build(child_spec, oid)
+
+    build(subtree, parent_oid)
+    for oid in new_oids:
+        for index in indexes:
+            _register_node(index, oid)
+    for parent, child in new_edges:
+        graph.add_edge(parent, child)
+        for index in indexes:
+            _register_edge(index, parent, child)
+    return new_oids
+
+
+def insert_xml_fragment(graph: DataGraph, parent_oid: int, xml_text: str,
+                        indexes: Iterable = ()) -> list[int]:
+    """Parse an XML fragment and insert it under ``parent_oid``."""
+    element = ET.fromstring(xml_text)
+
+    def to_spec(node: ET.Element) -> SubtreeSpec:
+        return (node.tag, [to_spec(child) for child in node])
+
+    return insert_subtree(graph, parent_oid, to_spec(element),
+                          indexes=indexes)
+
+
+def add_reference(graph: DataGraph, source_oid: int, target_oid: int,
+                  indexes: Iterable = ()) -> None:
+    """Add an IDREF edge between existing nodes; demote affected claims."""
+    graph.add_edge(source_oid, target_oid, kind=EdgeKind.REFERENCE)
+    for index in indexes:
+        _register_edge(index, source_oid, target_oid)

@@ -1,0 +1,317 @@
+"""The M(k)-index (Section 3 of the paper).
+
+Like the D(k)-index, the M(k)-index gives each index node its own local
+similarity and refines incrementally to support frequently-used path
+expressions (FUPs).  Unlike the D(k)-index, its refinement procedure
+receives the FUP's *target set in the data graph* (obtained for free by
+the query algorithm's validation step) and uses it twice:
+
+* a parent is refined only when its extent contains parents of relevant
+  data nodes (``REFINENODE`` lines 4-7), avoiding over-refinement of
+  irrelevant *index* nodes; and
+* after splitting, pieces holding no relevant data are merged back into a
+  single remainder node that keeps the old similarity value
+  (``REFINENODE`` lines 19-26), avoiding over-refinement for irrelevant
+  *data* nodes.
+
+Refinement can occasionally create a brand-new false instance of the FUP
+(Figure 6 of the paper); the final loop of ``REFINE`` breaks those with
+``PROMOTE'``, a promote variant that long-jumps out as soon as no false
+instance remains.
+"""
+
+from __future__ import annotations
+
+from repro.cost.counters import CostCounter
+from repro.graph.datagraph import DataGraph
+from repro.graph.paths import pred_set, succ_set
+from repro.indexes.base import IndexGraph, IndexNode, QueryResult
+from repro.indexes.partition import label_blocks
+from repro.queries.evaluator import evaluate_on_data_graph
+from repro.queries.pathexpr import PathExpression
+
+#: Hard stop for the break-false-instances loop (safety net, not tuning).
+_MAX_REFINE_ROUNDS = 10_000
+
+
+class _FalseInstancesGone(Exception):
+    """Long jump out of ``PROMOTE'`` once no false instance remains."""
+
+
+class MkIndex:
+    """Workload-aware structural index without irrelevant over-refinement."""
+
+    def __init__(self, graph: DataGraph, merge_remainder: bool = True) -> None:
+        """Initialise with ``k = 0`` everywhere (an A(0)-index).
+
+        ``merge_remainder=False`` disables lines 19-26 of ``REFINENODE``
+        (the irrelevant-split merge), leaving qualified-parent splitting
+        only — an ablation quantifying how much of M(k)'s size advantage
+        the merge contributes.
+        """
+        self.graph = graph
+        self.merge_remainder = merge_remainder
+        self.index = IndexGraph.from_blocks(graph, label_blocks(graph), k=0)
+
+    @classmethod
+    def from_partition(cls, graph: DataGraph,
+                       extents: list[tuple[set[int], int]]) -> "MkIndex":
+        """Start from an explicit ``(extent, k)`` partition (test/fixture
+        support, e.g. the over-refined starting index of Figure 4)."""
+        index = cls.__new__(cls)
+        index.graph = graph
+        index.merge_remainder = True
+        index.index = IndexGraph.from_extents(graph, extents)
+        return index
+
+    # ------------------------------------------------------------------
+    # Querying (Section 3.1)
+    # ------------------------------------------------------------------
+    def query(self, expr: PathExpression,
+              counter: CostCounter | None = None) -> QueryResult:
+        """Evaluate ``expr``, validating extents whose ``k`` is too small.
+
+        The validated answer doubles as the FUP target set handed to
+        :meth:`refine` — the information that lets M(k) avoid
+        over-refinement.
+        """
+        return self.index.answer(expr, counter)
+
+    # ------------------------------------------------------------------
+    # Refinement (Section 3.2)
+    # ------------------------------------------------------------------
+    def refine(self, expr: PathExpression,
+               result: QueryResult | None = None) -> None:
+        """``REFINE(l, S, T)``: support FUP ``expr`` precisely from now on.
+
+        ``result`` should be the :class:`QueryResult` of querying ``expr``
+        on this index (its ``answers`` are the target set ``T``); when
+        omitted, the target set is recomputed from the data graph.
+        """
+        if expr.has_wildcard:
+            raise ValueError("FUPs must be simple label paths (no wildcards)")
+        if expr.has_descendant_steps:
+            raise ValueError("FUPs must use the child axis only "
+                             "(descendant-axis instances have unbounded "
+                             "length; no finite k can support them)")
+        required = expr.length + (1 if expr.rooted else 0)
+        target_data = (set(result.answers) if result is not None
+                       else evaluate_on_data_graph(self.graph, expr))
+
+        # Lines 1-2 of REFINE: refine each index node in the target set,
+        # passing only its relevant data nodes.  Re-evaluating after each
+        # node keeps the loop correct when refining one target node splits
+        # another (possible on cyclic data).
+        for _ in range(_MAX_REFINE_ROUNDS):
+            pending = [node for node in self.index.evaluate(expr)
+                       if node.k < required and node.extent & target_data]
+            if not pending:
+                break
+            node = pending[0]
+            self._refine_node(set(node.extent), required,
+                              node.extent & target_data)
+        else:
+            raise RuntimeError(f"REFINENODE failed to converge for {expr}")
+
+        # Lines 3-4 of REFINE: break any instance of the FUP that leads to
+        # false positives (Figure 6).  The published pseudocode's condition
+        # — a target with ``v.k < length(l)`` — is only a proxy: the
+        # qualified-parent split can also *overstate* ``v.k``, leaving a
+        # precise-looking target whose extent strays outside the FUP's
+        # true target set.  We implement the paper's textual condition
+        # ("an instance of l that leads to false positives") directly:
+        # under-refined targets are broken with PROMOTE' as published,
+        # and overstated targets are split along the true-target boundary.
+        truth = (target_data if result is None
+                 else evaluate_on_data_graph(self.graph, expr))
+
+        # Phase 1 (the published loop, a cost optimisation): promote
+        # under-refined targets so future runs of the FUP skip validation.
+        # Promotion can stall when its splits separate nothing (unsound
+        # parent claims inherited from earlier refinement); stalled targets
+        # are left to validation.
+        for _ in range(_MAX_REFINE_ROUNDS):
+            under = [node for node in self.index.evaluate(expr)
+                     if node.k < required]
+            if not under:
+                break
+            before = self.index.mutations
+            try:
+                self._promote_break(set(under[0].extent), required,
+                                    expr, required)
+            except _FalseInstancesGone:
+                break
+            if self.index.mutations == before:
+                break  # no progress possible; validation keeps us correct
+        else:
+            raise RuntimeError(f"REFINE failed to converge for {expr}")
+
+        # Phase 2 (correctness): split overstated targets along the
+        # true-target boundary.  Each break removes one overstated target
+        # and creates none, so the loop strictly decreases.
+        for _ in range(_MAX_REFINE_ROUNDS):
+            over = [node for node in self.index.evaluate(expr)
+                    if node.k >= required and not node.extent <= truth]
+            if not over:
+                return
+            self._break_overstated(over[0], required, truth)
+        raise RuntimeError(f"REFINE failed to converge for {expr}")
+
+    def _break_overstated(self, node: IndexNode, required: int,
+                          truth: set[int]) -> None:
+        """Split an overstated target along the true-target boundary.
+
+        The true part keeps the claimed similarity (its members all carry
+        the FUP); the impostor part drops below ``required`` so every
+        future query of this length validates it.
+        """
+        true_part = node.extent & truth
+        false_part = node.extent - truth
+        parts: list[tuple[set[int], int]] = []
+        if true_part:
+            parts.append((true_part, node.k))
+        if false_part:
+            parts.append((false_part, max(0, min(node.k, required - 1))))
+        self.index.replace_node(node.nid, parts)
+
+    # -- REFINENODE -----------------------------------------------------
+    def _refine_node(self, extent: set[int], k: int,
+                     relevant_data: set[int]) -> None:
+        """``REFINENODE(v, k, relevantData)``.
+
+        The node is tracked by extent because refining ancestors can split
+        the node itself when the graph is cyclic; each surviving piece
+        holding relevant data is then processed.
+        """
+        if k <= 0:
+            return
+        node_of = self.index.node_of
+        # Worklist over the snapshot extent: recursive refinement can split
+        # pieces resolved earlier (cyclic data), so each piece is
+        # re-resolved through a live data node just before processing.
+        pending = set(extent)
+        while pending:
+            piece = self.index.nodes[node_of[min(pending)]]
+            pending -= piece.extent
+            piece_relevant = relevant_data & piece.extent
+            if not piece_relevant or piece.k >= k:
+                continue
+            relevant_parents = pred_set(self.graph, piece_relevant)
+            # Lines 4-7: refine only parents that contain parents of
+            # relevant data nodes.
+            parent_extents = [set(self.index.nodes[parent].extent)
+                              for parent in sorted(self.index.parents_of(piece.nid))]
+            for parent_extent in parent_extents:
+                pred_data = relevant_parents & parent_extent
+                if pred_data:
+                    self._refine_node(parent_extent, k - 1, pred_data)
+            # Lines 9-26: split the (current pieces of the) node by the
+            # qualified parents and merge irrelevant splits back together.
+            sub_pending = set(piece.extent)
+            while sub_pending:
+                sub_piece = self.index.nodes[node_of[min(sub_pending)]]
+                sub_pending -= sub_piece.extent
+                sub_relevant = relevant_data & sub_piece.extent
+                if not sub_relevant or sub_piece.k >= k:
+                    continue
+                self._split_and_merge(sub_piece, k, sub_relevant)
+
+    def _split_and_merge(self, node: IndexNode, k: int,
+                         relevant_data: set[int]) -> list[int]:
+        """Lines 9-26 of ``REFINENODE``: qualified split + remainder merge."""
+        k_old = node.k
+        relevant_parents = pred_set(self.graph, relevant_data)
+        parts: list[set[int]] = [set(node.extent)]
+        for parent in sorted(self.index.parents_of(node.nid)):
+            parent_node = self.index.nodes[parent]
+            if not (relevant_parents & parent_node.extent):
+                continue  # unqualified parent: do not split by it
+            succ = succ_set(self.graph, parent_node.extent)
+            refined: list[set[int]] = []
+            for part in parts:
+                inside = part & succ
+                outside = part - succ
+                if inside:
+                    refined.append(inside)
+                if outside:
+                    refined.append(outside)
+            parts = refined
+        if not self.merge_remainder:
+            return self.index.replace_node(node.nid,
+                                           [(part, k) for part in parts])
+        # Merge the pieces that contain no relevant data into one remainder
+        # that keeps the old similarity value.
+        relevant_parts = [part for part in parts if part & relevant_data]
+        remainder: set[int] = set()
+        for part in parts:
+            if not (part & relevant_data):
+                remainder |= part
+        replacement = [(part, k) for part in relevant_parts]
+        if remainder:
+            replacement.append((remainder, k_old))
+        return self.index.replace_node(node.nid, replacement)
+
+    # -- PROMOTE' ---------------------------------------------------------
+    def _promote_break(self, extent: set[int], kv: int,
+                       expr: PathExpression, required: int) -> None:
+        """``PROMOTE'``: full promotion with an early long jump.
+
+        Identical to the D(k)-index ``PROMOTE`` (split by *every* parent,
+        promote all data nodes) except that after each node is fully split
+        we re-check for false instances of the FUP and bail out as soon as
+        none remain.  The check runs after a node's split completes — not
+        between individual parent splits — so every assigned ``k`` is
+        backed by a full split.
+        """
+        if kv <= 0:
+            return
+        node_of = self.index.node_of
+        pending = set(extent)
+        while pending:
+            piece = self.index.nodes[node_of[min(pending)]]
+            pending -= piece.extent
+            if piece.k >= kv:
+                continue
+            parent_extents = [set(self.index.nodes[parent].extent)
+                              for parent in sorted(self.index.parents_of(piece.nid))]
+            for parent_extent in parent_extents:
+                self._promote_break(parent_extent, kv - 1, expr, required)
+            sub_pending = set(piece.extent)
+            while sub_pending:
+                sub_piece = self.index.nodes[node_of[min(sub_pending)]]
+                sub_pending -= sub_piece.extent
+                if sub_piece.k >= kv:
+                    continue
+                self._split_by_all_parents(sub_piece, kv)
+                if not any(node.k < required
+                           for node in self.index.evaluate(expr)):
+                    raise _FalseInstancesGone
+
+    def _split_by_all_parents(self, node: IndexNode, kv: int) -> list[int]:
+        """Partition ``node`` by every parent's ``Succ`` set; assign ``kv``."""
+        parts: list[set[int]] = [set(node.extent)]
+        for parent in sorted(self.index.parents_of(node.nid)):
+            succ = succ_set(self.graph, self.index.nodes[parent].extent)
+            refined: list[set[int]] = []
+            for part in parts:
+                inside = part & succ
+                outside = part - succ
+                if inside:
+                    refined.append(inside)
+                if outside:
+                    refined.append(outside)
+            parts = refined
+        return self.index.replace_node(node.nid, [(part, kv) for part in parts])
+
+    # ------------------------------------------------------------------
+    # Size metrics
+    # ------------------------------------------------------------------
+    def size_nodes(self) -> int:
+        return self.index.size_nodes()
+
+    def size_edges(self) -> int:
+        return self.index.size_edges()
+
+    def __repr__(self) -> str:
+        return (f"MkIndex(nodes={self.size_nodes()}, "
+                f"edges={self.size_edges()})")

@@ -1,0 +1,194 @@
+"""Strategy selection for M*(k) queries — the paper's deferred problem.
+
+Section 4.1 ends with: "The decision of which strategy to use is an
+interesting query optimization problem, but it would be beyond the scope
+of this paper."  This module takes it up with a classical lightweight
+cost model: per-component statistics (index-node counts per label,
+average fan-out per label) are collected once per index state, each
+candidate strategy's index-node visits are estimated by walking those
+statistics, and the cheapest plan runs.  ``MStarIndex.query(...,
+strategy="auto")`` routes through a cached :class:`StrategyOptimizer`.
+
+The estimates are deliberately simple (independence assumptions, no
+correlation between steps) — the point is ranking strategies, not
+predicting absolute costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.queries.pathexpr import WILDCARD, PathExpression
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.indexes.mstarindex import MStarIndex
+
+#: Strategies the optimizer arbitrates between.  Bottom-up is included
+#: for completeness; its downward re-checks give it a deliberately
+#: pessimistic estimate, matching its measured behaviour.
+CANDIDATES = ("naive", "topdown", "prefilter", "bottomup")
+
+
+@dataclass(frozen=True)
+class ComponentStats:
+    """Per-component summary statistics for estimation."""
+
+    label_counts: dict[str, int]          # label -> number of index nodes
+    label_fanout: dict[str, float]        # label -> avg children per node
+    label_fanin: dict[str, float]         # label -> avg parents per node
+    total_nodes: int
+
+    def count(self, label: str) -> float:
+        if label == WILDCARD:
+            return float(self.total_nodes)
+        return float(self.label_counts.get(label, 0))
+
+    def fanout(self, label: str) -> float:
+        if label == WILDCARD:
+            values = self.label_fanout.values()
+            return sum(values) / len(values) if values else 0.0
+        return self.label_fanout.get(label, 0.0)
+
+    def fanin(self, label: str) -> float:
+        if label == WILDCARD:
+            values = self.label_fanin.values()
+            return sum(values) / len(values) if values else 0.0
+        return self.label_fanin.get(label, 0.0)
+
+
+def collect_stats(index: "MStarIndex") -> list[ComponentStats]:
+    """Snapshot per-component statistics (one pass per component)."""
+    stats: list[ComponentStats] = []
+    for component in index.components:
+        counts: dict[str, int] = {}
+        out_edges: dict[str, int] = {}
+        in_edges: dict[str, int] = {}
+        for nid, node in component.nodes.items():
+            counts[node.label] = counts.get(node.label, 0) + 1
+            out_edges[node.label] = (out_edges.get(node.label, 0)
+                                     + len(component.children_of(nid)))
+            in_edges[node.label] = (in_edges.get(node.label, 0)
+                                    + len(component.parents_of(nid)))
+        fanout = {label: out_edges[label] / counts[label] for label in counts}
+        fanin = {label: in_edges[label] / counts[label] for label in counts}
+        stats.append(ComponentStats(label_counts=counts, label_fanout=fanout,
+                                    label_fanin=fanin,
+                                    total_nodes=component.num_nodes))
+    return stats
+
+
+class StrategyOptimizer:
+    """Rank M*(k) evaluation strategies for a query by estimated visits."""
+
+    def __init__(self, index: "MStarIndex") -> None:
+        self.index = index
+        self._stats: list[ComponentStats] | None = None
+        self._stats_version = -1
+
+    def stats(self) -> list[ComponentStats]:
+        """Current statistics, recollected after index mutations."""
+        version = self.index._mutations()
+        if self._stats is None or version != self._stats_version \
+                or len(self._stats) != len(self.index.components):
+            self._stats = collect_stats(self.index)
+            self._stats_version = version
+        return self._stats
+
+    # ------------------------------------------------------------------
+    # Per-strategy estimates
+    # ------------------------------------------------------------------
+    def _walk_cost(self, labels, component_of) -> float:
+        """Estimated visits of a forward label walk.
+
+        ``component_of(position)`` maps each step to the component it
+        runs in; the frontier estimate after a step is capped by the
+        step label's node count in that component (a frontier cannot
+        exceed the number of matching nodes).
+        """
+        stats = self.stats()
+        first_stats = stats[component_of(0)]
+        frontier = first_stats.count(labels[0])
+        cost = frontier
+        for position in range(1, len(labels)):
+            here = stats[component_of(position)]
+            examined = frontier * here.fanout(labels[position - 1])
+            cost += examined
+            frontier = min(examined, here.count(labels[position]))
+            if frontier == 0:
+                break
+        return cost
+
+    def estimate(self, expr: PathExpression) -> dict[str, float]:
+        """Estimated index visits per candidate strategy."""
+        if expr.rooted:
+            # Rooted expressions: every strategy falls back to top-down
+            # anyway; report a single dominant choice.
+            return {"topdown": 1.0, "naive": 2.0, "prefilter": 3.0,
+                    "bottomup": 4.0}
+        last = self.index.max_resolution
+        target = min(expr.length, last)
+        stats = self.stats()
+        labels = expr.labels
+
+        estimates: dict[str, float] = {}
+        estimates["naive"] = self._walk_cost(labels, lambda _pos: target)
+
+        # Top-down: prefix p runs in component min(p, last); descending
+        # costs roughly one visit per subnode entered, approximated by
+        # the finer component's matching-label count growth.
+        def topdown_component(position: int) -> int:
+            return min(position, last)
+
+        descend_cost = 0.0
+        for position in range(1, len(labels)):
+            coarse = stats[min(position - 1, last)]
+            fine = stats[min(position, last)]
+            growth = (fine.count(labels[position - 1])
+                      - coarse.count(labels[position - 1]))
+            descend_cost += max(growth, 0.0)
+        estimates["topdown"] = (self._walk_cost(labels, topdown_component)
+                                + descend_cost)
+
+        # Pre-filter: evaluate the chosen subpath in its coarse component,
+        # then verify the cone in the target component.  Approximate the
+        # cone by the subpath's final-label count there.
+        from repro.indexes.strategies import choose_subpath
+
+        start, window = choose_subpath(self.index, expr)
+        sub_labels = labels[start:start + window]
+        sub_component = min(window - 1, last)
+        sub_cost = self._walk_cost(sub_labels, lambda _pos: sub_component)
+        cone = stats[target].count(labels[start + window - 1])
+        backward = 0.0
+        frontier = cone
+        for position in range(start + window - 2, -1, -1):
+            examined = frontier * stats[target].fanin(labels[position + 1])
+            backward += examined
+            frontier = min(examined, stats[target].count(labels[position]))
+        forward = self._walk_cost(labels, lambda _pos: target) * 0.5
+        estimates["prefilter"] = sub_cost + cone + backward + forward
+
+        # Bottom-up: climbing plus a downward re-check of the suffix at
+        # every extension — quadratic in the suffix walks.
+        climb = stats[0].count(labels[-1])
+        bottomup = climb
+        for suffix_edges in range(1, len(labels)):
+            component = min(suffix_edges, target)
+            here = stats[component]
+            climb = min(climb * here.fanin(labels[-suffix_edges]),
+                        here.count(labels[-suffix_edges - 1]))
+            bottomup += climb
+            recheck = self._walk_cost(labels[-suffix_edges - 1:],
+                                      lambda _pos, c=component: c)
+            bottomup += 2 * recheck  # forward pass + backward survival
+        estimates["bottomup"] = bottomup
+        return estimates
+
+    def choose(self, expr: PathExpression) -> str:
+        """The cheapest strategy by estimate (ties go to top-down)."""
+        estimates = self.estimate(expr)
+        best = min(estimates.values())
+        if estimates.get("topdown") == best:
+            return "topdown"
+        return min(estimates, key=estimates.get)

@@ -1,0 +1,31 @@
+"""Path expressions, direct evaluation, and synthetic query workloads."""
+
+from repro.queries.branching import (
+    BranchingPathExpression,
+    Step,
+    evaluate_branching,
+    satisfying_nodes,
+    validate_branching_candidate,
+)
+from repro.queries.evaluator import (
+    evaluate_on_data_graph,
+    validate_candidate,
+    validate_extent,
+)
+from repro.queries.pathexpr import PathExpression
+from repro.queries.workload import Workload, WorkloadSpec, query_length_histogram
+
+__all__ = [
+    "BranchingPathExpression",
+    "PathExpression",
+    "Step",
+    "Workload",
+    "WorkloadSpec",
+    "evaluate_branching",
+    "evaluate_on_data_graph",
+    "satisfying_nodes",
+    "validate_branching_candidate",
+    "query_length_histogram",
+    "validate_candidate",
+    "validate_extent",
+]

@@ -1,0 +1,402 @@
+"""Branching path expressions (XPath predicates), e.g. ``//a[b/c]/d``.
+
+The paper's simple path expressions are label paths; its related work
+points at branching queries as the territory of the UD(k,l)-index
+("especially efficient for branching path expressions").  This module
+adds them end to end:
+
+* :class:`BranchingPathExpression` — a trunk of steps, each optionally
+  carrying existential child-path predicates (``a[b/c]`` keeps ``a``
+  nodes that have a ``b/c`` path below them);
+* :func:`evaluate_branching` — exact evaluation on the data graph;
+* :func:`branching_answer` — index-assisted evaluation: the trunk runs
+  on any index graph with index-level predicate pruning (safe: an index
+  node can only satisfy a predicate if some extent member might), then
+  candidates are validated on the data graph.  Indexes with *down*
+  similarity (UD(k,l)) can skip the predicate validation; see
+  :meth:`repro.indexes.udindex.UDIndex.query_branching`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cost.counters import CostCounter
+from repro.graph.datagraph import DataGraph
+from repro.queries.pathexpr import WILDCARD, PathExpression
+
+
+@dataclass(frozen=True)
+class Step:
+    """One trunk step: a label plus existential child-path predicates."""
+
+    label: str
+    predicates: tuple[PathExpression, ...] = ()
+
+    def __str__(self) -> str:
+        return self.label + "".join(f"[{'/'.join(p.labels)}]"
+                                    for p in self.predicates)
+
+
+@dataclass(frozen=True)
+class BranchingPathExpression:
+    """A branching (twig) query: trunk steps with optional predicates."""
+
+    steps: tuple[Step, ...]
+    rooted: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("a branching expression needs at least one step")
+
+    @classmethod
+    def parse(cls, text: str) -> "BranchingPathExpression":
+        """Parse ``//a[b/c]/d[e][f/g]`` syntax.
+
+        Predicates are child-relative label paths; nesting inside
+        predicates is not supported (matches the twig classes considered
+        by the cited related work).
+        """
+        if text.startswith("//"):
+            rooted = False
+            body = text[2:]
+        elif text.startswith("/"):
+            rooted = True
+            body = text[1:]
+        else:
+            rooted = False
+            body = text
+        if not body:
+            raise ValueError(f"empty branching expression {text!r}")
+        steps: list[Step] = []
+        for part in _split_steps(body):
+            label, predicates = _parse_step(part)
+            steps.append(Step(label=label, predicates=tuple(predicates)))
+        return cls(steps=tuple(steps), rooted=rooted)
+
+    @property
+    def trunk(self) -> PathExpression:
+        """The expression's label path with predicates stripped."""
+        return PathExpression(tuple(step.label for step in self.steps),
+                              rooted=self.rooted)
+
+    @property
+    def length(self) -> int:
+        """Trunk length in edges."""
+        return len(self.steps) - 1
+
+    @property
+    def has_predicates(self) -> bool:
+        return any(step.predicates for step in self.steps)
+
+    @property
+    def max_predicate_depth(self) -> int:
+        """Longest predicate path in edges-from-the-trunk-node terms
+        (a predicate ``b/c`` reaches depth 2 below its trunk node)."""
+        depths = [len(predicate.labels)
+                  for step in self.steps for predicate in step.predicates]
+        return max(depths, default=0)
+
+    def __str__(self) -> str:
+        anchor = "/" if self.rooted else "//"
+        return anchor + "/".join(str(step) for step in self.steps)
+
+
+def _split_steps(body: str) -> list[str]:
+    """Split on ``/`` outside brackets."""
+    steps: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for char in body:
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+            if depth < 0:
+                raise ValueError(f"unbalanced ']' in {body!r}")
+        elif char == "/" and depth == 0:
+            steps.append("".join(current))
+            current = []
+            continue
+        current.append(char)
+    if depth != 0:
+        raise ValueError(f"unbalanced '[' in {body!r}")
+    steps.append("".join(current))
+    if any(not step for step in steps):
+        raise ValueError(f"empty step in {body!r}")
+    return steps
+
+
+def _parse_step(part: str) -> tuple[str, list[PathExpression]]:
+    if "[" not in part:
+        return part, []
+    label, remainder = part.split("[", 1)
+    if not label:
+        raise ValueError(f"step {part!r} has no label")
+    predicates: list[PathExpression] = []
+    remainder = "[" + remainder
+    while remainder:
+        if not remainder.startswith("[") or "]" not in remainder:
+            raise ValueError(f"malformed predicates in {part!r}")
+        inner, remainder = remainder[1:].split("]", 1)
+        if "[" in inner:
+            raise ValueError("nested predicates are not supported")
+        labels = tuple(inner.split("/"))
+        if any(not piece for piece in labels):
+            raise ValueError(f"empty label in predicate [{inner}]")
+        predicates.append(PathExpression(labels, rooted=False))
+    return label, predicates
+
+
+# ----------------------------------------------------------------------
+# Exact evaluation on the data graph
+# ----------------------------------------------------------------------
+def satisfying_nodes(graph: DataGraph, predicate: PathExpression,
+                     counter: CostCounter | None = None) -> set[int]:
+    """Data nodes having ``predicate.labels`` as an outgoing path.
+
+    Computed bottom-up in one pass per label (each node examined charges
+    one data-node visit when a counter is given).
+    """
+    node_labels = graph.labels
+    last = predicate.labels[-1]
+    if last == WILDCARD:
+        frontier = set(graph.nodes())
+    else:
+        frontier = set(graph.nodes_with_label(last))
+    if counter is not None:
+        counter.data_visits += len(frontier)
+    parents = graph.parent_lists
+    for position in range(len(predicate.labels) - 2, -1, -1):
+        label = predicate.labels[position]
+        climbed: set[int] = set()
+        for oid in frontier:
+            for parent in parents[oid]:
+                if counter is not None:
+                    counter.data_visits += 1
+                if label == WILDCARD or node_labels[parent] == label:
+                    climbed.add(parent)
+        frontier = climbed
+        if not frontier:
+            break
+    return frontier
+
+
+def evaluate_branching(graph: DataGraph, expr: BranchingPathExpression,
+                       counter: CostCounter | None = None) -> set[int]:
+    """Exact target set of a branching expression on the data graph."""
+    node_labels = graph.labels
+    children = graph.child_lists
+
+    def step_filter(candidates: set[int], step: Step) -> set[int]:
+        for predicate in step.predicates:
+            # The predicate is rooted at a *child* path: x[b/c] holds when
+            # x has a child b that heads b/c.
+            heads = satisfying_nodes(graph, predicate, counter)
+            kept: set[int] = set()
+            for oid in candidates:
+                for child in children[oid]:
+                    if counter is not None:
+                        counter.data_visits += 1
+                    if child in heads:
+                        kept.add(oid)
+                        break
+            candidates = kept
+            if not candidates:
+                break
+        return candidates
+
+    first = expr.steps[0]
+    if expr.rooted:
+        frontier = {child for child in children[graph.root]
+                    if first.label == WILDCARD
+                    or node_labels[child] == first.label}
+    else:
+        if first.label == WILDCARD:
+            frontier = set(graph.nodes())
+        else:
+            frontier = set(graph.nodes_with_label(first.label))
+    if counter is not None:
+        counter.data_visits += len(frontier)
+    frontier = step_filter(frontier, first)
+    for step in expr.steps[1:]:
+        stepped: set[int] = set()
+        for oid in frontier:
+            for child in children[oid]:
+                if counter is not None:
+                    counter.data_visits += 1
+                if step.label == WILDCARD or node_labels[child] == step.label:
+                    stepped.add(child)
+        frontier = step_filter(stepped, step)
+        if not frontier:
+            break
+    return frontier
+
+
+def validate_branching_candidate(graph: DataGraph,
+                                 expr: BranchingPathExpression, oid: int,
+                                 counter: CostCounter | None = None) -> bool:
+    """Does ``oid`` really answer the branching expression?
+
+    Checks the final step's predicates downwards and the trunk (with the
+    other steps' predicates) upwards, charging data-node visits.
+    """
+    from repro.queries.evaluator import validate_candidate
+
+    node_labels = graph.labels
+    last_step = expr.steps[-1]
+    if last_step.label != WILDCARD and node_labels[oid] != last_step.label:
+        return False
+    if not _node_satisfies(graph, oid, last_step, counter):
+        return False
+    if len(expr.steps) == 1:
+        if expr.rooted:
+            return validate_candidate(
+                graph, PathExpression((last_step.label,), rooted=True), oid,
+                counter)
+        return True
+    parents = graph.parent_lists
+    frontier = {oid}
+    for position in range(len(expr.steps) - 2, -1, -1):
+        step = expr.steps[position]
+        climbed: set[int] = set()
+        for node in frontier:
+            for parent in parents[node]:
+                if counter is not None:
+                    counter.data_visits += 1
+                if step.label != WILDCARD and \
+                        node_labels[parent] != step.label:
+                    continue
+                if _node_satisfies(graph, parent, step, counter):
+                    climbed.add(parent)
+        frontier = climbed
+        if not frontier:
+            return False
+    if expr.rooted:
+        root = graph.root
+        for node in frontier:
+            if counter is not None:
+                counter.data_visits += len(parents[node])
+            if root in parents[node]:
+                return True
+        return False
+    return True
+
+
+def _node_satisfies(graph: DataGraph, oid: int, step: Step,
+                    counter: CostCounter | None) -> bool:
+    from repro.queries.pathexpr import PathExpression as PE
+
+    for predicate in step.predicates:
+        extended = PE((graph.labels[oid],) + predicate.labels, rooted=False)
+        from repro.indexes.udindex import validate_outgoing
+        if not validate_outgoing(graph, extended, oid, counter):
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Index-assisted evaluation
+# ----------------------------------------------------------------------
+def index_satisfying_nodes(index_graph, predicate: PathExpression,
+                           counter: CostCounter | None = None) -> set[int]:
+    """Index nodes that *may* head the predicate path (safe pruning).
+
+    Mirrors :func:`satisfying_nodes` over an
+    :class:`~repro.indexes.base.IndexGraph`: if no extent member heads
+    the predicate, the index node cannot either (Property 2), so pruning
+    by this set never loses answers.
+    """
+    last = predicate.labels[-1]
+    if last == WILDCARD:
+        frontier = set(index_graph.nodes)
+    else:
+        frontier = set(index_graph.nodes_with_label(last))
+    if counter is not None:
+        counter.index_visits += len(frontier)
+    for position in range(len(predicate.labels) - 2, -1, -1):
+        label = predicate.labels[position]
+        climbed: set[int] = set()
+        for nid in frontier:
+            for parent in index_graph.parents_of(nid):
+                if counter is not None:
+                    counter.index_visits += 1
+                if label == WILDCARD or \
+                        index_graph.nodes[parent].label == label:
+                    climbed.add(parent)
+        frontier = climbed
+        if not frontier:
+            break
+    return frontier
+
+
+def branching_answer(index_graph, expr: BranchingPathExpression,
+                     counter: CostCounter | None = None,
+                     skip_validation: bool = False):
+    """Evaluate a branching expression through an index graph.
+
+    The trunk runs over the index with index-level predicate pruning;
+    the surviving extents are validated on the data graph (k-bisimilarity
+    gives no downward guarantee, so predicate checks always need the
+    data graph — unless the caller has down-similarity information and
+    passes ``skip_validation=True``, as the UD(k,l)-index does when its
+    parameters cover the query).
+    """
+    from repro.indexes.base import QueryResult
+
+    graph = index_graph.graph
+    cost = counter if counter is not None else CostCounter()
+
+    def prune(frontier: set[int], step: Step) -> set[int]:
+        for predicate in step.predicates:
+            heads = index_satisfying_nodes(index_graph, predicate, cost)
+            kept: set[int] = set()
+            for nid in frontier:
+                for child in index_graph.children_of(nid):
+                    cost.index_visits += 1
+                    if child in heads:
+                        kept.add(nid)
+                        break
+            frontier = kept
+            if not frontier:
+                break
+        return frontier
+
+    first = expr.steps[0]
+    if expr.rooted:
+        frontier = {index_graph.node_of[graph.root]}
+        cost.index_visits += 1
+        steps = expr.steps
+    else:
+        if first.label == WILDCARD:
+            frontier = set(index_graph.nodes)
+        else:
+            frontier = set(index_graph.nodes_with_label(first.label))
+        cost.index_visits += len(frontier)
+        frontier = prune(frontier, first)
+        steps = expr.steps[1:]
+    for step in steps:
+        stepped: set[int] = set()
+        for nid in frontier:
+            for child in index_graph.children_of(nid):
+                cost.index_visits += 1
+                child_node = index_graph.nodes[child]
+                if step.label == WILDCARD or child_node.label == step.label:
+                    stepped.add(child)
+        frontier = prune(stepped, step)
+        if not frontier:
+            break
+
+    targets = [index_graph.nodes[nid] for nid in sorted(frontier)]
+    answers: set[int] = set()
+    validated = False
+    for node in targets:
+        if skip_validation:
+            answers |= node.extent
+            continue
+        validated = True
+        for oid in node.extent:
+            if validate_branching_candidate(graph, expr, oid, cost):
+                answers.add(oid)
+    return QueryResult(answers=answers, target_nodes=targets, cost=cost,
+                       validated=validated)

@@ -1,0 +1,182 @@
+"""Direct evaluation and validation of path expressions on the data graph.
+
+Two operations live here:
+
+* :func:`evaluate_on_data_graph` — the index-less baseline: compute the
+  target set of a path expression by forward navigation.  This provides
+  ground truth for tests and the "relevant data" target sets consumed by
+  the refinement algorithms.
+* :func:`validate_candidate` / :func:`validate_extent` — the validation
+  step of the paper's query algorithm: check whether candidate data nodes
+  returned by an imprecise index really have the queried incoming label
+  path, charging one *data-node visit* per node examined (Section 5's
+  second cost component).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.cost.counters import CostCounter
+from repro.graph.datagraph import DataGraph
+from repro.queries.pathexpr import WILDCARD, PathExpression
+
+
+def _descendant_closure(adjacency, frontier: set[int],
+                        counter: CostCounter | None,
+                        counter_field: str) -> set[int]:
+    """All nodes reachable from ``frontier`` via >= 1 edges (BFS)."""
+    reached: set[int] = set()
+    queue = list(frontier)
+    while queue:
+        node = queue.pop()
+        for neighbor in adjacency[node]:
+            if counter is not None:
+                setattr(counter, counter_field,
+                        getattr(counter, counter_field) + 1)
+            if neighbor not in reached:
+                reached.add(neighbor)
+                queue.append(neighbor)
+    return reached
+
+
+def evaluate_on_data_graph(graph: DataGraph, expr: PathExpression,
+                           counter: CostCounter | None = None) -> set[int]:
+    """Target set of ``expr`` by forward navigation over the data graph.
+
+    Supports internal descendant axes (``//a//b``): a descendant step
+    expands the frontier to all strict descendants before matching the
+    step's label.  When ``counter`` is given, every data node examined is
+    charged as one data-node visit (used by the "no index" baseline in
+    the benches).
+    """
+    node_labels = graph.labels
+    children = graph.child_lists
+    first = expr.labels[0]
+    if expr.rooted:
+        frontier = {child for child in children[graph.root]
+                    if first == WILDCARD or node_labels[child] == first}
+        if counter is not None:
+            counter.data_visits += len(children[graph.root])
+    else:
+        if first == WILDCARD:
+            frontier = set(graph.nodes())
+        else:
+            frontier = set(graph.nodes_with_label(first))
+        if counter is not None:
+            counter.data_visits += len(frontier)
+    for position in range(1, len(expr.labels)):
+        label = expr.labels[position]
+        if position in expr.descendant_steps:
+            candidates = _descendant_closure(children, frontier, counter,
+                                             "data_visits")
+            frontier = {oid for oid in candidates
+                        if label == WILDCARD or node_labels[oid] == label}
+        else:
+            next_frontier: set[int] = set()
+            for oid in frontier:
+                for child in children[oid]:
+                    if counter is not None:
+                        counter.data_visits += 1
+                    if label == WILDCARD or node_labels[child] == label:
+                        next_frontier.add(child)
+            frontier = next_frontier
+        if not frontier:
+            break
+    return frontier
+
+
+def validate_candidate(graph: DataGraph, expr: PathExpression, oid: int,
+                       counter: CostCounter | None = None) -> bool:
+    """Does ``oid`` really have ``expr`` as an incoming path?
+
+    Matches the label path backwards from the candidate, charging one
+    data-node visit for every parent examined.  For a rooted expression
+    the instance must additionally start at a child of the document root.
+    """
+    node_labels = graph.labels
+    if not expr.matches_label(len(expr.labels) - 1, node_labels[oid]):
+        return False
+    parents = graph.parent_lists
+    frontier = {oid}
+    for position in range(len(expr.labels) - 2, -1, -1):
+        if (position + 1) in expr.descendant_steps:
+            ancestors = _descendant_closure(parents, frontier, counter,
+                                            "data_visits")
+            next_frontier = {node for node in ancestors
+                             if expr.matches_label(position,
+                                                   node_labels[node])}
+        else:
+            next_frontier = set()
+            for node in frontier:
+                for parent in parents[node]:
+                    if counter is not None:
+                        counter.data_visits += 1
+                    if expr.matches_label(position, node_labels[parent]):
+                        next_frontier.add(parent)
+        frontier = next_frontier
+        if not frontier:
+            return False
+    if expr.rooted:
+        root = graph.root
+        for node in frontier:
+            if counter is not None:
+                counter.data_visits += len(parents[node])
+            if root in parents[node]:
+                return True
+        return False
+    return True
+
+
+def validate_extent(graph: DataGraph, expr: PathExpression,
+                    extent: Iterable[int],
+                    counter: CostCounter | None = None) -> set[int]:
+    """Filter an index node's extent down to the true answers to ``expr``."""
+    return {oid for oid in extent
+            if validate_candidate(graph, expr, oid, counter)}
+
+
+def find_instance(graph: DataGraph, expr: PathExpression,
+                  oid: int) -> list[int] | None:
+    """One witness node path for answer ``oid``, or ``None``.
+
+    Returns ``[v0, ..., vn]`` with ``vn == oid`` such that the node path
+    instantiates ``expr`` (starting at a child of the root for rooted
+    expressions).  Useful for explaining query results to users and in
+    tests; mirrors :func:`validate_candidate` but keeps back-pointers.
+    Descendant-axis expressions are not supported (their witnesses have
+    variable length).
+    """
+    if expr.has_descendant_steps:
+        raise ValueError("find_instance supports child-axis expressions only")
+    node_labels = graph.labels
+    if not expr.matches_label(len(expr.labels) - 1, node_labels[oid]):
+        return None
+    parents = graph.parent_lists
+    # levels[i] maps a node matching label position i to the child that
+    # led to it (position len-1 holds the candidate itself).
+    levels: list[dict[int, int | None]] = [{oid: None}]
+    for position in range(len(expr.labels) - 2, -1, -1):
+        above: dict[int, int | None] = {}
+        for node in levels[-1]:
+            for parent in parents[node]:
+                if parent not in above and \
+                        expr.matches_label(position, node_labels[parent]):
+                    above[parent] = node
+        if not above:
+            return None
+        levels.append(above)
+    start_candidates = levels[-1]
+    if expr.rooted:
+        root = graph.root
+        start = next((node for node in start_candidates
+                      if root in parents[node]), None)
+        if start is None:
+            return None
+    else:
+        start = min(start_candidates)
+    path = [start]
+    for level in range(len(levels) - 1, 0, -1):
+        follow = levels[level][path[-1]]
+        path.append(follow)
+    return path

@@ -1,0 +1,161 @@
+"""Simple path expressions (the paper's query language).
+
+The paper focuses on *simple path expressions*, which are label paths with
+either an absolute (``/a/b/c``) or a self-or-descendant (``//a/b/c``)
+anchor, optionally containing single-step wildcards (``*``), e.g. the
+paper's ``/site/regions/*/item``.
+
+``length`` follows the paper's convention of counting *edges*:
+``length(//a/b/c) == 2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+WILDCARD = "*"
+
+
+@dataclass(frozen=True)
+class PathExpression:
+    """An immutable simple path expression.
+
+    Attributes:
+        labels: the label sequence ``(l0, l1, ..., ln)``; ``"*"`` matches
+            any label.
+        rooted: ``True`` for an absolute path (``/l0/...``, instances must
+            begin at a child of the document root), ``False`` for a
+            descendant path (``//l0/...``, instances may begin anywhere).
+        descendant_steps: positions ``i >= 1`` reached through the
+            descendant axis (``a//b`` instead of ``a/b``): the instance
+            may take any number of edges between labels ``i-1`` and
+            ``i``.  Empty for the paper's simple path expressions.
+    """
+
+    labels: tuple[str, ...]
+    rooted: bool = False
+    descendant_steps: frozenset[int] = frozenset()
+
+    def __post_init__(self) -> None:
+        if not self.labels:
+            raise ValueError("a path expression needs at least one label")
+        for label in self.labels:
+            if not label or "/" in label:
+                raise ValueError(f"invalid label {label!r}")
+        for position in self.descendant_steps:
+            if not 1 <= position < len(self.labels):
+                raise ValueError(
+                    f"descendant step {position} out of range")
+
+    @classmethod
+    def parse(cls, text: str) -> "PathExpression":
+        """Parse XPath-style syntax: ``/a/b``, ``//a/b``, ``//a/*/c``,
+        and internal descendant axes like ``//a//b/c``."""
+        if text.startswith("//"):
+            rooted = False
+            body = text[2:]
+        elif text.startswith("/"):
+            rooted = True
+            body = text[1:]
+        else:
+            # Bare label paths are treated as descendant expressions, the
+            # form every workload query takes.
+            rooted = False
+            body = text
+        if not body:
+            raise ValueError(f"empty path expression {text!r}")
+        labels: list[str] = []
+        descendant_steps: set[int] = set()
+        pending_descendant = False
+        for piece in body.split("/"):
+            if piece == "":
+                # An empty piece marks a '//' between labels.
+                if pending_descendant or not labels:
+                    raise ValueError(
+                        f"empty step in path expression {text!r}")
+                pending_descendant = True
+                continue
+            if pending_descendant:
+                descendant_steps.add(len(labels))
+                pending_descendant = False
+            labels.append(piece)
+        if pending_descendant:
+            raise ValueError(f"trailing '//' in path expression {text!r}")
+        return cls(labels=tuple(labels), rooted=rooted,
+                   descendant_steps=frozenset(descendant_steps))
+
+    @classmethod
+    def descendant(cls, *labels: str) -> "PathExpression":
+        """Build ``//l0/l1/...`` from label arguments."""
+        return cls(labels=tuple(labels), rooted=False)
+
+    @classmethod
+    def absolute(cls, *labels: str) -> "PathExpression":
+        """Build ``/l0/l1/...`` from label arguments."""
+        return cls(labels=tuple(labels), rooted=True)
+
+    @property
+    def length(self) -> int:
+        """Path length in edges (one less than the number of labels).
+
+        Descendant steps make the *instance* length unbounded; ``length``
+        still reports the minimum (one edge per step), which is what the
+        workload statistics and component choices use.
+        """
+        return len(self.labels) - 1
+
+    @property
+    def has_wildcard(self) -> bool:
+        return WILDCARD in self.labels
+
+    @property
+    def has_descendant_steps(self) -> bool:
+        """Does the expression use the descendant axis between labels?"""
+        return bool(self.descendant_steps)
+
+    @property
+    def last_label(self) -> str:
+        return self.labels[-1]
+
+    def prefix(self, num_labels: int) -> "PathExpression":
+        """The expression over the first ``num_labels`` labels."""
+        if not 1 <= num_labels <= len(self.labels):
+            raise ValueError(f"prefix of {num_labels} labels out of range")
+        kept = frozenset(position for position in self.descendant_steps
+                         if position < num_labels)
+        return PathExpression(self.labels[:num_labels], rooted=self.rooted,
+                              descendant_steps=kept)
+
+    def subpath(self, start: int, num_labels: int) -> "PathExpression":
+        """A descendant expression over ``labels[start:start+num_labels]``."""
+        if num_labels < 1 or start < 0 or start + num_labels > len(self.labels):
+            raise ValueError(
+                f"subpath({start}, {num_labels}) out of range for {self}")
+        kept = frozenset(position - start
+                         for position in self.descendant_steps
+                         if start < position < start + num_labels)
+        return PathExpression(self.labels[start:start + num_labels],
+                              rooted=False, descendant_steps=kept)
+
+    def matches_label(self, position: int, label: str) -> bool:
+        """Does the step at ``position`` accept ``label``?"""
+        step = self.labels[position]
+        return step == WILDCARD or step == label
+
+    def __str__(self) -> str:
+        anchor = "/" if self.rooted else "//"
+        pieces = [self.labels[0]]
+        for position in range(1, len(self.labels)):
+            pieces.append("//" if position in self.descendant_steps else "/")
+            pieces.append(self.labels[position])
+        return anchor + "".join(pieces)
+
+
+def as_expression(query: "PathExpression | str | Sequence[str]") -> PathExpression:
+    """Coerce user input (expression, XPath string, label sequence)."""
+    if isinstance(query, PathExpression):
+        return query
+    if isinstance(query, str):
+        return PathExpression.parse(query)
+    return PathExpression(labels=tuple(query), rooted=False)

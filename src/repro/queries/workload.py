@@ -1,0 +1,160 @@
+"""Synthetic query workloads (Section 5, "Query workload").
+
+The paper generates workloads as follows: enumerate all label paths of
+length up to a maximum (9 or 4) in the data graph, then for each query
+pick a label path at random, extract a subsequence with random start
+position and length, and prefix it with the self-or-descendant axis
+(``//``).  Because the start position is chosen uniformly, short queries
+come out more likely than long ones — matching the observation that short
+path expressions dominate real workloads (Figures 8 and 9 chart the
+resulting length distributions).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
+
+from repro.graph.datagraph import DataGraph
+from repro.graph.paths import enumerate_rooted_label_paths
+from repro.queries.pathexpr import PathExpression
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of a synthetic workload."""
+
+    num_queries: int = 500
+    max_length: int = 9
+    seed: int = 0
+    #: Safety cap on the enumerated label-path pool (None = no cap).
+    max_paths: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_queries < 0:
+            raise ValueError("num_queries must be >= 0")
+        if self.max_length < 0:
+            raise ValueError("max_length must be >= 0")
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A generated sequence of FUP queries plus its provenance."""
+
+    queries: tuple[PathExpression, ...]
+    spec: WorkloadSpec = field(default_factory=WorkloadSpec)
+
+    @classmethod
+    def generate(cls, graph: DataGraph, num_queries: int = 500,
+                 max_length: int = 9, seed: int = 0,
+                 max_paths: int | None = None) -> "Workload":
+        """Generate a workload over ``graph`` per the paper's recipe."""
+        spec = WorkloadSpec(num_queries=num_queries, max_length=max_length,
+                            seed=seed, max_paths=max_paths)
+        return cls.from_spec(graph, spec)
+
+    @classmethod
+    def from_spec(cls, graph: DataGraph, spec: WorkloadSpec) -> "Workload":
+        pool = enumerate_rooted_label_paths(graph, spec.max_length,
+                                            max_paths=spec.max_paths)
+        if not pool:
+            raise ValueError("data graph yields no label paths")
+        rng = random.Random(spec.seed)
+        queries = []
+        for _ in range(spec.num_queries):
+            path = pool[rng.randrange(len(pool))]
+            start = rng.randrange(len(path))
+            num_labels = rng.randint(1, len(path) - start)
+            queries.append(PathExpression(path[start:start + num_labels],
+                                          rooted=False))
+        return cls(queries=tuple(queries), spec=spec)
+
+    def __iter__(self) -> Iterator[PathExpression]:
+        return iter(self.queries)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def lengths(self) -> list[int]:
+        """Query lengths in edges, in workload order."""
+        return [query.length for query in self.queries]
+
+    def length_histogram(self) -> list[float]:
+        """Fraction of queries per length ``0..max_length`` (Figs 8-9)."""
+        return query_length_histogram(self.queries, self.spec.max_length)
+
+    def batches(self, batch_size: int) -> Iterator[tuple[PathExpression, ...]]:
+        """Consecutive query batches (the growth experiments use 50)."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        for start in range(0, len(self.queries), batch_size):
+            yield self.queries[start:start + batch_size]
+
+
+def generate_twig_queries(graph: DataGraph, num_queries: int,
+                          max_trunk_length: int = 4,
+                          max_predicate_depth: int = 2,
+                          predicate_probability: float = 0.5,
+                          predicate_positions: str = "any",
+                          seed: int = 0):
+    """Generate branching (twig) queries over ``graph``.
+
+    Each query's trunk comes from the same subsequence-of-a-label-path
+    recipe as :class:`Workload`; trunk steps then receive, with
+    ``predicate_probability``, an existential predicate sampled from an
+    actual downward walk of one of the step's instances — so predicates
+    are structurally plausible (usually satisfiable) rather than noise.
+
+    ``predicate_positions`` is ``"any"`` (every step may carry one) or
+    ``"final"`` (selection-style twigs like ``//a/b[c/d]``, the class the
+    UD(k,l)-index answers without validation).
+    """
+    if predicate_positions not in ("any", "final"):
+        raise ValueError("predicate_positions must be 'any' or 'final'")
+    from repro.queries.branching import BranchingPathExpression, Step
+    from repro.queries.evaluator import evaluate_on_data_graph
+
+    base = Workload.generate(graph, num_queries=num_queries,
+                             max_length=max_trunk_length, seed=seed)
+    rng = random.Random(seed + 1)
+    node_labels = graph.labels
+    children = graph.child_lists
+    queries = []
+    for trunk in base:
+        steps = []
+        for position in range(len(trunk.labels)):
+            prefix = PathExpression(trunk.labels[:position + 1])
+            predicates = ()
+            eligible = (predicate_positions == "any"
+                        or position == len(trunk.labels) - 1)
+            if eligible and rng.random() < predicate_probability:
+                instances = sorted(evaluate_on_data_graph(graph, prefix))
+                if instances:
+                    node = instances[rng.randrange(len(instances))]
+                    walk: list[str] = []
+                    depth = rng.randint(1, max_predicate_depth)
+                    for _ in range(depth):
+                        if not children[node]:
+                            break
+                        node = children[node][rng.randrange(len(children[node]))]
+                        walk.append(node_labels[node])
+                    if walk:
+                        predicates = (PathExpression(tuple(walk)),)
+            steps.append(Step(trunk.labels[position], predicates))
+        queries.append(BranchingPathExpression(tuple(steps), rooted=False))
+    return queries
+
+
+def query_length_histogram(queries: Sequence[PathExpression],
+                           max_length: int) -> list[float]:
+    """Normalised histogram of query lengths over ``0..max_length``."""
+    counts = [0] * (max_length + 1)
+    for query in queries:
+        if query.length > max_length:
+            raise ValueError(f"query {query} longer than max_length")
+        counts[query.length] += 1
+    total = len(queries)
+    if total == 0:
+        return [0.0] * (max_length + 1)
+    return [count / total for count in counts]

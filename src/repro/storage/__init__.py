@@ -1,0 +1,35 @@
+"""Disk-resident index storage — the paper's stated future work.
+
+Section 6 closes with: "We are currently studying how to make the
+M*(k)-index I/O-efficient by turning it into a disk-resident structure
+that can be loaded into memory selectively and incrementally during
+query processing."  This subpackage builds that structure:
+
+* :mod:`repro.storage.serialization` — binary round-tripping of data
+  graphs and M*(k)-indexes;
+* :mod:`repro.storage.pager` — a page file plus an LRU buffer pool with
+  read/hit accounting;
+* :mod:`repro.storage.diskindex` — :class:`DiskMStarIndex`, a read-only
+  on-disk M*(k)-index whose top-down query algorithm touches only the
+  pages holding the index nodes it walks, so short queries stay inside
+  the (small, hot) coarse components.
+"""
+
+from repro.storage.diskindex import DiskMStarIndex
+from repro.storage.pager import BufferPool, PageFile
+from repro.storage.serialization import (
+    load_graph,
+    load_mstar,
+    save_graph,
+    save_mstar,
+)
+
+__all__ = [
+    "BufferPool",
+    "DiskMStarIndex",
+    "PageFile",
+    "load_graph",
+    "load_mstar",
+    "save_graph",
+    "save_mstar",
+]

@@ -1,0 +1,308 @@
+"""The disk-resident M*(k)-index (Section 6's future work, built).
+
+``DiskMStarIndex.build`` serialises a refined in-memory
+:class:`~repro.indexes.mstarindex.MStarIndex` into a paged file: every
+component's nodes are packed into fixed-budget pages, with a per-
+component label directory and node-to-page locator kept in the (small)
+header.  Queries run the paper's top-down strategy, fetching index
+nodes through an LRU :class:`~repro.storage.pager.BufferPool` — so a
+short query touches only the pages of the coarse components, which is
+exactly the "loaded into memory selectively and incrementally" goal the
+paper states.
+
+The structure is read-only: refinement happens in memory and a new file
+is built (the classic build/serve split for secondary indexes).
+Validation uses the in-memory data graph, as in the paper's cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cost.counters import CostCounter
+from repro.graph.datagraph import DataGraph
+from repro.indexes.base import QueryResult
+from repro.indexes.mstarindex import MStarIndex
+from repro.queries.evaluator import validate_candidate
+from repro.queries.pathexpr import WILDCARD, PathExpression
+from repro.storage.pager import DEFAULT_PAGE_SIZE, BufferPool, PageFile, PageRef
+from repro.storage.serialization import (
+    FORMAT_VERSION,
+    encode_index_node,
+    read_label_table,
+    read_string,
+    read_u32,
+    read_u32_list,
+    write_label_table,
+    write_string,
+    write_u32,
+    write_u32_list,
+)
+
+DISK_MAGIC = b"RPDI"
+
+
+@dataclass
+class _TargetNode:
+    """Materialised view of one on-disk index node (query result detail)."""
+
+    nid: int
+    label: str
+    k: int
+    extent: set[int] = field(default_factory=set)
+
+
+class DiskMStarIndex:
+    """Read-only, paged M*(k)-index queried through a buffer pool."""
+
+    def __init__(self, path: str, graph: DataGraph,
+                 buffer_pages: int = 64) -> None:
+        self.path = path
+        self.graph = graph
+        with open(path, "rb") as source:
+            if source.read(4) != DISK_MAGIC:
+                raise ValueError(f"{path} is not a repro disk-index file")
+            version = read_u32(source)
+            if version != FORMAT_VERSION:
+                raise ValueError(f"unsupported disk format version {version}")
+            self.labels = read_label_table(source)
+            self.num_components = read_u32(source)
+            self.page_size = read_u32(source)
+            # Per-component directories (all small; kept in memory like a
+            # catalog): label -> node ids, node id -> page number.
+            self._by_label: list[dict[str, list[int]]] = []
+            self._page_of: list[list[int]] = []
+            pages: dict[tuple[int, int], PageRef] = {}
+            for component in range(self.num_components):
+                directory: dict[str, list[int]] = {}
+                for _ in range(read_u32(source)):
+                    label = read_string(source)
+                    directory[label] = read_u32_list(source)
+                self._by_label.append(directory)
+                self._page_of.append(read_u32_list(source))
+                for page_number in range(read_u32(source)):
+                    offset = read_u32(source)
+                    length = read_u32(source)
+                    pages[(component, page_number)] = PageRef(offset, length)
+        self._file = PageFile(path, pages)
+        self.pool = BufferPool(self._file, buffer_pages)
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, index: MStarIndex, path: str,
+              page_size: int = DEFAULT_PAGE_SIZE,
+              buffer_pages: int = 64) -> "DiskMStarIndex":
+        """Serialise ``index`` into a paged file at ``path`` and open it."""
+        if page_size < 64:
+            raise ValueError("page_size must be >= 64 bytes")
+        graph = index.graph
+        # The label table is written sorted, so its ids are known upfront.
+        label_ids = {label: position
+                     for position, label in enumerate(sorted(graph.alphabet()))}
+        mappings = [{nid: dense
+                     for dense, nid in enumerate(sorted(component.nodes))}
+                    for component in index.components]
+
+        # Encode records and pack them into pages, component by component.
+        component_pages: list[list[bytes]] = []
+        page_of: list[list[int]] = []
+        by_label: list[dict[str, list[int]]] = []
+        for i, component in enumerate(index.components):
+            mapping = mappings[i]
+            is_last = i == index.max_resolution
+            pages: list[bytes] = []
+            current: list[bytes] = []
+            current_size = 0
+            locator = [0] * len(component.nodes)
+            directory: dict[str, list[int]] = {}
+            for nid in sorted(component.nodes):
+                node = component.nodes[nid]
+                dense = mapping[nid]
+                children = sorted(mapping[child]
+                                  for child in component.children_of(nid))
+                subnodes = (sorted(mappings[i + 1][sub]
+                                   for sub in index.subnodes[i][nid])
+                            if not is_last else [])
+                record = encode_index_node(dense, label_ids[node.label],
+                                           node.k, sorted(node.extent),
+                                           children, subnodes)
+                directory.setdefault(node.label, []).append(dense)
+                if current and current_size + len(record) > page_size:
+                    pages.append(b"".join(current))
+                    current = []
+                    current_size = 0
+                locator[dense] = len(pages)
+                current.append(record)
+                current_size += len(record)
+            if current:
+                pages.append(b"".join(current))
+            component_pages.append(pages)
+            page_of.append(locator)
+            by_label.append(directory)
+
+        with open(path, "wb") as out:
+            out.write(DISK_MAGIC)
+            write_u32(out, FORMAT_VERSION)
+            write_label_table(out, graph.labels)
+            write_u32(out, len(index.components))
+            write_u32(out, page_size)
+
+            # Directories + placeholder page tables first, then the pages,
+            # then patch the page tables with the final offsets.
+            page_table_positions = []
+            for i in range(len(index.components)):
+                directory = by_label[i]
+                write_u32(out, len(directory))
+                for label in sorted(directory):
+                    write_string(out, label)
+                    write_u32_list(out, directory[label])
+                write_u32_list(out, page_of[i])
+                write_u32(out, len(component_pages[i]))
+                page_table_positions.append(out.tell())
+                out.write(b"\0" * (8 * len(component_pages[i])))
+
+            page_refs: list[list[tuple[int, int]]] = []
+            for pages in component_pages:
+                refs = []
+                for page in pages:
+                    refs.append((out.tell(), len(page)))
+                    out.write(page)
+                page_refs.append(refs)
+
+            for position, refs in zip(page_table_positions, page_refs):
+                out.seek(position)
+                for offset, length in refs:
+                    write_u32(out, offset)
+                    write_u32(out, length)
+
+        return cls(path, graph, buffer_pages=buffer_pages)
+
+    # ------------------------------------------------------------------
+    # Record access through the pool
+    # ------------------------------------------------------------------
+    def _record(self, component: int, nid: int) -> dict:
+        page_number = self._page_of[component][nid]
+        return self.pool.page((component, page_number))[nid]
+
+    def nodes_with_label(self, component: int, label: str) -> list[int]:
+        return self._by_label[component].get(label, [])
+
+    # ------------------------------------------------------------------
+    # Querying (top-down, the paper's strategy)
+    # ------------------------------------------------------------------
+    def query(self, expr: PathExpression,
+              counter: CostCounter | None = None) -> QueryResult:
+        """Top-down evaluation with on-demand page loads.
+
+        Index-node visits are charged as in the in-memory index; physical
+        I/O shows up in :attr:`pool` (``reads`` / ``hits``).
+        """
+        cost = counter if counter is not None else CostCounter()
+        last = self.num_components - 1
+        if expr.rooted:
+            # The root always lives in a singleton label class.
+            root_label = self.graph.labels[self.graph.root]
+            frontier = set(self.nodes_with_label(0, root_label))
+            cost.index_visits += len(frontier)
+            positions = range(len(expr.labels))
+        else:
+            first = expr.labels[0]
+            if first == WILDCARD:
+                frontier = {nid for nids in self._by_label[0].values()
+                            for nid in nids}
+            else:
+                frontier = set(self.nodes_with_label(0, first))
+            cost.index_visits += len(frontier)
+            positions = range(1, len(expr.labels))
+        edge_offset = 1 if expr.rooted else 0
+        current = 0
+        for position in positions:
+            target_component = min(position + edge_offset, last)
+            while current < target_component and frontier:
+                descended: set[int] = set()
+                for nid in frontier:
+                    subs = self._record(current, nid)["subnodes"]
+                    cost.index_visits += len(subs)
+                    descended.update(subs)
+                frontier = descended
+                current += 1
+            label = expr.labels[position]
+            if position in expr.descendant_steps:
+                # Descendant axis: close over >= 1 child edges, then match.
+                reached: set[int] = set()
+                queue = list(frontier)
+                while queue:
+                    nid = queue.pop()
+                    for child in self._record(current, nid)["children"]:
+                        cost.index_visits += 1
+                        if child not in reached:
+                            reached.add(child)
+                            queue.append(child)
+                stepped = {nid for nid in reached
+                           if label == WILDCARD or self.labels[
+                               self._record(current, nid)["label_id"]] == label}
+            else:
+                stepped = set()
+                for nid in frontier:
+                    for child in self._record(current, nid)["children"]:
+                        cost.index_visits += 1
+                        child_record = self._record(current, child)
+                        if label == WILDCARD or \
+                                self.labels[child_record["label_id"]] == label:
+                            stepped.add(child)
+            frontier = stepped
+            if not frontier:
+                break
+
+        if expr.has_descendant_steps:
+            required = float("inf")
+        else:
+            required = expr.length + (1 if expr.rooted else 0)
+        answers: set[int] = set()
+        targets: list[_TargetNode] = []
+        validated = False
+        for nid in sorted(frontier):
+            record = self._record(current, nid)
+            extent = set(record["extent"])
+            targets.append(_TargetNode(nid=nid,
+                                       label=self.labels[record["label_id"]],
+                                       k=record["k"], extent=extent))
+            if record["k"] >= required:
+                answers |= extent
+            else:
+                validated = True
+                for oid in extent:
+                    if validate_candidate(self.graph, expr, oid, cost):
+                        answers.add(oid)
+        return QueryResult(answers=answers, target_nodes=targets,  # type: ignore[arg-type]
+                           cost=cost, validated=validated)
+
+    # ------------------------------------------------------------------
+    # Stats and lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def page_count(self) -> int:
+        return len(self._file.pages)
+
+    def io_stats(self) -> tuple[int, int]:
+        """(physical page reads, pool hits) since the last reset."""
+        return self.pool.reads, self.pool.hits
+
+    def reset_io_stats(self) -> None:
+        self.pool.reset_stats()
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "DiskMStarIndex":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"DiskMStarIndex(components={self.num_components}, "
+                f"pages={self.page_count}, "
+                f"buffer={self.pool.capacity} pages)")

@@ -1,0 +1,107 @@
+"""Page file and buffer pool for the disk-resident index.
+
+``PageFile`` lays index-node records out in fixed-budget pages and reads
+a page's records back on demand; ``BufferPool`` keeps a bounded LRU set
+of parsed pages and counts physical reads versus hits — the I/O metric
+the disk-resident benches report.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.storage.serialization import decode_index_node
+
+DEFAULT_PAGE_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class PageRef:
+    """Location of one page inside the index file."""
+
+    offset: int
+    length: int
+
+
+class PageFile:
+    """Random-access page reader over an on-disk index payload.
+
+    ``pages`` maps ``(component, page_number) -> PageRef``; every page
+    holds whole index-node records, parsed into ``nid -> record`` dicts
+    on read.
+    """
+
+    def __init__(self, path: str,
+                 pages: dict[tuple[int, int], PageRef]) -> None:
+        self.path = path
+        self.pages = pages
+        self._handle = open(path, "rb")
+        #: Physical page reads performed (monotone).
+        self.reads = 0
+
+    def read_page(self, key: tuple[int, int]) -> dict[int, dict]:
+        """Read and parse one page; one physical read."""
+        ref = self.pages[key]
+        self._handle.seek(ref.offset)
+        data = self._handle.read(ref.length)
+        if len(data) != ref.length:
+            raise ValueError(f"truncated page {key} in {self.path}")
+        self.reads += 1
+        records: dict[int, dict] = {}
+        offset = 0
+        while offset < len(data):
+            record, offset = decode_index_node(data, offset)
+            records[record["nid"]] = record
+        return records
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "PageFile":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class BufferPool:
+    """Bounded LRU cache of parsed pages with hit/read accounting."""
+
+    def __init__(self, file: PageFile, capacity_pages: int) -> None:
+        if capacity_pages < 1:
+            raise ValueError("capacity_pages must be >= 1")
+        self.file = file
+        self.capacity = capacity_pages
+        self._cached: OrderedDict[tuple[int, int], dict[int, dict]] = \
+            OrderedDict()
+        #: Logical page requests served from the pool.
+        self.hits = 0
+
+    @property
+    def reads(self) -> int:
+        """Physical page reads (cache misses) so far."""
+        return self.file.reads
+
+    def page(self, key: tuple[int, int]) -> dict[int, dict]:
+        """Fetch one page through the pool."""
+        cached = self._cached.get(key)
+        if cached is not None:
+            self._cached.move_to_end(key)
+            self.hits += 1
+            return cached
+        records = self.file.read_page(key)
+        self._cached[key] = records
+        if len(self._cached) > self.capacity:
+            self._cached.popitem(last=False)
+        return records
+
+    def reset_stats(self) -> None:
+        """Zero the counters (the cache contents stay warm)."""
+        self.hits = 0
+        self.file.reads = 0
+
+    def __repr__(self) -> str:
+        return (f"BufferPool(capacity={self.capacity}, "
+                f"cached={len(self._cached)}, reads={self.reads}, "
+                f"hits={self.hits})")

@@ -1,0 +1,210 @@
+"""Tests for branching path expressions (repro.queries.branching)."""
+
+import random
+
+import pytest
+
+from repro.indexes.aindex import AkIndex
+from repro.indexes.mstarindex import MStarIndex
+from repro.indexes.udindex import UDIndex
+from repro.queries.branching import (
+    BranchingPathExpression,
+    Step,
+    branching_answer,
+    evaluate_branching,
+    satisfying_nodes,
+    validate_branching_candidate,
+)
+from repro.queries.pathexpr import PathExpression
+
+
+class TestParsing:
+    def test_plain_path_has_no_predicates(self):
+        expr = BranchingPathExpression.parse("//a/b/c")
+        assert expr.trunk == PathExpression.descendant("a", "b", "c")
+        assert not expr.has_predicates
+
+    def test_single_predicate(self):
+        expr = BranchingPathExpression.parse("//a[b/c]/d")
+        assert expr.steps[0].predicates == (PathExpression.descendant("b", "c"),)
+        assert expr.steps[1].predicates == ()
+
+    def test_multiple_predicates_per_step(self):
+        expr = BranchingPathExpression.parse("//a[b][c/d]")
+        assert len(expr.steps[0].predicates) == 2
+
+    def test_rooted(self):
+        expr = BranchingPathExpression.parse("/a[b]/c")
+        assert expr.rooted
+
+    def test_str_roundtrip(self):
+        for text in ("//a[b/c]/d", "/a[b][c]/d", "//x"):
+            assert str(BranchingPathExpression.parse(text)) == text
+
+    def test_max_predicate_depth(self):
+        expr = BranchingPathExpression.parse("//a[b/c/d]/e[f]")
+        assert expr.max_predicate_depth == 3
+
+    def test_malformed_rejected(self):
+        for text in ("//a[b", "//a]b[", "//a[]", "//[b]", "//a[b[c]]",
+                     "//a//b", ""):
+            with pytest.raises(ValueError):
+                BranchingPathExpression.parse(text)
+
+    def test_empty_steps_rejected(self):
+        with pytest.raises(ValueError):
+            BranchingPathExpression(steps=())
+
+
+class TestSatisfyingNodes:
+    def test_single_label(self, fig1):
+        assert satisfying_nodes(fig1, PathExpression.descendant("person")) == \
+            {7, 8, 9}
+
+    def test_two_step(self, fig1):
+        heads = satisfying_nodes(fig1, PathExpression.descendant(
+            "seller", "person"))
+        assert heads == {16, 19}
+
+    def test_no_match(self, fig1):
+        assert satisfying_nodes(
+            fig1, PathExpression.descendant("person", "item")) == set()
+
+
+class TestEvaluateBranching:
+    def test_predicate_filters_trunk(self, fig1):
+        expr = BranchingPathExpression.parse("//auction[bidder]")
+        assert evaluate_branching(fig1, expr) == {10, 11}
+
+    def test_deep_predicate(self, fig1):
+        expr = BranchingPathExpression.parse("//auctions[auction/seller/person]")
+        assert evaluate_branching(fig1, expr) == {4}
+
+    def test_unsatisfied_predicate(self, fig1):
+        expr = BranchingPathExpression.parse("//person[item]")
+        assert evaluate_branching(fig1, expr) == set()
+
+    def test_predicate_on_intermediate_step(self, fig1):
+        expr = BranchingPathExpression.parse("//auction[item]/seller")
+        # Both auctions have an item child (15 and 20), so both sellers.
+        assert evaluate_branching(fig1, expr) == {16, 19}
+
+    def test_rooted_branching(self, fig1):
+        expr = BranchingPathExpression.parse("/site/regions[africa]")
+        assert evaluate_branching(fig1, expr) == {2}
+        expr = BranchingPathExpression.parse("/site/people[africa]")
+        assert evaluate_branching(fig1, expr) == set()
+
+    def test_wildcard_trunk_step(self, fig1):
+        expr = BranchingPathExpression.parse("//regions/*[item]")
+        assert evaluate_branching(fig1, expr) == {5, 6}
+
+    def test_no_predicates_matches_plain_evaluation(self, fig1):
+        from repro.queries.evaluator import evaluate_on_data_graph
+        expr = BranchingPathExpression.parse("//people/person")
+        assert evaluate_branching(fig1, expr) == \
+            evaluate_on_data_graph(fig1, expr.trunk)
+
+
+class TestValidateBranchingCandidate:
+    def test_agrees_with_evaluation(self, fig1):
+        for text in ("//auction[bidder]", "//auction[item]/seller",
+                     "/site/auctions/auction[bidder]",
+                     "//auctions[auction/seller]/auction"):
+            expr = BranchingPathExpression.parse(text)
+            truth = evaluate_branching(fig1, expr)
+            for oid in fig1.nodes():
+                assert validate_branching_candidate(fig1, expr, oid) == \
+                    (oid in truth), f"{text} disagrees at oid {oid}"
+
+    def test_counts_data_visits(self, fig1):
+        from repro.cost.counters import CostCounter
+        counter = CostCounter()
+        expr = BranchingPathExpression.parse("//auction[bidder]")
+        validate_branching_candidate(fig1, expr, 10, counter)
+        assert counter.data_visits > 0
+
+
+class TestIndexAssisted:
+    QUERIES = ("//auction[bidder]", "//auction[item]/seller",
+               "//auctions[auction/seller/person]", "//person[item]",
+               "/site/regions[africa]", "//regions/*[item]")
+
+    @pytest.mark.parametrize("k", [0, 2])
+    def test_ak_assisted_exact(self, fig1, k):
+        index = AkIndex(fig1, k)
+        for text in self.QUERIES:
+            expr = BranchingPathExpression.parse(text)
+            result = branching_answer(index.index, expr)
+            assert result.answers == evaluate_branching(fig1, expr), text
+
+    def test_mstar_branching_exact(self, fig1):
+        index = MStarIndex(fig1)
+        index.extend_components(2)
+        for text in self.QUERIES:
+            expr = BranchingPathExpression.parse(text)
+            assert index.query_branching(expr).answers == \
+                evaluate_branching(fig1, expr), text
+
+    def test_ud_branching_exact(self, fig1):
+        for k, l in ((0, 0), (2, 2), (3, 1)):
+            index = UDIndex(fig1, k, l)
+            for text in self.QUERIES:
+                expr = BranchingPathExpression.parse(text)
+                assert index.query_branching(expr).answers == \
+                    evaluate_branching(fig1, expr), f"UD({k},{l}) on {text}"
+
+    def test_ud_skips_validation_when_covered(self, fig1):
+        index = UDIndex(fig1, 2, 2)
+        expr = BranchingPathExpression.parse("//auctions/auction[seller/person]")
+        result = index.query_branching(expr)
+        assert not result.validated
+        assert result.cost.data_visits == 0
+        assert result.answers == evaluate_branching(fig1, expr)
+
+    def test_ud_validates_intermediate_predicates(self, fig1):
+        index = UDIndex(fig1, 3, 3)
+        expr = BranchingPathExpression.parse("//auction[item]/seller")
+        result = index.query_branching(expr)
+        assert result.validated  # intermediate predicate: must check data
+        assert result.answers == evaluate_branching(fig1, expr)
+
+    def test_ud_validates_when_l_too_small(self, fig1):
+        index = UDIndex(fig1, 2, 1)
+        expr = BranchingPathExpression.parse("//auctions/auction[seller/person]")
+        result = index.query_branching(expr)
+        assert result.validated  # predicate depth 2 > l = 1
+        assert result.answers == evaluate_branching(fig1, expr)
+
+    def test_random_graph_agreement(self):
+        """UD- and A(k)-assisted branching answers equal ground truth on
+        random graphs with generated twig queries."""
+        rng = random.Random(7)
+        from repro.graph.datagraph import DataGraph
+        for trial in range(15):
+            graph = DataGraph()
+            graph.add_node("r")
+            labels = ["a", "b", "c"]
+            for oid in range(1, 25):
+                graph.add_node(rng.choice(labels))
+                graph.add_edge(rng.randrange(oid), oid)
+            queries = []
+            for _ in range(6):
+                trunk = [rng.choice(labels)
+                         for _ in range(rng.randint(1, 3))]
+                steps = []
+                for label in trunk:
+                    if rng.random() < 0.5:
+                        predicate = PathExpression(
+                            tuple(rng.choice(labels)
+                                  for _ in range(rng.randint(1, 2))))
+                        steps.append(Step(label, (predicate,)))
+                    else:
+                        steps.append(Step(label))
+                queries.append(BranchingPathExpression(tuple(steps)))
+            ud = UDIndex(graph, 2, 2)
+            ak = AkIndex(graph, 1)
+            for expr in queries:
+                truth = evaluate_branching(graph, expr)
+                assert ud.query_branching(expr).answers == truth
+                assert branching_answer(ak.index, expr).answers == truth

@@ -1,0 +1,78 @@
+"""Tests for the graph builders (repro.graph.builder)."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder, graph_from_edges
+from repro.graph.datagraph import EdgeKind
+
+
+class TestGraphBuilder:
+    def test_fluent_chain(self):
+        graph = (GraphBuilder()
+                 .node("r")
+                 .node("a", parent=0)
+                 .node("b", parent=1)
+                 .build())
+        assert graph.labels == ["r", "a", "b"]
+        assert list(graph.edges()) == [(0, 1), (1, 2)]
+
+    def test_node_with_multiple_parents(self):
+        graph = (GraphBuilder()
+                 .node("r")
+                 .node("a", parent=0)
+                 .node("b", parent=0)
+                 .node("c", parents=[1, 2])
+                 .build())
+        assert graph.parents(3) == [1, 2]
+
+    def test_add_returns_oid(self):
+        builder = GraphBuilder()
+        root = builder.add("r")
+        child = builder.add("a", parent=root)
+        assert (root, child) == (0, 1)
+
+    def test_ref_edge(self):
+        graph = (GraphBuilder()
+                 .node("r")
+                 .node("a", parent=0)
+                 .ref(1, 0)
+                 .build())
+        assert graph.edge_kind(1, 0) is EdgeKind.REFERENCE
+
+    def test_custom_root(self):
+        graph = (GraphBuilder()
+                 .node("x")
+                 .node("r")
+                 .edge(1, 0)
+                 .root(1)
+                 .build())
+        assert graph.root == 1
+
+    def test_root_requires_existing_node(self):
+        with pytest.raises(KeyError):
+            GraphBuilder().node("r").root(5)
+
+    def test_build_checks_reachability(self):
+        builder = GraphBuilder().node("r").node("orphan")
+        with pytest.raises(ValueError):
+            builder.build()
+        assert builder.build(check=False).num_nodes == 2
+
+
+class TestGraphFromEdges:
+    def test_basic(self):
+        graph = graph_from_edges(["r", "a", "b"], [(0, 1), (0, 2)])
+        assert graph.num_nodes == 3
+        assert graph.children(0) == [1, 2]
+
+    def test_references(self):
+        graph = graph_from_edges(["r", "a"], [(0, 1)], references=[(1, 0)])
+        assert graph.edge_kind(1, 0) is EdgeKind.REFERENCE
+
+    def test_unreachable_rejected(self):
+        with pytest.raises(ValueError):
+            graph_from_edges(["r", "a", "x"], [(0, 1)])
+
+    def test_custom_root(self):
+        graph = graph_from_edges(["a", "r"], [(1, 0)], root=1)
+        assert graph.root == 1

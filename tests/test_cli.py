@@ -1,0 +1,102 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import main
+from repro.storage.serialization import load_graph, load_mstar
+
+
+@pytest.fixture
+def document(tmp_path):
+    path = str(tmp_path / "doc.rpgr")
+    assert main(["generate", "--dataset", "xmark", "--scale", "0.01",
+                 "--seed", "3", "-o", path]) == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_loadable_graph(self, document):
+        graph = load_graph(document)
+        assert graph.num_nodes > 100
+
+    def test_nasa_dataset(self, tmp_path, capsys):
+        path = str(tmp_path / "nasa.rpgr")
+        assert main(["generate", "--dataset", "nasa", "--scale", "0.01",
+                     "-o", path]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert "dataset" in load_graph(path).alphabet()
+
+    def test_deterministic_by_seed(self, tmp_path):
+        first = str(tmp_path / "a.rpgr")
+        second = str(tmp_path / "b.rpgr")
+        for path in (first, second):
+            main(["generate", "--scale", "0.01", "--seed", "9", "-o", path])
+        assert load_graph(first).labels == load_graph(second).labels
+
+
+class TestStats:
+    def test_prints_structure(self, document, capsys):
+        assert main(["stats", document]) == 0
+        out = capsys.readouterr().out
+        assert "alphabet" in out
+        assert "1-index size" in out
+
+    def test_accepts_xml(self, tmp_path, capsys):
+        path = str(tmp_path / "d.xml")
+        with open(path, "w") as handle:
+            handle.write("<r><a/><a/></r>")
+        assert main(["stats", path]) == 0
+        assert "nodes=4" in capsys.readouterr().out
+
+
+class TestIndexAndQuery:
+    def test_index_roundtrip(self, document, tmp_path, capsys):
+        index_path = str(tmp_path / "i.rpms")
+        assert main(["index", document, "-o", index_path,
+                     "--queries", "30"]) == 0
+        graph = load_graph(document)
+        index = load_mstar(index_path, graph)
+        index.check_invariants()
+
+    def test_index_with_disk_output(self, document, tmp_path, capsys):
+        index_path = str(tmp_path / "i.rpms")
+        disk_path = str(tmp_path / "i.rpdi")
+        assert main(["index", document, "-o", index_path, "--queries", "20",
+                     "--disk", disk_path]) == 0
+        from repro.storage.diskindex import DiskMStarIndex
+        with DiskMStarIndex(disk_path, load_graph(document)) as disk:
+            assert disk.num_components >= 1
+
+    def test_query_without_index(self, document, capsys):
+        assert main(["query", document, "//person", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "answers" in out
+        assert "oids" in out
+
+    def test_query_with_index_and_refine(self, document, tmp_path, capsys):
+        index_path = str(tmp_path / "i.rpms")
+        main(["index", document, "-o", index_path, "--queries", "10"])
+        assert main(["query", document, "--index", index_path, "--refine",
+                     "//people/person"]) == 0
+        out = capsys.readouterr().out
+        assert "updated in place" in out
+        # The refreshed index now answers the query precisely.
+        graph = load_graph(document)
+        index = load_mstar(index_path, graph)
+        from repro.queries.pathexpr import PathExpression
+        assert not index.query(PathExpression.parse("//people/person")).validated
+
+
+class TestReport:
+    def test_tiny_report(self, tmp_path, capsys):
+        out_path = str(tmp_path / "report.md")
+        assert main(["report", "--scale", "0.005", "--queries", "15",
+                     "-o", out_path]) == 0
+        with open(out_path) as handle:
+            content = handle.read()
+        assert "Figure 8" in content
+        assert "Figures 25-26" in content
+
+    def test_report_to_stdout(self, capsys):
+        assert main(["report", "--scale", "0.005", "--queries", "10"]) == 0
+        assert "Experiment report" in capsys.readouterr().out

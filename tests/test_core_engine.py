@@ -1,0 +1,164 @@
+"""Tests for the adaptive indexing engine (repro.core)."""
+
+import pytest
+
+from repro.core.engine import AdaptiveIndexEngine
+from repro.core.fup import FupExtractor
+from repro.indexes.aindex import AkIndex
+from repro.indexes.mindex import MkIndex
+from repro.queries.evaluator import evaluate_on_data_graph
+from repro.queries.pathexpr import PathExpression
+from repro.queries.workload import Workload
+
+
+class TestFupExtractor:
+    def test_threshold_one_reports_immediately(self):
+        extractor = FupExtractor()
+        assert extractor.observe(PathExpression.parse("//a/b"))
+
+    def test_threshold_requires_repeats(self):
+        extractor = FupExtractor(threshold=3)
+        expr = PathExpression.parse("//a/b")
+        assert not extractor.observe(expr)
+        assert not extractor.observe(expr)
+        assert extractor.observe(expr)
+
+    def test_counts_per_expression(self):
+        extractor = FupExtractor(threshold=2)
+        a = PathExpression.parse("//a")
+        b = PathExpression.parse("//b")
+        extractor.observe(a)
+        assert not extractor.observe(b)
+        assert extractor.observe(a)
+        assert extractor.count(b) == 1
+
+    def test_sliding_window_expires_old_queries(self):
+        extractor = FupExtractor(threshold=2, window=3)
+        a = PathExpression.parse("//a")
+        b = PathExpression.parse("//b")
+        extractor.observe(a)
+        extractor.observe(b)
+        extractor.observe(b)
+        # a's single occurrence slides out of the window:
+        extractor.observe(b)
+        assert extractor.count(a) == 0
+
+    def test_wildcards_tracked_but_never_fups(self):
+        extractor = FupExtractor()
+        expr = PathExpression.parse("//a/*/b")
+        assert not extractor.observe(expr)
+        assert extractor.count(expr) == 1
+        assert extractor.frequent() == []
+
+    def test_frequent_listing_ordered(self):
+        extractor = FupExtractor(threshold=1)
+        a = PathExpression.parse("//a")
+        b = PathExpression.parse("//b")
+        for _ in range(3):
+            extractor.observe(a)
+        extractor.observe(b)
+        assert extractor.frequent() == [a, b]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FupExtractor(threshold=0)
+        with pytest.raises(ValueError):
+            FupExtractor(window=0)
+
+
+class TestEngine:
+    def test_answers_are_exact(self, fig1):
+        engine = AdaptiveIndexEngine(fig1)
+        for text in ("//person", "//site/people/person", "//auction/seller"):
+            expr = PathExpression.parse(text)
+            assert engine.execute(expr).answers == \
+                evaluate_on_data_graph(fig1, expr)
+
+    def test_accepts_strings(self, fig1):
+        engine = AdaptiveIndexEngine(fig1)
+        assert engine.execute("//people/person").answers == {7, 8, 9}
+
+    def test_refines_on_first_occurrence_by_default(self, fig1):
+        engine = AdaptiveIndexEngine(fig1)
+        first = engine.execute("//site/people/person")
+        assert first.validated
+        second = engine.execute("//site/people/person")
+        assert not second.validated
+        assert engine.stats.refinements >= 1
+
+    def test_threshold_delays_refinement(self, fig1):
+        engine = AdaptiveIndexEngine(fig1, extractor=FupExtractor(threshold=3))
+        expr = "//site/people/person"
+        engine.execute(expr)
+        assert engine.execute(expr).validated  # still not refined
+        engine.execute(expr)                   # third occurrence -> FUP
+        assert not engine.execute(expr).validated
+
+    def test_wildcard_queries_never_refined(self, fig1):
+        engine = AdaptiveIndexEngine(fig1)
+        result = engine.execute("//regions/*/item")
+        assert result.answers == {12, 13, 14}
+        assert engine.stats.refinements == 0
+
+    def test_static_index_never_refined(self, fig1):
+        engine = AdaptiveIndexEngine(fig1, index_factory=lambda g: AkIndex(g, 1))
+        assert not engine.can_refine
+        engine.execute("//site/people/person")
+        engine.execute("//site/people/person")
+        assert engine.stats.refinements == 0
+        assert engine.stats.queries == 2
+
+    def test_alternative_adaptive_index(self, fig1):
+        engine = AdaptiveIndexEngine(fig1, index_factory=MkIndex)
+        engine.execute("//site/people/person")
+        assert engine.stats.refinements == 1
+        assert not engine.execute("//site/people/person").validated
+
+    def test_stats_accumulate(self, fig1):
+        engine = AdaptiveIndexEngine(fig1)
+        engine.execute("//person")
+        engine.execute("//people/person")
+        stats = engine.stats
+        assert stats.queries == 2
+        assert stats.cost.total > 0
+        assert stats.average_cost == stats.cost.total / 2
+
+    def test_average_cost_empty(self, fig1):
+        assert AdaptiveIndexEngine(fig1).stats.average_cost == 0.0
+
+    def test_size_snapshot_grows(self, fig1):
+        engine = AdaptiveIndexEngine(fig1)
+        before = engine.size()
+        engine.execute("//site/people/person")
+        assert engine.size().nodes >= before.nodes
+
+    def test_supported_fups(self, fig1):
+        engine = AdaptiveIndexEngine(fig1)
+        engine.execute("//people/person")
+        assert PathExpression.parse("//people/person") in engine.supported_fups()
+
+    def test_execute_all_matches_individual(self, small_xmark):
+        workload = Workload.generate(small_xmark, num_queries=25,
+                                     max_length=5, seed=31)
+        engine = AdaptiveIndexEngine(small_xmark)
+        results = engine.execute_all(workload)
+        assert len(results) == 25
+        for expr, result in zip(workload, results):
+            assert result.answers >= evaluate_on_data_graph(small_xmark, expr)
+
+    def test_workload_session_reduces_validation(self, small_xmark):
+        """The adaptive loop's purpose: by the second pass over the
+        workload, validation has (almost) vanished."""
+        workload = Workload.generate(small_xmark, num_queries=40,
+                                     max_length=6, seed=32)
+        engine = AdaptiveIndexEngine(small_xmark)
+        engine.execute_all(workload)
+        first_pass_validated = engine.stats.validated_queries
+        before = engine.stats.validated_queries
+        engine.execute_all(workload)
+        second_pass_validated = engine.stats.validated_queries - before
+        assert second_pass_validated < first_pass_validated
+
+    def test_repr(self, fig1):
+        engine = AdaptiveIndexEngine(fig1)
+        assert "MStarIndex" in repr(engine)

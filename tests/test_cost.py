@@ -1,0 +1,74 @@
+"""Tests for the cost model (repro.cost)."""
+
+from repro.cost.counters import CostCounter
+from repro.cost.metrics import IndexSize, index_size
+from repro.indexes.aindex import AkIndex
+from repro.indexes.mstarindex import MStarIndex
+from repro.queries.pathexpr import PathExpression
+
+
+class TestCostCounter:
+    def test_starts_at_zero(self):
+        counter = CostCounter()
+        assert counter.index_visits == 0
+        assert counter.data_visits == 0
+        assert counter.total == 0
+
+    def test_total_sums_both_parts(self):
+        counter = CostCounter(index_visits=3, data_visits=4)
+        assert counter.total == 7
+
+    def test_add_accumulates(self):
+        counter = CostCounter(1, 2)
+        counter.add(CostCounter(10, 20))
+        assert counter == CostCounter(11, 22)
+
+    def test_copy_is_independent(self):
+        counter = CostCounter(1, 1)
+        duplicate = counter.copy()
+        duplicate.index_visits += 1
+        assert counter.index_visits == 1
+
+    def test_equality(self):
+        assert CostCounter(1, 2) == CostCounter(1, 2)
+        assert CostCounter(1, 2) != CostCounter(2, 1)
+        assert CostCounter() != object()
+
+    def test_repr(self):
+        assert "index_visits=3" in repr(CostCounter(3, 0))
+
+
+class TestIndexSize:
+    def test_measures_plain_index(self, fig1):
+        index = AkIndex(fig1, 1)
+        size = index_size(index)
+        assert size == IndexSize(nodes=index.size_nodes(),
+                                 edges=index.size_edges())
+
+    def test_measures_mstar(self, fig7):
+        index = MStarIndex(fig7)
+        index.refine(PathExpression.parse("//b/a/c"))
+        size = index_size(index)
+        assert size.nodes == 8
+        assert size.edges > 0
+
+    def test_iterable_unpacking(self, fig1):
+        nodes, edges = index_size(AkIndex(fig1, 0))
+        assert nodes == AkIndex(fig1, 0).size_nodes()
+        assert edges == AkIndex(fig1, 0).size_edges()
+
+
+class TestPaperCostConvention:
+    def test_extent_sizes_not_charged(self, fig1):
+        """Data nodes in precise target extents are never charged."""
+        index = AkIndex(fig1, 3)
+        result = index.query(PathExpression.parse("//people/person"))
+        assert result.cost.data_visits == 0
+        assert len(result.answers) == 3
+
+    def test_validation_charges_data_visits_only_when_needed(self, fig1):
+        coarse = AkIndex(fig1, 0)
+        fine = AkIndex(fig1, 3)
+        expr = PathExpression.parse("//site/people/person")
+        assert coarse.query(expr).cost.data_visits > 0
+        assert fine.query(expr).cost.data_visits == 0

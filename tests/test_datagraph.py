@@ -1,0 +1,163 @@
+"""Tests for the data-graph substrate (repro.graph.datagraph)."""
+
+import pytest
+
+from repro.graph.datagraph import DataGraph, EdgeKind
+
+
+def build_chain():
+    graph = DataGraph()
+    for label in ("r", "a", "b"):
+        graph.add_node(label)
+    graph.add_edge(0, 1)
+    graph.add_edge(1, 2)
+    return graph
+
+
+class TestConstruction:
+    def test_add_node_returns_consecutive_oids(self):
+        graph = DataGraph()
+        assert graph.add_node("a") == 0
+        assert graph.add_node("b") == 1
+        assert graph.add_node("a") == 2
+
+    def test_empty_label_rejected(self):
+        graph = DataGraph()
+        with pytest.raises(ValueError):
+            graph.add_node("")
+
+    def test_non_string_label_rejected(self):
+        graph = DataGraph()
+        with pytest.raises(ValueError):
+            graph.add_node(42)
+
+    def test_add_edge_updates_both_adjacencies(self):
+        graph = build_chain()
+        assert graph.children(0) == [1]
+        assert graph.parents(1) == [0]
+        assert graph.parents(0) == []
+        assert graph.children(2) == []
+
+    def test_duplicate_edge_rejected(self):
+        graph = build_chain()
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 1)
+
+    def test_edge_to_unknown_node_rejected(self):
+        graph = build_chain()
+        with pytest.raises(KeyError):
+            graph.add_edge(0, 99)
+        with pytest.raises(KeyError):
+            graph.add_edge(99, 0)
+
+    def test_self_loop_allowed(self):
+        # The graph model permits cycles (references can self-refer at the
+        # element-type level); only duplicates are rejected.
+        graph = build_chain()
+        graph.add_edge(2, 2)
+        assert graph.parents(2) == [1, 2]
+
+
+class TestEdgeKinds:
+    def test_default_edge_is_regular(self):
+        graph = build_chain()
+        assert graph.edge_kind(0, 1) is EdgeKind.REGULAR
+
+    def test_reference_edge_kind_recorded(self):
+        graph = build_chain()
+        graph.add_edge(2, 1, kind=EdgeKind.REFERENCE)
+        assert graph.edge_kind(2, 1) is EdgeKind.REFERENCE
+        assert graph.num_reference_edges == 1
+
+    def test_edge_kind_missing_edge_raises(self):
+        graph = build_chain()
+        with pytest.raises(KeyError):
+            graph.edge_kind(0, 2)
+
+    def test_reference_edges_participate_in_adjacency(self):
+        graph = build_chain()
+        graph.add_edge(2, 1, kind=EdgeKind.REFERENCE)
+        assert 1 in graph.children(2)
+        assert 2 in graph.parents(1)
+
+
+class TestInspection:
+    def test_counts(self):
+        graph = build_chain()
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 2
+        assert len(graph) == 3
+
+    def test_labels_and_label_lookup(self):
+        graph = build_chain()
+        assert graph.label(1) == "a"
+        assert graph.labels == ["r", "a", "b"]
+        assert graph.nodes_with_label("a") == [1]
+        assert graph.nodes_with_label("missing") == []
+
+    def test_label_index_cache_invalidated_on_add(self):
+        graph = build_chain()
+        assert graph.nodes_with_label("b") == [2]
+        graph.add_node("b")
+        assert graph.nodes_with_label("b") == [2, 3]
+
+    def test_alphabet(self):
+        graph = build_chain()
+        assert graph.alphabet() == {"r", "a", "b"}
+
+    def test_edges_iteration(self):
+        graph = build_chain()
+        assert list(graph.edges()) == [(0, 1), (1, 2)]
+
+    def test_contains(self):
+        graph = build_chain()
+        assert 0 in graph
+        assert 2 in graph
+        assert 3 not in graph
+        assert "a" not in graph
+
+    def test_repr_mentions_sizes(self):
+        graph = build_chain()
+        text = repr(graph)
+        assert "nodes=3" in text
+        assert "edges=2" in text
+
+
+class TestReachability:
+    def test_all_reachable_in_chain(self):
+        graph = build_chain()
+        assert graph.reachable_from_root() == {0, 1, 2}
+        graph.check_well_formed()
+
+    def test_unreachable_node_detected(self):
+        graph = build_chain()
+        graph.add_node("x")
+        assert 3 not in graph.reachable_from_root()
+        with pytest.raises(ValueError, match="unreachable"):
+            graph.check_well_formed()
+
+    def test_reachability_follows_reference_edges(self):
+        graph = build_chain()
+        orphan = graph.add_node("x")
+        graph.add_edge(2, orphan, kind=EdgeKind.REFERENCE)
+        graph.check_well_formed()
+
+    def test_cycle_reachability_terminates(self):
+        graph = build_chain()
+        graph.add_edge(2, 0, kind=EdgeKind.REFERENCE)
+        assert graph.reachable_from_root() == {0, 1, 2}
+
+
+class TestFigure1:
+    def test_shape(self, fig1):
+        assert fig1.num_nodes == 21
+        assert fig1.num_reference_edges == 6
+        assert fig1.label(0) == "root"
+        assert fig1.label(1) == "site"
+
+    def test_reference_edges_are_dashed_lines(self, fig1):
+        assert fig1.edge_kind(16, 7) is EdgeKind.REFERENCE
+        assert fig1.edge_kind(1, 2) is EdgeKind.REGULAR
+
+    def test_subgraph_labels(self, fig1):
+        assert fig1.subgraph_labels([7, 8, 9]) == ["person"] * 3

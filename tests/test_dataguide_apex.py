@@ -1,0 +1,139 @@
+"""Tests for the DataGuide and APEX baselines."""
+
+import pytest
+
+from repro.indexes.apex import ApexIndex
+from repro.indexes.dataguide import DataGuide
+from repro.queries.evaluator import evaluate_on_data_graph
+from repro.queries.pathexpr import PathExpression
+from repro.queries.workload import Workload
+
+
+class TestDataGuideConstruction:
+    def test_tree_dataguide_is_path_tree(self, simple_tree):
+        guide = DataGuide(simple_tree)
+        # Distinct rooted paths: a, b, a/c, b/c (+ the root state).
+        assert guide.size_nodes() == 5
+        assert guide.size_edges() == 4
+
+    def test_each_label_path_appears_once(self, fig1):
+        guide = DataGuide(fig1)
+        paths = guide.label_paths(6)
+        assert len(paths) == len(set(paths))
+
+    def test_label_paths_match_enumeration(self, fig1):
+        from repro.graph.paths import enumerate_rooted_label_paths
+        guide = DataGuide(fig1)
+        assert set(guide.label_paths(5)) == \
+            set(enumerate_rooted_label_paths(fig1, 5))
+
+    def test_cyclic_graph_terminates(self):
+        from repro.graph.builder import graph_from_edges
+        graph = graph_from_edges(["r", "a", "b"], [(0, 1), (1, 2)],
+                                 references=[(2, 1)])
+        guide = DataGuide(graph)
+        assert guide.size_nodes() >= 3
+
+    def test_max_states_guard(self, small_nasa):
+        with pytest.raises(RuntimeError):
+            DataGuide(small_nasa, max_states=3)
+
+    def test_extents_are_rooted_target_sets(self, fig1):
+        guide = DataGuide(fig1)
+        # Follow site -> people from the root state.
+        people_state = guide.transitions[guide.transitions[0]["site"]]["people"]
+        assert guide.extents[people_state] == frozenset({3})
+
+
+class TestDataGuideQueries:
+    def test_exact_on_rooted_and_descendant(self, fig1):
+        guide = DataGuide(fig1)
+        for text in ("/site/people/person", "//people/person",
+                     "/site/regions/*/item", "//item", "//seller/person"):
+            expr = PathExpression.parse(text)
+            assert guide.query(expr).answers == \
+                evaluate_on_data_graph(fig1, expr)
+
+    def test_exact_on_workload(self, small_xmark):
+        guide = DataGuide(small_xmark)
+        workload = Workload.generate(small_xmark, num_queries=50,
+                                     max_length=6, seed=51)
+        for expr in workload:
+            result = guide.query(expr)
+            assert result.answers == evaluate_on_data_graph(small_xmark, expr)
+            assert not result.validated
+            assert result.cost.data_visits == 0
+
+    def test_no_match(self, fig1):
+        guide = DataGuide(fig1)
+        assert guide.query(PathExpression.parse("//person/item")).answers == set()
+
+    def test_can_exceed_one_index_size(self, fig2):
+        """Determinization vs bisimulation: on the figure-2 graph the
+        DataGuide merges what the 1-index keeps apart and vice versa; on
+        reference-heavy data the DataGuide tends to be at least as big."""
+        from repro.indexes.oneindex import OneIndex
+        guide = DataGuide(fig2)
+        one = OneIndex(fig2)
+        assert guide.size_nodes() > 0 and one.size_nodes() > 0
+
+
+class TestApex:
+    def test_miss_falls_back_to_summary_with_validation(self, fig1):
+        index = ApexIndex(fig1)
+        expr = PathExpression.parse("//site/people/person")
+        result = index.query(expr)
+        assert result.answers == {7, 8, 9}
+        assert result.validated
+
+    def test_hit_costs_hash_walk(self, fig1):
+        index = ApexIndex(fig1)
+        expr = PathExpression.parse("//site/people/person")
+        index.refine(expr)
+        result = index.query(expr)
+        assert result.answers == {7, 8, 9}
+        assert not result.validated
+        assert result.cost.index_visits == len(expr.labels)
+        assert result.cost.data_visits == 0
+
+    def test_no_generalisation_to_subpaths(self, fig1):
+        """The paper's critique: caching //site/people/person does not
+        help //people/person at all."""
+        index = ApexIndex(fig1)
+        index.refine(PathExpression.parse("//site/people/person"))
+        other = index.query(PathExpression.parse("//people/person"))
+        assert other.validated  # still pays the fallback path
+
+    def test_refine_with_result_reuses_answers(self, fig1):
+        index = ApexIndex(fig1)
+        expr = PathExpression.parse("//people/person")
+        result = index.query(expr)
+        index.refine(expr, result)
+        assert index.is_cached(expr)
+        assert index.query(expr).answers == result.answers
+
+    def test_size_counts_cache_entries(self, fig1):
+        index = ApexIndex(fig1)
+        base_nodes = index.size_nodes()
+        base_edges = index.size_edges()
+        index.refine(PathExpression.parse("//people/person"))
+        assert index.size_nodes() == base_nodes + 1
+        assert index.size_edges() == base_edges + 2
+
+    def test_workload_exactness(self, small_xmark):
+        workload = Workload.generate(small_xmark, num_queries=40,
+                                     max_length=5, seed=52)
+        index = ApexIndex(small_xmark)
+        for expr in workload:
+            result = index.query(expr)
+            assert result.answers == evaluate_on_data_graph(small_xmark, expr)
+            index.refine(expr, result)
+        # Second pass: all hits, no validation.
+        for expr in workload:
+            assert not index.query(expr).validated
+
+    def test_cached_fups_listing(self, fig1):
+        index = ApexIndex(fig1)
+        expr = PathExpression.parse("//person")
+        index.refine(expr)
+        assert index.cached_fups() == {expr}

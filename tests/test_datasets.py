@@ -1,0 +1,211 @@
+"""Tests for the synthetic datasets (repro.datasets)."""
+
+import pytest
+
+from repro.datasets.dtd import Child, Element, Reference, Schema, schema_from_dict
+from repro.datasets.generator import DocumentGenerator, generate_document
+from repro.datasets.nasa import NAME_CONTEXTS, generate_nasa, nasa_schema
+from repro.datasets.xmark import generate_xmark, xmark_schema
+
+
+class TestDtdModel:
+    def test_child_validation(self):
+        with pytest.raises(ValueError):
+            Child("x", min_occurs=3, max_occurs=1)
+        with pytest.raises(ValueError):
+            Child("x", probability=1.5)
+
+    def test_reference_validation(self):
+        with pytest.raises(ValueError):
+            Reference("x", max_targets=0)
+        with pytest.raises(ValueError):
+            Reference("x", probability=-0.1)
+
+    def test_schema_requires_declared_root(self):
+        with pytest.raises(ValueError, match="root"):
+            Schema(root="missing", elements={})
+
+    def test_schema_requires_declared_children(self):
+        elements = {"a": Element("a", children=(Child("ghost"),))}
+        with pytest.raises(ValueError, match="undeclared"):
+            Schema(root="a", elements=elements)
+
+    def test_schema_from_dict_autodeclares_leaves(self):
+        schema = schema_from_dict("r", {"r": ["leaf"]})
+        assert "leaf" in schema.elements
+        assert schema.element("leaf").children == ()
+
+    def test_label_reuse_counts_contexts(self):
+        schema = schema_from_dict("r", {"r": ["a", "b"],
+                                        "a": ["name"], "b": ["name"]})
+        assert schema.label_reuse()["name"] == 2
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        schema = xmark_schema()
+        first = generate_document(schema, 500, seed=3)
+        second = generate_document(schema, 500, seed=3)
+        assert first.labels == second.labels
+        assert list(first.edges()) == list(second.edges())
+
+    def test_seed_changes_document(self):
+        schema = xmark_schema()
+        first = generate_document(schema, 500, seed=3)
+        second = generate_document(schema, 500, seed=4)
+        assert (first.labels != second.labels
+                or list(first.edges()) != list(second.edges()))
+
+    def test_budget_respected(self):
+        graph = generate_document(xmark_schema(multiplier=10), 300, seed=0)
+        assert graph.num_nodes <= 300
+
+    def test_root_structure(self):
+        graph = generate_document(xmark_schema(), 500, seed=0)
+        assert graph.label(graph.root) == "root"
+        assert graph.labels[1] == "site"
+        graph.check_well_formed()
+
+    def test_too_small_budget_rejected(self):
+        with pytest.raises(ValueError):
+            DocumentGenerator(xmark_schema(), 1)
+
+    def test_references_point_at_declared_targets(self):
+        graph = generate_document(xmark_schema(), 2000, seed=1)
+        from repro.graph.datagraph import EdgeKind
+        for parent, child in graph.edges():
+            if graph.edge_kind(parent, child) is EdgeKind.REFERENCE:
+                if graph.label(parent) == "itemref":
+                    assert graph.label(child) == "item"
+                if graph.label(parent) == "seller":
+                    assert graph.label(child) == "person"
+
+    def test_no_duplicate_reference_edges(self):
+        graph = generate_document(nasa_schema(multiplier=2), 3000, seed=5)
+        seen = set()
+        for edge in graph.edges():
+            assert edge not in seen
+            seen.add(edge)
+
+
+class TestXmark:
+    def test_scale_controls_size(self):
+        small = generate_xmark(scale=0.01)
+        large = generate_xmark(scale=0.03)
+        assert small.num_nodes < large.num_nodes
+
+    def test_target_size_reached_by_breadth(self):
+        graph = generate_xmark(scale=0.05)
+        assert graph.num_nodes > 4000  # not stuck at the schema's base size
+
+    def test_has_references(self):
+        assert generate_xmark(scale=0.02).num_reference_edges > 0
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            generate_xmark(scale=0)
+        with pytest.raises(ValueError):
+            xmark_schema(multiplier=0)
+
+    def test_low_label_reuse(self):
+        """The paper: 'XMark reuses elements much less often' than NASA."""
+        reuse = xmark_schema().label_reuse()
+        xmark_max = max(reuse.values())
+        nasa_max = max(nasa_schema().label_reuse().values())
+        assert xmark_max < nasa_max
+
+
+class TestDblp:
+    def test_reference_heavy_and_shallow(self):
+        from repro.datasets.dblp import generate_dblp
+        graph = generate_dblp(scale=0.02)
+        # Citation graphs: high reference density relative to size.
+        assert graph.num_reference_edges / graph.num_edges > 0.1
+
+    def test_citations_point_at_publications(self):
+        from repro.datasets.dblp import generate_dblp
+        from repro.graph.datagraph import EdgeKind
+        graph = generate_dblp(scale=0.02)
+        for parent, child in graph.edges():
+            if graph.edge_kind(parent, child) is EdgeKind.REFERENCE:
+                if graph.label(parent) == "crossref":
+                    assert graph.label(child) == "proceedings"
+                elif graph.label(parent) == "cite":
+                    assert graph.label(child) in ("article", "inproceedings")
+
+    def test_scale_and_validation(self):
+        from repro.datasets.dblp import dblp_schema, generate_dblp
+        import pytest as _pytest
+        small = generate_dblp(scale=0.01)
+        large = generate_dblp(scale=0.03)
+        assert small.num_nodes < large.num_nodes
+        with _pytest.raises(ValueError):
+            generate_dblp(scale=0)
+        with _pytest.raises(ValueError):
+            dblp_schema(multiplier=0)
+
+    def test_indexable_end_to_end(self):
+        from repro.datasets.dblp import generate_dblp
+        from repro.indexes.mstarindex import MStarIndex
+        from repro.queries.evaluator import evaluate_on_data_graph
+        from repro.queries.workload import Workload
+        graph = generate_dblp(scale=0.01)
+        index = MStarIndex(graph)
+        for expr in Workload.generate(graph, num_queries=25, max_length=5,
+                                      seed=14):
+            index.refine(expr, index.query(expr))
+            assert index.query(expr).answers == \
+                evaluate_on_data_graph(graph, expr)
+        index.check_invariants()
+
+
+class TestNasa:
+    def test_name_used_in_seven_contexts(self):
+        """The paper's canonical reuse example: name in seven contexts."""
+        reuse = nasa_schema().label_reuse()
+        assert reuse["name"] == 7 == len(NAME_CONTEXTS)
+
+    def test_reference_heavy_and_cyclic(self):
+        graph = generate_nasa(scale=0.03)
+        assert graph.num_reference_edges > 0
+        # tableLink -> dataset references create cycles.
+        from repro.graph.paths import enumerate_rooted_label_paths
+        paths = enumerate_rooted_label_paths(graph, 6)
+        assert any(path.count("dataset") > 1 for path in paths)
+
+    def test_deeper_than_xmark(self):
+        """The paper: the NASA DTD is deeper than XMark's."""
+        from repro.graph.paths import enumerate_rooted_label_paths
+
+        def max_tree_depth(graph):
+            # Depth along regular (tree) edges only, so reference cycles
+            # do not inflate the measure.
+            from repro.graph.datagraph import EdgeKind
+            depth = [0] * graph.num_nodes
+            best = 0
+            stack = [(graph.root, 0)]
+            seen = {graph.root}
+            while stack:
+                node, d = stack.pop()
+                best = max(best, d)
+                for child in graph.children(node):
+                    if (graph.edge_kind(node, child) is EdgeKind.REGULAR
+                            and child not in seen):
+                        seen.add(child)
+                        stack.append((child, d + 1))
+            return best
+
+        nasa = generate_nasa(scale=0.03)
+        xmark = generate_xmark(scale=0.03)
+        assert max_tree_depth(nasa) >= max_tree_depth(xmark)
+
+    def test_scale_controls_size(self):
+        small = generate_nasa(scale=0.01)
+        large = generate_nasa(scale=0.04)
+        assert small.num_nodes < large.num_nodes
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            generate_nasa(scale=-1)
+        with pytest.raises(ValueError):
+            nasa_schema(multiplier=-2)

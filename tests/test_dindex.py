@@ -1,0 +1,186 @@
+"""Tests for the D(k)-index (repro.indexes.dindex)."""
+
+import pytest
+
+from repro.indexes.dindex import DkIndex, required_similarity_by_label
+from repro.queries.evaluator import evaluate_on_data_graph
+from repro.queries.pathexpr import PathExpression
+from repro.queries.workload import Workload
+
+
+class TestRequiredSimilarity:
+    def test_positions_become_requirements(self, simple_tree):
+        fups = [PathExpression.parse("//a/c")]
+        req = required_similarity_by_label(simple_tree, fups)
+        assert req["c"] == 1
+        assert req["a"] == 0
+
+    def test_max_over_fups(self, fig1):
+        fups = [PathExpression.parse("//people/person"),
+                PathExpression.parse("//site/people/person")]
+        req = required_similarity_by_label(fig1, fups)
+        assert req["person"] == 2
+        assert req["people"] == 1
+
+    def test_rooted_fup_adds_root_edge(self, fig1):
+        req = required_similarity_by_label(
+            fig1, [PathExpression.parse("/site/people")])
+        assert req["people"] == 2
+        assert req["site"] == 1
+
+    def test_parent_constraint_propagated(self, fig1):
+        # person needs 2 => its parents' labels (people, seller, bidder)
+        # need >= 1, and their parents >= 0.
+        req = required_similarity_by_label(
+            fig1, [PathExpression.parse("//site/people/person")])
+        assert req["people"] >= 1
+        assert req["seller"] >= 1  # seller -> person reference edges
+        assert req["bidder"] >= 1
+
+    def test_wildcards_ignored(self, fig1):
+        req = required_similarity_by_label(
+            fig1, [PathExpression.parse("//regions/*/item")])
+        assert req["item"] == 2
+        assert "*" not in req
+
+    def test_cyclic_label_graph_terminates(self, small_nasa):
+        fups = [PathExpression.parse("//dataset/tableHead/fields/field")]
+        req = required_similarity_by_label(small_nasa, fups)
+        assert req["field"] == 3
+
+
+class TestConstruct:
+    def test_same_label_same_k(self, fig1):
+        """The restriction the paper criticises: all index nodes sharing a
+        label share a similarity value."""
+        fups = [PathExpression.parse("//site/people/person")]
+        index = DkIndex.construct(fig1, fups)
+        by_label = {}
+        for node in index.index.nodes.values():
+            by_label.setdefault(node.label, set()).add(node.k)
+        assert all(len(ks) == 1 for ks in by_label.values())
+
+    def test_supports_fups_precisely(self, small_xmark):
+        workload = Workload.generate(small_xmark, num_queries=60,
+                                     max_length=6, seed=8)
+        index = DkIndex.construct(small_xmark, list(workload))
+        for expr in workload:
+            result = index.query(expr)
+            assert not result.validated
+            assert result.answers == evaluate_on_data_graph(small_xmark, expr)
+
+    def test_structurally_valid(self, small_xmark):
+        workload = Workload.generate(small_xmark, num_queries=40,
+                                     max_length=5, seed=8)
+        index = DkIndex.construct(small_xmark, list(workload))
+        index.index.check_partition()
+        index.index.check_edges()
+        assert index.index.property1_violations() == []
+        assert index.index.property3_violations() == []
+
+    def test_no_fups_gives_a0(self, fig1):
+        index = DkIndex.construct(fig1, [])
+        assert index.size_nodes() == len(fig1.alphabet())
+
+    def test_over_refines_irrelevant_index_nodes(self, small_nasa):
+        """One FUP ending in a reused label refines every index node with
+        that label — the paper's first D(k) critique.  'name' appears in
+        several contexts in the NASA schema; a FUP through one context
+        still forces k=3 on all name nodes."""
+        fup = PathExpression.parse("//dataset/author/name/last")
+        index = DkIndex.construct(small_nasa, [fup])
+        name_ks = {node.k for node in index.index.nodes.values()
+                   if node.label == "name"}
+        assert name_ks == {2}  # every name node, relevant or not
+
+
+class TestPromote:
+    def test_initialises_as_a0(self, fig1):
+        index = DkIndex(fig1)
+        assert index.size_nodes() == len(fig1.alphabet())
+        assert {node.k for node in index.index.nodes.values()} == {0}
+
+    def test_refine_supports_fup(self, fig3):
+        expr = PathExpression.parse("//r/a/b")
+        index = DkIndex(fig3)
+        index.refine(expr)
+        result = index.query(expr)
+        assert result.answers == {4}
+        assert not result.validated
+
+    def test_figure3_over_refines_irrelevant_data(self, fig3):
+        """After supporting r/a/b, the irrelevant b nodes are shattered
+        (paper Figure 3(c)); M(k) keeps them in one node."""
+        expr = PathExpression.parse("//r/a/b")
+        index = DkIndex(fig3)
+        index.refine(expr)
+        b_extents = sorted(sorted(node.extent)
+                           for node in index.index.nodes.values()
+                           if node.label == "b")
+        assert [4] in b_extents
+        assert len(b_extents) >= 3  # {4} plus shattered irrelevant nodes
+
+    def test_figure4_overqualified_parents_split(self, fig4):
+        """Promoting c to k=1 with k=2 parents splits the 1-bisimilar pair
+        {4, 5} (paper Figure 4(c))."""
+        graph, partition = fig4
+        index = DkIndex.from_partition(graph, partition)
+        index.refine(PathExpression.parse("//b/c"))
+        c_extents = sorted(sorted(node.extent)
+                           for node in index.index.nodes.values()
+                           if node.label == "c")
+        assert c_extents == [[4], [5]]
+
+    def test_structural_invariants_after_workload(self, small_xmark):
+        workload = Workload.generate(small_xmark, num_queries=60,
+                                     max_length=6, seed=2)
+        index = DkIndex(small_xmark)
+        for expr in workload:
+            index.refine(expr)
+        index.index.check_partition()
+        index.index.check_edges()
+        # PROMOTE splits by every parent, so its k claims stay sound.
+        assert index.index.property1_violations() == []
+
+    def test_all_fups_supported_after_workload(self, small_xmark):
+        workload = Workload.generate(small_xmark, num_queries=60,
+                                     max_length=6, seed=2)
+        index = DkIndex(small_xmark)
+        for expr in workload:
+            index.refine(expr)
+        for expr in workload:
+            result = index.query(expr)
+            assert result.answers == evaluate_on_data_graph(small_xmark, expr)
+            assert not result.validated
+
+    def test_refine_idempotent(self, fig3):
+        expr = PathExpression.parse("//r/a/b")
+        index = DkIndex(fig3)
+        index.refine(expr)
+        nodes_before = index.size_nodes()
+        index.refine(expr)
+        assert index.size_nodes() == nodes_before
+
+    def test_wildcard_fup_rejected(self, fig1):
+        index = DkIndex(fig1)
+        with pytest.raises(ValueError):
+            index.refine(PathExpression.parse("//regions/*/item"))
+
+    def test_rooted_fup(self, fig1):
+        expr = PathExpression.parse("/site/people/person")
+        index = DkIndex(fig1)
+        index.refine(expr)
+        result = index.query(expr)
+        assert result.answers == {7, 8, 9}
+        assert not result.validated
+
+    def test_cyclic_graph_terminates(self):
+        from repro.graph.builder import graph_from_edges
+        graph = graph_from_edges(
+            ["r", "a", "b", "a", "b"],
+            [(0, 1), (1, 2), (2, 3), (3, 4)],
+            references=[(4, 1)])
+        index = DkIndex(graph)
+        index.refine(PathExpression.parse("//a/b/a/b"))
+        index.index.check_partition()
+        index.index.check_edges()

@@ -1,0 +1,159 @@
+"""Edge-case and error-path tests across modules (coverage round-out)."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.datagraph import DataGraph
+from repro.indexes.base import IndexGraph
+from repro.indexes.mstarindex import MStarIndex
+from repro.queries.pathexpr import PathExpression
+
+
+class TestDataGraphEdges:
+    def test_graph_with_single_node(self):
+        graph = DataGraph()
+        graph.add_node("r")
+        graph.check_well_formed()
+        assert graph.num_edges == 0
+        assert list(graph.edges()) == []
+
+    def test_empty_graph_reachability(self):
+        graph = DataGraph()
+        graph.add_node("r")
+        assert graph.reachable_from_root() == {0}
+
+    def test_alphabet_of_empty_labels(self):
+        graph = DataGraph()
+        graph.add_node("only")
+        assert graph.alphabet() == {"only"}
+
+    def test_edge_checks_both_endpoints(self):
+        graph = DataGraph()
+        graph.add_node("a")
+        with pytest.raises(KeyError):
+            graph.add_edge(-1, 0)
+
+    def test_subgraph_labels_empty(self, fig1):
+        assert fig1.subgraph_labels([]) == []
+
+
+class TestIndexGraphEdges:
+    def test_replace_node_with_zero_parts_rejected(self, simple_tree):
+        from repro.indexes.partition import label_blocks
+        index = IndexGraph.from_blocks(simple_tree,
+                                       label_blocks(simple_tree), k=0)
+        node = index.node_containing(4)
+        with pytest.raises(ValueError):
+            index.replace_node(node.nid, [])
+
+    def test_insert_data_node_requires_oid_order(self, simple_tree):
+        from repro.indexes.partition import label_blocks
+        index = IndexGraph.from_blocks(simple_tree,
+                                       label_blocks(simple_tree), k=0)
+        with pytest.raises(ValueError, match="oid order"):
+            index.insert_data_node(99)
+
+    def test_register_edge_requires_registered_nodes(self, simple_tree):
+        from repro.indexes.partition import label_blocks
+        index = IndexGraph.from_blocks(simple_tree,
+                                       label_blocks(simple_tree), k=0)
+        simple_tree.add_node("x")  # graph grew, index not told
+        simple_tree.add_edge(0, 7)
+        with pytest.raises((ValueError, IndexError)):
+            index.register_data_edge(0, 7)
+
+    def test_demote_below_noop_on_a0(self, simple_tree):
+        from repro.indexes.partition import label_blocks
+        index = IndexGraph.from_blocks(simple_tree,
+                                       label_blocks(simple_tree), k=0)
+        before = {nid: node.k for nid, node in index.nodes.items()}
+        index.demote_below(index.node_containing(4).nid)
+        after = {nid: node.k for nid, node in index.nodes.items()}
+        assert before == after
+
+
+class TestMStarEdges:
+    def test_extend_to_current_resolution_is_noop(self, fig1):
+        index = MStarIndex(fig1)
+        index.extend_components(0)
+        assert index.max_resolution == 0
+
+    def test_query_on_unrefined_single_component(self, fig1):
+        index = MStarIndex(fig1)
+        result = index.query(PathExpression.parse("//person"))
+        assert result.answers == {7, 8, 9}
+        assert not result.validated  # length 0 is precise at k = 0
+
+    def test_wildcard_start_topdown(self, fig1):
+        index = MStarIndex(fig1)
+        index.extend_components(1)
+        result = index.query(PathExpression.parse("//*/person"))
+        assert result.answers == {7, 8, 9}
+
+    def test_no_match_every_strategy(self, fig1):
+        index = MStarIndex(fig1)
+        index.extend_components(2)
+        expr = PathExpression.parse("//person/site/item")
+        for strategy in ("naive", "topdown", "prefilter", "bottomup",
+                         "hybrid", "auto"):
+            assert index.query(expr, strategy=strategy).answers == set()
+
+
+class TestBuilderEdges:
+    def test_builder_node_then_edge_interleaving(self):
+        builder = GraphBuilder()
+        first = builder.add("r")
+        second = builder.add("a")
+        builder.edge(first, second)
+        graph = builder.build()
+        assert graph.children(first) == [second]
+
+    def test_empty_parents_iterable(self):
+        graph = (GraphBuilder().node("r").node("a", parent=0, parents=[])
+                 .build())
+        assert graph.parents(1) == [0]
+
+
+class TestWorkloadEdges:
+    def test_workload_on_single_node_graph(self):
+        from repro.queries.workload import Workload
+        graph = DataGraph()
+        graph.add_node("r")
+        with pytest.raises(ValueError, match="no label paths"):
+            Workload.generate(graph, num_queries=5, max_length=3)
+
+    def test_workload_spec_zero_length(self, fig1):
+        from repro.queries.workload import Workload
+        workload = Workload.generate(fig1, num_queries=20, max_length=0)
+        assert all(query.length == 0 for query in workload)
+
+
+class TestCliEdges:
+    def test_query_verbose_empty_result(self, tmp_path, capsys):
+        from repro.cli import main
+        doc = str(tmp_path / "d.xml")
+        with open(doc, "w") as handle:
+            handle.write("<r><a/></r>")
+        assert main(["query", doc, "//nothing/here", "-v"]) == 0
+        assert "0 answers" in capsys.readouterr().out
+
+
+class TestEngineEdges:
+    def test_refresh_after_cross_fup_interference(self, small_nasa):
+        """The engine re-refines a FUP whose rerun needed validation."""
+        from repro.core.engine import AdaptiveIndexEngine
+        from repro.queries.workload import Workload
+        engine = AdaptiveIndexEngine(small_nasa)
+        workload = list(Workload.generate(small_nasa, num_queries=40,
+                                          max_length=6, seed=201))
+        engine.execute_all(workload)
+        refinements = engine.stats.refinements
+        # Re-running everything triggers needs_refresh wherever later
+        # refinement split an earlier FUP's targets below its length.
+        engine.execute_all(workload)
+        assert engine.stats.refinements >= refinements
+        # A third pass is clean for (at least) the refreshed queries.
+        before = engine.stats.validated_queries
+        engine.execute_all(workload)
+        third_pass_validated = engine.stats.validated_queries - before
+        assert third_pass_validated <= len(workload) * 0.2

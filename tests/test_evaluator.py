@@ -1,0 +1,108 @@
+"""Tests for direct evaluation and validation (repro.queries.evaluator)."""
+
+from repro.cost.counters import CostCounter
+from repro.queries.evaluator import (
+    evaluate_on_data_graph,
+    validate_candidate,
+    validate_extent,
+)
+from repro.queries.pathexpr import PathExpression
+
+
+class TestEvaluateOnDataGraph:
+    def test_descendant_single_label(self, simple_tree):
+        expr = PathExpression.parse("//c")
+        assert evaluate_on_data_graph(simple_tree, expr) == {4, 5, 6}
+
+    def test_descendant_path(self, simple_tree):
+        expr = PathExpression.parse("//a/c")
+        assert evaluate_on_data_graph(simple_tree, expr) == {4, 5}
+
+    def test_rooted_path(self, simple_tree):
+        expr = PathExpression.parse("/b/c")
+        assert evaluate_on_data_graph(simple_tree, expr) == {6}
+
+    def test_rooted_requires_start_at_root_child(self, simple_tree):
+        expr = PathExpression.parse("/c")
+        assert evaluate_on_data_graph(simple_tree, expr) == set()
+
+    def test_paper_examples(self, fig1):
+        persons = evaluate_on_data_graph(
+            fig1, PathExpression.parse("/site/people/person"))
+        assert persons == {7, 8, 9}
+        items = evaluate_on_data_graph(
+            fig1, PathExpression.parse("/site/regions/*/item"))
+        assert items == {12, 13, 14}
+
+    def test_wildcard_start(self, simple_tree):
+        expr = PathExpression.parse("//*/c")
+        assert evaluate_on_data_graph(simple_tree, expr) == {4, 5, 6}
+
+    def test_counter_counts_data_visits(self, simple_tree):
+        counter = CostCounter()
+        evaluate_on_data_graph(simple_tree, PathExpression.parse("//a/c"),
+                               counter)
+        # 2 start 'a' nodes + their 2 children examined.
+        assert counter.data_visits == 4
+        assert counter.index_visits == 0
+
+    def test_no_match_short_circuits(self, simple_tree):
+        expr = PathExpression.parse("//z/c")
+        assert evaluate_on_data_graph(simple_tree, expr) == set()
+
+
+class TestValidateCandidate:
+    def test_true_candidate(self, simple_tree):
+        expr = PathExpression.parse("//a/c")
+        assert validate_candidate(simple_tree, expr, 4)
+        assert validate_candidate(simple_tree, expr, 5)
+
+    def test_false_candidate(self, simple_tree):
+        expr = PathExpression.parse("//a/c")
+        assert not validate_candidate(simple_tree, expr, 6)
+
+    def test_wrong_label_rejected_without_cost(self, simple_tree):
+        counter = CostCounter()
+        expr = PathExpression.parse("//a/c")
+        assert not validate_candidate(simple_tree, expr, 1, counter)
+        assert counter.data_visits == 0
+
+    def test_counts_parent_visits(self, simple_tree):
+        counter = CostCounter()
+        expr = PathExpression.parse("//a/c")
+        validate_candidate(simple_tree, expr, 4, counter)
+        assert counter.data_visits == 1  # one parent examined
+
+    def test_rooted_validation(self, simple_tree):
+        assert validate_candidate(simple_tree, PathExpression.parse("/b/c"), 6)
+        assert not validate_candidate(simple_tree,
+                                      PathExpression.parse("/b/c"), 4)
+
+    def test_wildcard_validation(self, simple_tree):
+        expr = PathExpression.parse("//*/c")
+        assert validate_candidate(simple_tree, expr, 4)
+
+    def test_validation_through_reference_edges(self, fig1):
+        expr = PathExpression.parse("//auction/seller/person")
+        assert validate_candidate(fig1, expr, 7)
+        assert not validate_candidate(fig1, expr, 8)
+
+    def test_agrees_with_forward_evaluation(self, fig1):
+        for text in ("//person", "//auction/bidder", "//regions/africa/item",
+                     "//site/people/person", "//bidder/person"):
+            expr = PathExpression.parse(text)
+            truth = evaluate_on_data_graph(fig1, expr)
+            for oid in fig1.nodes():
+                assert validate_candidate(fig1, expr, oid) == (oid in truth)
+
+
+class TestValidateExtent:
+    def test_filters_extent(self, simple_tree):
+        expr = PathExpression.parse("//a/c")
+        assert validate_extent(simple_tree, expr, {4, 5, 6}) == {4, 5}
+
+    def test_accumulates_cost(self, simple_tree):
+        counter = CostCounter()
+        expr = PathExpression.parse("//a/c")
+        validate_extent(simple_tree, expr, {4, 5, 6}, counter)
+        assert counter.data_visits == 3  # one parent visit per candidate

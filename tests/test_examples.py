@@ -1,0 +1,60 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are executed in-process at tiny scale so the suite stays fast;
+their internal assertions double as correctness checks.
+"""
+
+import importlib.util
+import os
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def load_example(name):
+    path = os.path.join(EXAMPLES_DIR, f"{name}.py")
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(autouse=True)
+def quiet_stdout(capsys):
+    yield
+    capsys.readouterr()  # swallow example output
+
+
+class TestExamples:
+    def test_quickstart(self):
+        load_example("quickstart").main()
+
+    def test_auction_site(self):
+        load_example("auction_site").main(scale=0.005)
+
+    def test_astronomy_catalog(self):
+        load_example("astronomy_catalog").main(scale=0.005)
+
+    def test_index_anatomy(self):
+        load_example("index_anatomy").main()
+
+    def test_disk_resident(self):
+        load_example("disk_resident").main(scale=0.005)
+
+    def test_twig_queries(self):
+        load_example("twig_queries").main(scale=0.005)
+
+    def test_live_updates(self):
+        load_example("live_updates").main(scale=0.005)
+
+    def test_bibliography(self):
+        load_example("bibliography").main(scale=0.005)
+
+    def test_every_example_has_a_test(self):
+        scripts = {name[:-3] for name in os.listdir(EXAMPLES_DIR)
+                   if name.endswith(".py")}
+        tested = {name[len("test_"):] for name in dir(TestExamples)
+                  if name.startswith("test_")}
+        assert scripts <= tested | {"every_example_has_a_test"}, \
+            f"untested examples: {scripts - tested}"

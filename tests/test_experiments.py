@@ -1,0 +1,134 @@
+"""Tests for the experiment harness (repro.experiments)."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, dataset_for
+from repro.experiments.cost_vs_size import (
+    average_workload_cost,
+    run_cost_vs_size,
+)
+from repro.experiments.distribution import run_distribution
+from repro.experiments.growth import run_growth
+from repro.queries.workload import Workload
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return ExperimentConfig(scale=0.01, num_queries=40, seed=1)
+
+
+@pytest.fixture(scope="module")
+def tiny_xmark(tiny_config):
+    return dataset_for("xmark", tiny_config)
+
+
+@pytest.fixture(scope="module")
+def tiny_workload(tiny_xmark, tiny_config):
+    return Workload.generate(tiny_xmark, num_queries=tiny_config.num_queries,
+                             max_length=5, seed=tiny_config.seed)
+
+
+class TestConfig:
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.2")
+        monkeypatch.setenv("REPRO_QUERIES", "123")
+        config = ExperimentConfig.from_env()
+        assert config.scale == 0.2
+        assert config.num_queries == 123
+
+    def test_defaults_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        monkeypatch.delenv("REPRO_QUERIES", raising=False)
+        config = ExperimentConfig.from_env()
+        assert config.scale == ExperimentConfig.scale
+
+    def test_unknown_dataset_rejected(self, tiny_config):
+        with pytest.raises(ValueError):
+            dataset_for("dblp", tiny_config)
+
+
+class TestDistribution:
+    def test_result_shape(self, tiny_xmark):
+        result = run_distribution(tiny_xmark, "xmark", 4, num_queries=100)
+        assert len(result.fractions) == 5
+        assert abs(sum(result.fractions) - 1.0) < 1e-9
+
+    def test_format_table(self, tiny_xmark):
+        result = run_distribution(tiny_xmark, "xmark", 4, num_queries=50)
+        table = result.format_table()
+        assert "xmark" in table
+        assert table.count("\n") == 6  # title + header + 5 rows
+
+
+class TestCostVsSize:
+    def test_all_families_present(self, tiny_xmark, tiny_workload):
+        result = run_cost_vs_size(tiny_xmark, tiny_workload, "xmark", max_ak=2)
+        names = [point.name for point in result.points]
+        assert names == ["A(0)", "A(1)", "A(2)", "D-construct", "D-promote",
+                         "M(k)", "M*(k)"]
+
+    def test_include_filter(self, tiny_xmark, tiny_workload):
+        result = run_cost_vs_size(tiny_xmark, tiny_workload, "xmark",
+                                  max_ak=1, include=("ak", "mstar"))
+        names = [point.name for point in result.points]
+        assert names == ["A(0)", "A(1)", "M*(k)"]
+
+    def test_point_lookup(self, tiny_xmark, tiny_workload):
+        result = run_cost_vs_size(tiny_xmark, tiny_workload, "xmark",
+                                  max_ak=0, include=("ak",))
+        assert result.point("A(0)").nodes > 0
+        with pytest.raises(KeyError):
+            result.point("nope")
+
+    def test_adaptive_rerun_has_no_validation_cost(self, tiny_xmark,
+                                                   tiny_workload):
+        result = run_cost_vs_size(tiny_xmark, tiny_workload, "xmark",
+                                  max_ak=0, include=("mstar",))
+        assert result.point("M*(k)").avg_data_visits == 0.0
+
+    def test_format_table(self, tiny_xmark, tiny_workload):
+        result = run_cost_vs_size(tiny_xmark, tiny_workload, "xmark",
+                                  max_ak=0, include=("ak",))
+        assert "avg cost" in result.format_table()
+
+    def test_average_workload_cost_empty(self):
+        assert average_workload_cost(lambda e: None, []) == (0.0, 0.0, 0.0)
+
+
+class TestGrowth:
+    def test_curves_and_checkpoints(self, tiny_xmark, tiny_workload):
+        result = run_growth(tiny_xmark, tiny_workload, "xmark", batch_size=10)
+        assert {curve.name for curve in result.curves} == \
+            {"D-promote", "M(k)", "M*(k)"}
+        for curve in result.curves:
+            assert len(curve.checkpoints) == 4  # 40 queries / 10
+            assert curve.checkpoints[-1][0] == 40
+
+    def test_growth_is_monotone(self, tiny_xmark, tiny_workload):
+        result = run_growth(tiny_xmark, tiny_workload, "xmark", batch_size=10)
+        for curve in result.curves:
+            nodes = [n for _, n in curve.nodes_series()]
+            assert nodes == sorted(nodes)
+
+    def test_series_accessors(self, tiny_xmark, tiny_workload):
+        result = run_growth(tiny_xmark, tiny_workload, "xmark", batch_size=20)
+        curve = result.curve("M*(k)")
+        assert len(curve.nodes_series()) == len(curve.edges_series())
+        with pytest.raises(KeyError):
+            result.curve("nope")
+
+    def test_format_table(self, tiny_xmark, tiny_workload):
+        result = run_growth(tiny_xmark, tiny_workload, "xmark", batch_size=20)
+        table = result.format_table()
+        assert "M*(k) nodes" in table
+
+
+class TestReport:
+    def test_report_runs_at_tiny_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.005")
+        monkeypatch.setenv("REPRO_QUERIES", "20")
+        from repro.experiments.report import run_report
+        report = run_report()
+        for figure in ("Figure 8", "Figure 9", "Figures 10-11",
+                       "Figures 25-26"):
+            assert figure in report

@@ -1,0 +1,66 @@
+"""Tests for the extended experiment harness (repro.experiments.extended)."""
+
+import pytest
+
+from repro.experiments.extended import (
+    run_baseline_table,
+    run_strategy_table,
+    run_update_experiment,
+)
+from repro.queries.workload import Workload
+
+
+@pytest.fixture(scope="module")
+def tiny_workload(small_xmark):
+    return Workload.generate(small_xmark, num_queries=30, max_length=5,
+                             seed=99)
+
+
+class TestBaselineTable:
+    def test_all_rows_present(self, small_xmark, tiny_workload):
+        table = run_baseline_table(small_xmark, tiny_workload, "xmark")
+        names = [row.name for row in table.rows]
+        assert names == ["1-index", "DataGuide", "UD(2,2)", "F&B", "APEX",
+                         "M*(k)"]
+
+    def test_exact_summaries_never_validate(self, small_xmark, tiny_workload):
+        table = run_baseline_table(small_xmark, tiny_workload, "xmark")
+        for name in ("1-index", "DataGuide", "F&B", "APEX", "M*(k)"):
+            assert table.row(name).avg_data_visits == 0.0
+
+    def test_format(self, small_xmark, tiny_workload):
+        table = run_baseline_table(small_xmark, tiny_workload, "xmark")
+        assert "DataGuide" in table.format_table()
+        with pytest.raises(KeyError):
+            table.row("nope")
+
+
+class TestStrategyTable:
+    def test_all_strategies_measured(self, small_xmark, tiny_workload):
+        table = run_strategy_table(small_xmark, tiny_workload, "xmark")
+        assert len(table.costs) == 5
+        assert table.cost("topdown") > 0
+        with pytest.raises(KeyError):
+            table.cost("nope")
+
+    def test_bottomup_pays_for_downward_checks(self, small_xmark,
+                                               tiny_workload):
+        table = run_strategy_table(small_xmark, tiny_workload, "xmark")
+        assert table.cost("bottomup") > table.cost("topdown")
+
+
+class TestUpdateExperiment:
+    def test_phases_ordered_sensibly(self):
+        from repro.datasets import generate_xmark
+        graph = generate_xmark(scale=0.01, seed=3)
+        workload = Workload.generate(graph, num_queries=30, max_length=5,
+                                     seed=4)
+        result = run_update_experiment(graph, workload, "xmark",
+                                       insertions=10, references=5)
+        # Insertions never demote: cost moves only via grown extents.
+        assert result.after_insert_cost <= result.baseline_cost * 1.5
+        # References demote claims -> validation returns.
+        assert result.after_reference_cost >= result.after_insert_cost
+        # Refinement recovers (most of) the baseline.
+        assert result.recovered_cost <= result.after_reference_cost
+        assert "re-refined" in result.format_table()

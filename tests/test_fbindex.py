@@ -1,0 +1,90 @@
+"""Tests for the F&B-index (repro.indexes.fbindex)."""
+
+from repro.indexes.fbindex import FBIndex, fb_partition_blocks
+from repro.indexes.oneindex import OneIndex
+from repro.indexes.udindex import UDIndex
+from repro.queries.branching import evaluate_branching
+from repro.queries.evaluator import evaluate_on_data_graph
+from repro.queries.workload import Workload, generate_twig_queries
+
+
+class TestPartition:
+    def test_refines_one_index(self, fig2):
+        """F&B refines full (backward) bisimulation."""
+        fb_blocks, _ = fb_partition_blocks(fig2)
+        one = OneIndex(fig2)
+        assert max(fb_blocks) + 1 >= one.size_nodes()
+
+    def test_symmetric_tree_groups_leaves(self, simple_tree):
+        blocks, _ = fb_partition_blocks(simple_tree)
+        # The two c-under-a leaves are indistinguishable both ways.
+        assert blocks[4] == blocks[5]
+        assert blocks[4] != blocks[6]
+
+    def test_fixpoint_is_stable(self, fig1):
+        from repro.indexes.partition import refine_once, refine_once_downward
+        blocks, _ = fb_partition_blocks(fig1)
+        again = refine_once_downward(fig1, refine_once(fig1, blocks))
+        assert max(again) == max(blocks)
+
+    def test_max_rounds_cap(self, fig1):
+        _, rounds = fb_partition_blocks(fig1, max_rounds=1)
+        assert rounds <= 1
+
+
+class TestLinearQueries:
+    def test_exact_without_validation(self, small_nasa):
+        index = FBIndex(small_nasa)
+        workload = Workload.generate(small_nasa, num_queries=40,
+                                     max_length=6, seed=95)
+        for expr in workload:
+            result = index.query(expr)
+            assert result.answers == evaluate_on_data_graph(small_nasa, expr)
+            assert not result.validated
+            assert result.cost.data_visits == 0
+
+
+class TestBranchingQueries:
+    def test_exact_on_paper_graph(self, fig1):
+        from repro.queries.branching import BranchingPathExpression
+        index = FBIndex(fig1)
+        for text in ("//auction[bidder]", "//auction[item]/seller",
+                     "//auctions[auction/seller/person]",
+                     "/site/regions[africa]"):
+            expr = BranchingPathExpression.parse(text)
+            result = index.query_branching(expr)
+            assert result.answers == evaluate_branching(fig1, expr)
+            assert result.cost.data_visits == 0
+
+    def test_exact_on_generated_twigs(self, small_xmark):
+        index = FBIndex(small_xmark)
+        for expr in generate_twig_queries(small_xmark, num_queries=40,
+                                          seed=96):
+            result = index.query_branching(expr)
+            assert result.answers == evaluate_branching(small_xmark, expr)
+            assert result.cost.data_visits == 0
+
+    def test_intermediate_predicates_also_covered(self, small_xmark):
+        """Unlike UD(k,l), F&B covers predicates anywhere in the trunk."""
+        queries = [expr for expr in
+                   generate_twig_queries(small_xmark, num_queries=60,
+                                         predicate_probability=0.8, seed=97)
+                   if any(step.predicates for step in expr.steps[:-1])]
+        assert queries
+        index = FBIndex(small_xmark)
+        for expr in queries:
+            result = index.query_branching(expr)
+            assert result.answers == evaluate_branching(small_xmark, expr)
+            assert result.cost.data_visits == 0
+
+
+class TestSizeTradeOff:
+    def test_finest_of_the_summaries(self, small_nasa):
+        """The motivation for A(k)/M(k)/M*(k): full covering power costs
+        size — F&B is at least as large as the 1-index and UD(k,l)."""
+        fb = FBIndex(small_nasa)
+        assert fb.size_nodes() >= OneIndex(small_nasa).size_nodes()
+        assert fb.size_nodes() >= UDIndex(small_nasa, 2, 2).size_nodes()
+
+    def test_repr(self, fig1):
+        assert "stabilised_at" in repr(FBIndex(fig1))

@@ -1,0 +1,71 @@
+"""Tests for witness-path reconstruction (find_instance)."""
+
+from repro.queries.evaluator import (
+    evaluate_on_data_graph,
+    find_instance,
+)
+from repro.queries.pathexpr import PathExpression
+from repro.queries.workload import Workload
+
+
+def is_valid_instance(graph, expr, path):
+    if len(path) != len(expr.labels):
+        return False
+    for position, oid in enumerate(path):
+        if not expr.matches_label(position, graph.label(oid)):
+            return False
+    for parent, child in zip(path, path[1:]):
+        if child not in graph.children(parent):
+            return False
+    if expr.rooted and path[0] not in graph.children(graph.root):
+        return False
+    return True
+
+
+class TestFindInstance:
+    def test_simple_witness(self, fig1):
+        expr = PathExpression.parse("//people/person")
+        path = find_instance(fig1, expr, 8)
+        assert path == [3, 8]
+        assert is_valid_instance(fig1, expr, path)
+
+    def test_rooted_witness(self, fig1):
+        expr = PathExpression.parse("/site/people/person")
+        path = find_instance(fig1, expr, 7)
+        assert path[0] == 1  # the site element, a child of the root
+        assert path[-1] == 7
+        assert is_valid_instance(fig1, expr, path)
+
+    def test_wildcard_witness(self, fig1):
+        expr = PathExpression.parse("//regions/*/item")
+        path = find_instance(fig1, expr, 14)
+        assert is_valid_instance(fig1, expr, path)
+        assert fig1.label(path[1]) == "asia"
+
+    def test_non_answer_returns_none(self, fig1):
+        expr = PathExpression.parse("//people/person")
+        assert find_instance(fig1, expr, 12) is None   # an item
+        assert find_instance(fig1, expr, 16) is None   # a seller
+
+    def test_rooted_non_answer_returns_none(self, fig1):
+        expr = PathExpression.parse("/people/person")  # people not at root
+        assert find_instance(fig1, expr, 7) is None
+
+    def test_witness_through_reference_edge(self, fig1):
+        expr = PathExpression.parse("//seller/person")
+        path = find_instance(fig1, expr, 7)
+        assert path == [16, 7]
+
+    def test_agrees_with_evaluation_everywhere(self, small_xmark):
+        workload = Workload.generate(small_xmark, num_queries=30,
+                                     max_length=5, seed=105)
+        for expr in workload:
+            truth = evaluate_on_data_graph(small_xmark, expr)
+            for oid in sorted(truth)[:5]:
+                path = find_instance(small_xmark, expr, oid)
+                assert path is not None
+                assert is_valid_instance(small_xmark, expr, path)
+            non_answers = [oid for oid in range(small_xmark.num_nodes)
+                           if oid not in truth][:5]
+            for oid in non_answers:
+                assert find_instance(small_xmark, expr, oid) is None

@@ -1,0 +1,159 @@
+"""End-to-end integration tests across subsystems."""
+
+import os
+
+from repro import (
+    AdaptiveIndexEngine,
+    AkIndex,
+    DkIndex,
+    MkIndex,
+    MStarIndex,
+    OneIndex,
+    PathExpression,
+    Workload,
+    index_size,
+    parse_xml,
+)
+from repro.queries.evaluator import evaluate_on_data_graph
+
+
+class TestXmlToAnswerPipeline:
+    DOCUMENT = """
+    <library>
+      <shelf id="s1">
+        <book><title/><author><name><last/></name></author></book>
+        <book><title/><author><name><first/><last/></name></author></book>
+      </shelf>
+      <shelf id="s2">
+        <journal><title/><editor><name><last/></name></editor></journal>
+      </shelf>
+      <catalog><entry ref="s1"/><entry ref="s2"/></catalog>
+    </library>
+    """
+
+    def test_parse_index_query_refine(self):
+        graph = parse_xml(self.DOCUMENT)
+        index = MStarIndex(graph)
+        query = PathExpression.parse("//author/name/last")
+        truth = evaluate_on_data_graph(graph, query)
+        assert len(truth) == 2  # book authors only, not the editor
+
+        first = index.query(query)
+        assert first.answers == truth
+        assert first.validated
+
+        index.refine(query, first)
+        second = index.query(query)
+        assert second.answers == truth
+        assert not second.validated
+        index.check_invariants()
+
+    def test_references_queryable_through_every_index(self):
+        graph = parse_xml(self.DOCUMENT)
+        query = PathExpression.parse("//catalog/entry/shelf")
+        truth = evaluate_on_data_graph(graph, query)
+        assert len(truth) == 2
+        for index in (AkIndex(graph, 2), OneIndex(graph), MkIndex(graph),
+                      DkIndex(graph), MStarIndex(graph)):
+            assert index.query(query).answers == truth
+
+
+class TestFullAdaptiveSession:
+    def test_engine_on_nasa_with_all_subsystems(self, small_nasa):
+        engine = AdaptiveIndexEngine(small_nasa)
+        workload = Workload.generate(small_nasa, num_queries=60,
+                                     max_length=6, seed=81)
+        for expr in workload:
+            result = engine.execute(expr)
+            assert result.answers == evaluate_on_data_graph(small_nasa, expr)
+        assert engine.stats.queries == 60
+        assert engine.stats.refinements > 0
+        engine.index.check_invariants()
+        size = engine.size()
+        assert size.nodes > 0 and size.edges > 0
+
+    def test_paper_protocol_rerun_is_cheaper(self, small_xmark):
+        """The experiment protocol end to end: refine for the workload,
+        then the rerun's average cost drops and validation vanishes."""
+        workload = Workload.generate(small_xmark, num_queries=50,
+                                     max_length=6, seed=82)
+        index = MStarIndex(small_xmark)
+        first_cost = 0
+        for expr in workload:
+            result = index.query(expr)
+            first_cost += result.cost.total
+            index.refine(expr, result)
+        rerun_cost = 0
+        rerun_data_visits = 0
+        for expr in workload:
+            result = index.query(expr)
+            rerun_cost += result.cost.total
+            rerun_data_visits += result.cost.data_visits
+        assert rerun_cost < first_cost
+        assert rerun_data_visits == 0
+
+
+class TestDiskPipeline:
+    def test_memory_disk_parity_via_cli_formats(self, small_xmark, tmp_path):
+        from repro.storage import DiskMStarIndex, load_mstar, save_mstar
+
+        workload = Workload.generate(small_xmark, num_queries=40,
+                                     max_length=6, seed=83)
+        index = MStarIndex(small_xmark)
+        for expr in workload:
+            index.refine(expr, index.query(expr))
+
+        memory_path = str(tmp_path / "i.rpms")
+        save_mstar(index, memory_path)
+        reloaded = load_mstar(memory_path, small_xmark)
+
+        disk_path = str(tmp_path / "i.rpdi")
+        with DiskMStarIndex.build(index, disk_path) as disk:
+            for expr in workload:
+                truth = evaluate_on_data_graph(small_xmark, expr)
+                assert index.query(expr).answers == truth
+                assert reloaded.query(expr).answers == truth
+                assert disk.query(expr).answers == truth
+        assert os.path.getsize(disk_path) > 0
+
+
+class TestCrossIndexConsistency:
+    def test_all_indexes_agree_on_everything(self, small_nasa):
+        """Ground truth is one; every index must reproduce it."""
+        workload = Workload.generate(small_nasa, num_queries=40,
+                                     max_length=6, seed=84)
+        from repro import ApexIndex, DataGuide, UDIndex
+
+        adaptive = [MkIndex(small_nasa), MStarIndex(small_nasa),
+                    DkIndex(small_nasa)]
+        static = [AkIndex(small_nasa, 2), OneIndex(small_nasa),
+                  UDIndex(small_nasa, 2, 1), DataGuide(small_nasa)]
+        apex = ApexIndex(small_nasa)
+        for expr in workload:
+            truth = evaluate_on_data_graph(small_nasa, expr)
+            for index in static:
+                assert index.query(expr).answers == truth, \
+                    f"{type(index).__name__} wrong on {expr}"
+            for index in adaptive:
+                result = index.query(expr)
+                assert result.answers == truth, \
+                    f"{type(index).__name__} wrong on {expr}"
+                index.refine(expr, result)
+            apex_result = apex.query(expr)
+            assert apex_result.answers == truth
+            apex.refine(expr, apex_result)
+
+    def test_size_ordering_after_refinement(self, small_nasa):
+        """The paper's headline size ordering on NASA-like data:
+        M*(k) <= M(k) <= D(k)-promote in stored nodes."""
+        workload = Workload.generate(small_nasa, num_queries=60,
+                                     max_length=7, seed=85)
+        mk = MkIndex(small_nasa)
+        mstar = MStarIndex(small_nasa)
+        dk = DkIndex(small_nasa)
+        for expr in workload:
+            mk.refine(expr, mk.query(expr))
+            mstar.refine(expr, mstar.query(expr))
+            dk.refine(expr)
+        assert index_size(mstar).nodes <= index_size(mk).nodes
+        assert index_size(mk).nodes <= index_size(dk).nodes

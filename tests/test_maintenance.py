@@ -1,0 +1,184 @@
+"""Tests for incremental index maintenance (repro.indexes.maintenance)."""
+
+import pytest
+
+from repro.indexes.aindex import AkIndex
+from repro.indexes.dindex import DkIndex
+from repro.indexes.maintenance import (
+    add_reference,
+    insert_subtree,
+    insert_xml_fragment,
+)
+from repro.indexes.mindex import MkIndex
+from repro.indexes.mstarindex import MStarIndex
+from repro.queries.evaluator import evaluate_on_data_graph
+from repro.queries.pathexpr import PathExpression
+from repro.queries.workload import Workload
+
+
+class TestInsertSubtree:
+    def test_graph_grows(self, fig1):
+        before = fig1.num_nodes
+        new = insert_subtree(fig1, 3, ("person", [("name", []),
+                                                  ("emailaddress", [])]))
+        assert len(new) == 3
+        assert fig1.num_nodes == before + 3
+        assert fig1.label(new[0]) == "person"
+        assert fig1.parents(new[0]) == [3]
+
+    def test_bad_parent_rejected(self, fig1):
+        with pytest.raises(KeyError):
+            insert_subtree(fig1, 999, ("x", []))
+
+    def test_bad_spec_rejected(self, fig1):
+        with pytest.raises(ValueError):
+            insert_subtree(fig1, 0, ("ok", ["not-a-tuple"]))
+
+    def test_queries_see_new_nodes(self, fig1):
+        mk = MkIndex(fig1)
+        expr = PathExpression.parse("//people/person")
+        mk.refine(expr, mk.query(expr))
+        new = insert_subtree(fig1, 3, ("person", [("name", [])]),
+                             indexes=[mk])
+        result = mk.query(expr)
+        assert new[0] in result.answers
+        assert result.answers == evaluate_on_data_graph(fig1, expr)
+
+    def test_mstar_structure_stays_consistent(self, fig1):
+        index = MStarIndex(fig1)
+        expr = PathExpression.parse("//site/people/person")
+        index.refine(expr, index.query(expr))
+        insert_subtree(fig1, 3, ("person", [("name", [("last", [])])]),
+                       indexes=[index])
+        index.check_invariants()
+        assert index.query(expr).answers == \
+            evaluate_on_data_graph(fig1, expr)
+
+    def test_no_existing_claims_demoted(self, fig1):
+        """Gaining a child changes nobody's incoming paths."""
+        index = MkIndex(fig1)
+        expr = PathExpression.parse("//site/people/person")
+        index.refine(expr, index.query(expr))
+        claims_before = {frozenset(node.extent): node.k
+                         for node in index.index.nodes.values()}
+        insert_subtree(fig1, 7, ("watches", [("watch", [])]), indexes=[index])
+        for node in index.index.nodes.values():
+            old = claims_before.get(frozenset(node.extent))
+            if old is not None:
+                assert node.k == old
+
+    def test_insert_xml_fragment(self, fig1):
+        mk = MkIndex(fig1)
+        new = insert_xml_fragment(
+            fig1, 4, "<auction><seller/><item/></auction>", indexes=[mk])
+        assert fig1.subgraph_labels(new) == ["auction", "seller", "item"]
+        expr = PathExpression.parse("//auctions/auction")
+        assert mk.query(expr).answers == evaluate_on_data_graph(fig1, expr)
+
+    def test_static_index_rejected(self, fig1):
+        from repro.indexes.dataguide import DataGuide
+        guide = DataGuide(fig1)
+        with pytest.raises(TypeError):
+            insert_subtree(fig1, 3, ("person", []), indexes=[guide])
+
+
+class TestAddReference:
+    def test_edge_added_and_mirrored(self, fig1):
+        mk = MkIndex(fig1)
+        add_reference(fig1, 20, 7, indexes=[mk])
+        assert 7 in fig1.children(20)
+        mk.index.check_edges()
+
+    def test_demotion_keeps_answers_exact(self, fig1):
+        mk = MkIndex(fig1)
+        expr = PathExpression.parse("//auctions/auction/seller/person")
+        mk.refine(expr, mk.query(expr))
+        assert not mk.query(expr).validated
+        # A new reference from an item into person 8 changes person 8's
+        # incoming paths: claims must demote and answers stay exact.
+        add_reference(fig1, 15, 9, indexes=[mk])
+        result = mk.query(expr)
+        assert result.answers == evaluate_on_data_graph(fig1, expr)
+
+    def test_demotion_is_sound_for_all_queries(self, fig1):
+        mk = MkIndex(fig1)
+        workload = Workload.generate(fig1, num_queries=40, max_length=4,
+                                     seed=91)
+        for expr in workload:
+            mk.refine(expr, mk.query(expr))
+        add_reference(fig1, 14, 7, indexes=[mk])
+        add_reference(fig1, 12, 10, indexes=[mk])
+        for expr in Workload.generate(fig1, num_queries=60, max_length=4,
+                                      seed=92):
+            assert mk.query(expr).answers == \
+                evaluate_on_data_graph(fig1, expr), f"wrong on {expr}"
+
+    def test_mstar_invariants_after_reference(self, fig1):
+        index = MStarIndex(fig1)
+        workload = Workload.generate(fig1, num_queries=30, max_length=4,
+                                     seed=93)
+        for expr in workload:
+            index.refine(expr, index.query(expr))
+        add_reference(fig1, 13, 8, indexes=[index])
+        index.check_invariants()
+        for expr in workload:
+            assert index.query(expr).answers == \
+                evaluate_on_data_graph(fig1, expr)
+
+    def test_refinement_recovers_precision(self, fig1):
+        mk = MkIndex(fig1)
+        expr = PathExpression.parse("//auction/seller/person")
+        mk.refine(expr, mk.query(expr))
+        add_reference(fig1, 15, 7, indexes=[mk])
+        demoted = mk.query(expr)
+        assert demoted.answers == evaluate_on_data_graph(fig1, expr)
+        mk.refine(expr, demoted)
+        recovered = mk.query(expr)
+        assert not recovered.validated
+        assert recovered.answers == demoted.answers
+
+
+class TestUpdateSession:
+    def test_interleaved_updates_and_queries(self, small_xmark):
+        """A realistic session: queries, refinements, inserts and new
+        references interleaved; answers stay exact throughout."""
+        graph = small_xmark
+        mk = MkIndex(graph)
+        mstar = MStarIndex(graph)
+        dk = DkIndex(graph)
+        indexes = [mk, mstar, dk]
+        workload = list(Workload.generate(graph, num_queries=30,
+                                          max_length=5, seed=94))
+        people = graph.nodes_with_label("people")[0]
+        persons = graph.nodes_with_label("person")
+
+        for round_number, expr in enumerate(workload):
+            for index in indexes:
+                result = index.query(expr)
+                assert result.answers == evaluate_on_data_graph(graph, expr)
+                index.refine(expr, result)
+            if round_number % 7 == 3:
+                insert_subtree(graph, people,
+                               ("person", [("name", []),
+                                           ("emailaddress", [])]),
+                               indexes=indexes)
+            if round_number % 11 == 5 and len(persons) >= 2:
+                items = graph.nodes_with_label("item")
+                add_reference(graph, persons[round_number % len(persons)],
+                              items[round_number % len(items)],
+                              indexes=indexes)
+        mstar.check_invariants()
+        mk.index.check_partition()
+        mk.index.check_edges()
+
+    def test_static_ak_needs_rebuild(self, fig1):
+        """Documented behaviour: A(k) is static; after updates a rebuild
+        reflects the new document."""
+        stale = AkIndex(fig1, 2)
+        insert_subtree(fig1, 3, ("person", []))
+        rebuilt = AkIndex(fig1, 2)
+        assert rebuilt.index.graph.num_nodes == fig1.num_nodes
+        assert stale.index.graph is fig1  # same graph object, stale extents
+        expr = PathExpression.parse("//people/person")
+        assert rebuilt.query(expr).answers == \
+            evaluate_on_data_graph(fig1, expr)

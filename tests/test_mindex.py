@@ -1,0 +1,175 @@
+"""Tests for the M(k)-index (repro.indexes.mindex)."""
+
+import pytest
+
+from repro.indexes.dindex import DkIndex
+from repro.indexes.mindex import MkIndex
+from repro.queries.evaluator import evaluate_on_data_graph
+from repro.queries.pathexpr import PathExpression
+from repro.queries.workload import Workload
+
+
+class TestInitialisation:
+    def test_starts_as_a0(self, fig1):
+        index = MkIndex(fig1)
+        assert index.size_nodes() == len(fig1.alphabet())
+        assert {node.k for node in index.index.nodes.values()} == {0}
+
+    def test_from_partition(self, fig4):
+        graph, partition = fig4
+        index = MkIndex.from_partition(graph, partition)
+        assert index.size_nodes() == len(partition)
+
+
+class TestFigure3:
+    """The paper's central M(k) example: FUP r/a/b."""
+
+    EXPR = PathExpression.parse("//r/a/b")
+
+    def test_exact_partition_of_part_d(self, fig3):
+        index = MkIndex(fig3)
+        index.refine(self.EXPR, index.query(self.EXPR))
+        extents = {(node.label, frozenset(node.extent), node.k)
+                   for node in index.index.nodes.values()}
+        assert ("b", frozenset({4}), 2) in extents
+        assert ("b", frozenset({5, 6, 7, 8, 9}), 0) in extents
+        assert ("a", frozenset({1}), 1) in extents
+        assert ("r", frozenset({0}), 0) in extents
+
+    def test_smaller_than_dk_promote(self, fig3):
+        mk = MkIndex(fig3)
+        mk.refine(self.EXPR, mk.query(self.EXPR))
+        dk = DkIndex(fig3)
+        dk.refine(self.EXPR)
+        assert mk.size_nodes() < dk.size_nodes()
+
+    def test_fup_answered_precisely_afterwards(self, fig3):
+        index = MkIndex(fig3)
+        index.refine(self.EXPR, index.query(self.EXPR))
+        result = index.query(self.EXPR)
+        assert result.answers == {4}
+        assert not result.validated
+
+
+class TestRefinement:
+    def test_refine_without_result_recomputes_target(self, fig3):
+        index = MkIndex(fig3)
+        index.refine(PathExpression.parse("//r/a/b"))
+        assert index.query(PathExpression.parse("//r/a/b")).answers == {4}
+
+    def test_wildcard_fup_rejected(self, fig1):
+        with pytest.raises(ValueError):
+            MkIndex(fig1).refine(PathExpression.parse("//*/item"))
+
+    def test_single_label_fup_is_noop(self, fig1):
+        index = MkIndex(fig1)
+        before = index.size_nodes()
+        index.refine(PathExpression.parse("//person"))
+        assert index.size_nodes() == before
+
+    def test_refine_idempotent(self, fig3):
+        expr = PathExpression.parse("//r/a/b")
+        index = MkIndex(fig3)
+        index.refine(expr, index.query(expr))
+        snapshot = index.index.extents()
+        index.refine(expr, index.query(expr))
+        assert index.index.extents() == snapshot
+
+    def test_rooted_fup(self, fig1):
+        expr = PathExpression.parse("/site/people/person")
+        index = MkIndex(fig1)
+        index.refine(expr, index.query(expr))
+        result = index.query(expr)
+        assert result.answers == {7, 8, 9}
+        assert not result.validated
+
+    def test_fup_with_no_matches_is_safe(self, fig1):
+        expr = PathExpression.parse("//person/item")
+        index = MkIndex(fig1)
+        before = index.size_nodes()
+        index.refine(expr, index.query(expr))
+        assert index.query(expr).answers == set()
+        assert index.size_nodes() == before
+
+    def test_property3_maintained(self, small_xmark):
+        workload = Workload.generate(small_xmark, num_queries=50,
+                                     max_length=5, seed=6)
+        index = MkIndex(small_xmark)
+        for expr in workload:
+            index.refine(expr, index.query(expr))
+        index.index.check_partition()
+        index.index.check_edges()
+
+    def test_cyclic_graph_terminates(self):
+        from repro.graph.builder import graph_from_edges
+        graph = graph_from_edges(
+            ["r", "a", "b", "a", "b"],
+            [(0, 1), (1, 2), (2, 3), (3, 4)],
+            references=[(4, 1)])
+        index = MkIndex(graph)
+        expr = PathExpression.parse("//a/b/a/b")
+        index.refine(expr, index.query(expr))
+        assert index.query(expr).answers == \
+            evaluate_on_data_graph(graph, expr)
+
+
+class TestFalseInstanceBreaking:
+    """REFINE's final loop (Figure 6): no refined FUP may keep a target
+    index node whose similarity understates the query length."""
+
+    def test_no_violating_targets_after_refine(self, small_nasa):
+        workload = Workload.generate(small_nasa, num_queries=40,
+                                     max_length=6, seed=9)
+        index = MkIndex(small_nasa)
+        for expr in workload:
+            index.refine(expr, index.query(expr))
+            for node in index.index.evaluate(expr):
+                assert node.k >= expr.length
+
+    def test_refined_fup_exact_immediately(self, small_nasa):
+        workload = Workload.generate(small_nasa, num_queries=40,
+                                     max_length=6, seed=10)
+        index = MkIndex(small_nasa)
+        for expr in workload:
+            index.refine(expr, index.query(expr))
+            result = index.query(expr)
+            assert result.answers == evaluate_on_data_graph(small_nasa, expr)
+
+
+class TestWorkloadBehaviour:
+    def test_safety_throughout_refinement(self, small_xmark):
+        """No false negatives at any point, refined or not."""
+        workload = Workload.generate(small_xmark, num_queries=50,
+                                     max_length=7, seed=3)
+        index = MkIndex(small_xmark)
+        for expr in workload:
+            result = index.query(expr)
+            truth = evaluate_on_data_graph(small_xmark, expr)
+            assert truth <= result.answers | truth  # sanity
+            assert truth - result.answers == set(), f"false negatives on {expr}"
+            index.refine(expr, result)
+
+    def test_smaller_than_dk_promote_on_workload(self, small_nasa):
+        workload = Workload.generate(small_nasa, num_queries=60,
+                                     max_length=7, seed=5)
+        mk = MkIndex(small_nasa)
+        dk = DkIndex(small_nasa)
+        for expr in workload:
+            mk.refine(expr, mk.query(expr))
+            dk.refine(expr)
+        assert mk.size_nodes() <= dk.size_nodes()
+
+    def test_merge_remainder_ablation_accuracy(self, small_xmark):
+        workload = Workload.generate(small_xmark, num_queries=40,
+                                     max_length=6, seed=4)
+        merged = MkIndex(small_xmark, merge_remainder=True)
+        unmerged = MkIndex(small_xmark, merge_remainder=False)
+        for expr in workload:
+            merged.refine(expr, merged.query(expr))
+            unmerged.refine(expr, unmerged.query(expr))
+        merged_fp = unmerged_fp = 0
+        for expr in workload:
+            truth = evaluate_on_data_graph(small_xmark, expr)
+            merged_fp += len(merged.query(expr).answers - truth)
+            unmerged_fp += len(unmerged.query(expr).answers - truth)
+        assert merged_fp <= unmerged_fp

@@ -1,0 +1,234 @@
+"""Tests for the M*(k)-index (repro.indexes.mstarindex)."""
+
+import pytest
+
+from repro.indexes.dindex import DkIndex
+from repro.indexes.mindex import MkIndex
+from repro.indexes.mstarindex import MStarIndex
+from repro.queries.evaluator import evaluate_on_data_graph
+from repro.queries.pathexpr import PathExpression
+from repro.queries.workload import Workload
+
+
+class TestInitialisation:
+    def test_single_a0_component(self, fig1):
+        index = MStarIndex(fig1)
+        assert index.max_resolution == 0
+        assert index.components[0].num_nodes == len(fig1.alphabet())
+
+    def test_extend_components_copies(self, fig1):
+        index = MStarIndex(fig1)
+        index.extend_components(2)
+        assert index.max_resolution == 2
+        for i in (1, 2):
+            assert index.components[i].num_nodes == \
+                index.components[0].num_nodes
+        index.check_invariants()
+
+    def test_supernode_chain(self, fig1):
+        index = MStarIndex(fig1)
+        index.extend_components(2)
+        nid = index.components[2].node_of[7]
+        top = index.supernode_chain(nid, 2, 0)
+        assert index.components[0].nodes[top].extent >= {7}
+
+    def test_supernode_chain_bad_range(self, fig1):
+        index = MStarIndex(fig1)
+        with pytest.raises(ValueError):
+            index.supernode_chain(0, 0, 1)
+
+
+class TestFigure7:
+    """The paper's M*(k) example: FUP //b/a/c on the Figure 7 graph."""
+
+    EXPR = PathExpression.parse("//b/a/c")
+
+    def refined(self, fig7):
+        index = MStarIndex(fig7)
+        index.refine(self.EXPR, index.query(self.EXPR))
+        return index
+
+    def test_three_components(self, fig7):
+        index = self.refined(fig7)
+        assert len(index.components) == 3
+
+    def test_component_partitions(self, fig7):
+        index = self.refined(fig7)
+        # I0 stays the label partition.
+        i0 = {frozenset(node.extent) for node in index.components[0].nodes.values()}
+        assert i0 == {frozenset({0}), frozenset({1, 2}), frozenset({3}),
+                      frozenset({4, 5, 6, 7})}
+        # I1 separates the a under b (the paper's a{2} with k=1).
+        a2 = index.components[1].node_containing(2)
+        assert a2.extent == {2}
+        assert a2.k == 1
+        # I2 isolates the answer node c{5} at k=2.
+        c5 = index.components[2].node_containing(5)
+        assert c5.extent == {5}
+        assert c5.k == 2
+
+    def test_invariants(self, fig7):
+        self.refined(fig7).check_invariants()
+
+    def test_topdown_answers_exactly(self, fig7):
+        index = self.refined(fig7)
+        result = index.query(self.EXPR)
+        assert result.answers == {5}
+        assert not result.validated
+
+
+class TestOverqualifiedParents:
+    """Figure 4: M*(k) must NOT split the 1-bisimilar c nodes, while
+    D(k)-promote and M(k) (started from the over-refined partition) do."""
+
+    EXPR = PathExpression.parse("//b/c")
+
+    def test_mstar_keeps_pair_together(self, fig4):
+        graph, _ = fig4
+        index = MStarIndex(graph)
+        index.refine(self.EXPR, index.query(self.EXPR))
+        finest = index.components[-1]
+        c_node = finest.node_containing(4)
+        assert c_node.extent == {4, 5}
+        assert c_node.k == 1
+
+    def test_dk_and_mk_split_from_overrefined_start(self, fig4):
+        graph, partition = fig4
+        dk = DkIndex.from_partition(graph, partition)
+        dk.refine(self.EXPR)
+        dk_c = sorted(sorted(n.extent) for n in dk.index.nodes.values()
+                      if n.label == "c")
+        assert dk_c == [[4], [5]]
+
+        mk = MkIndex.from_partition(graph, partition)
+        mk.refine(self.EXPR, mk.query(self.EXPR))
+        mk_c = sorted(sorted(n.extent) for n in mk.index.nodes.values()
+                      if n.label == "c")
+        assert mk_c == [[4], [5]]
+
+
+class TestRefinement:
+    def test_supports_fup_precisely(self, small_xmark):
+        workload = Workload.generate(small_xmark, num_queries=50,
+                                     max_length=6, seed=7)
+        index = MStarIndex(small_xmark)
+        for expr in workload:
+            index.refine(expr, index.query(expr))
+            result = index.query(expr)
+            assert result.answers == evaluate_on_data_graph(small_xmark, expr)
+
+    def test_invariants_after_workload(self, small_xmark):
+        workload = Workload.generate(small_xmark, num_queries=50,
+                                     max_length=6, seed=7)
+        index = MStarIndex(small_xmark)
+        for expr in workload:
+            index.refine(expr, index.query(expr))
+        index.check_invariants()
+
+    def test_invariants_after_nasa_workload(self, small_nasa):
+        workload = Workload.generate(small_nasa, num_queries=50,
+                                     max_length=6, seed=8)
+        index = MStarIndex(small_nasa)
+        for expr in workload:
+            index.refine(expr, index.query(expr))
+        index.check_invariants()
+
+    def test_single_label_fup_is_noop(self, fig1):
+        index = MStarIndex(fig1)
+        index.refine(PathExpression.parse("//person"))
+        assert index.max_resolution == 0
+
+    def test_wildcard_fup_rejected(self, fig1):
+        with pytest.raises(ValueError):
+            MStarIndex(fig1).refine(PathExpression.parse("//*/person"))
+
+    def test_refine_idempotent(self, fig7):
+        expr = PathExpression.parse("//b/a/c")
+        index = MStarIndex(fig7)
+        index.refine(expr, index.query(expr))
+        snapshot = [comp.extents() for comp in index.components]
+        index.refine(expr, index.query(expr))
+        assert [comp.extents() for comp in index.components] == snapshot
+
+    def test_rooted_fup(self, fig1):
+        expr = PathExpression.parse("/site/people/person")
+        index = MStarIndex(fig1)
+        index.refine(expr, index.query(expr))
+        result = index.query(expr)
+        assert result.answers == {7, 8, 9}
+        assert not result.validated
+        index.check_invariants()
+
+    def test_cyclic_graph_terminates(self):
+        from repro.graph.builder import graph_from_edges
+        graph = graph_from_edges(
+            ["r", "a", "b", "a", "b"],
+            [(0, 1), (1, 2), (2, 3), (3, 4)],
+            references=[(4, 1)])
+        index = MStarIndex(graph)
+        expr = PathExpression.parse("//a/b/a/b")
+        index.refine(expr, index.query(expr))
+        index.check_invariants()
+        assert index.query(expr).answers == \
+            evaluate_on_data_graph(graph, expr)
+
+    def test_longer_fup_extends_components(self, fig1):
+        index = MStarIndex(fig1)
+        index.refine(PathExpression.parse("//people/person"))
+        assert index.max_resolution == 1
+        index.refine(PathExpression.parse("//site/people/person"))
+        assert index.max_resolution == 2
+        index.check_invariants()
+
+    def test_shorter_fup_after_longer_uses_existing(self, fig1):
+        index = MStarIndex(fig1)
+        index.refine(PathExpression.parse("//site/people/person"))
+        resolution = index.max_resolution
+        index.refine(PathExpression.parse("//people/person"))
+        assert index.max_resolution == resolution
+        index.check_invariants()
+
+
+class TestSizeMetrics:
+    def test_fresh_copies_not_counted(self, fig1):
+        index = MStarIndex(fig1)
+        nodes_before = index.size_nodes()
+        edges_before = index.size_edges()
+        index.extend_components(3)
+        # Pure copies are all single-subnode duplicates: size unchanged.
+        assert index.size_nodes() == nodes_before
+        assert index.size_edges() == edges_before
+
+    def test_split_node_counted_once_per_distinct_partition(self, fig7):
+        index = MStarIndex(fig7)
+        index.refine(PathExpression.parse("//b/a/c"))
+        # I0: 4 nodes; I1 adds the a-split (2 stored) and c stays whole
+        # (k changed but single subnode -> unstored); I2 adds the c split.
+        assert index.size_nodes() == 4 + 2 + 2
+
+    def test_cross_links_counted_as_edges(self, fig7):
+        index = MStarIndex(fig7)
+        before = index.size_edges()
+        index.refine(PathExpression.parse("//b/a/c"))
+        assert index.size_edges() > before
+
+    def test_stored_smaller_than_logical(self, small_xmark):
+        workload = Workload.generate(small_xmark, num_queries=40,
+                                     max_length=6, seed=2)
+        index = MStarIndex(small_xmark)
+        for expr in workload:
+            index.refine(expr, index.query(expr))
+        logical = sum(comp.num_nodes for comp in index.components)
+        assert index.size_nodes() < logical
+
+
+class TestSafety:
+    def test_no_false_negatives_any_time(self, small_nasa):
+        workload = Workload.generate(small_nasa, num_queries=40,
+                                     max_length=7, seed=12)
+        index = MStarIndex(small_nasa)
+        for expr in workload:
+            result = index.query(expr)
+            truth = evaluate_on_data_graph(small_nasa, expr)
+            assert truth - result.answers == set()
+            index.refine(expr, result)

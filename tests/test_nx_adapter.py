@@ -1,0 +1,80 @@
+"""Tests for the networkx adapter (repro.graph.nx)."""
+
+import networkx as nx
+import pytest
+
+from repro.graph.datagraph import EdgeKind
+from repro.graph.nx import from_networkx, index_to_networkx, to_networkx
+from repro.indexes.aindex import AkIndex
+
+
+class TestToNetworkx:
+    def test_structure_preserved(self, fig1):
+        digraph = to_networkx(fig1)
+        assert digraph.number_of_nodes() == fig1.num_nodes
+        assert digraph.number_of_edges() == fig1.num_edges
+        assert digraph.nodes[7]["label"] == "person"
+        assert digraph.graph["root"] == 0
+
+    def test_edge_kinds_exported(self, fig1):
+        digraph = to_networkx(fig1)
+        assert digraph.edges[16, 7]["kind"] == "reference"
+        assert digraph.edges[1, 2]["kind"] == "regular"
+
+    def test_usable_with_networkx_algorithms(self, fig1):
+        digraph = to_networkx(fig1)
+        lengths = nx.single_source_shortest_path_length(digraph, 0)
+        assert lengths[7] == 3  # root -> site -> people -> person
+
+
+class TestFromNetworkx:
+    def test_roundtrip(self, fig1):
+        back = from_networkx(to_networkx(fig1))
+        assert back.labels == fig1.labels
+        assert sorted(back.edges()) == sorted(fig1.edges())
+        assert back.root == fig1.root
+        assert back.edge_kind(16, 7) is EdgeKind.REFERENCE
+
+    def test_arbitrary_node_names_renumbered(self):
+        digraph = nx.DiGraph()
+        digraph.add_node("doc", label="r")
+        digraph.add_node("x1", label="a")
+        digraph.add_edge("doc", "x1")
+        graph = from_networkx(digraph, root="doc")
+        assert graph.labels == ["r", "a"]
+        assert list(graph.edges()) == [(0, 1)]
+
+    def test_missing_label_rejected(self):
+        digraph = nx.DiGraph()
+        digraph.add_node(0)
+        with pytest.raises(ValueError, match="label"):
+            from_networkx(digraph, root=0)
+
+    def test_unknown_root_rejected(self):
+        digraph = nx.DiGraph()
+        digraph.add_node(0, label="r")
+        with pytest.raises(ValueError, match="root"):
+            from_networkx(digraph, root=99)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            from_networkx(nx.DiGraph())
+
+
+class TestIndexToNetworkx:
+    def test_index_export(self, fig1):
+        index = AkIndex(fig1, 1)
+        digraph = index_to_networkx(index.index)
+        assert digraph.number_of_nodes() == index.size_nodes()
+        assert digraph.number_of_edges() == index.size_edges()
+        person_nodes = [n for n, data in digraph.nodes(data=True)
+                        if data["label"] == "person"]
+        assert person_nodes
+        assert all(digraph.nodes[n]["k"] == 1 for n in digraph.nodes)
+
+    def test_extents_partition(self, fig1):
+        index = AkIndex(fig1, 0)
+        digraph = index_to_networkx(index.index)
+        covered = sorted(oid for _, data in digraph.nodes(data=True)
+                         for oid in data["extent"])
+        assert covered == list(fig1.nodes())

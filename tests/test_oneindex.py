@@ -1,0 +1,64 @@
+"""Tests for the 1-index (repro.indexes.oneindex)."""
+
+from repro.indexes.oneindex import OneIndex
+from repro.queries.evaluator import evaluate_on_data_graph
+from repro.queries.pathexpr import PathExpression
+from repro.queries.workload import Workload
+
+
+class TestStructure:
+    def test_figure2_separates_non_bisimilar_d_nodes(self, fig2):
+        index = OneIndex(fig2)
+        d_extents = sorted(sorted(node.extent)
+                           for node in index.index.nodes.values()
+                           if node.label == "d")
+        assert d_extents == [[6], [7]]
+
+    def test_bisimilar_nodes_grouped(self, simple_tree):
+        index = OneIndex(simple_tree)
+        # The two a nodes are bisimilar; their c children too.
+        assert index.index.node_containing(1).extent == {1, 2}
+        assert index.index.node_containing(4).extent == {4, 5}
+
+    def test_stabilisation_round_reported(self, fig2):
+        index = OneIndex(fig2)
+        assert index.stabilised_at >= 2
+
+    def test_valid_index_graph(self, fig1):
+        index = OneIndex(fig1)
+        index.index.check_partition()
+        index.index.check_edges()
+        assert index.index.property1_violations() == []
+
+
+class TestQueries:
+    def test_never_validates(self, fig1):
+        index = OneIndex(fig1)
+        for text in ("//person", "//site/people/person",
+                     "//auctions/auction/seller/person"):
+            result = index.query(PathExpression.parse(text))
+            assert not result.validated
+            assert result.cost.data_visits == 0
+
+    def test_exact_answers_regardless_of_length(self, fig1):
+        index = OneIndex(fig1)
+        workload = Workload.generate(fig1, num_queries=80, max_length=6,
+                                     seed=4)
+        for expr in workload:
+            truth = evaluate_on_data_graph(fig1, expr)
+            assert index.query(expr).answers == truth
+
+    def test_exact_on_graph_with_cycles(self, small_nasa):
+        index = OneIndex(small_nasa)
+        workload = Workload.generate(small_nasa, num_queries=40,
+                                     max_length=5, seed=2)
+        for expr in workload:
+            assert index.query(expr).answers == \
+                evaluate_on_data_graph(small_nasa, expr)
+
+    def test_smaller_than_data_graph(self, small_xmark):
+        index = OneIndex(small_xmark)
+        assert index.size_nodes() < small_xmark.num_nodes
+
+    def test_repr(self, simple_tree):
+        assert "stabilised_at" in repr(OneIndex(simple_tree))

@@ -1,0 +1,124 @@
+"""Tests for partition refinement (repro.indexes.partition)."""
+
+import pytest
+
+from repro.indexes.partition import (
+    are_kbisimilar,
+    blocks_to_extents,
+    extent_is_kbisimilar,
+    full_bisimulation_blocks,
+    kbisimulation_blocks,
+    kbisimulation_levels,
+    label_blocks,
+    refine_once,
+)
+
+
+def blocks_as_partition(blocks):
+    return {frozenset(extent) for extent in blocks_to_extents(blocks)}
+
+
+class TestLabelBlocks:
+    def test_groups_by_label(self, simple_tree):
+        partition = blocks_as_partition(label_blocks(simple_tree))
+        assert partition == {frozenset({0}), frozenset({1, 2}),
+                             frozenset({3}), frozenset({4, 5, 6})}
+
+
+class TestKBisimulation:
+    def test_k0_is_label_partition(self, simple_tree):
+        assert kbisimulation_blocks(simple_tree, 0) == label_blocks(simple_tree)
+
+    def test_k1_splits_by_parents(self, simple_tree):
+        partition = blocks_as_partition(kbisimulation_blocks(simple_tree, 1))
+        # c under a's {4,5} separates from c under b {6}.
+        assert frozenset({4, 5}) in partition
+        assert frozenset({6}) in partition
+
+    def test_negative_k_rejected(self, simple_tree):
+        with pytest.raises(ValueError):
+            kbisimulation_blocks(simple_tree, -1)
+
+    def test_refinement_chain_property(self, fig1):
+        """A(k) property 5: (k+1)-bisim refines k-bisim."""
+        previous = kbisimulation_blocks(fig1, 0)
+        for k in range(1, 5):
+            current = kbisimulation_blocks(fig1, k)
+            # Same current block => same previous block.
+            mapping = {}
+            for oid in fig1.nodes():
+                if current[oid] in mapping:
+                    assert mapping[current[oid]] == previous[oid]
+                else:
+                    mapping[current[oid]] = previous[oid]
+            previous = current
+
+    def test_figure2_one_bisimilar_not_two(self, fig2):
+        """The paper's d nodes: equal label paths, 1- but not 2-bisimilar."""
+        assert are_kbisimilar(fig2, 6, 7, 0)
+        assert are_kbisimilar(fig2, 6, 7, 1)
+        assert not are_kbisimilar(fig2, 6, 7, 2)
+
+    def test_levels_consistent_with_blocks(self, fig1):
+        levels = kbisimulation_levels(fig1, 3)
+        assert len(levels) == 4
+        for k, level in enumerate(levels):
+            assert level == kbisimulation_blocks(fig1, k)
+
+    def test_stabilises_on_tree_depth(self, simple_tree):
+        # Depth-2 tree: partitions stop changing at k=2.
+        k2 = kbisimulation_blocks(simple_tree, 2)
+        k5 = kbisimulation_blocks(simple_tree, 5)
+        assert blocks_as_partition(k2) == blocks_as_partition(k5)
+
+
+class TestRefineOnce:
+    def test_single_round_matches_k1(self, simple_tree):
+        refined = refine_once(simple_tree, label_blocks(simple_tree))
+        assert blocks_as_partition(refined) == blocks_as_partition(
+            kbisimulation_blocks(simple_tree, 1))
+
+    def test_idempotent_at_fixpoint(self, simple_tree):
+        blocks, _ = full_bisimulation_blocks(simple_tree)
+        again = refine_once(simple_tree, blocks)
+        assert blocks_as_partition(again) == blocks_as_partition(blocks)
+
+
+class TestFullBisimulation:
+    def test_figure2_separates_d_nodes(self, fig2):
+        blocks, rounds = full_bisimulation_blocks(fig2)
+        assert blocks[6] != blocks[7]
+        assert rounds >= 2
+
+    def test_rounds_reported(self, simple_tree):
+        _, rounds = full_bisimulation_blocks(simple_tree)
+        assert rounds == 1  # label split + one parent round suffices
+
+    def test_equals_high_k_bisimulation(self, fig1):
+        blocks, rounds = full_bisimulation_blocks(fig1)
+        high = kbisimulation_blocks(fig1, rounds + 3)
+        assert blocks_as_partition(blocks) == blocks_as_partition(high)
+
+    def test_max_rounds_cap(self, fig1):
+        blocks, rounds = full_bisimulation_blocks(fig1, max_rounds=1)
+        assert rounds <= 1
+
+
+class TestHelpers:
+    def test_blocks_to_extents_partition(self, fig1):
+        extents = blocks_to_extents(kbisimulation_blocks(fig1, 2))
+        union = set()
+        for extent in extents:
+            assert not (union & extent)
+            union |= extent
+        assert union == set(fig1.nodes())
+
+    def test_extent_is_kbisimilar(self, fig2):
+        assert extent_is_kbisimilar(fig2, {6, 7}, 1)
+        assert not extent_is_kbisimilar(fig2, {6, 7}, 2)
+        assert extent_is_kbisimilar(fig2, {6}, 9)
+        assert extent_is_kbisimilar(fig2, set(), 0)
+
+    def test_extent_is_kbisimilar_with_precomputed_blocks(self, fig2):
+        blocks = kbisimulation_blocks(fig2, 2)
+        assert not extent_is_kbisimilar(fig2, {6, 7}, 2, blocks=blocks)

@@ -1,0 +1,117 @@
+"""Tests for path expressions (repro.queries.pathexpr)."""
+
+import pytest
+
+from repro.queries.pathexpr import PathExpression, as_expression
+
+
+class TestParsing:
+    def test_descendant(self):
+        expr = PathExpression.parse("//a/b/c")
+        assert expr.labels == ("a", "b", "c")
+        assert not expr.rooted
+
+    def test_absolute(self):
+        expr = PathExpression.parse("/site/people")
+        assert expr.labels == ("site", "people")
+        assert expr.rooted
+
+    def test_bare_path_is_descendant(self):
+        assert not PathExpression.parse("a/b").rooted
+
+    def test_wildcard_step(self):
+        expr = PathExpression.parse("/site/regions/*/item")
+        assert expr.has_wildcard
+        assert expr.labels[2] == "*"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PathExpression.parse("//")
+        with pytest.raises(ValueError):
+            PathExpression.parse("/")
+
+    def test_internal_descendant_axis_parses(self):
+        expr = PathExpression.parse("//a//b")
+        assert expr.descendant_steps == frozenset({1})
+
+    def test_leading_double_descendant_rejected(self):
+        with pytest.raises(ValueError):
+            PathExpression.parse("////a")
+
+    def test_no_labels_rejected(self):
+        with pytest.raises(ValueError):
+            PathExpression(labels=())
+
+    def test_label_with_slash_rejected(self):
+        with pytest.raises(ValueError):
+            PathExpression(labels=("a/b",))
+
+
+class TestProperties:
+    def test_length_counts_edges(self):
+        assert PathExpression.descendant("a").length == 0
+        assert PathExpression.descendant("a", "b", "c").length == 2
+
+    def test_last_label(self):
+        assert PathExpression.descendant("a", "b").last_label == "b"
+
+    def test_str_roundtrip_descendant(self):
+        text = "//a/b/c"
+        assert str(PathExpression.parse(text)) == text
+
+    def test_str_roundtrip_absolute(self):
+        text = "/a/b"
+        assert str(PathExpression.parse(text)) == text
+
+    def test_equality_and_hash(self):
+        a = PathExpression.parse("//a/b")
+        b = PathExpression.parse("//a/b")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != PathExpression.parse("/a/b")
+
+    def test_matches_label(self):
+        expr = PathExpression.descendant("a", "*")
+        assert expr.matches_label(0, "a")
+        assert not expr.matches_label(0, "b")
+        assert expr.matches_label(1, "anything")
+
+
+class TestDerivedExpressions:
+    def test_prefix(self):
+        expr = PathExpression.parse("/a/b/c")
+        prefix = expr.prefix(2)
+        assert prefix.labels == ("a", "b")
+        assert prefix.rooted
+
+    def test_prefix_out_of_range(self):
+        expr = PathExpression.parse("//a/b")
+        with pytest.raises(ValueError):
+            expr.prefix(0)
+        with pytest.raises(ValueError):
+            expr.prefix(3)
+
+    def test_subpath_is_descendant(self):
+        expr = PathExpression.parse("/a/b/c/d")
+        sub = expr.subpath(1, 2)
+        assert sub.labels == ("b", "c")
+        assert not sub.rooted
+
+    def test_subpath_out_of_range(self):
+        expr = PathExpression.parse("//a/b")
+        with pytest.raises(ValueError):
+            expr.subpath(1, 2)
+
+
+class TestCoercion:
+    def test_expression_passthrough(self):
+        expr = PathExpression.parse("//a")
+        assert as_expression(expr) is expr
+
+    def test_string(self):
+        assert as_expression("//a/b").labels == ("a", "b")
+
+    def test_sequence(self):
+        expr = as_expression(["a", "b"])
+        assert expr.labels == ("a", "b")
+        assert not expr.rooted

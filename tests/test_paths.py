@@ -1,0 +1,118 @@
+"""Tests for label-path machinery (repro.graph.paths)."""
+
+import pytest
+
+from repro.graph.paths import (
+    enumerate_rooted_label_paths,
+    label_path_target_set,
+    path_length,
+    pred_set,
+    succ_set,
+)
+
+
+class TestSuccPred:
+    def test_succ_of_single_node(self, simple_tree):
+        assert succ_set(simple_tree, [0]) == {1, 2, 3}
+
+    def test_succ_of_set_unions_children(self, simple_tree):
+        assert succ_set(simple_tree, [1, 3]) == {4, 6}
+
+    def test_succ_of_leaf_empty(self, simple_tree):
+        assert succ_set(simple_tree, [4]) == set()
+
+    def test_pred_of_set(self, simple_tree):
+        assert pred_set(simple_tree, [4, 5]) == {1, 2}
+
+    def test_pred_of_root_empty(self, simple_tree):
+        assert pred_set(simple_tree, [0]) == set()
+
+    def test_empty_input(self, simple_tree):
+        assert succ_set(simple_tree, []) == set()
+        assert pred_set(simple_tree, []) == set()
+
+
+class TestTargetSet:
+    def test_single_label(self, simple_tree):
+        assert label_path_target_set(simple_tree, ["c"]) == {4, 5, 6}
+
+    def test_two_step_path(self, simple_tree):
+        assert label_path_target_set(simple_tree, ["a", "c"]) == {4, 5}
+
+    def test_wildcard(self, simple_tree):
+        assert label_path_target_set(simple_tree, ["*", "c"]) == {4, 5, 6}
+
+    def test_no_match(self, simple_tree):
+        assert label_path_target_set(simple_tree, ["a", "b"]) == set()
+
+    def test_start_restriction(self, simple_tree):
+        assert label_path_target_set(simple_tree, ["a", "c"], start=[1]) == {4}
+
+    def test_paper_figure1_examples(self, fig1):
+        persons = label_path_target_set(
+            fig1, ["site", "people", "person"], start=fig1.children(0))
+        assert persons == {7, 8, 9}
+        items = label_path_target_set(
+            fig1, ["site", "regions", "*", "item"], start=fig1.children(0))
+        assert items == {12, 13, 14}
+
+    def test_follows_reference_edges(self, fig1):
+        # seller -> person reference edges make person reachable by
+        # //auction/seller/person.
+        targets = label_path_target_set(fig1, ["auction", "seller", "person"])
+        assert targets == {7, 9}
+
+    def test_empty_path(self, simple_tree):
+        assert label_path_target_set(simple_tree, []) == set()
+
+
+class TestEnumeration:
+    def test_all_paths_of_simple_tree(self, simple_tree):
+        paths = enumerate_rooted_label_paths(simple_tree, 2)
+        assert set(paths) == {("a",), ("b",), ("a", "c"), ("b", "c")}
+
+    def test_length_zero(self, simple_tree):
+        assert set(enumerate_rooted_label_paths(simple_tree, 0)) == {("a",), ("b",)}
+
+    def test_negative_length_rejected(self, simple_tree):
+        with pytest.raises(ValueError):
+            enumerate_rooted_label_paths(simple_tree, -1)
+
+    def test_include_root_label(self, simple_tree):
+        paths = enumerate_rooted_label_paths(simple_tree, 1,
+                                             include_root_label=True)
+        assert ("r",) in paths
+        assert ("r", "a") in paths
+
+    def test_paths_are_distinct(self, fig1):
+        paths = enumerate_rooted_label_paths(fig1, 5)
+        assert len(paths) == len(set(paths))
+
+    def test_cycle_bounded_by_max_length(self):
+        from repro.graph.builder import graph_from_edges
+        graph = graph_from_edges(["r", "a"], [(0, 1)], references=[(1, 1)])
+        paths = enumerate_rooted_label_paths(graph, 4)
+        # a, a/a, a/a/a, ... up to 5 labels: exactly 5 paths.
+        assert len(paths) == 5
+        assert max(len(path) for path in paths) == 5
+
+    def test_max_paths_cap_keeps_shortest(self, fig1):
+        capped = enumerate_rooted_label_paths(fig1, 5, max_paths=3)
+        assert len(capped) == 3
+        assert all(len(path) <= 2 for path in capped)
+
+    def test_every_enumerated_path_has_instances(self, fig1):
+        for path in enumerate_rooted_label_paths(fig1, 4):
+            targets = label_path_target_set(fig1, list(path),
+                                            start=fig1.children(fig1.root))
+            assert targets, f"path {path} has no instance"
+
+
+class TestPathLength:
+    def test_counts_edges(self):
+        assert path_length(["a"]) == 0
+        assert path_length(["a", "b", "c"]) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            path_length([])

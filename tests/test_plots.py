@@ -1,0 +1,73 @@
+"""Tests for the ASCII chart renderer (repro.experiments.plots)."""
+
+from repro.experiments.plots import line_chart, scatter_plot
+
+
+class TestScatterPlot:
+    POINTS = [(0.0, 0.0, "alpha"), (10.0, 5.0, "beta"), (5.0, 10.0, "gamma")]
+
+    def test_dimensions(self):
+        chart = scatter_plot(self.POINTS, width=20, height=8)
+        lines = chart.splitlines()
+        assert len(lines) == 8 + 3  # grid + axis + x labels + legend
+        grid_lines = lines[:8]
+        assert all(line.endswith("|") for line in grid_lines)
+
+    def test_markers_unique_even_on_prefix_collision(self):
+        chart = scatter_plot([(0, 0, "M(k)"), (1, 1, "M*(k)"),
+                              (2, 2, "D-construct"), (3, 3, "D-promote")],
+                             width=10, height=5)
+        legend = chart.splitlines()[-1]
+        assert "M=M(k)" in legend
+        assert "k=M*(k)" in legend
+        assert "D=D-construct" in legend
+        assert "p=D-promote" in legend
+
+    def test_extremes_placed_at_corners(self):
+        chart = scatter_plot([(0.0, 0.0, "low"), (1.0, 1.0, "high")],
+                             width=10, height=5)
+        lines = chart.splitlines()
+        assert lines[0].rstrip().endswith("h|")      # top-right = max
+        assert "l" in lines[4]                       # bottom-left = min
+
+    def test_axis_labels(self):
+        chart = scatter_plot([(0, 5, "a"), (20000, 50, "b")],
+                             x_label="nodes", y_label="cost")
+        assert "(nodes)" in chart
+        assert "cost vertical" in chart
+        assert "20k" in chart  # large numbers abbreviated
+
+    def test_empty(self):
+        assert scatter_plot([]) == "(no points)"
+
+    def test_degenerate_single_point(self):
+        chart = scatter_plot([(3.0, 3.0, "only")], width=8, height=4)
+        assert "o" in chart
+
+
+class TestLineChart:
+    def test_series_rendered_with_distinct_markers(self):
+        chart = line_chart([("up", [(0, 0), (1, 1), (2, 2)]),
+                            ("down", [(0, 2), (1, 1), (2, 0)])],
+                           width=12, height=6)
+        legend = chart.splitlines()[-1]
+        assert "u=up" in legend
+        assert "d=down" in legend
+
+
+class TestFigurePlots:
+    def test_report_figures_render(self, small_xmark):
+        from repro.experiments.cost_vs_size import run_cost_vs_size
+        from repro.experiments.growth import run_growth
+        from repro.experiments.plots import cost_vs_size_plot, growth_plot
+        from repro.queries.workload import Workload
+
+        workload = Workload.generate(small_xmark, num_queries=30,
+                                     max_length=5, seed=1)
+        cost = run_cost_vs_size(small_xmark, workload, "xmark", max_ak=1,
+                                include=("ak", "mstar"))
+        chart = cost_vs_size_plot(cost)
+        assert "avg cost vertical" in chart
+        growth = run_growth(small_xmark, workload, "xmark", batch_size=10)
+        chart = growth_plot(growth, metric="edges")
+        assert "index edges vertical" in chart

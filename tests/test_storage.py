@@ -1,0 +1,229 @@
+"""Tests for the disk-resident storage layer (repro.storage)."""
+
+import os
+
+import pytest
+
+from repro.indexes.mstarindex import MStarIndex
+from repro.queries.evaluator import evaluate_on_data_graph
+from repro.queries.pathexpr import PathExpression
+from repro.queries.workload import Workload
+from repro.storage.diskindex import DiskMStarIndex
+from repro.storage.pager import BufferPool, PageFile, PageRef
+from repro.storage.serialization import (
+    load_graph,
+    load_mstar,
+    save_graph,
+    save_mstar,
+)
+
+
+@pytest.fixture
+def refined_mstar(small_xmark):
+    workload = Workload.generate(small_xmark, num_queries=60, max_length=6,
+                                 seed=61)
+    index = MStarIndex(small_xmark)
+    for expr in workload:
+        index.refine(expr, index.query(expr))
+    return index, workload
+
+
+class TestGraphSerialization:
+    def test_roundtrip_preserves_everything(self, fig1, tmp_path):
+        path = str(tmp_path / "g.rpgr")
+        save_graph(fig1, path)
+        loaded = load_graph(path)
+        assert loaded.labels == fig1.labels
+        assert list(loaded.edges()) == list(fig1.edges())
+        assert loaded.root == fig1.root
+        assert loaded.num_reference_edges == fig1.num_reference_edges
+
+    def test_edge_kinds_survive(self, fig1, tmp_path):
+        from repro.graph.datagraph import EdgeKind
+        path = str(tmp_path / "g.rpgr")
+        save_graph(fig1, path)
+        loaded = load_graph(path)
+        assert loaded.edge_kind(16, 7) is EdgeKind.REFERENCE
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = str(tmp_path / "bad.rpgr")
+        with open(path, "wb") as out:
+            out.write(b"NOPE" + b"\0" * 16)
+        with pytest.raises(ValueError, match="not a repro graph"):
+            load_graph(path)
+
+    def test_truncated_file_rejected(self, fig1, tmp_path):
+        path = str(tmp_path / "g.rpgr")
+        save_graph(fig1, path)
+        with open(path, "rb") as source:
+            data = source.read()
+        with open(path, "wb") as out:
+            out.write(data[:len(data) // 2])
+        with pytest.raises((ValueError, Exception)):
+            load_graph(path)
+
+
+class TestMStarSerialization:
+    def test_roundtrip_preserves_answers(self, small_xmark, refined_mstar,
+                                         tmp_path):
+        index, workload = refined_mstar
+        path = str(tmp_path / "i.rpms")
+        save_mstar(index, path)
+        loaded = load_mstar(path, small_xmark)
+        loaded.check_invariants()
+        for expr in list(workload)[:25]:
+            assert loaded.query(expr).answers == index.query(expr).answers
+
+    def test_roundtrip_preserves_sizes(self, small_xmark, refined_mstar,
+                                       tmp_path):
+        index, _ = refined_mstar
+        path = str(tmp_path / "i.rpms")
+        save_mstar(index, path)
+        loaded = load_mstar(path, small_xmark)
+        assert loaded.size_nodes() == index.size_nodes()
+        assert loaded.size_edges() == index.size_edges()
+
+    def test_wrong_graph_rejected(self, small_xmark, small_nasa,
+                                  refined_mstar, tmp_path):
+        index, _ = refined_mstar
+        path = str(tmp_path / "i.rpms")
+        save_mstar(index, path)
+        with pytest.raises((ValueError, IndexError)):
+            load_mstar(path, small_nasa)
+
+    def test_bad_magic_rejected(self, small_xmark, tmp_path):
+        path = str(tmp_path / "bad.rpms")
+        with open(path, "wb") as out:
+            out.write(b"NOPE" + b"\0" * 16)
+        with pytest.raises(ValueError, match="not a repro"):
+            load_mstar(path, small_xmark)
+
+
+class TestPager:
+    def test_page_file_reads_and_counts(self, small_xmark, refined_mstar,
+                                        tmp_path):
+        index, _ = refined_mstar
+        path = str(tmp_path / "i.rpdi")
+        disk = DiskMStarIndex.build(index, path, page_size=512)
+        assert disk.page_count > 1
+        first_key = next(iter(disk._file.pages))
+        records = disk._file.read_page(first_key)
+        assert records
+        assert disk._file.reads == 1
+        disk.close()
+
+    def test_buffer_pool_lru_and_hits(self, small_xmark, refined_mstar,
+                                      tmp_path):
+        index, _ = refined_mstar
+        path = str(tmp_path / "i.rpdi")
+        disk = DiskMStarIndex.build(index, path, page_size=512,
+                                    buffer_pages=2)
+        keys = list(disk._file.pages)[:3]
+        pool = disk.pool
+        pool.page(keys[0])
+        pool.page(keys[0])
+        assert pool.hits == 1
+        pool.page(keys[1])
+        pool.page(keys[2])  # evicts keys[0]
+        reads_before = pool.reads
+        pool.page(keys[0])
+        assert pool.reads == reads_before + 1
+        disk.close()
+
+    def test_capacity_validation(self, tmp_path):
+        path = str(tmp_path / "x")
+        with open(path, "wb") as out:
+            out.write(b"data")
+        file = PageFile(path, {(0, 0): PageRef(0, 4)})
+        with pytest.raises(ValueError):
+            BufferPool(file, 0)
+        file.close()
+
+    def test_reset_stats_keeps_cache_warm(self, small_xmark, refined_mstar,
+                                          tmp_path):
+        index, workload = refined_mstar
+        path = str(tmp_path / "i.rpdi")
+        disk = DiskMStarIndex.build(index, path, buffer_pages=1000)
+        for expr in list(workload)[:10]:
+            disk.query(expr)
+        disk.reset_io_stats()
+        for expr in list(workload)[:10]:
+            disk.query(expr)
+        reads, hits = disk.io_stats()
+        assert reads == 0  # everything already cached
+        assert hits > 0
+        disk.close()
+
+
+class TestDiskIndex:
+    def test_answers_match_memory_index(self, small_xmark, refined_mstar,
+                                        tmp_path):
+        index, workload = refined_mstar
+        path = str(tmp_path / "i.rpdi")
+        with DiskMStarIndex.build(index, path) as disk:
+            for expr in workload:
+                assert disk.query(expr).answers == \
+                    evaluate_on_data_graph(small_xmark, expr)
+
+    def test_rooted_queries(self, fig1, tmp_path):
+        index = MStarIndex(fig1)
+        expr = PathExpression.parse("/site/people/person")
+        index.refine(expr, index.query(expr))
+        path = str(tmp_path / "fig1.rpdi")
+        with DiskMStarIndex.build(index, path) as disk:
+            result = disk.query(expr)
+            assert result.answers == {7, 8, 9}
+            assert not result.validated
+
+    def test_validation_on_unrefined_queries(self, fig1, tmp_path):
+        index = MStarIndex(fig1)
+        path = str(tmp_path / "fig1.rpdi")
+        with DiskMStarIndex.build(index, path) as disk:
+            result = disk.query(PathExpression.parse("//site/people/person"))
+            assert result.answers == {7, 8, 9}
+            assert result.validated
+
+    def test_small_buffer_costs_more_io(self, small_xmark, refined_mstar,
+                                        tmp_path):
+        index, workload = refined_mstar
+        path = str(tmp_path / "i.rpdi")
+        DiskMStarIndex.build(index, path, page_size=512).close()
+
+        def total_reads(buffer_pages):
+            with DiskMStarIndex(path, small_xmark,
+                                buffer_pages=buffer_pages) as disk:
+                for expr in workload:
+                    disk.query(expr)
+                return disk.io_stats()[0]
+
+        assert total_reads(2) > total_reads(100_000)
+
+    def test_short_queries_touch_few_pages(self, small_xmark, refined_mstar,
+                                           tmp_path):
+        """The selective-loading goal: a single-label query reads only
+        the coarse component's pages."""
+        index, _ = refined_mstar
+        path = str(tmp_path / "i.rpdi")
+        with DiskMStarIndex.build(index, path, page_size=512,
+                                  buffer_pages=100_000) as disk:
+            disk.query(PathExpression.parse("//item"))
+            short_reads, _ = disk.io_stats()
+            assert short_reads < disk.page_count / 2
+
+    def test_build_validation(self, fig1, tmp_path):
+        index = MStarIndex(fig1)
+        with pytest.raises(ValueError):
+            DiskMStarIndex.build(index, str(tmp_path / "x"), page_size=8)
+
+    def test_bad_magic_rejected(self, fig1, tmp_path):
+        path = str(tmp_path / "bad.rpdi")
+        with open(path, "wb") as out:
+            out.write(b"NOPE" + b"\0" * 16)
+        with pytest.raises(ValueError, match="not a repro disk-index"):
+            DiskMStarIndex(path, fig1)
+
+    def test_file_size_reasonable(self, small_xmark, refined_mstar, tmp_path):
+        index, _ = refined_mstar
+        path = str(tmp_path / "i.rpdi")
+        DiskMStarIndex.build(index, path).close()
+        assert os.path.getsize(path) > 0

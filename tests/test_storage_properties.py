@@ -1,0 +1,74 @@
+"""Property-based tests for the storage layer (hypothesis)."""
+
+import os
+import tempfile
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.indexes.mstarindex import MStarIndex
+from repro.queries.evaluator import evaluate_on_data_graph
+from repro.queries.workload import Workload
+from repro.storage.diskindex import DiskMStarIndex
+from repro.storage.serialization import (
+    load_graph,
+    load_mstar,
+    save_graph,
+    save_mstar,
+)
+from tests.test_properties import graphs
+
+SETTINGS = settings(max_examples=15, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestGraphRoundTrip:
+    @SETTINGS
+    @given(graphs())
+    def test_save_load_identity(self, graph):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "g.rpgr")
+            save_graph(graph, path)
+            loaded = load_graph(path)
+        assert loaded.labels == graph.labels
+        assert sorted(loaded.edges()) == sorted(graph.edges())
+        assert loaded.root == graph.root
+        assert loaded.num_reference_edges == graph.num_reference_edges
+
+
+class TestMStarRoundTrip:
+    @SETTINGS
+    @given(graphs(), st.integers(0, 99))
+    def test_refined_index_round_trips(self, graph, seed):
+        queries = list(Workload.generate(graph, num_queries=5, max_length=4,
+                                         seed=seed))
+        index = MStarIndex(graph)
+        for expr in queries:
+            index.refine(expr, index.query(expr))
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "i.rpms")
+            save_mstar(index, path)
+            loaded = load_mstar(path, graph)
+        loaded.check_invariants()
+        assert loaded.size_nodes() == index.size_nodes()
+        assert loaded.size_edges() == index.size_edges()
+        for expr in queries:
+            assert loaded.query(expr).answers == index.query(expr).answers
+
+
+class TestDiskIndexProperties:
+    @SETTINGS
+    @given(graphs(), st.integers(0, 99), st.sampled_from([128, 512, 4096]))
+    def test_disk_answers_equal_ground_truth(self, graph, seed, page_size):
+        queries = list(Workload.generate(graph, num_queries=5, max_length=4,
+                                         seed=seed))
+        index = MStarIndex(graph)
+        for expr in queries:
+            index.refine(expr, index.query(expr))
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "i.rpdi")
+            with DiskMStarIndex.build(index, path, page_size=page_size,
+                                      buffer_pages=3) as disk:
+                for expr in queries:
+                    assert disk.query(expr).answers == \
+                        evaluate_on_data_graph(graph, expr)

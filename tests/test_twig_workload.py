@@ -1,0 +1,59 @@
+"""Tests for the twig-query generator (repro.queries.workload)."""
+
+import pytest
+
+from repro.queries.branching import BranchingPathExpression, evaluate_branching
+from repro.queries.workload import generate_twig_queries
+
+
+class TestGenerateTwigQueries:
+    def test_count_and_type(self, small_xmark):
+        queries = generate_twig_queries(small_xmark, num_queries=20, seed=71)
+        assert len(queries) == 20
+        assert all(isinstance(q, BranchingPathExpression) for q in queries)
+
+    def test_deterministic(self, small_xmark):
+        first = generate_twig_queries(small_xmark, num_queries=15, seed=72)
+        second = generate_twig_queries(small_xmark, num_queries=15, seed=72)
+        assert first == second
+
+    def test_trunk_length_bounded(self, small_xmark):
+        queries = generate_twig_queries(small_xmark, num_queries=30,
+                                        max_trunk_length=2, seed=73)
+        assert all(q.length <= 2 for q in queries)
+
+    def test_predicate_depth_bounded(self, small_xmark):
+        queries = generate_twig_queries(small_xmark, num_queries=30,
+                                        max_predicate_depth=1, seed=74)
+        assert all(q.max_predicate_depth <= 1 for q in queries)
+
+    def test_some_queries_have_predicates(self, small_xmark):
+        queries = generate_twig_queries(small_xmark, num_queries=40,
+                                        predicate_probability=0.9, seed=75)
+        assert any(q.has_predicates for q in queries)
+
+    def test_zero_probability_gives_plain_trunks(self, small_xmark):
+        queries = generate_twig_queries(small_xmark, num_queries=20,
+                                        predicate_probability=0.0, seed=76)
+        assert not any(q.has_predicates for q in queries)
+
+    def test_final_position_mode(self, small_xmark):
+        queries = generate_twig_queries(small_xmark, num_queries=40,
+                                        predicate_positions="final",
+                                        predicate_probability=0.9, seed=77)
+        for query in queries:
+            assert all(not step.predicates for step in query.steps[:-1])
+
+    def test_bad_position_mode_rejected(self, small_xmark):
+        with pytest.raises(ValueError):
+            generate_twig_queries(small_xmark, num_queries=5,
+                                  predicate_positions="middle")
+
+    def test_predicates_usually_satisfiable(self, small_xmark):
+        """Predicates are sampled from real downward walks, so most twig
+        queries should have non-empty answers."""
+        queries = generate_twig_queries(small_xmark, num_queries=40,
+                                        predicate_probability=0.8, seed=78)
+        non_empty = sum(bool(evaluate_branching(small_xmark, q))
+                        for q in queries)
+        assert non_empty >= len(queries) * 0.5

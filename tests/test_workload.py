@@ -1,0 +1,101 @@
+"""Tests for the workload generator (repro.queries.workload)."""
+
+import pytest
+
+from repro.queries.pathexpr import PathExpression
+from repro.queries.workload import (
+    Workload,
+    WorkloadSpec,
+    query_length_histogram,
+)
+
+
+class TestSpec:
+    def test_defaults(self):
+        spec = WorkloadSpec()
+        assert spec.num_queries == 500
+        assert spec.max_length == 9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(num_queries=-1)
+        with pytest.raises(ValueError):
+            WorkloadSpec(max_length=-1)
+
+
+class TestGeneration:
+    def test_query_count(self, fig1):
+        workload = Workload.generate(fig1, num_queries=40, max_length=4)
+        assert len(workload) == 40
+
+    def test_deterministic_by_seed(self, fig1):
+        first = Workload.generate(fig1, num_queries=30, max_length=4, seed=9)
+        second = Workload.generate(fig1, num_queries=30, max_length=4, seed=9)
+        assert first.queries == second.queries
+
+    def test_different_seeds_differ(self, fig1):
+        first = Workload.generate(fig1, num_queries=30, max_length=4, seed=1)
+        second = Workload.generate(fig1, num_queries=30, max_length=4, seed=2)
+        assert first.queries != second.queries
+
+    def test_all_queries_are_descendant_expressions(self, fig1):
+        workload = Workload.generate(fig1, num_queries=50, max_length=4)
+        assert all(not query.rooted for query in workload)
+
+    def test_max_length_respected(self, fig1):
+        workload = Workload.generate(fig1, num_queries=100, max_length=3)
+        assert all(query.length <= 3 for query in workload)
+
+    def test_queries_have_instances(self, fig1):
+        """Every query is a subsequence of a real label path, so it has at
+        least one instance in the data graph."""
+        from repro.queries.evaluator import evaluate_on_data_graph
+        workload = Workload.generate(fig1, num_queries=60, max_length=4)
+        for query in workload:
+            assert evaluate_on_data_graph(fig1, query)
+
+    def test_short_queries_more_likely(self, small_xmark):
+        workload = Workload.generate(small_xmark, num_queries=500,
+                                     max_length=9, seed=0)
+        histogram = workload.length_histogram()
+        assert histogram[0] == max(histogram)
+        assert histogram[0] > histogram[5]
+
+    def test_empty_workload(self, fig1):
+        workload = Workload.generate(fig1, num_queries=0, max_length=4)
+        assert len(workload) == 0
+
+    def test_iteration_yields_expressions(self, fig1):
+        workload = Workload.generate(fig1, num_queries=5, max_length=2)
+        assert all(isinstance(query, PathExpression) for query in workload)
+
+
+class TestBatches:
+    def test_batches_cover_workload(self, fig1):
+        workload = Workload.generate(fig1, num_queries=45, max_length=3)
+        batches = list(workload.batches(10))
+        assert [len(batch) for batch in batches] == [10, 10, 10, 10, 5]
+        flattened = tuple(query for batch in batches for query in batch)
+        assert flattened == workload.queries
+
+    def test_bad_batch_size(self, fig1):
+        workload = Workload.generate(fig1, num_queries=5, max_length=2)
+        with pytest.raises(ValueError):
+            list(workload.batches(0))
+
+
+class TestHistogram:
+    def test_normalised(self):
+        queries = [PathExpression.descendant("a"),
+                   PathExpression.descendant("a", "b"),
+                   PathExpression.descendant("a", "b")]
+        histogram = query_length_histogram(queries, 2)
+        assert histogram == [pytest.approx(1 / 3), pytest.approx(2 / 3), 0.0]
+
+    def test_too_long_query_rejected(self):
+        queries = [PathExpression.descendant("a", "b", "c")]
+        with pytest.raises(ValueError):
+            query_length_histogram(queries, 1)
+
+    def test_empty(self):
+        assert query_length_histogram([], 2) == [0.0, 0.0, 0.0]

@@ -1,0 +1,79 @@
+"""Tests for XML parsing and serialisation (repro.graph.xml_io)."""
+
+import pytest
+
+from repro.graph.datagraph import EdgeKind
+from repro.graph.xml_io import graph_to_xml, parse_xml
+
+
+class TestParseXml:
+    def test_simple_nesting(self):
+        graph = parse_xml("<site><people><person/></people></site>")
+        assert graph.labels == ["root", "site", "people", "person"]
+        assert list(graph.edges()) == [(0, 1), (1, 2), (2, 3)]
+        assert graph.root == 0
+
+    def test_synthetic_root_label_configurable(self):
+        graph = parse_xml("<a/>", root_label="doc")
+        assert graph.label(graph.root) == "doc"
+
+    def test_repeated_tags_get_distinct_oids(self):
+        graph = parse_xml("<r><x/><x/><x/></r>")
+        assert graph.nodes_with_label("x") == [2, 3, 4]
+
+    def test_idref_resolved_to_reference_edge(self):
+        graph = parse_xml('<r><a id="p1"/><b ref="p1"/></r>')
+        a, b = graph.nodes_with_label("a")[0], graph.nodes_with_label("b")[0]
+        assert graph.edge_kind(b, a) is EdgeKind.REFERENCE
+
+    def test_idrefs_list_resolved(self):
+        graph = parse_xml('<r><a id="p1"/><a id="p2"/><b idrefs="p1 p2"/></r>')
+        b = graph.nodes_with_label("b")[0]
+        assert len(graph.children(b)) == 2
+
+    def test_forward_reference_allowed(self):
+        graph = parse_xml('<r><b ref="p1"/><a id="p1"/></r>')
+        assert graph.num_reference_edges == 1
+
+    def test_dangling_idref_rejected(self):
+        with pytest.raises(ValueError, match="unknown ID"):
+            parse_xml('<r><b ref="missing"/></r>')
+
+    def test_duplicate_id_rejected(self):
+        with pytest.raises(ValueError, match="duplicate ID"):
+            parse_xml('<r><a id="p"/><b id="p"/></r>')
+
+    def test_text_content_ignored(self):
+        graph = parse_xml("<r><a>hello<b/>world</a></r>")
+        assert graph.num_nodes == 4  # root, r, a, b
+
+    def test_malformed_xml_raises(self):
+        with pytest.raises(Exception):
+            parse_xml("<r><unclosed></r>")
+
+
+class TestRoundTrip:
+    def test_tree_roundtrip(self):
+        text = "<site><people><person/><person/></people></site>"
+        graph = parse_xml(text)
+        assert graph_to_xml(graph) == text
+
+    def test_reference_roundtrip_preserves_structure(self):
+        graph = parse_xml('<r><a id="p1"/><b ref="p1"/></r>')
+        reparsed = parse_xml(graph_to_xml(graph))
+        assert reparsed.num_nodes == graph.num_nodes
+        assert reparsed.num_reference_edges == 1
+
+    def test_non_tree_regular_edges_rejected(self):
+        graph = parse_xml("<r><a/><b/></r>")
+        # Make b a second regular parent of a: no longer serialisable.
+        graph.add_edge(3, 2)
+        with pytest.raises(ValueError, match="not a tree"):
+            graph_to_xml(graph)
+
+    def test_multiple_document_elements_rejected(self):
+        graph = parse_xml("<r><a/></r>")
+        extra = graph.add_node("b")
+        graph.add_edge(graph.root, extra)
+        with pytest.raises(ValueError, match="exactly one"):
+            graph_to_xml(graph)
