@@ -8,7 +8,9 @@ Commands:
   save it (optionally also as a paged disk index);
 * ``query`` — run path expressions against a document (optionally
   through a saved index), printing answers and costs;
-* ``report`` — regenerate the paper's full figure sweep as markdown.
+* ``report`` — regenerate the paper's full figure sweep as markdown;
+* ``verify`` — run the differential correctness oracle + fuzz harness
+  over every index family (see :mod:`repro.verify`).
 """
 
 from __future__ import annotations
@@ -116,6 +118,24 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify.runner import run_verification
+
+    families = ([name.strip() for name in args.indexes.split(",")
+                 if name.strip()] if args.indexes else None)
+    report = run_verification(
+        seed=args.seed, rounds=args.rounds, families=families, k=args.k,
+        queries_per_round=args.queries, engine_queries=args.engine_queries,
+        profile=args.profile, graph_seed=args.graph_seed,
+        progress=print if args.verbose else None)
+    print(report.summary())
+    if args.repro_out and not report.ok:
+        with open(args.repro_out, "w") as handle:
+            handle.write("\n".join(report.repro_lines()) + "\n")
+        print(f"discrepancy repros written to {args.repro_out}")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -165,6 +185,35 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--seed", type=int, default=1)
     report.add_argument("--output", "-o")
     report.set_defaults(handler=cmd_report)
+
+    verify = commands.add_parser(
+        "verify",
+        help="differential correctness oracle + fuzz harness")
+    verify.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (each round derives its own "
+                             "graph seed)")
+    verify.add_argument("--rounds", type=int, default=25)
+    verify.add_argument("--indexes",
+                        help="comma-separated family names (default: all; "
+                             "see repro.verify.oracle.FAMILY_NAMES)")
+    verify.add_argument("--k", type=int, default=2,
+                        help="resolution for the parameterised families")
+    verify.add_argument("--queries", type=int, default=24,
+                        help="fuzzed queries per round")
+    verify.add_argument("--engine-queries", type=int, default=40,
+                        help="adaptive-engine stream length per round")
+    verify.add_argument("--profile",
+                        help="replay mode: run one round on this graph "
+                             "profile")
+    verify.add_argument("--graph-seed", type=int,
+                        help="replay mode: exact graph seed from a "
+                             "discrepancy repro line")
+    verify.add_argument("--repro-out",
+                        help="on failure, write discrepancy repro lines "
+                             "(graph seed + query) to this file")
+    verify.add_argument("--verbose", "-v", action="store_true",
+                        help="print one status line per round")
+    verify.set_defaults(handler=cmd_verify)
     return parser
 
 

@@ -81,11 +81,15 @@ class AdaptiveIndexEngine:
             self.stats.validated_queries += 1
 
         is_fup = self.extractor.observe(expr)
+        # needs_refresh: refining *other* FUPs can split this one's target
+        # nodes and reintroduce validation.  A query the engine already
+        # committed refinement work to stays supported regardless of
+        # whether the extractor still flags it frequent — otherwise a
+        # FUP whose count slid out of the extractor's window would pay
+        # validation forever.
         needs_refresh = expr in self._refined and result.validated
-        if is_fup and self.can_refine and (expr not in self._refined
-                                           or needs_refresh):
-            # needs_refresh: refining *other* FUPs can split this one's
-            # target nodes and reintroduce validation; refine again.
+        if self.can_refine and ((is_fup and expr not in self._refined)
+                                or needs_refresh):
             self.index.refine(expr, result)
             self._refined.add(expr)
             self.stats.refinements += 1

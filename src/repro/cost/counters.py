@@ -22,6 +22,10 @@ class CostCounter:
     __slots__ = ("index_visits", "data_visits")
 
     def __init__(self, index_visits: int = 0, data_visits: int = 0) -> None:
+        if index_visits < 0 or data_visits < 0:
+            raise ValueError(
+                f"cost components must be non-negative, got "
+                f"index_visits={index_visits}, data_visits={data_visits}")
         self.index_visits = index_visits
         self.data_visits = data_visits
 
@@ -31,7 +35,17 @@ class CostCounter:
         return self.index_visits + self.data_visits
 
     def add(self, other: "CostCounter") -> None:
-        """Accumulate another counter into this one."""
+        """Accumulate another counter into this one.
+
+        Visit counts only ever grow, so ``add`` is monotone by
+        construction; a negative component on either side means a caller
+        corrupted a counter and is rejected rather than silently folded
+        into benchmark figures.
+        """
+        if other.index_visits < 0 or other.data_visits < 0:
+            raise ValueError(f"cannot add corrupted counter {other!r}")
+        if self.index_visits < 0 or self.data_visits < 0:
+            raise ValueError(f"cannot add into corrupted counter {self!r}")
         self.index_visits += other.index_visits
         self.data_visits += other.data_visits
 

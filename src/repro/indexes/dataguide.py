@@ -87,6 +87,14 @@ class DataGuide:
             frontier = set(range(len(self.extents)))
             first = expr.labels[0]
             entered: set[int] = set()
+            # A descendant expression may start anywhere, including at
+            # the root itself — but the root state is nobody's transition
+            # target, so set-at-a-time navigation alone would never enter
+            # it.  Match it directly.
+            cost.index_visits += 1
+            if first == WILDCARD or \
+                    self.graph.labels[self.graph.root] == first:
+                entered.add(0)
             for state_id in frontier:
                 for label, target in self.transitions[state_id].items():
                     cost.index_visits += 1

@@ -18,6 +18,17 @@ Refinement can occasionally create a brand-new false instance of the FUP
 (Figure 6 of the paper); the final loop of ``REFINE`` breaks those with
 ``PROMOTE'``, a promote variant that long-jumps out as soon as no false
 instance remains.
+
+One deliberate deviation from the published pseudocode, found by the
+differential oracle (:mod:`repro.verify`): the split inside
+``REFINENODE`` partitions by *every* parent of the node, not only the
+qualified ones, before merging the irrelevant pieces back into the
+remainder.  The qualified-only split stamps ``k`` on pieces that still
+mix data nodes distinguishable through an unqualified parent, and any
+*later* query of length <= k trusts that claim without validation —
+returning false positives the FUP-specific false-instance breaking
+never looks at.  See :meth:`MkIndex._split_and_merge` and
+``docs/verification.md``.
 """
 
 from __future__ import annotations
@@ -218,14 +229,27 @@ class MkIndex:
 
     def _split_and_merge(self, node: IndexNode, k: int,
                          relevant_data: set[int]) -> list[int]:
-        """Lines 9-26 of ``REFINENODE``: qualified split + remainder merge."""
+        """Lines 9-26 of ``REFINENODE``: full split + remainder merge.
+
+        The published pseudocode splits only by *qualified* parents (those
+        containing parents of relevant data).  That leaves the relevant
+        pieces mixed with data nodes that differ with respect to an
+        unqualified parent — yet stamps them ``k``, a claim any later
+        query of length <= k will trust without validation, returning
+        false positives.  We split by every parent instead: a piece
+        holding relevant data is reached only by qualified parent nodes
+        (any parent node reaching it contains a parent of its relevant
+        member, which by definition lies in ``relevant_parents``), and
+        those were just recursively refined to ``k - 1``, so the ``k``
+        claim on relevant pieces becomes sound.  Pieces without relevant
+        data still merge into a single remainder keeping the old
+        similarity value, so neither of M(k)'s two over-refinement
+        avoidances is lost.
+        """
         k_old = node.k
-        relevant_parents = pred_set(self.graph, relevant_data)
         parts: list[set[int]] = [set(node.extent)]
         for parent in sorted(self.index.parents_of(node.nid)):
             parent_node = self.index.nodes[parent]
-            if not (relevant_parents & parent_node.extent):
-                continue  # unqualified parent: do not split by it
             succ = succ_set(self.graph, parent_node.extent)
             refined: list[set[int]] = []
             for part in parts:
@@ -237,8 +261,15 @@ class MkIndex:
                     refined.append(outside)
             parts = refined
         if not self.merge_remainder:
-            return self.index.replace_node(node.nid,
-                                           [(part, k) for part in parts])
+            # Ablation: keep every piece separate.  Irrelevant pieces
+            # still keep the old similarity — their parents were never
+            # refined, so claiming ``k`` for them would be unsound (and
+            # the claim value does not affect the size metrics the
+            # ablation measures).
+            return self.index.replace_node(
+                node.nid,
+                [(part, k if part & relevant_data else k_old)
+                 for part in parts])
         # Merge the pieces that contain no relevant data into one remainder
         # that keeps the old similarity value.
         relevant_parts = [part for part in parts if part & relevant_data]

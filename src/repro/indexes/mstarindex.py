@@ -323,20 +323,26 @@ class MStarIndex:
         which have similarity exactly ``i - 1``, never more — and merges
         pieces without relevant data into a remainder keeping the old
         similarity.
+
+        As in :meth:`MkIndex._split_and_merge`, the split uses *every*
+        parent, not only the qualified ones of the published pseudocode:
+        pieces holding relevant data are reached only by qualified parent
+        nodes (each was just recursively refined), so the ``i`` claim on
+        them becomes sound, while the qualified-only split leaves them
+        mixed across an unqualified parent and later queries trusting
+        ``v.k`` return false positives.  Irrelevant pieces still merge
+        into the remainder at the old similarity.
         """
         comp = self.components[i]
         node = comp.nodes[nid]
         if not relevant_data:
             return
         k_old = node.k
-        relevant_parents = pred_set(self.graph, relevant_data)
         sup = self.supernode[i][nid]
         previous = self.components[i - 1]
         parts: list[set[int]] = [set(node.extent)]
         for parent in sorted(previous.parents_of(sup)):
             parent_node = previous.nodes[parent]
-            if not (relevant_parents & parent_node.extent):
-                continue
             succ = succ_set(self.graph, parent_node.extent)
             refined: list[set[int]] = []
             for part in parts:

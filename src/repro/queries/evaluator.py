@@ -25,16 +25,23 @@ from repro.queries.pathexpr import WILDCARD, PathExpression
 def _descendant_closure(adjacency, frontier: set[int],
                         counter: CostCounter | None,
                         counter_field: str) -> set[int]:
-    """All nodes reachable from ``frontier`` via >= 1 edges (BFS)."""
+    """All nodes reachable from ``frontier`` via >= 1 edges (DFS).
+
+    Charges one visit per *newly examined node*: a node entering
+    ``reached`` is charged exactly once, no matter how many edges lead to
+    it.  The paper's second cost component counts data-node visits, so on
+    DAG/IDREF-cyclic graphs (where several edges converge on one node)
+    charging per edge traversal would overcount.
+    """
     reached: set[int] = set()
     queue = list(frontier)
     while queue:
         node = queue.pop()
         for neighbor in adjacency[node]:
-            if counter is not None:
-                setattr(counter, counter_field,
-                        getattr(counter, counter_field) + 1)
             if neighbor not in reached:
+                if counter is not None:
+                    setattr(counter, counter_field,
+                            getattr(counter, counter_field) + 1)
                 reached.add(neighbor)
                 queue.append(neighbor)
     return reached

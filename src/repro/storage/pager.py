@@ -8,6 +8,7 @@ the disk-resident benches report.
 
 from __future__ import annotations
 
+import struct
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -41,18 +42,28 @@ class PageFile:
         self.reads = 0
 
     def read_page(self, key: tuple[int, int]) -> dict[int, dict]:
-        """Read and parse one page; one physical read."""
+        """Read and parse one page; one physical read.
+
+        Raises ``ValueError`` naming the page key when the page bytes do
+        not decode as whole index-node records.  ``reads`` counts only
+        successfully parsed pages, so a corrupt page never inflates the
+        I/O metric while returning nothing.
+        """
         ref = self.pages[key]
         self._handle.seek(ref.offset)
         data = self._handle.read(ref.length)
         if len(data) != ref.length:
             raise ValueError(f"truncated page {key} in {self.path}")
-        self.reads += 1
         records: dict[int, dict] = {}
         offset = 0
-        while offset < len(data):
-            record, offset = decode_index_node(data, offset)
-            records[record["nid"]] = record
+        try:
+            while offset < len(data):
+                record, offset = decode_index_node(data, offset)
+                records[record["nid"]] = record
+        except (struct.error, ValueError, IndexError) as exc:
+            raise ValueError(
+                f"corrupt page {key} in {self.path}: {exc}") from exc
+        self.reads += 1
         return records
 
     def close(self) -> None:

@@ -1,0 +1,64 @@
+"""Differential correctness verification for the index families.
+
+The paper's claims rest on two guarantees this package makes checkable at
+will:
+
+* **answer-set correctness** — every index family returns exactly the
+  target set that direct evaluation on the data graph produces
+  (:mod:`repro.verify.oracle`), for static indexes and at every step of
+  an adaptive refinement sequence;
+* **structural soundness** — index extents partition the data nodes,
+  similarity claims are consistent with the incoming label paths they
+  promise, M*(k) cross-component links stay bipartite-consistent, and
+  cost counters behave like visit counts
+  (:mod:`repro.verify.invariants`).
+
+:mod:`repro.verify.fuzz` generates the seeded random graphs (trees, DAGs,
+IDREF cycles, skewed alphabets) and workloads (rooted/descendant anchors,
+wildcards, internal ``//`` axes, drifting FUP mixes) the checks run over;
+:mod:`repro.verify.runner` drives whole verification campaigns and backs
+the ``repro verify`` CLI subcommand.
+"""
+
+from repro.verify.fuzz import (
+    GRAPH_PROFILES,
+    GraphProfile,
+    random_data_graph,
+    random_fup_stream,
+    random_workload,
+)
+from repro.verify.invariants import (
+    check_cost_counter,
+    check_extent_path_consistency,
+    check_index_partition,
+    check_mstar_links,
+)
+from repro.verify.oracle import (
+    DEFAULT_FAMILIES,
+    Discrepancy,
+    build_index_suite,
+    check_engine_sequence,
+    check_query,
+    check_static_suite,
+)
+from repro.verify.runner import VerificationReport, run_verification
+
+__all__ = [
+    "DEFAULT_FAMILIES",
+    "Discrepancy",
+    "GRAPH_PROFILES",
+    "GraphProfile",
+    "VerificationReport",
+    "build_index_suite",
+    "check_cost_counter",
+    "check_engine_sequence",
+    "check_extent_path_consistency",
+    "check_index_partition",
+    "check_mstar_links",
+    "check_query",
+    "check_static_suite",
+    "random_data_graph",
+    "random_fup_stream",
+    "random_workload",
+    "run_verification",
+]

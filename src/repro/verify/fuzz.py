@@ -1,0 +1,235 @@
+"""Seeded random graphs and workloads for differential verification.
+
+Graph generation covers the structural regimes where index
+implementations historically diverge (reference edges, shared nodes,
+cycles, skewed label distributions):
+
+* **trees** — plain documents, shallow or deep;
+* **DAGs** — extra IDREF edges pointing "forward", so several label
+  paths converge on one node;
+* **cyclic graphs** — IDREF edges pointing "backward", creating nodes
+  reachable from themselves;
+* **schema-driven documents** — :class:`repro.datasets.generator`
+  expansion of a small random DTD with declared IDREF references, the
+  same machinery the dataset generators use.
+
+Workload generation draws label paths that actually occur in the graph
+(plus a pinch of guaranteed misses) and decorates them with rooted
+anchors, wildcards, and internal ``//`` axes.  :func:`random_fup_stream`
+produces the *drifting* query streams the adaptive engine is verified
+against: phases dominated by a few repeated child-axis FUPs whose
+identity changes from phase to phase.
+
+Everything is deterministic given its seed, so any failure reduces to a
+``(profile, seed, query)`` triple.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.datasets.dtd import Child, Element, Reference, Schema
+from repro.datasets.generator import DocumentGenerator
+from repro.graph.datagraph import DataGraph, EdgeKind
+from repro.graph.paths import enumerate_rooted_label_paths
+from repro.queries.pathexpr import WILDCARD, PathExpression
+
+
+@dataclass(frozen=True)
+class GraphProfile:
+    """Shape parameters for one family of random data graphs."""
+
+    name: str
+    num_nodes: int = 40
+    num_labels: int = 4
+    #: Zipf-style exponent for the label distribution (0 = uniform).
+    label_skew: float = 0.0
+    #: Bias towards recently-added parents (0 = uniform over all earlier
+    #: nodes, 1 = always the latest — produces deep chains).
+    depth_bias: float = 0.0
+    #: Extra forward (DAG) reference edges, as a fraction of num_nodes.
+    dag_edge_ratio: float = 0.0
+    #: Extra backward (cycle-forming) reference edges, likewise.
+    back_edge_ratio: float = 0.0
+    #: Generate via a random schema + DocumentGenerator instead of the
+    #: direct tree recipe (IDREFs come from declared references).
+    schema_driven: bool = False
+
+
+#: The standard verification mix, cycled through by the runner.
+GRAPH_PROFILES: tuple[GraphProfile, ...] = (
+    GraphProfile("tree", num_nodes=40, num_labels=4),
+    GraphProfile("deep-tree", num_nodes=36, num_labels=3, depth_bias=0.75),
+    GraphProfile("dag", num_nodes=40, num_labels=4, dag_edge_ratio=0.25),
+    GraphProfile("cyclic", num_nodes=36, num_labels=4,
+                 dag_edge_ratio=0.15, back_edge_ratio=0.2),
+    GraphProfile("skewed", num_nodes=44, num_labels=6, label_skew=1.5,
+                 dag_edge_ratio=0.1),
+    GraphProfile("schema", num_nodes=48, num_labels=5, schema_driven=True),
+)
+
+_PROFILES_BY_NAME = {profile.name: profile for profile in GRAPH_PROFILES}
+
+
+def profile_named(name: str) -> GraphProfile:
+    """Look up one of the standard profiles by name."""
+    try:
+        return _PROFILES_BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_PROFILES_BY_NAME))
+        raise ValueError(f"unknown graph profile {name!r} (known: {known})")
+
+
+def _alphabet(num_labels: int) -> list[str]:
+    return [chr(ord("a") + i) for i in range(num_labels)]
+
+
+def _skewed_choice(rng: random.Random, labels: list[str],
+                   skew: float) -> str:
+    if skew <= 0.0:
+        return labels[rng.randrange(len(labels))]
+    weights = [1.0 / (rank + 1) ** skew for rank in range(len(labels))]
+    return rng.choices(labels, weights=weights, k=1)[0]
+
+
+def random_data_graph(profile: GraphProfile, seed: int) -> DataGraph:
+    """One random data graph; deterministic given ``(profile, seed)``."""
+    if profile.schema_driven:
+        return _schema_graph(profile, seed)
+    rng = random.Random(f"{profile.name}:{seed}")
+    labels = _alphabet(profile.num_labels)
+    graph = DataGraph()
+    graph.add_node("root")
+    for oid in range(1, profile.num_nodes):
+        graph.add_node(_skewed_choice(rng, labels, profile.label_skew))
+        if oid == 1 or rng.random() < profile.depth_bias:
+            parent = oid - 1
+        else:
+            parent = rng.randrange(oid)
+        graph.add_edge(parent, oid)
+    num_dag = int(profile.num_nodes * profile.dag_edge_ratio)
+    num_back = int(profile.num_nodes * profile.back_edge_ratio)
+    for _ in range(num_dag):
+        parent = rng.randrange(profile.num_nodes - 1)
+        child = rng.randrange(parent + 1, profile.num_nodes)
+        if child not in graph.children(parent):
+            graph.add_edge(parent, child, kind=EdgeKind.REFERENCE)
+    for _ in range(num_back):
+        child = rng.randrange(1, profile.num_nodes)
+        parent = rng.randrange(child, profile.num_nodes)
+        if parent != child and child not in graph.children(parent):
+            graph.add_edge(parent, child, kind=EdgeKind.REFERENCE)
+    return graph
+
+
+def _schema_graph(profile: GraphProfile, seed: int) -> DataGraph:
+    """Expand a small random DTD via the dataset generator machinery."""
+    rng = random.Random(f"schema:{profile.name}:{seed}")
+    names = _alphabet(profile.num_labels)
+    elements: dict[str, Element] = {}
+    for rank, name in enumerate(names):
+        children = []
+        # Child slots point at strictly later names (guaranteed finite
+        # depth) with occasional recursion back to the same name.
+        for target in names[rank + 1:]:
+            if rng.random() < 0.6:
+                children.append(Child(target, min_occurs=1,
+                                      max_occurs=rng.randint(1, 3),
+                                      probability=rng.uniform(0.4, 1.0)))
+        if rank + 1 < len(names) and (not children or rank == 0):
+            # Guarantee expansion: give every inner element (and, always,
+            # the document element) one certain child slot, else a run of
+            # failed probability rolls degenerates the whole document to
+            # a couple of nodes.
+            children.append(Child(names[rank + 1], min_occurs=2,
+                                  max_occurs=rng.randint(2, 4)))
+        if rank > 0 and rng.random() < 0.3:
+            children.append(Child(name, probability=0.3))
+        references = []
+        if rng.random() < 0.5:
+            references.append(Reference(names[rng.randrange(len(names))],
+                                        probability=0.5,
+                                        max_targets=rng.randint(1, 2)))
+        elements[name] = Element(name, tuple(children), tuple(references))
+    schema = Schema(root=names[0], elements=elements)
+    generator = DocumentGenerator(schema, max_nodes=profile.num_nodes,
+                                  seed=seed)
+    return generator.generate()
+
+
+def random_workload(graph: DataGraph, num_queries: int, seed: int,
+                    max_length: int = 5,
+                    rooted_probability: float = 0.3,
+                    wildcard_probability: float = 0.15,
+                    descendant_probability: float = 0.15,
+                    miss_probability: float = 0.1) -> list[PathExpression]:
+    """Random path expressions biased towards paths the graph contains.
+
+    Each query starts from a real rooted label path (so most queries have
+    non-empty answers), then may keep its rooted anchor, receive
+    single-step wildcards, receive internal ``//`` axes, or be corrupted
+    into a guaranteed miss (a label outside the graph's alphabet).
+    """
+    pool = enumerate_rooted_label_paths(graph, max_length, max_paths=4000)
+    if not pool:
+        raise ValueError("graph yields no label paths to fuzz against")
+    rng = random.Random(f"workload:{seed}")
+    queries: list[PathExpression] = []
+    for _ in range(num_queries):
+        path = pool[rng.randrange(len(pool))]
+        start = rng.randrange(len(path))
+        num_labels = rng.randint(1, len(path) - start)
+        labels = list(path[start:start + num_labels])
+        rooted = start == 0 and rng.random() < rooted_probability
+        for position in range(len(labels)):
+            if rng.random() < wildcard_probability:
+                labels[position] = WILDCARD
+        if rng.random() < miss_probability:
+            labels[rng.randrange(len(labels))] = "zz-missing"
+        descendant_steps = frozenset(
+            position for position in range(1, len(labels))
+            if rng.random() < descendant_probability)
+        queries.append(PathExpression(tuple(labels), rooted=rooted,
+                                      descendant_steps=descendant_steps))
+    return queries
+
+
+def random_fup_stream(graph: DataGraph, num_queries: int, seed: int,
+                      max_length: int = 4, num_phases: int = 3,
+                      fups_per_phase: int = 3,
+                      noise_probability: float = 0.25
+                      ) -> list[PathExpression]:
+    """A drifting query stream for exercising the adaptive engine.
+
+    The stream is split into ``num_phases`` phases.  Each phase draws a
+    fresh set of child-axis FUPs (refinable: no wildcards, no ``//``
+    axes) and repeats them, interleaved with noise queries from
+    :func:`random_workload`.  Phase changes make earlier FUPs go quiet —
+    exactly the regime where a windowed extractor stops flagging them and
+    the engine's refresh gate matters.
+    """
+    pool = [path for path in
+            enumerate_rooted_label_paths(graph, max_length, max_paths=4000)]
+    if not pool:
+        raise ValueError("graph yields no label paths to fuzz against")
+    rng = random.Random(f"fups:{seed}")
+    noise = random_workload(graph, num_queries, seed + 1,
+                            max_length=max_length)
+    stream: list[PathExpression] = []
+    per_phase = max(1, num_queries // max(1, num_phases))
+    for phase in range(num_phases):
+        fups = []
+        for _ in range(fups_per_phase):
+            path = pool[rng.randrange(len(pool))]
+            start = rng.randrange(len(path))
+            num_labels = rng.randint(1, len(path) - start)
+            rooted = start == 0 and rng.random() < 0.3
+            fups.append(PathExpression(path[start:start + num_labels],
+                                       rooted=rooted))
+        for _ in range(per_phase):
+            if rng.random() < noise_probability and noise:
+                stream.append(noise[rng.randrange(len(noise))])
+            else:
+                stream.append(fups[rng.randrange(len(fups))])
+    return stream[:num_queries] if len(stream) > num_queries else stream

@@ -1,0 +1,183 @@
+"""Structural invariant checks for index graphs and cost counters.
+
+Every check returns a list of human-readable violation strings (empty =
+pass) rather than raising, so the verification runner can collect all
+violations of a round into one report with its repro seed.
+
+Checked here:
+
+* **partition** — index extents disjointly cover the data nodes and the
+  reverse ``node_of`` map agrees (plus Property 2: index edges mirror
+  data edges);
+* **k-label-path consistency** — for an index node claiming local
+  similarity ``k``, all data nodes in its extent must share the same set
+  of incoming label paths up to length ``k``; this is the exact property
+  the query algorithm trusts when it returns an extent without
+  validation;
+* **M*(k) link bipartiteness** — supernode/subnode links between
+  components ``I0..Ik`` are mutually consistent: every link is mirrored,
+  subnode extents nest inside (and together cover) their supernode's
+  extent, and Properties 2-5 hold;
+* **cost counters** — visit counts are non-negative and ``add`` is
+  monotone.
+"""
+
+from __future__ import annotations
+
+from repro.cost.counters import CostCounter
+from repro.graph.datagraph import DataGraph
+from repro.indexes.base import IndexGraph
+from repro.indexes.mstarindex import MStarIndex
+
+#: Path-consistency checks cap the explored depth; incoming-path sets can
+#: grow exponentially with depth on reference-heavy graphs.
+MAX_CONSISTENCY_DEPTH = 5
+
+
+def incoming_label_paths(graph: DataGraph, oid: int,
+                         depth: int) -> frozenset[tuple[str, ...]]:
+    """All incoming label paths of length ``<= depth`` ending at ``oid``.
+
+    A label path here includes the node's own label (a path of one label
+    has length 0, matching the paper's edge-counting convention).
+    Backward BFS over the parent lists; bounded depth keeps this finite
+    on cyclic graphs.
+    """
+    node_labels = graph.labels
+    parents = graph.parent_lists
+    paths = {(node_labels[oid],)}
+    frontier: set[tuple[int, tuple[str, ...]]] = {(oid, (node_labels[oid],))}
+    for _ in range(depth):
+        next_frontier: set[tuple[int, tuple[str, ...]]] = set()
+        for node, suffix in frontier:
+            for parent in parents[node]:
+                extended = (node_labels[parent],) + suffix
+                if extended not in paths:
+                    paths.add(extended)
+                next_frontier.add((parent, extended))
+        frontier = next_frontier
+    return frozenset(paths)
+
+
+def check_extent_path_consistency(graph: DataGraph, index: IndexGraph,
+                                  max_depth: int = MAX_CONSISTENCY_DEPTH
+                                  ) -> list[str]:
+    """Is every extent k-label-path-consistent for its node's local k?
+
+    The check is exact up to ``max_depth``: a node claiming ``k`` beyond
+    the cap is verified at the cap only (still a sound necessary
+    condition).
+    """
+    violations: list[str] = []
+    for nid, node in sorted(index.nodes.items()):
+        depth = min(node.k, max_depth)
+        if depth == 0 or len(node.extent) < 2:
+            continue
+        oids = sorted(node.extent)
+        reference = incoming_label_paths(graph, oids[0], depth)
+        for oid in oids[1:]:
+            observed = incoming_label_paths(graph, oid, depth)
+            if observed != reference:
+                missing = sorted(reference ^ observed)[:3]
+                violations.append(
+                    f"index node {nid} (label {node.label!r}, k={node.k}) "
+                    f"mixes oids {oids[0]} and {oid} whose incoming label "
+                    f"paths differ at depth <= {depth}, e.g. "
+                    f"{['/'.join(p) for p in missing]}")
+                break
+    return violations
+
+
+def check_index_partition(index: IndexGraph) -> list[str]:
+    """Partition + edge-mirroring invariants of one index graph."""
+    violations: list[str] = []
+    try:
+        index.check_partition()
+    except AssertionError as exc:
+        violations.append(f"partition: {exc}")
+    try:
+        index.check_edges()
+    except AssertionError as exc:
+        violations.append(f"edges: {exc}")
+    return violations
+
+
+def check_mstar_links(index: MStarIndex) -> list[str]:
+    """Bipartite consistency of M*(k) supernode/subnode links.
+
+    Verifies, across every pair of adjacent components ``I(i-1)``/``Ii``:
+
+    * both link directions exist for exactly the live node ids;
+    * ``supernode`` and ``subnodes`` are mutual inverses (a bipartite
+      graph stored twice must be the same graph twice);
+    * subnode extents nest inside their supernode's extent, and the
+      subnodes of one supernode disjointly cover it;
+
+    then delegates to :meth:`MStarIndex.check_invariants` for the
+    remaining component-level properties (2-5).
+    """
+    violations: list[str] = []
+    for i in range(1, len(index.components)):
+        comp = index.components[i]
+        coarser = index.components[i - 1]
+        sup_map = index.supernode[i]
+        sub_map = index.subnodes[i - 1]
+        if set(sup_map) != set(comp.nodes):
+            violations.append(
+                f"I{i}: supernode map keys != live node ids")
+            continue
+        if set(sub_map) != set(coarser.nodes):
+            violations.append(
+                f"I{i - 1}: subnodes map keys != live node ids")
+            continue
+        for nid, sup in sup_map.items():
+            if sup not in coarser.nodes:
+                violations.append(
+                    f"I{i}:{nid} links to dead supernode I{i - 1}:{sup}")
+            elif nid not in sub_map.get(sup, ()):
+                violations.append(
+                    f"link I{i}:{nid} -> I{i - 1}:{sup} not mirrored in "
+                    f"subnodes")
+        for sup, subs in sub_map.items():
+            covered: set[int] = set()
+            for sub in subs:
+                if sub not in comp.nodes:
+                    violations.append(
+                        f"I{i - 1}:{sup} lists dead subnode I{i}:{sub}")
+                    continue
+                if sup_map.get(sub) != sup:
+                    violations.append(
+                        f"link I{i - 1}:{sup} -> I{i}:{sub} not mirrored "
+                        f"in supernode")
+                extent = comp.nodes[sub].extent
+                if not extent <= coarser.nodes[sup].extent:
+                    violations.append(
+                        f"I{i}:{sub} extent escapes its supernode "
+                        f"I{i - 1}:{sup}")
+                if covered & extent:
+                    violations.append(
+                        f"subnodes of I{i - 1}:{sup} overlap")
+                covered |= extent
+            if sup in coarser.nodes and covered != coarser.nodes[sup].extent:
+                violations.append(
+                    f"subnodes of I{i - 1}:{sup} do not cover its extent")
+    if not violations:
+        try:
+            index.check_invariants()
+        except AssertionError as exc:
+            violations.append(f"component invariants: {exc}")
+    return violations
+
+
+def check_cost_counter(counter: CostCounter) -> list[str]:
+    """Non-negativity plus monotonicity of ``add`` on a sample counter."""
+    violations: list[str] = []
+    if counter.index_visits < 0 or counter.data_visits < 0:
+        violations.append(f"negative cost components in {counter!r}")
+        return violations
+    probe = counter.copy()
+    before = probe.total
+    probe.add(CostCounter(index_visits=1, data_visits=1))
+    if probe.total != before + 2 or probe.total < before:
+        violations.append(f"CostCounter.add not monotone from {counter!r}")
+    return violations

@@ -1,0 +1,371 @@
+"""The differential correctness oracle.
+
+Ground truth for any query is :func:`evaluate_on_data_graph` — forward
+navigation over the raw data graph, no index involved.  The oracle runs
+the same query through every index family and demands set-equality of
+answers, for static indexes (:func:`check_static_suite`) and at every
+step of an :class:`~repro.core.engine.AdaptiveIndexEngine` refinement
+sequence (:func:`check_engine_sequence`).
+
+Every failure is reported as a :class:`Discrepancy` carrying a minimal
+repro (graph profile + graph seed + query text), so any CI hit can be
+replayed with ``repro verify --profile <p> --graph-seed <s>``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.core.engine import AdaptiveIndexEngine
+from repro.core.fup import FupExtractor
+from repro.graph.datagraph import DataGraph
+from repro.indexes.aindex import AkIndex
+from repro.indexes.apex import ApexIndex
+from repro.indexes.dataguide import DataGuide
+from repro.indexes.dindex import DkIndex
+from repro.indexes.fbindex import FBIndex
+from repro.indexes.mindex import MkIndex
+from repro.indexes.mstarindex import MStarIndex
+from repro.indexes.oneindex import OneIndex
+from repro.indexes.udindex import UDIndex
+from repro.queries.evaluator import evaluate_on_data_graph, find_instance
+from repro.queries.pathexpr import PathExpression
+from repro.verify.invariants import (
+    check_cost_counter,
+    check_extent_path_consistency,
+    check_index_partition,
+    check_mstar_links,
+)
+
+
+@dataclass(frozen=True)
+class Discrepancy:
+    """One verification failure, with enough context to replay it."""
+
+    kind: str  # "answers" | "invariant" | "witness" | "cost" | "error"
+    family: str
+    detail: str
+    query: str | None = None
+    profile: str | None = None
+    graph_seed: int | None = None
+    step: int | None = None
+
+    def repro(self) -> str:
+        """Minimal repro line: graph seed + query (+ replay command)."""
+        parts = [f"kind={self.kind}", f"family={self.family}"]
+        if self.profile is not None:
+            parts.append(f"profile={self.profile}")
+        if self.graph_seed is not None:
+            parts.append(f"graph-seed={self.graph_seed}")
+        if self.query is not None:
+            parts.append(f"query={self.query}")
+        if self.step is not None:
+            parts.append(f"step={self.step}")
+        line = " ".join(parts)
+        if self.profile is not None and self.graph_seed is not None:
+            line += (f"  [replay: repro verify --profile {self.profile} "
+                     f"--graph-seed {self.graph_seed}]")
+        return line
+
+    def __str__(self) -> str:
+        return f"{self.repro()}: {self.detail}"
+
+
+@dataclass(frozen=True)
+class FamilySpec:
+    """How to build one index family for a graph + FUP set.
+
+    ``trusted_k`` marks families whose local-similarity annotations must
+    hold, so their extents are checked for k-label-path-consistency —
+    exactly the property the query algorithm relies on when it trusts an
+    extent without validation.  This now includes the adaptive families:
+    the published M(k)/M*(k) refinement could overstate ``k`` (its
+    qualified-parent split left claimed extents mixed across unqualified
+    parents — found by this oracle), and the repo's split-by-all-parents
+    correction makes the annotations sound, so the oracle enforces them.
+    """
+
+    name: str
+    build: Callable[[DataGraph, list[PathExpression], int], object]
+    trusted_k: bool = True
+    adaptive: bool = False
+
+
+def _refined(index, fups: list[PathExpression]):
+    for expr in fups:
+        index.refine(expr, index.query(expr))
+    return index
+
+
+DEFAULT_FAMILIES: tuple[FamilySpec, ...] = (
+    FamilySpec("1", lambda g, fups, k: OneIndex(g)),
+    FamilySpec("A(k)", lambda g, fups, k: AkIndex(g, k)),
+    FamilySpec("D(k)-construct",
+               lambda g, fups, k: DkIndex.construct(g, fups)),
+    FamilySpec("D(k)-promote",
+               lambda g, fups, k: _refined(DkIndex(g), fups),
+               trusted_k=True, adaptive=True),
+    FamilySpec("UD(k,l)", lambda g, fups, k: UDIndex(g, k, 1)),
+    FamilySpec("M(k)", lambda g, fups, k: _refined(MkIndex(g), fups),
+               trusted_k=True, adaptive=True),
+    FamilySpec("M*(k)", lambda g, fups, k: _refined(MStarIndex(g), fups),
+               trusted_k=True, adaptive=True),
+    FamilySpec("F&B", lambda g, fups, k: FBIndex(g)),
+    FamilySpec("APEX", lambda g, fups, k: _refined(ApexIndex(g), fups)),
+    FamilySpec("DataGuide", lambda g, fups, k: DataGuide(g)),
+)
+
+FAMILY_NAMES = tuple(spec.name for spec in DEFAULT_FAMILIES)
+_FAMILIES_BY_NAME = {spec.name: spec for spec in DEFAULT_FAMILIES}
+
+
+def resolve_families(names: Iterable[str] | None) -> list[FamilySpec]:
+    """Family specs for the given names (``None`` = all of them)."""
+    if names is None:
+        return list(DEFAULT_FAMILIES)
+    specs = []
+    for name in names:
+        spec = _FAMILIES_BY_NAME.get(name)
+        if spec is None:
+            known = ", ".join(FAMILY_NAMES)
+            raise ValueError(f"unknown index family {name!r} (known: {known})")
+        specs.append(spec)
+    return specs
+
+
+def refinable_fups(queries: Sequence[PathExpression],
+                   limit: int | None = None) -> list[PathExpression]:
+    """The child-axis, wildcard-free subset of a workload (refine targets)."""
+    seen: set[PathExpression] = set()
+    fups: list[PathExpression] = []
+    for expr in queries:
+        if expr.has_wildcard or expr.has_descendant_steps:
+            continue
+        if expr in seen:
+            continue
+        seen.add(expr)
+        fups.append(expr)
+        if limit is not None and len(fups) >= limit:
+            break
+    return fups
+
+
+def build_index_suite(graph: DataGraph, fups: list[PathExpression],
+                      k: int = 2,
+                      families: Iterable[str] | None = None,
+                      profile: str | None = None,
+                      graph_seed: int | None = None
+                      ) -> tuple[dict[str, object], list[Discrepancy]]:
+    """Build every requested family; build crashes become discrepancies."""
+    indexes: dict[str, object] = {}
+    failures: list[Discrepancy] = []
+    for spec in resolve_families(families):
+        try:
+            indexes[spec.name] = spec.build(graph, list(fups), k)
+        except Exception as exc:  # noqa: BLE001 - the whole point
+            failures.append(Discrepancy(
+                kind="error", family=spec.name, profile=profile,
+                graph_seed=graph_seed,
+                detail=f"index construction raised {type(exc).__name__}: "
+                       f"{exc}"))
+    return indexes, failures
+
+
+def check_query(graph: DataGraph, family: str, index, expr: PathExpression,
+                profile: str | None = None,
+                graph_seed: int | None = None,
+                truth: set[int] | None = None) -> list[Discrepancy]:
+    """Differential check of one query on one index."""
+    if truth is None:
+        truth = evaluate_on_data_graph(graph, expr)
+    context = dict(family=family, query=str(expr), profile=profile,
+                   graph_seed=graph_seed)
+    try:
+        result = index.query(expr)
+    except Exception as exc:  # noqa: BLE001 - fuzzing wants the crash
+        return [Discrepancy(kind="error",
+                            detail=f"query raised {type(exc).__name__}: "
+                                   f"{exc}",
+                            **context)]
+    discrepancies: list[Discrepancy] = []
+    if result.answers != truth:
+        false_positives = sorted(result.answers - truth)[:5]
+        false_negatives = sorted(truth - result.answers)[:5]
+        discrepancies.append(Discrepancy(
+            kind="answers",
+            detail=f"answers differ from data-graph oracle: "
+                   f"false positives {false_positives}, "
+                   f"false negatives {false_negatives} "
+                   f"(got {len(result.answers)}, want {len(truth)})",
+            **context))
+    for violation in check_cost_counter(result.cost):
+        discrepancies.append(Discrepancy(kind="cost", detail=violation,
+                                         **context))
+    return discrepancies
+
+
+def check_witnesses(graph: DataGraph, expr: PathExpression,
+                    answers: set[int],
+                    profile: str | None = None,
+                    graph_seed: int | None = None,
+                    max_witnesses: int = 10) -> list[Discrepancy]:
+    """Every answer to a child-axis query must yield a valid witness path."""
+    if expr.has_descendant_steps:
+        return []
+    discrepancies: list[Discrepancy] = []
+    context = dict(family="oracle", query=str(expr), profile=profile,
+                   graph_seed=graph_seed)
+    for oid in sorted(answers)[:max_witnesses]:
+        witness = find_instance(graph, expr, oid)
+        if witness is None:
+            discrepancies.append(Discrepancy(
+                kind="witness",
+                detail=f"find_instance found no witness for answer {oid}",
+                **context))
+            continue
+        problem = _witness_problem(graph, expr, oid, witness)
+        if problem:
+            discrepancies.append(Discrepancy(
+                kind="witness",
+                detail=f"witness {witness} for answer {oid} invalid: "
+                       f"{problem}",
+                **context))
+    return discrepancies
+
+
+def _witness_problem(graph: DataGraph, expr: PathExpression, oid: int,
+                     witness: list[int]) -> str | None:
+    if len(witness) != len(expr.labels):
+        return f"length {len(witness)} != {len(expr.labels)} labels"
+    if witness[-1] != oid:
+        return "does not end at the answer node"
+    for position, node in enumerate(witness):
+        if not expr.matches_label(position, graph.labels[node]):
+            return (f"label {graph.labels[node]!r} at position {position} "
+                    f"does not match step {expr.labels[position]!r}")
+    for parent, child in zip(witness, witness[1:]):
+        if child not in graph.children(parent):
+            return f"edge ({parent}, {child}) missing from the data graph"
+    if expr.rooted and witness[0] not in graph.children(graph.root):
+        return "rooted witness does not start at a child of the root"
+    return None
+
+
+def _index_graphs_of(index) -> list:
+    """The IndexGraph objects inside one index family instance."""
+    if isinstance(index, MStarIndex):
+        return list(index.components)
+    if isinstance(index, ApexIndex):
+        return [index.summary]
+    inner = getattr(index, "index", None)
+    return [inner] if inner is not None else []
+
+
+def check_structure(graph: DataGraph, family: str, index,
+                    trusted_k: bool = True,
+                    profile: str | None = None,
+                    graph_seed: int | None = None) -> list[Discrepancy]:
+    """Structural invariants of one built index."""
+    discrepancies: list[Discrepancy] = []
+    context = dict(family=family, profile=profile, graph_seed=graph_seed)
+    for position, index_graph in enumerate(_index_graphs_of(index)):
+        where = (f"component I{position}: "
+                 if isinstance(index, MStarIndex) else "")
+        for violation in check_index_partition(index_graph):
+            discrepancies.append(Discrepancy(
+                kind="invariant", detail=where + violation, **context))
+        if trusted_k:
+            for violation in check_extent_path_consistency(graph,
+                                                           index_graph):
+                discrepancies.append(Discrepancy(
+                    kind="invariant", detail=where + violation, **context))
+    if isinstance(index, MStarIndex):
+        for violation in check_mstar_links(index):
+            discrepancies.append(Discrepancy(
+                kind="invariant", detail=violation, **context))
+    return discrepancies
+
+
+def check_static_suite(graph: DataGraph, queries: Sequence[PathExpression],
+                       k: int = 2,
+                       families: Iterable[str] | None = None,
+                       profile: str | None = None,
+                       graph_seed: int | None = None,
+                       max_fups: int | None = 12) -> list[Discrepancy]:
+    """Build all families, run every query through each, check invariants."""
+    fups = refinable_fups(queries, limit=max_fups)
+    indexes, discrepancies = build_index_suite(
+        graph, fups, k=k, families=families, profile=profile,
+        graph_seed=graph_seed)
+    truths = {expr: evaluate_on_data_graph(graph, expr) for expr in queries}
+    for name, index in indexes.items():
+        spec = _FAMILIES_BY_NAME[name]
+        for expr in queries:
+            discrepancies.extend(check_query(
+                graph, name, index, expr, profile=profile,
+                graph_seed=graph_seed, truth=truths[expr]))
+        discrepancies.extend(check_structure(
+            graph, name, index, trusted_k=spec.trusted_k,
+            profile=profile, graph_seed=graph_seed))
+    for expr, truth in truths.items():
+        discrepancies.extend(check_witnesses(
+            graph, expr, truth, profile=profile, graph_seed=graph_seed))
+    return discrepancies
+
+
+def check_engine_sequence(graph: DataGraph,
+                          stream: Sequence[PathExpression],
+                          index_factory: Callable[[DataGraph], object]
+                          = MStarIndex,
+                          extractor: FupExtractor | None = None,
+                          profile: str | None = None,
+                          graph_seed: int | None = None,
+                          check_every: int = 1) -> list[Discrepancy]:
+    """Drive an adaptive engine through a stream, checking every step.
+
+    After each executed query the answers are compared against the
+    data-graph oracle and (every ``check_every`` steps, plus at the end)
+    the index's structural invariants are re-checked — refinement is
+    exactly where the partition/link invariants are at risk.
+    """
+    engine = AdaptiveIndexEngine(graph, index_factory=index_factory,
+                                 extractor=extractor)
+    family = f"engine[{type(engine.index).__name__}]"
+    discrepancies: list[Discrepancy] = []
+    context = dict(profile=profile, graph_seed=graph_seed)
+    previous_total = 0
+    for step, expr in enumerate(stream):
+        try:
+            result = engine.execute(expr)
+        except Exception as exc:  # noqa: BLE001 - fuzzing wants the crash
+            discrepancies.append(Discrepancy(
+                kind="error", family=family, query=str(expr), step=step,
+                detail=f"engine.execute raised {type(exc).__name__}: {exc}",
+                **context))
+            break
+        truth = evaluate_on_data_graph(graph, expr)
+        if result.answers != truth:
+            discrepancies.append(Discrepancy(
+                kind="answers", family=family, query=str(expr), step=step,
+                detail=f"engine answers differ from oracle after "
+                       f"{engine.stats.refinements} refinements: "
+                       f"false positives "
+                       f"{sorted(result.answers - truth)[:5]}, "
+                       f"false negatives {sorted(truth - result.answers)[:5]}",
+                **context))
+        total = engine.stats.cost.total
+        if total < previous_total:
+            discrepancies.append(Discrepancy(
+                kind="cost", family=family, query=str(expr), step=step,
+                detail=f"running cost decreased: {previous_total} -> {total}",
+                **context))
+        previous_total = total
+        if step % check_every == 0 or step == len(stream) - 1:
+            for issue in check_structure(graph, family, engine.index,
+                                         trusted_k=True, profile=profile,
+                                         graph_seed=graph_seed):
+                discrepancies.append(Discrepancy(
+                    kind=issue.kind, family=issue.family, query=str(expr),
+                    step=step, detail=issue.detail, **context))
+    return discrepancies

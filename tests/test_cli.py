@@ -100,3 +100,29 @@ class TestReport:
     def test_report_to_stdout(self, capsys):
         assert main(["report", "--scale", "0.005", "--queries", "10"]) == 0
         assert "Experiment report" in capsys.readouterr().out
+
+
+class TestVerify:
+    def test_small_campaign_passes(self, capsys):
+        assert main(["verify", "--rounds", "2", "--queries", "8",
+                     "--engine-queries", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "verify: OK" in out
+        assert "2 rounds" in out
+
+    def test_replay_single_graph(self, capsys):
+        assert main(["verify", "--profile", "dag", "--graph-seed", "5",
+                     "--queries", "8", "--engine-queries", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "verify: OK" in out
+        assert "1 graphs" in out
+
+    def test_family_subset(self, capsys):
+        assert main(["verify", "--rounds", "1", "--queries", "6",
+                     "--engine-queries", "8",
+                     "--indexes", "DataGuide,1"]) == 0
+        assert "verify: OK" in capsys.readouterr().out
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown index family"):
+            main(["verify", "--rounds", "1", "--indexes", "nonsense"])

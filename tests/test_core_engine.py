@@ -162,3 +162,62 @@ class TestEngine:
     def test_repr(self, fig1):
         engine = AdaptiveIndexEngine(fig1)
         assert "MStarIndex" in repr(engine)
+
+
+class _RecordingIndex:
+    """Stub index: every query claims it needed validation, and refine
+    calls are recorded — isolates the engine's refresh-gate decision."""
+
+    def __init__(self, graph):
+        self.refined = []
+
+    def query(self, expr):
+        from repro.cost.counters import CostCounter
+        from repro.indexes.base import QueryResult
+        return QueryResult(answers=set(), target_nodes=[],
+                           cost=CostCounter(), validated=True)
+
+    def refine(self, expr, result):
+        self.refined.append(expr)
+
+
+class TestRefreshGate:
+    """Regression: a FUP the engine already refined must be re-refined
+    when it needs validation again, even if the extractor's window no
+    longer flags it frequent — the old gate required ``is_fup`` and left
+    quiet-but-broken FUPs paying validation forever."""
+
+    def test_refreshes_refined_fup_that_went_quiet(self, fig1):
+        a = PathExpression.parse("//x/a")
+        b = PathExpression.parse("//x/b")
+        engine = AdaptiveIndexEngine(fig1, index_factory=_RecordingIndex,
+                                     extractor=FupExtractor(threshold=2,
+                                                            window=2))
+        for expr in (a, a, b, b):
+            engine.execute(expr)
+        assert engine.index.refined == [a, b]
+        # Fifth query: a's count inside the window is 1 (not a FUP), but
+        # a is already refined and the query came back validated — the
+        # refinement must be refreshed.
+        engine.execute(a)
+        assert engine.index.refined == [a, b, a]
+        assert engine.stats.refinements == 3
+
+    def test_unrefined_infrequent_query_not_refined(self, fig1):
+        a = PathExpression.parse("//x/a")
+        engine = AdaptiveIndexEngine(fig1, index_factory=_RecordingIndex,
+                                     extractor=FupExtractor(threshold=2,
+                                                            window=2))
+        engine.execute(a)
+        assert engine.index.refined == []
+
+    def test_precise_refined_fup_not_rerefined(self, fig1):
+        """A refined FUP whose queries stay precise costs no further
+        refinement work (the real-index happy path)."""
+        engine = AdaptiveIndexEngine(fig1)
+        expr = "//site/people/person"
+        engine.execute(expr)
+        assert engine.stats.refinements == 1
+        for _ in range(3):
+            assert not engine.execute(expr).validated
+        assert engine.stats.refinements == 1

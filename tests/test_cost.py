@@ -37,6 +37,30 @@ class TestCostCounter:
     def test_repr(self):
         assert "index_visits=3" in repr(CostCounter(3, 0))
 
+    def test_negative_components_rejected(self):
+        import pytest
+        with pytest.raises(ValueError, match="non-negative"):
+            CostCounter(index_visits=-1)
+        with pytest.raises(ValueError, match="non-negative"):
+            CostCounter(data_visits=-3)
+
+    def test_add_rejects_corrupted_counters(self):
+        import pytest
+        corrupted = CostCounter()
+        corrupted.data_visits = -5  # simulate a buggy caller
+        with pytest.raises(ValueError, match="corrupted"):
+            CostCounter(1, 1).add(corrupted)
+        with pytest.raises(ValueError, match="corrupted"):
+            corrupted.add(CostCounter(1, 1))
+
+    def test_add_is_monotone(self):
+        counter = CostCounter(2, 3)
+        total_before = counter.total
+        counter.add(CostCounter(0, 0))
+        counter.add(CostCounter(4, 1))
+        assert counter.total >= total_before
+        assert counter == CostCounter(6, 4)
+
 
 class TestIndexSize:
     def test_measures_plain_index(self, fig1):

@@ -68,6 +68,22 @@ class TestDataGuideQueries:
         guide = DataGuide(fig1)
         assert guide.query(PathExpression.parse("//person/item")).answers == set()
 
+    def test_descendant_queries_can_match_the_root(self, fig1):
+        """Regression found by the differential oracle: the root state is
+        nobody's transition target, so set-at-a-time navigation silently
+        dropped it from non-rooted first steps — ``//*`` returned every
+        node but the root."""
+        guide = DataGuide(fig1)
+        assert guide.query(PathExpression.parse("//*")).answers == \
+            set(fig1.nodes())
+        root_label = fig1.labels[fig1.root]
+        assert fig1.root in \
+            guide.query(PathExpression.parse(f"//{root_label}")).answers
+        # Paths *through* the root still work too.
+        expr = PathExpression.parse(f"//{root_label}/site")
+        assert guide.query(expr).answers == \
+            evaluate_on_data_graph(fig1, expr)
+
     def test_can_exceed_one_index_size(self, fig2):
         """Determinization vs bisimulation: on the figure-2 graph the
         DataGuide merges what the 1-index keeps apart and vice versa; on

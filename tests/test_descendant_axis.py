@@ -84,6 +84,19 @@ class TestDirectEvaluation:
         expr = PathExpression.parse("//r//b")
         assert evaluate_on_data_graph(graph, expr) == {2}
 
+    def test_cycle_member_is_its_own_descendant(self):
+        from repro.graph.builder import graph_from_edges
+        graph = graph_from_edges(["r", "a", "b"], [(0, 1), (1, 2)],
+                                 references=[(2, 1)])
+        # a -> b -> a: both cycle members are strict descendants of
+        # themselves, the root is not.
+        assert evaluate_on_data_graph(graph,
+                                      PathExpression.parse("//a//a")) == {1}
+        assert evaluate_on_data_graph(graph,
+                                      PathExpression.parse("//b//b")) == {2}
+        assert evaluate_on_data_graph(graph,
+                                      PathExpression.parse("//r//r")) == set()
+
     def test_validation_agrees_with_evaluation(self, fig1):
         for text in ("//site//person", "//regions//item", "/site//name",
                      "//auctions//person", "//people//last"):

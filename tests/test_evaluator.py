@@ -96,6 +96,74 @@ class TestValidateCandidate:
                 assert validate_candidate(fig1, expr, oid) == (oid in truth)
 
 
+class TestDescendantClosureCost:
+    def test_converging_edges_charged_once_per_node(self):
+        """Regression: the closure used to charge one data visit per edge
+        examined, overcounting on DAGs where several edges converge."""
+        from repro.graph.builder import graph_from_edges
+        # Diamond: r -> a, r -> b, a -> c, b -> c.
+        graph = graph_from_edges(["r", "a", "b", "c"],
+                                 [(0, 1), (0, 2), (1, 3), (2, 3)])
+        counter = CostCounter()
+        answers = evaluate_on_data_graph(graph,
+                                         PathExpression.parse("//r//c"),
+                                         counter)
+        assert answers == {3}
+        # 1 for the starting 'r' node + 3 newly-examined closure nodes
+        # (a, b, c) — NOT 5, which per-edge charging would give because
+        # c is reachable along two edges.
+        assert counter.data_visits == 4
+
+    def test_cycle_charged_once_per_node(self):
+        from repro.graph.builder import graph_from_edges
+        graph = graph_from_edges(["r", "a", "b"], [(0, 1), (1, 2)],
+                                 references=[(2, 1)])
+        counter = CostCounter()
+        evaluate_on_data_graph(graph, PathExpression.parse("//r//b"),
+                               counter)
+        # Starting node r plus closure members {a, b}; the back edge
+        # b -> a re-reaches a without a second charge.
+        assert counter.data_visits == 3
+
+
+class TestCyclicGraphs:
+    """IDREF cycles: closure, validation, and witnesses must agree."""
+
+    def cyclic_graph(self):
+        from repro.graph.builder import graph_from_edges
+        # r -> a -> b -> c, with reference edges c -> a (cycle) and
+        # r -> c (shortcut), so a is reachable from itself.
+        return graph_from_edges(["r", "a", "b", "c"],
+                                [(0, 1), (1, 2), (2, 3)],
+                                references=[(3, 1), (0, 3)])
+
+    def test_node_in_its_own_descendant_closure(self):
+        graph = self.cyclic_graph()
+        expr = PathExpression.parse("//a//a")
+        assert evaluate_on_data_graph(graph, expr) == {1}
+
+    def test_validate_terminates_and_agrees_on_cycles(self):
+        graph = self.cyclic_graph()
+        for text in ("//a//a", "//c/a", "//a//c", "/r//a", "//b/c/a/b"):
+            expr = PathExpression.parse(text)
+            truth = evaluate_on_data_graph(graph, expr)
+            for oid in graph.nodes():
+                assert validate_candidate(graph, expr, oid) == \
+                    (oid in truth), f"{text} disagrees at {oid}"
+
+    def test_witnesses_on_cycles_validate(self):
+        from repro.queries.evaluator import find_instance
+        graph = self.cyclic_graph()
+        # A child-axis path that loops through the cycle twice.
+        expr = PathExpression.parse("//a/b/c/a/b/c/a")
+        truth = evaluate_on_data_graph(graph, expr)
+        assert truth == {1}
+        witness = find_instance(graph, expr, 1)
+        assert witness is not None and witness[-1] == 1
+        for parent, child in zip(witness, witness[1:]):
+            assert child in graph.children(parent)
+
+
 class TestValidateExtent:
     def test_filters_extent(self, simple_tree):
         expr = PathExpression.parse("//a/c")

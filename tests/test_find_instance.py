@@ -56,6 +56,20 @@ class TestFindInstance:
         path = find_instance(fig1, expr, 7)
         assert path == [16, 7]
 
+    def test_witnesses_on_cyclic_graph_terminate_and_validate(self):
+        """IDREF cycles: the backward level construction must terminate
+        and still produce validating witnesses, including ones that wind
+        through the cycle more than once."""
+        from repro.graph.builder import graph_from_edges
+        graph = graph_from_edges(["r", "a", "b"], [(0, 1), (1, 2)],
+                                 references=[(2, 1)])
+        for text, oid in (("//a/b", 2), ("//b/a", 1), ("//a/b/a/b", 2)):
+            expr = PathExpression.parse(text)
+            assert oid in evaluate_on_data_graph(graph, expr)
+            path = find_instance(graph, expr, oid)
+            assert path is not None
+            assert is_valid_instance(graph, expr, path)
+
     def test_agrees_with_evaluation_everywhere(self, small_xmark):
         workload = Workload.generate(small_xmark, num_queries=30,
                                      max_length=5, seed=105)

@@ -143,14 +143,23 @@ class TestCrossIndexConsistency:
             assert apex_result.answers == truth
             apex.refine(expr, apex_result)
 
-    def test_size_ordering_after_refinement(self, small_nasa):
+    def test_size_ordering_after_refinement(self):
         """The paper's headline size ordering on NASA-like data:
-        M*(k) <= M(k) <= D(k)-promote in stored nodes."""
-        workload = Workload.generate(small_nasa, num_queries=60,
+        M*(k) <= M(k) <= D(k)-promote in stored nodes.
+
+        Runs on a ~1800-node document rather than the shared tiny
+        fixture: below ~1000 nodes M*(k)'s per-component storage
+        overhead is comparable to the splits themselves and the
+        M*(k) <= M(k) gap sits within a few nodes of zero.
+        """
+        from repro.datasets import generate_nasa
+
+        nasa = generate_nasa(scale=0.02, seed=11)
+        workload = Workload.generate(nasa, num_queries=60,
                                      max_length=7, seed=85)
-        mk = MkIndex(small_nasa)
-        mstar = MStarIndex(small_nasa)
-        dk = DkIndex(small_nasa)
+        mk = MkIndex(nasa)
+        mstar = MStarIndex(nasa)
+        dk = DkIndex(nasa)
         for expr in workload:
             mk.refine(expr, mk.query(expr))
             mstar.refine(expr, mstar.query(expr))

@@ -173,3 +173,51 @@ class TestWorkloadBehaviour:
             merged_fp += len(merged.query(expr).answers - truth)
             unmerged_fp += len(unmerged.query(expr).answers - truth)
         assert merged_fp <= unmerged_fp
+
+
+class TestUnqualifiedParentSoundness:
+    """Regression for a bug found by the differential oracle: the
+    published REFINENODE splits only by qualified parents, so a piece
+    stamped ``k`` can mix data nodes distinguishable through an
+    unqualified parent, and any later query short enough to trust the
+    claim returns false positives."""
+
+    def mixing_graph(self):
+        from repro.graph.builder import graph_from_edges
+        # r -> a1, a2, b;  a1 -> c4, a2 -> c5, b -> c5;  c4 -> d6.
+        # Refining //a/c/d makes c4 the only relevant c; the b-parent of
+        # c5 is unqualified, yet {c4, c5} used to be stamped k=1.
+        return graph_from_edges(["r", "a", "a", "b", "c", "c", "d"],
+                                [(0, 1), (0, 2), (0, 3), (1, 4), (2, 5),
+                                 (3, 5), (4, 6)])
+
+    def test_other_query_not_poisoned_by_refinement(self):
+        graph = self.mixing_graph()
+        index = MkIndex(graph)
+        fup = PathExpression.parse("//a/c/d")
+        index.refine(fup, index.query(fup))
+        result = index.query(PathExpression.parse("//b/c"))
+        assert result.answers == {5}  # seed code returned {4, 5}
+
+    def test_claimed_extents_are_path_consistent(self):
+        from repro.verify.invariants import check_extent_path_consistency
+        graph = self.mixing_graph()
+        index = MkIndex(graph)
+        fup = PathExpression.parse("//a/c/d")
+        index.refine(fup, index.query(fup))
+        assert check_extent_path_consistency(graph, index.index) == []
+
+    def test_fuzz_replay_cyclic_graph(self):
+        """The original oracle find (profile=cyclic, graph seed 33):
+        after a drifted FUP mix, //b/* returned node 12 which has no
+        incoming ('b', 'c') path."""
+        from repro.verify.fuzz import profile_named, random_data_graph
+        graph = random_data_graph(profile_named("cyclic"), 33)
+        index = MkIndex(graph)
+        for text in ("//a/c/b/c", "/b/a", "//a", "//d", "//b", "//a/b/b",
+                     "//c", "//a/b/b/d/a", "/b"):
+            fup = PathExpression.parse(text)
+            index.refine(fup, index.query(fup))
+        expr = PathExpression.parse("//b/*")
+        assert index.query(expr).answers == \
+            evaluate_on_data_graph(graph, expr)

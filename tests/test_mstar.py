@@ -232,3 +232,33 @@ class TestSafety:
             truth = evaluate_on_data_graph(small_nasa, expr)
             assert truth - result.answers == set()
             index.refine(expr, result)
+
+
+class TestUnqualifiedParentSoundness:
+    """M*(k) twin of the test in test_mindex.py: SPLITNODE* used to
+    split only by qualified parents of the supernode, leaving component
+    claims that later queries wrongly trust."""
+
+    def mixing_graph(self):
+        from repro.graph.builder import graph_from_edges
+        return graph_from_edges(["r", "a", "a", "b", "c", "c", "d"],
+                                [(0, 1), (0, 2), (0, 3), (1, 4), (2, 5),
+                                 (3, 5), (4, 6)])
+
+    def test_other_query_not_poisoned_by_refinement(self):
+        graph = self.mixing_graph()
+        index = MStarIndex(graph)
+        fup = PathExpression.parse("//a/c/d")
+        index.refine(fup, index.query(fup))
+        result = index.query(PathExpression.parse("//b/c"))
+        assert result.answers == {5}  # seed code returned {4, 5}
+        index.check_invariants()
+
+    def test_component_extents_are_path_consistent(self):
+        from repro.verify.invariants import check_extent_path_consistency
+        graph = self.mixing_graph()
+        index = MStarIndex(graph)
+        fup = PathExpression.parse("//a/c/d")
+        index.refine(fup, index.query(fup))
+        for component in index.components:
+            assert check_extent_path_consistency(graph, component) == []

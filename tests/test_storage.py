@@ -139,6 +139,28 @@ class TestPager:
             BufferPool(file, 0)
         file.close()
 
+    def test_corrupt_page_names_the_page(self, tmp_path):
+        """Garbage bytes must raise a ValueError naming the page key, and
+        must not count as a successful read."""
+        path = str(tmp_path / "bad")
+        with open(path, "wb") as out:
+            out.write(b"\xff" * 64)
+        file = PageFile(path, {(0, 0): PageRef(0, 64)})
+        with pytest.raises(ValueError, match=r"corrupt page \(0, 0\)"):
+            file.read_page((0, 0))
+        assert file.reads == 0
+        file.close()
+
+    def test_truncated_page_names_the_page(self, tmp_path):
+        path = str(tmp_path / "short")
+        with open(path, "wb") as out:
+            out.write(b"\x00" * 8)
+        file = PageFile(path, {(3, 1): PageRef(0, 64)})
+        with pytest.raises(ValueError, match=r"truncated page \(3, 1\)"):
+            file.read_page((3, 1))
+        assert file.reads == 0
+        file.close()
+
     def test_reset_stats_keeps_cache_warm(self, small_xmark, refined_mstar,
                                           tmp_path):
         index, workload = refined_mstar
