@@ -1,0 +1,47 @@
+"""Hot-path benches: signature-based refinement and the result cache.
+
+The same measurements ``repro bench`` persists to ``BENCH_pr2.json``,
+exposed here as pytest-benchmark cases so they run alongside the figure
+benches.  Construction cases assert partition parity with the chained
+``refine_once`` reference before timing the fast path; replay cases
+assert the cache actually reduces metered cost on a repeated workload.
+"""
+
+import pytest
+
+from repro.bench.runner import (
+    REPLAY_FAMILIES,
+    _reference_full_bisimulation,
+    _reference_kbisimulation,
+    _replay,
+)
+from repro.indexes.partition import (
+    full_bisimulation_blocks,
+    kbisimulation_blocks,
+)
+
+
+@pytest.mark.parametrize("k", [2, 4, 8])
+def test_ak_refinement_fast_path(benchmark, xmark_graph, k):
+    reference = _reference_kbisimulation(xmark_graph, k)
+    blocks = benchmark(kbisimulation_blocks, xmark_graph, k)
+    assert blocks == reference
+
+
+def test_full_bisimulation_fast_path(benchmark, xmark_graph):
+    reference, rounds = _reference_full_bisimulation(xmark_graph)
+    blocks, fast_rounds = benchmark(full_bisimulation_blocks, xmark_graph)
+    assert (blocks, fast_rounds) == (reference, rounds)
+
+
+@pytest.mark.parametrize("family", [name for name, _ in REPLAY_FAMILIES])
+def test_cached_workload_replay(benchmark, xmark_graph, xmark_workload_len4,
+                                family):
+    factory = dict(REPLAY_FAMILIES)[family]
+    cold = _replay(xmark_graph, xmark_workload_len4, factory, cache=False,
+                   passes=2)
+    warm = benchmark.pedantic(
+        _replay, args=(xmark_graph, xmark_workload_len4, factory, True, 2),
+        rounds=1, iterations=1)
+    assert warm["cache_hits"] > 0
+    assert warm["total_cost"] < cold["total_cost"]

@@ -1,0 +1,12 @@
+"""Benchmark trajectory runner behind ``repro bench``.
+
+Measures the two hot paths this repository optimises — partition
+refinement during index construction and repeated-FUP workload replay
+through the adaptive engine — against their reference implementations,
+and persists the numbers as a JSON artifact (``BENCH_pr2.json``) so the
+speedups travel with the code instead of living in a PR description.
+"""
+
+from repro.bench.runner import BenchConfig, run_bench, write_bench
+
+__all__ = ["BenchConfig", "run_bench", "write_bench"]

@@ -10,7 +10,10 @@ Commands:
   through a saved index), printing answers and costs;
 * ``report`` — regenerate the paper's full figure sweep as markdown;
 * ``verify`` — run the differential correctness oracle + fuzz harness
-  over every index family (see :mod:`repro.verify`).
+  over every index family (see :mod:`repro.verify`);
+* ``bench`` — measure the optimised hot paths (partition refinement,
+  cached workload replay) against their reference implementations and
+  persist the numbers as a JSON artifact (see :mod:`repro.bench`).
 """
 
 from __future__ import annotations
@@ -136,6 +139,35 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import BenchConfig, run_bench, write_bench
+
+    if args.smoke:
+        config = BenchConfig.smoke_config()
+    else:
+        config = BenchConfig(
+            scale=args.scale, seed=args.seed,
+            datasets=tuple(name.strip()
+                           for name in args.datasets.split(",")
+                           if name.strip()),
+            replay_queries=args.queries, replay_passes=args.passes)
+    report = run_bench(config, progress=print if args.verbose else None)
+    write_bench(report, args.output)
+    criteria = report["criteria"]
+    print(f"bench: wrote {args.output}")
+    print(f"bench: construction speedup (A(k), k>=4): "
+          f"{criteria['construction_speedup_k4_plus']}x; "
+          f"replay speedup: {criteria['replay_speedup_wall']}x "
+          f"(target {criteria['target']}x)")
+    if not report["verify"]["ok"]:
+        print("bench: FAILED — oracle discrepancies with caching enabled:")
+        for line in report["verify"]["discrepancies"]:
+            print(f"  {line}")
+        return 1
+    print("bench: verify OK (cache-on and cache-off engines agree)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -214,6 +246,25 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--verbose", "-v", action="store_true",
                         help="print one status line per round")
     verify.set_defaults(handler=cmd_verify)
+
+    bench = commands.add_parser(
+        "bench",
+        help="hot-path benchmarks with a persisted JSON trajectory")
+    bench.add_argument("--output", "-o", default="BENCH_pr2.json",
+                       help="JSON artifact path (default: BENCH_pr2.json)")
+    bench.add_argument("--smoke", action="store_true",
+                       help="small fixed configuration for CI")
+    bench.add_argument("--scale", type=float, default=0.05)
+    bench.add_argument("--seed", type=int, default=1)
+    bench.add_argument("--datasets", default="xmark,nasa",
+                       help="comma-separated dataset names")
+    bench.add_argument("--queries", type=int, default=120,
+                       help="replay workload size")
+    bench.add_argument("--passes", type=int, default=3,
+                       help="workload passes per replay measurement")
+    bench.add_argument("--verbose", "-v", action="store_true",
+                       help="print one status line per bench stage")
+    bench.set_defaults(handler=cmd_bench)
     return parser
 
 

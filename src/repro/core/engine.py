@@ -29,12 +29,29 @@ class EngineStats:
     queries: int = 0
     validated_queries: int = 0
     refinements: int = 0
+    cache_hits: int = 0
     cost: CostCounter = field(default_factory=CostCounter)
+    #: Work spent adapting the index, kept apart from query-serving
+    #: ``cost`` — refinement is an investment amortised over future
+    #: queries, and folding it into per-query cost would make adaptive
+    #: indexes look slower than they serve.
+    refine_cost: CostCounter = field(default_factory=CostCounter)
 
     @property
     def average_cost(self) -> float:
-        """Average two-part cost per query served."""
+        """Average two-part *query* cost per query served (excludes
+        refinement work; see :attr:`total_cost`)."""
         return self.cost.total / self.queries if self.queries else 0.0
+
+    @property
+    def total_cost(self) -> int:
+        """Everything the engine paid: query serving plus refinement."""
+        return self.cost.total + self.refine_cost.total
+
+    @property
+    def average_total_cost(self) -> float:
+        """Average all-in cost per query, refinement included."""
+        return self.total_cost / self.queries if self.queries else 0.0
 
 
 class AdaptiveIndexEngine:
@@ -50,15 +67,42 @@ class AdaptiveIndexEngine:
 
     def __init__(self, graph: DataGraph,
                  index_factory: Callable[[DataGraph], object] = MStarIndex,
-                 extractor: FupExtractor | None = None) -> None:
+                 extractor: FupExtractor | None = None,
+                 cache: bool = True, cache_size: int = 256) -> None:
         """``index_factory`` builds the index (default: M*(k));
         ``extractor`` decides which queries become FUPs (default: every
-        repeatable query immediately, like the paper's experiments)."""
+        repeatable query immediately, like the paper's experiments).
+
+        ``cache`` enables the refinement-aware result cache: a repeated
+        query whose index fingerprint has not changed since its last run
+        is served from the stored result at O(answer) cost.  Indexes
+        without a ``cache_fingerprint`` method are never cached.
+        """
         self.graph = graph
         self.index = index_factory(graph)
         self.extractor = extractor if extractor is not None else FupExtractor()
         self.stats = EngineStats()
         self._refined: set[PathExpression] = set()
+        if cache_size < 1:
+            raise ValueError("cache_size must be >= 1")
+        self.cache_enabled = cache
+        self._cache_size = cache_size
+        self._cache: dict[PathExpression, tuple[tuple, QueryResult]] = {}
+        self._fingerprint = getattr(self.index, "cache_fingerprint", None)
+        self._refine_accepts_counter = self._probe_refine_counter()
+
+    def _probe_refine_counter(self) -> bool:
+        """Does the index's ``refine`` take a cost counter?  (Third-party
+        indexes may predate refinement accounting.)"""
+        refine = getattr(self.index, "refine", None)
+        if refine is None:
+            return False
+        try:
+            import inspect
+
+            return "counter" in inspect.signature(refine).parameters
+        except (TypeError, ValueError):
+            return False
 
     @property
     def can_refine(self) -> bool:
@@ -74,7 +118,25 @@ class AdaptiveIndexEngine:
         future runs avoid the validation cost.
         """
         expr = as_expression(query)
-        result = self.index.query(expr)
+        token: tuple | None = None
+        result: QueryResult | None = None
+        if self.cache_enabled and self._fingerprint is not None:
+            token = self._fingerprint(expr)
+            entry = self._cache.get(expr)
+            if entry is not None and entry[0] == token:
+                # The fingerprint pins everything the stored result can
+                # depend on, so serving the copy is indistinguishable
+                # (answers and validated flag) from re-running the query.
+                source = entry[1]
+                result = QueryResult(answers=set(source.answers),
+                                     target_nodes=list(source.target_nodes),
+                                     cost=CostCounter(index_visits=1),
+                                     validated=source.validated)
+                self.stats.cache_hits += 1
+        if result is None:
+            result = self.index.query(expr)
+            if token is not None:
+                self._cache_store(expr, token, result)
         self.stats.queries += 1
         self.stats.cost.add(result.cost)
         if result.validated:
@@ -90,10 +152,25 @@ class AdaptiveIndexEngine:
         needs_refresh = expr in self._refined and result.validated
         if self.can_refine and ((is_fup and expr not in self._refined)
                                 or needs_refresh):
-            self.index.refine(expr, result)
+            if self._refine_accepts_counter:
+                refine_cost = CostCounter()
+                self.index.refine(expr, result, counter=refine_cost)
+                self.stats.refine_cost.add(refine_cost)
+            else:
+                self.index.refine(expr, result)
             self._refined.add(expr)
             self.stats.refinements += 1
         return result
+
+    def _cache_store(self, expr: PathExpression, token: tuple,
+                     result: QueryResult) -> None:
+        if expr not in self._cache and len(self._cache) >= self._cache_size:
+            self._cache.pop(next(iter(self._cache)))  # FIFO eviction
+        # Snapshot answers/targets: callers may mutate the returned sets.
+        self._cache[expr] = (token, QueryResult(
+            answers=set(result.answers),
+            target_nodes=list(result.target_nodes),
+            cost=result.cost.copy(), validated=result.validated))
 
     def execute_all(self, queries) -> list[QueryResult]:
         """Convenience: run a whole workload, returning every result."""

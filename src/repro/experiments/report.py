@@ -95,6 +95,7 @@ def _extended_sections(config: ExperimentConfig, graphs: dict) -> list[str]:
     """Appendix: experiments beyond the paper's own figures."""
     from repro.experiments.extended import (
         run_baseline_table,
+        run_engine_accounting,
         run_strategy_table,
         run_update_experiment,
     )
@@ -109,6 +110,13 @@ def _extended_sections(config: ExperimentConfig, graphs: dict) -> list[str]:
     strategy = run_strategy_table(graphs["xmark"], workload, "xmark")
     sections += ["### M*(k) evaluation strategies (Section 4.1)", "",
                  "```", strategy.format_table(), "```", ""]
+    accounting_workload = Workload.generate(
+        graphs["xmark"], num_queries=min(100, config.num_queries),
+        max_length=6, seed=config.seed)
+    accounting = run_engine_accounting(graphs["xmark"],
+                                       accounting_workload, "xmark")
+    sections += ["### Engine accounting: query + refinement cost", "",
+                 "```", accounting.format_table(), "```", ""]
     # The update experiment mutates its document: use a fresh copy.
     update_graph = dataset_for("xmark", config)
     update_workload = Workload.generate(update_graph,

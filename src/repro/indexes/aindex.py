@@ -32,6 +32,10 @@ class AkIndex:
         """Evaluate ``expr`` with validation for queries longer than ``k``."""
         return self.index.answer(expr, counter)
 
+    def cache_fingerprint(self, expr: PathExpression) -> tuple:
+        """Validity token for engine-level result caching."""
+        return self.index.cache_token(expr)
+
     def size_nodes(self) -> int:
         return self.index.size_nodes()
 

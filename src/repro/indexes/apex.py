@@ -53,11 +53,25 @@ class ApexIndex:
         return self.summary.answer(expr, cost)
 
     def refine(self, expr: PathExpression,
-               result: QueryResult | None = None) -> None:
-        """Install ``expr`` as a FUP: cache its exact answer."""
+               result: QueryResult | None = None,
+               counter: CostCounter | None = None) -> None:
+        """Install ``expr`` as a FUP: cache its exact answer.
+
+        ``counter`` meters the work of computing the answer when
+        ``result`` was not supplied (a hash-tree insert is free).
+        """
         if result is None:
-            result = self.summary.answer(expr)
+            result = self.summary.answer(expr, counter)
         self._cache[expr] = frozenset(result.answers)
+
+    def cache_fingerprint(self, expr: PathExpression) -> tuple:
+        """Validity token for engine-level result caching.
+
+        APEX's own hash tree changes answers without touching the
+        summary, so the token pins the cached answer set (or ``None``)
+        alongside the summary's token.
+        """
+        return (self.summary.cache_token(expr), self._cache.get(expr))
 
     def is_cached(self, expr: PathExpression) -> bool:
         return expr in self._cache

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from repro.cost.counters import CostCounter
 from repro.graph.datagraph import DataGraph
 from repro.indexes.partition import kbisimulation_blocks, refine_once
-from repro.queries.evaluator import validate_candidate
+from repro.queries.evaluator import required_similarity, validate_candidate
 from repro.queries.pathexpr import WILDCARD, PathExpression
 
 
@@ -73,6 +73,24 @@ class IndexGraph:
         #: Bumped by every replace_node call; refinement loops use it to
         #: detect that a pass made no progress.
         self.mutations = 0
+        #: Per-label mutation counters: a split (or k change) of a node
+        #: labelled ``l`` bumps ``label_versions[l]`` only, so cached
+        #: results for expressions not mentioning ``l`` stay live.
+        self.label_versions: dict[str, int] = {}
+        #: Bumped by data-graph maintenance (node/edge registration and
+        #: demotions), which can change answers or similarity claims for
+        #: labels far from the touched nodes — every cached result dies.
+        self.epoch = 0
+        #: Opt-in result cache for :meth:`answer` (see ``docs/tuning.md``).
+        self.cache_enabled = False
+        self.cache_limit = 256
+        self.cache_hits = 0
+        #: When set, structural mutations charge their work here (index
+        #: visits for nodes written, data visits for extents scanned while
+        #: rebuilding edges) — how refinement cost gets metered.
+        self.work_sink: CostCounter | None = None
+        self._result_cache: dict[PathExpression,
+                                 tuple[tuple, QueryResult]] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -208,8 +226,15 @@ class IndexGraph:
             if old.k != parts[0][1]:
                 old.k = parts[0][1]
                 self.mutations += 1
+                self._bump_label(old.label)
+                if self.work_sink is not None:
+                    self.work_sink.index_visits += 1
             return [nid]
         self.mutations += 1
+        self._bump_label(old.label)
+        if self.work_sink is not None:
+            self.work_sink.index_visits += len(parts)
+            self.work_sink.data_visits += len(old.extent)
 
         # Detach the old node.
         for parent in self._parents[nid]:
@@ -262,6 +287,7 @@ class IndexGraph:
                 f"data nodes must be registered in oid order "
                 f"(expected {len(self.node_of)}, got {oid})")
         self.node_of.append(-1)
+        self.epoch += 1
         return self._add_node({oid}, 0)
 
     def register_data_edge(self, parent_oid: int, child_oid: int) -> None:
@@ -294,6 +320,9 @@ class IndexGraph:
         walk stops at the largest claim present — deeper nodes cannot
         need demotion.
         """
+        # Demotion can lower k across arbitrary labels; per-label
+        # versions cannot track it, so the whole cache generation dies.
+        self.epoch += 1
         max_k = max((node.k for node in self.nodes.values()), default=0)
         frontier = {nid}
         seen = {nid}
@@ -313,6 +342,46 @@ class IndexGraph:
             depth += 1
         # Nodes at depth >= max_k have k <= depth already; nothing deeper
         # can need demotion.
+
+    def _bump_label(self, label: str) -> None:
+        self.label_versions[label] = self.label_versions.get(label, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Result caching
+    # ------------------------------------------------------------------
+    def cache_token(self, expr: PathExpression) -> tuple:
+        """Validity token for cached results of ``expr``.
+
+        A stored result may be served verbatim while its token still
+        matches: the token pins everything the answer (and its
+        ``validated`` flag) can depend on.  Expressions with wildcards or
+        descendant axes can touch nodes of any label, so they pin the
+        global ``mutations`` counter; plain label paths pin only the
+        versions of their own labels — splits elsewhere never alter which
+        index nodes a label-filtered navigation can reach.  Rooted
+        expressions additionally pin the root node's label (navigation
+        starts there), and every token pins ``epoch`` because data-graph
+        maintenance invalidates all bets.
+        """
+        if expr.has_wildcard or expr.has_descendant_steps:
+            return (self.epoch, self.mutations)
+        labels = set(expr.labels)
+        if expr.rooted:
+            labels.add(self.nodes[self.node_of[self.graph.root]].label)
+        versions = self.label_versions
+        return (self.epoch,) + tuple(
+            sorted((label, versions.get(label, 0)) for label in labels))
+
+    def _cache_store(self, expr: PathExpression, token: tuple,
+                     result: QueryResult) -> None:
+        cache = self._result_cache
+        if expr not in cache and len(cache) >= self.cache_limit:
+            cache.pop(next(iter(cache)))  # FIFO eviction
+        # Snapshot answers/targets: callers may mutate the returned sets.
+        cache[expr] = (token, QueryResult(
+            answers=set(result.answers),
+            target_nodes=list(result.target_nodes),
+            cost=result.cost.copy(), validated=result.validated))
 
     # ------------------------------------------------------------------
     # Query evaluation (Section 3.1)
@@ -383,17 +452,26 @@ class IndexGraph:
         the data graph, charging data-node visits.
         """
         cost = counter if counter is not None else CostCounter()
+        token: tuple | None = None
+        if self.cache_enabled:
+            token = self.cache_token(expr)
+            entry = self._result_cache.get(expr)
+            if entry is not None and entry[0] == token:
+                self.cache_hits += 1
+                cost.index_visits += 1  # one probe pays for the lookup
+                source = entry[1]
+                return QueryResult(answers=set(source.answers),
+                                   target_nodes=list(source.target_nodes),
+                                   cost=cost, validated=source.validated)
         targets = self.evaluate(expr, cost)
         answers: set[int] = set()
         validated = False
         # A rooted expression implicitly traverses one more edge (from the
-        # synthetic root), so precision needs one extra level of similarity;
-        # descendant axes make the instance length unbounded, so no finite
-        # similarity can certify them — always validate.
-        if expr.has_descendant_steps:
-            required = float("inf")
-        else:
-            required = expr.length + (1 if expr.rooted else 0)
+        # synthetic root), so precision needs one extra level of similarity
+        # — and only when the root's label is unique to the root (see
+        # required_similarity); descendant axes make the instance length
+        # unbounded, so no finite similarity can certify them.
+        required = required_similarity(self.graph, expr)
         for node in targets:
             if node.k >= required:
                 answers |= node.extent
@@ -402,8 +480,11 @@ class IndexGraph:
                 for oid in node.extent:
                     if validate_candidate(self.graph, expr, oid, cost):
                         answers.add(oid)
-        return QueryResult(answers=answers, target_nodes=targets,
-                           cost=cost, validated=validated)
+        result = QueryResult(answers=answers, target_nodes=targets,
+                             cost=cost, validated=validated)
+        if token is not None:
+            self._cache_store(expr, token, result)
+        return result
 
     # ------------------------------------------------------------------
     # Invariant checking (used heavily by the test suite)

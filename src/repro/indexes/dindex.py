@@ -118,16 +118,23 @@ class DkIndex:
         """Evaluate ``expr``, validating extents with insufficient ``k``."""
         return self.index.answer(expr, counter)
 
+    def cache_fingerprint(self, expr: PathExpression) -> tuple:
+        """Validity token for engine-level result caching."""
+        return self.index.cache_token(expr)
+
     # ------------------------------------------------------------------
     # Incremental refinement (D(k)-promote)
     # ------------------------------------------------------------------
     def refine(self, expr: PathExpression,
-               result: QueryResult | None = None) -> None:
+               result: QueryResult | None = None,
+               counter: CostCounter | None = None) -> None:
         """Refine the index to support FUP ``expr`` using ``PROMOTE``.
 
         ``result`` is accepted for interface compatibility with M(k)/M*(k)
         but ignored: the D(k)-index does not use target-set information —
-        precisely why it over-refines irrelevant data nodes.
+        precisely why it over-refines irrelevant data nodes.  ``counter``
+        meters the refinement work (evaluations plus mutation work via
+        the index graph's work sink).
         """
         if expr.has_wildcard:
             raise ValueError("FUPs must be simple label paths (no wildcards)")
@@ -136,14 +143,20 @@ class DkIndex:
                              "(descendant-axis instances have unbounded "
                              "length; no finite k can support them)")
         required = expr.length + (1 if expr.rooted else 0)
-        for _ in range(_MAX_PROMOTE_ROUNDS):
-            violating = [node for node in self.index.evaluate(expr)
-                         if node.k < required]
-            if not violating:
-                return
-            node = violating[0]
-            self._promote(set(node.extent), required)
-        raise RuntimeError(f"PROMOTE failed to converge for {expr}")
+        cost = counter if counter is not None else CostCounter()
+        outer_sink = self.index.work_sink
+        self.index.work_sink = cost
+        try:
+            for _ in range(_MAX_PROMOTE_ROUNDS):
+                violating = [node for node in self.index.evaluate(expr, cost)
+                             if node.k < required]
+                if not violating:
+                    return
+                node = violating[0]
+                self._promote(set(node.extent), required)
+            raise RuntimeError(f"PROMOTE failed to converge for {expr}")
+        finally:
+            self.index.work_sink = outer_sink
 
     def _promote(self, extent: set[int], kv: int) -> None:
         """The paper's ``PROMOTE(v, kv, IG)``.

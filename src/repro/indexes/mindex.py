@@ -88,16 +88,24 @@ class MkIndex:
         """
         return self.index.answer(expr, counter)
 
+    def cache_fingerprint(self, expr: PathExpression) -> tuple:
+        """Validity token for engine-level result caching."""
+        return self.index.cache_token(expr)
+
     # ------------------------------------------------------------------
     # Refinement (Section 3.2)
     # ------------------------------------------------------------------
     def refine(self, expr: PathExpression,
-               result: QueryResult | None = None) -> None:
+               result: QueryResult | None = None,
+               counter: CostCounter | None = None) -> None:
         """``REFINE(l, S, T)``: support FUP ``expr`` precisely from now on.
 
         ``result`` should be the :class:`QueryResult` of querying ``expr``
         on this index (its ``answers`` are the target set ``T``); when
         omitted, the target set is recomputed from the data graph.
+        ``counter`` meters the refinement work: index/data visits of the
+        internal evaluations plus the mutation work routed through the
+        index graph's work sink.
         """
         if expr.has_wildcard:
             raise ValueError("FUPs must be simple label paths (no wildcards)")
@@ -105,16 +113,27 @@ class MkIndex:
             raise ValueError("FUPs must use the child axis only "
                              "(descendant-axis instances have unbounded "
                              "length; no finite k can support them)")
+        cost = counter if counter is not None else CostCounter()
+        outer_sink = self.index.work_sink
+        self.index.work_sink = cost
+        try:
+            self._refine_metered(expr, result, cost)
+        finally:
+            self.index.work_sink = outer_sink
+
+    def _refine_metered(self, expr: PathExpression,
+                        result: QueryResult | None,
+                        cost: CostCounter) -> None:
         required = expr.length + (1 if expr.rooted else 0)
         target_data = (set(result.answers) if result is not None
-                       else evaluate_on_data_graph(self.graph, expr))
+                       else evaluate_on_data_graph(self.graph, expr, cost))
 
         # Lines 1-2 of REFINE: refine each index node in the target set,
         # passing only its relevant data nodes.  Re-evaluating after each
         # node keeps the loop correct when refining one target node splits
         # another (possible on cyclic data).
         for _ in range(_MAX_REFINE_ROUNDS):
-            pending = [node for node in self.index.evaluate(expr)
+            pending = [node for node in self.index.evaluate(expr, cost)
                        if node.k < required and node.extent & target_data]
             if not pending:
                 break
@@ -134,7 +153,7 @@ class MkIndex:
         # under-refined targets are broken with PROMOTE' as published,
         # and overstated targets are split along the true-target boundary.
         truth = (target_data if result is None
-                 else evaluate_on_data_graph(self.graph, expr))
+                 else evaluate_on_data_graph(self.graph, expr, cost))
 
         # Phase 1 (the published loop, a cost optimisation): promote
         # under-refined targets so future runs of the FUP skip validation.
@@ -142,7 +161,7 @@ class MkIndex:
         # parent claims inherited from earlier refinement); stalled targets
         # are left to validation.
         for _ in range(_MAX_REFINE_ROUNDS):
-            under = [node for node in self.index.evaluate(expr)
+            under = [node for node in self.index.evaluate(expr, cost)
                      if node.k < required]
             if not under:
                 break
@@ -161,7 +180,7 @@ class MkIndex:
         # true-target boundary.  Each break removes one overstated target
         # and creates none, so the loop strictly decreases.
         for _ in range(_MAX_REFINE_ROUNDS):
-            over = [node for node in self.index.evaluate(expr)
+            over = [node for node in self.index.evaluate(expr, cost)
                     if node.k >= required and not node.extent <= truth]
             if not over:
                 return

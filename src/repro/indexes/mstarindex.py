@@ -138,6 +138,17 @@ class MStarIndex:
             raise ValueError(f"unknown strategy {strategy!r}")
         return dispatch[strategy](self, expr, counter)
 
+    def cache_fingerprint(self, expr: PathExpression) -> tuple:
+        """Validity token for engine-level result caching.
+
+        Every component can contribute to an answer (strategies descend
+        the hierarchy), so the token pins each component's own token plus
+        the component count (``extend_components`` deepens the stack).
+        """
+        return (len(self.components),
+                tuple(component.cache_token(expr)
+                      for component in self.components))
+
     def query_branching(self, expr,
                         counter: CostCounter | None = None) -> QueryResult:
         """Evaluate a branching path expression (``//a[b/c]/d``).
@@ -157,8 +168,14 @@ class MStarIndex:
     # Refinement (REFINE*)
     # ------------------------------------------------------------------
     def refine(self, expr: PathExpression,
-               result: QueryResult | None = None) -> None:
-        """``REFINE*(l, S, T)``: support FUP ``expr`` precisely from now on."""
+               result: QueryResult | None = None,
+               counter: CostCounter | None = None) -> None:
+        """``REFINE*(l, S, T)``: support FUP ``expr`` precisely from now on.
+
+        ``counter`` meters the refinement work: index/data visits of the
+        internal evaluations plus mutation work routed through each
+        component's work sink.
+        """
         if expr.has_wildcard:
             raise ValueError("FUPs must be simple label paths (no wildcards)")
         if expr.has_descendant_steps:
@@ -168,14 +185,27 @@ class MStarIndex:
         required = expr.length + (1 if expr.rooted else 0)
         if required == 0:
             return  # I0 answers single-label queries precisely already
+        cost = counter if counter is not None else CostCounter()
         self.extend_components(required)
+        outer_sinks = [component.work_sink for component in self.components]
+        for component in self.components:
+            component.work_sink = cost
+        try:
+            self._refine_metered(expr, result, cost, required)
+        finally:
+            for component, sink in zip(self.components, outer_sinks):
+                component.work_sink = sink
+
+    def _refine_metered(self, expr: PathExpression,
+                        result: QueryResult | None, cost: CostCounter,
+                        required: int) -> None:
         target_data = (set(result.answers) if result is not None
-                       else evaluate_on_data_graph(self.graph, expr))
+                       else evaluate_on_data_graph(self.graph, expr, cost))
         finest = self.components[required]
 
         # Lines 4-6: refine every target node holding relevant data.
         for _ in range(_MAX_REFINE_ROUNDS):
-            pending = [node for node in finest.evaluate(expr)
+            pending = [node for node in finest.evaluate(expr, cost)
                        if node.k < required and node.extent & target_data]
             if not pending:
                 break
@@ -195,10 +225,10 @@ class MStarIndex:
         from repro.indexes.strategies import topdown_frontier
 
         truth = (target_data if result is None
-                 else evaluate_on_data_graph(self.graph, expr))
+                 else evaluate_on_data_graph(self.graph, expr, cost))
 
         def topdown_targets():
-            component, frontier = topdown_frontier(self, expr)
+            component, frontier = topdown_frontier(self, expr, cost)
             return component, [self.components[component].nodes[nid]
                                for nid in sorted(frontier)]
 

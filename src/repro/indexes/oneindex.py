@@ -46,6 +46,10 @@ class OneIndex:
         return QueryResult(answers=answers, target_nodes=targets, cost=cost,
                            validated=False)
 
+    def cache_fingerprint(self, expr: PathExpression) -> tuple:
+        """Validity token for engine-level result caching."""
+        return self.index.cache_token(expr)
+
     def size_nodes(self) -> int:
         return self.index.size_nodes()
 

@@ -24,7 +24,7 @@ from typing import TYPE_CHECKING
 
 from repro.cost.counters import CostCounter
 from repro.indexes.base import QueryResult
-from repro.queries.evaluator import validate_candidate
+from repro.queries.evaluator import required_similarity, validate_candidate
 from repro.queries.pathexpr import WILDCARD, PathExpression
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -35,10 +35,7 @@ def _finish(index: "MStarIndex", expr: PathExpression, component: int,
             frontier: set[int], cost: CostCounter) -> QueryResult:
     """Shared epilogue: extract answers, validating under-refined extents."""
     comp = index.components[component]
-    if expr.has_descendant_steps:
-        required = float("inf")
-    else:
-        required = expr.length + (1 if expr.rooted else 0)
+    required = required_similarity(index.graph, expr)
     targets = [comp.nodes[nid] for nid in sorted(frontier)]
     answers: set[int] = set()
     validated = False
@@ -142,7 +139,7 @@ def topdown_frontier(index: "MStarIndex", expr: PathExpression,
             break
         if eager_validation and position < len(expr.labels) - 1:
             prefix = expr.prefix(position + 1)
-            prefix_required = position + edge_offset
+            prefix_required = required_similarity(index.graph, prefix)
             pruned: set[int] = set()
             for nid in frontier:
                 node = comp.nodes[nid]

@@ -143,8 +143,9 @@ class UDIndex:
         the data graph).
         """
         from repro.queries.branching import branching_answer
+        from repro.queries.evaluator import required_similarity
 
-        required = expr.length + (1 if expr.rooted else 0)
+        required = required_similarity(self.graph, expr)
         final_only = all(not step.predicates for step in expr.steps[:-1])
         skip = (self.k >= required and final_only
                 and self.l >= expr.max_predicate_depth)

@@ -9,6 +9,7 @@ from repro.queries.branching import (
 )
 from repro.queries.evaluator import (
     evaluate_on_data_graph,
+    required_similarity,
     validate_candidate,
     validate_extent,
 )
@@ -26,6 +27,7 @@ __all__ = [
     "satisfying_nodes",
     "validate_branching_candidate",
     "query_length_histogram",
+    "required_similarity",
     "validate_candidate",
     "validate_extent",
 ]

@@ -93,6 +93,33 @@ def evaluate_on_data_graph(graph: DataGraph, expr: PathExpression,
     return frontier
 
 
+def required_similarity(graph: DataGraph, expr: PathExpression) -> float:
+    """Similarity an index node needs before its extent can be returned
+    without validation (Section 3.1's precision test).
+
+    ``length`` edges for an unrooted child-axis expression.  A rooted
+    expression is certified as if it were ``//<root label>/...`` — one
+    edge more — but that rewrite is only equivalent when the root's
+    label occurs nowhere else in the document.  When another node shares
+    the label, a k-bisimilar extent can mix true root children with
+    impostors sitting below the look-alike node (they share incoming
+    *label* paths, which is all bisimilarity sees), so no finite
+    similarity certifies rootedness and validation is forced.
+    Descendant axes have unbounded instance length and are never
+    certified either.
+    """
+    # getattr: branching expressions share rooted/length but have no
+    # descendant axis at the trunk level.
+    if getattr(expr, "has_descendant_steps", False):
+        return float("inf")
+    if not expr.rooted:
+        return expr.length
+    root_label = graph.labels[graph.root]
+    if len(graph.nodes_with_label(root_label)) > 1:
+        return float("inf")
+    return expr.length + 1
+
+
 def validate_candidate(graph: DataGraph, expr: PathExpression, oid: int,
                        counter: CostCounter | None = None) -> bool:
     """Does ``oid`` really have ``expr`` as an incoming path?
@@ -125,12 +152,17 @@ def validate_candidate(graph: DataGraph, expr: PathExpression, oid: int,
         if not frontier:
             return False
     if expr.rooted:
+        # Charge one visit per parent actually examined and stop at the
+        # first root edge — previously each surviving node was billed its
+        # whole parent list up front and set-iteration order made the
+        # early exit (and therefore the charge) nondeterministic.
         root = graph.root
-        for node in frontier:
-            if counter is not None:
-                counter.data_visits += len(parents[node])
-            if root in parents[node]:
-                return True
+        for node in sorted(frontier):
+            for parent in parents[node]:
+                if counter is not None:
+                    counter.data_visits += 1
+                if parent == root:
+                    return True
         return False
     return True
 
@@ -153,6 +185,12 @@ def find_instance(graph: DataGraph, expr: PathExpression,
     tests; mirrors :func:`validate_candidate` but keeps back-pointers.
     Descendant-axis expressions are not supported (their witnesses have
     variable length).
+
+    The witness is canonical: among eligible start nodes the smallest oid
+    wins (rooted and unrooted alike), and each back-pointer records the
+    smallest matching node of the level below — so two runs (or two
+    Python implementations with different set/dict iteration orders)
+    always reconstruct the same path.
     """
     if expr.has_descendant_steps:
         raise ValueError("find_instance supports child-axis expressions only")
@@ -165,7 +203,9 @@ def find_instance(graph: DataGraph, expr: PathExpression,
     levels: list[dict[int, int | None]] = [{oid: None}]
     for position in range(len(expr.labels) - 2, -1, -1):
         above: dict[int, int | None] = {}
-        for node in levels[-1]:
+        # Ascending node order + first-write-wins means every parent's
+        # back-pointer is the smallest matching node below it.
+        for node in sorted(levels[-1]):
             for parent in parents[node]:
                 if parent not in above and \
                         expr.matches_label(position, node_labels[parent]):
@@ -176,10 +216,11 @@ def find_instance(graph: DataGraph, expr: PathExpression,
     start_candidates = levels[-1]
     if expr.rooted:
         root = graph.root
-        start = next((node for node in start_candidates
-                      if root in parents[node]), None)
-        if start is None:
+        eligible = [node for node in start_candidates
+                    if root in parents[node]]
+        if not eligible:
             return None
+        start = min(eligible)
     else:
         start = min(start_candidates)
     path = [start]

@@ -23,7 +23,7 @@ from repro.cost.counters import CostCounter
 from repro.graph.datagraph import DataGraph
 from repro.indexes.base import QueryResult
 from repro.indexes.mstarindex import MStarIndex
-from repro.queries.evaluator import validate_candidate
+from repro.queries.evaluator import required_similarity, validate_candidate
 from repro.queries.pathexpr import WILDCARD, PathExpression
 from repro.storage.pager import DEFAULT_PAGE_SIZE, BufferPool, PageFile, PageRef
 from repro.storage.serialization import (
@@ -202,7 +202,12 @@ class DiskMStarIndex:
         cost = counter if counter is not None else CostCounter()
         last = self.num_components - 1
         if expr.rooted:
-            # The root always lives in a singleton label class.
+            # Start from every node carrying the root's label: the label
+            # class need not be a singleton, but navigation only ever
+            # overapproximates — the precision test below (via
+            # required_similarity) refuses to certify rooted answers
+            # unless the root's label is unique, so impostor paths are
+            # caught by validation.
             root_label = self.graph.labels[self.graph.root]
             frontier = set(self.nodes_with_label(0, root_label))
             cost.index_visits += len(frontier)
@@ -256,10 +261,7 @@ class DiskMStarIndex:
             if not frontier:
                 break
 
-        if expr.has_descendant_steps:
-            required = float("inf")
-        else:
-            required = expr.length + (1 if expr.rooted else 0)
+        required = required_similarity(self.graph, expr)
         answers: set[int] = set()
         targets: list[_TargetNode] = []
         validated = False

@@ -43,7 +43,7 @@ from repro.verify.invariants import (
 class Discrepancy:
     """One verification failure, with enough context to replay it."""
 
-    kind: str  # "answers" | "invariant" | "witness" | "cost" | "error"
+    kind: str  # "answers" | "invariant" | "witness" | "cost" | "cache" | "error"
     family: str
     detail: str
     query: str | None = None
@@ -311,6 +311,70 @@ def check_static_suite(graph: DataGraph, queries: Sequence[PathExpression],
     for expr, truth in truths.items():
         discrepancies.extend(check_witnesses(
             graph, expr, truth, profile=profile, graph_seed=graph_seed))
+    return discrepancies
+
+
+def check_cache_equivalence(graph: DataGraph,
+                            stream: Sequence[PathExpression],
+                            index_factory: Callable[[DataGraph], object]
+                            = MStarIndex,
+                            extractor_factory: Callable[[], FupExtractor]
+                            | None = None,
+                            profile: str | None = None,
+                            graph_seed: int | None = None
+                            ) -> list[Discrepancy]:
+    """The result cache must be semantically invisible.
+
+    Drives two engines through the same stream — one with the
+    refinement-aware result cache enabled, one without — and demands
+    per-step equality of answers and of the ``validated`` flag (a cache
+    hit must be indistinguishable from re-running the query), plus
+    matching refinement counts at the end: a stale cache entry would
+    diverge exactly here, because refinement decisions feed on
+    ``result.validated``.  Each engine gets its own extractor instance
+    (extractors are stateful).
+    """
+    make_extractor = extractor_factory if extractor_factory is not None \
+        else FupExtractor
+    cached = AdaptiveIndexEngine(graph, index_factory=index_factory,
+                                 extractor=make_extractor(), cache=True)
+    plain = AdaptiveIndexEngine(graph, index_factory=index_factory,
+                                extractor=make_extractor(), cache=False)
+    family = f"cache[{type(cached.index).__name__}]"
+    discrepancies: list[Discrepancy] = []
+    context = dict(family=family, profile=profile, graph_seed=graph_seed)
+    for step, expr in enumerate(stream):
+        try:
+            hot = cached.execute(expr)
+            cold = plain.execute(expr)
+        except Exception as exc:  # noqa: BLE001 - fuzzing wants the crash
+            discrepancies.append(Discrepancy(
+                kind="error", query=str(expr), step=step,
+                detail=f"execute raised {type(exc).__name__}: {exc}",
+                **context))
+            break
+        if hot.answers != cold.answers:
+            discrepancies.append(Discrepancy(
+                kind="cache", query=str(expr), step=step,
+                detail=f"cached answers diverge after {cached.stats.cache_hits} "
+                       f"hits: only-cached "
+                       f"{sorted(hot.answers - cold.answers)[:5]}, "
+                       f"only-uncached "
+                       f"{sorted(cold.answers - hot.answers)[:5]}",
+                **context))
+        if hot.validated != cold.validated:
+            discrepancies.append(Discrepancy(
+                kind="cache", query=str(expr), step=step,
+                detail=f"validated flag diverges: cached={hot.validated} "
+                       f"uncached={cold.validated}",
+                **context))
+    if cached.stats.refinements != plain.stats.refinements:
+        discrepancies.append(Discrepancy(
+            kind="cache", step=len(stream) - 1,
+            detail=f"refinement counts diverge: cached engine "
+                   f"{cached.stats.refinements}, uncached "
+                   f"{plain.stats.refinements}",
+            **context))
     return discrepancies
 
 

@@ -6,7 +6,9 @@ generates a graph and a fuzzed workload, differential-checks every index
 family against the data-graph oracle, checks structural invariants, and
 (on adaptive rounds) drives :class:`AdaptiveIndexEngine` refinement
 sequences step by step — including one with a windowed FUP extractor
-over a drifting stream, the regime the engine's refresh gate exists for.
+over a drifting stream, the regime the engine's refresh gate exists for —
+and replays each stream through cache-on vs cache-off engines, which
+must be observationally identical (:func:`check_cache_equivalence`).
 
 Deterministic: the same ``(seed, rounds, options)`` always replays the
 same campaign, and every discrepancy reduces to a
@@ -33,6 +35,7 @@ from repro.verify.fuzz import (
 )
 from repro.verify.oracle import (
     Discrepancy,
+    check_cache_equivalence,
     check_engine_sequence,
     check_static_suite,
 )
@@ -137,6 +140,12 @@ def run_verification(seed: int = 0, rounds: int = 25,
             factory_name = factory_names[round_number % len(factory_names)]
             stream = random_fup_stream(graph, engine_queries, round_seed)
             found.extend(check_engine_sequence(
+                graph, stream, index_factory=ENGINE_FACTORIES[factory_name],
+                profile=round_profile.name, graph_seed=round_seed))
+            report.engine_steps += len(stream)
+            # The result cache must be invisible: replay the stream
+            # through cache-on vs cache-off engines of the same family.
+            found.extend(check_cache_equivalence(
                 graph, stream, index_factory=ENGINE_FACTORIES[factory_name],
                 profile=round_profile.name, graph_seed=round_seed))
             report.engine_steps += len(stream)

@@ -1,0 +1,75 @@
+"""Tests for the hot-path benchmark runner (repro.bench)."""
+
+import json
+
+from repro.bench.runner import (
+    BenchConfig,
+    run_construction_bench,
+    run_replay_bench,
+    write_bench,
+)
+
+
+class TestConstructionBench:
+    def test_rows_and_partition_parity(self, fig1):
+        rows = run_construction_bench(fig1, "fig1", (1, 2))
+        families = [row["family"] for row in rows]
+        assert families == ["A(1)", "A(2)", "1-index"]
+        for row in rows:
+            assert row["dataset"] == "fig1"
+            assert row["baseline_seconds"] >= 0
+            assert row["fast_seconds"] >= 0
+            assert row["index_nodes"] >= 1
+            assert row["data_nodes"] == fig1.num_nodes
+
+    def test_one_index_reports_rounds(self, fig1):
+        rows = run_construction_bench(fig1, "fig1", ())
+        assert rows[-1]["family"] == "1-index"
+        assert rows[-1]["rounds"] >= 1
+
+
+class TestReplayBench:
+    def test_rows_cover_families_and_cache_pays(self, small_xmark):
+        rows = run_replay_bench(small_xmark, "xmark", queries=20,
+                                max_length=5, seed=3, passes=2)
+        assert {row["family"] for row in rows} == \
+            {"M*(k)", "M(k)", "A(2) static", "1-index"}
+        for row in rows:
+            cold, warm = row["cache_off"], row["cache_on"]
+            assert cold["queries"] == warm["queries"] == 40
+            assert cold["cache_hits"] == 0
+            assert warm["cache_hits"] > 0
+            # The cache must reduce the metered cost (wall-clock is too
+            # noisy to assert on at this scale).
+            assert warm["total_cost"] < cold["total_cost"], row["family"]
+
+
+class TestBenchReport:
+    def test_smoke_config_is_smaller(self):
+        smoke, full = BenchConfig.smoke_config(), BenchConfig()
+        assert smoke.smoke and not full.smoke
+        assert smoke.scale < full.scale
+        assert smoke.replay_queries < full.replay_queries
+
+    def test_write_bench_round_trips(self, tmp_path):
+        path = str(tmp_path / "bench.json")
+        report = {"name": "BENCH_pr2", "criteria": {"passed": True}}
+        write_bench(report, path)
+        with open(path) as handle:
+            assert json.load(handle) == report
+
+    def test_committed_artifact_meets_criteria(self):
+        """The repository-root BENCH_pr2.json must record a >= 2x win on
+        deep-A(k) construction or on cached workload replay, with the
+        oracle clean."""
+        import os
+
+        root = os.path.join(os.path.dirname(__file__), "..")
+        with open(os.path.join(root, "BENCH_pr2.json")) as handle:
+            report = json.load(handle)
+        criteria = report["criteria"]
+        assert criteria["passed"]
+        assert (criteria["construction_speedup_k4_plus"] >= 2.0
+                or criteria["replay_speedup_wall"] >= 2.0)
+        assert report["verify"]["ok"]
+        assert report["verify"]["discrepancies"] == []

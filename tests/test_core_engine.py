@@ -164,6 +164,63 @@ class TestEngine:
         assert "MStarIndex" in repr(engine)
 
 
+class TestRefineAccounting:
+    """Regression: the engine used to add only ``result.cost`` to its
+    stats, so refinement work vanished from every adaptive-vs-static
+    comparison."""
+
+    def test_refinement_cost_tracked_separately(self, fig1):
+        engine = AdaptiveIndexEngine(fig1)
+        engine.execute("//site/people/person")
+        assert engine.stats.refinements == 1
+        assert engine.stats.refine_cost.total > 0
+        assert engine.stats.total_cost == (engine.stats.cost.total
+                                           + engine.stats.refine_cost.total)
+        assert engine.stats.average_total_cost > engine.stats.average_cost
+
+    def test_static_index_accrues_no_refine_cost(self, fig1):
+        engine = AdaptiveIndexEngine(fig1, index_factory=lambda g: AkIndex(g, 1))
+        engine.execute("//site/people/person")
+        assert engine.stats.refine_cost.total == 0
+        assert engine.stats.total_cost == engine.stats.cost.total
+
+    def test_average_cost_still_query_only(self, fig1):
+        """The published figures chart query-serving cost; average_cost
+        must keep meaning that (test_stats_accumulate pins the formula)."""
+        engine = AdaptiveIndexEngine(fig1)
+        engine.execute("//site/people/person")
+        assert engine.stats.average_cost == \
+            engine.stats.cost.total / engine.stats.queries
+
+    def test_mk_and_dk_also_metered(self, fig1):
+        from repro.indexes.dindex import DkIndex
+
+        for factory in (MkIndex, DkIndex):
+            engine = AdaptiveIndexEngine(fig1, index_factory=factory)
+            engine.execute("//site/people/person")
+            assert engine.stats.refinements == 1
+            assert engine.stats.refine_cost.total > 0, factory
+
+    def test_refine_counter_direct(self, fig1):
+        """Indexes meter refinement work into a caller-supplied counter."""
+        from repro.cost.counters import CostCounter
+        from repro.indexes.mstarindex import MStarIndex
+
+        index = MStarIndex(fig1)
+        counter = CostCounter()
+        index.refine(PathExpression.parse("//site/people/person"),
+                     counter=counter)
+        assert counter.index_visits > 0
+
+    def test_work_sink_restored_after_refine(self, fig1):
+        from repro.indexes.mstarindex import MStarIndex
+
+        index = MStarIndex(fig1)
+        index.refine(PathExpression.parse("//site/people/person"))
+        assert all(component.work_sink is None
+                   for component in index.components)
+
+
 class _RecordingIndex:
     """Stub index: every query claims it needed validation, and refine
     calls are recorded — isolates the engine's refresh-gate decision."""

@@ -3,15 +3,20 @@
 import pytest
 
 from repro.indexes.partition import (
+    PartitionRefiner,
     are_kbisimilar,
     blocks_to_extents,
+    canonical_blocks,
+    down_kbisimulation_blocks,
     extent_is_kbisimilar,
     full_bisimulation_blocks,
     kbisimulation_blocks,
     kbisimulation_levels,
     label_blocks,
     refine_once,
+    refine_once_downward,
 )
+from repro.verify.fuzz import GRAPH_PROFILES, random_data_graph
 
 
 def blocks_as_partition(blocks):
@@ -102,6 +107,86 @@ class TestFullBisimulation:
     def test_max_rounds_cap(self, fig1):
         blocks, rounds = full_bisimulation_blocks(fig1, max_rounds=1)
         assert rounds <= 1
+
+
+def reference_chain(graph, k, downward=False):
+    """k rounds of the full-pass reference implementation."""
+    step = refine_once_downward if downward else refine_once
+    blocks = label_blocks(graph)
+    for _ in range(k):
+        blocks = step(graph, blocks)
+    return blocks
+
+
+class TestPartitionRefiner:
+    """The worklist fast path must reproduce the reference chain exactly
+    (identical lists, not just equal partitions — the D(k) construction
+    compares level assignments positionally)."""
+
+    def test_matches_reference_on_fixtures(self, fig1, fig2, simple_tree):
+        for graph in (fig1, fig2, simple_tree):
+            for k in range(6):
+                assert kbisimulation_blocks(graph, k) == \
+                    reference_chain(graph, k)
+
+    def test_levels_match_reference(self, fig1, fig2):
+        for graph in (fig1, fig2):
+            levels = kbisimulation_levels(graph, 4)
+            for k, level in enumerate(levels):
+                assert level == reference_chain(graph, k)
+
+    def test_downward_matches_reference(self, fig1, fig2, simple_tree):
+        for graph in (fig1, fig2, simple_tree):
+            for l in range(5):
+                assert down_kbisimulation_blocks(graph, l) == \
+                    canonical_blocks(reference_chain(graph, l,
+                                                     downward=True))
+
+    @pytest.mark.parametrize("profile", GRAPH_PROFILES,
+                             ids=lambda p: p.name)
+    def test_matches_reference_on_fuzzed_graphs(self, profile):
+        for seed in range(4):
+            graph = random_data_graph(profile, seed)
+            for k in (1, 2, 3, 5):
+                assert kbisimulation_blocks(graph, k) == \
+                    reference_chain(graph, k), (profile.name, seed, k)
+            for l in (1, 2, 4):
+                assert down_kbisimulation_blocks(graph, l) == \
+                    canonical_blocks(reference_chain(graph, l,
+                                                     downward=True)), \
+                    (profile.name, seed, l)
+
+    @pytest.mark.parametrize("profile", GRAPH_PROFILES,
+                             ids=lambda p: p.name)
+    def test_full_bisimulation_on_fuzzed_graphs(self, profile):
+        for seed in range(3):
+            graph = random_data_graph(profile, seed)
+            blocks, rounds = full_bisimulation_blocks(graph)
+            assert blocks == reference_chain(graph, rounds)
+            # One more reference round must not split further.
+            again = refine_once(graph, blocks)
+            assert blocks_as_partition(again) == blocks_as_partition(blocks)
+
+    def test_empty_graph(self):
+        from repro.graph.datagraph import DataGraph
+        graph = DataGraph()
+        assert kbisimulation_blocks(graph, 3) == []
+        blocks, rounds = full_bisimulation_blocks(graph)
+        assert blocks == [] and rounds == 0
+
+    def test_refine_round_reports_stability(self, simple_tree):
+        refiner = PartitionRefiner(simple_tree)
+        assert refiner.refine_round() > 0
+        assert refiner.refine_round() == 0
+        assert refiner.refine_round() == 0  # stays settled
+
+    def test_worklist_shrinks(self, fig1):
+        """Later rounds touch strictly fewer nodes than the first —
+        the point of the dirty worklist."""
+        refiner = PartitionRefiner(fig1)
+        first = refiner.refine_round()
+        second = refiner.refine_round()
+        assert second < first
 
 
 class TestHelpers:

@@ -25,6 +25,7 @@ from repro.verify.invariants import (
 from repro.verify.oracle import (
     FAMILY_NAMES,
     Discrepancy,
+    check_cache_equivalence,
     check_engine_sequence,
     check_query,
     check_static_suite,
@@ -244,6 +245,82 @@ class TestEngineSequence:
         assert found
         assert found[0].kind == "answers"
         assert found[0].step == 0
+
+
+class _StaleCacheIndex:
+    """Sabotage stub: the fingerprint never changes even though
+    refinement changes the answers — the exact lie the cache-equivalence
+    oracle exists to catch."""
+
+    def __init__(self, graph):
+        self.graph = graph
+        self.refined_exprs = set()
+
+    def query(self, expr):
+        refined = expr in self.refined_exprs
+        return QueryResult(answers={0} if refined else {0, 1},
+                           target_nodes=[],
+                           cost=CostCounter(index_visits=1),
+                           validated=not refined)
+
+    def refine(self, expr, result, counter=None):
+        self.refined_exprs.add(expr)
+
+    def cache_fingerprint(self, expr):
+        return (0,)
+
+
+class TestCacheEquivalence:
+    def test_clean_on_fig1(self, fig1):
+        stream = [PathExpression.parse(text) for text in
+                  ("//people/person", "//people/person", "//item/name",
+                   "//people/person", "//seller/person", "//item/name")]
+        assert check_cache_equivalence(fig1, stream) == []
+
+    def test_detects_stale_fingerprint(self, fig1):
+        expr = PathExpression.parse("//people/person")
+        found = check_cache_equivalence(fig1, [expr, expr],
+                                        index_factory=_StaleCacheIndex)
+        assert found
+        kinds = {d.kind for d in found}
+        assert kinds == {"cache"}
+        assert any("answers diverge" in d.detail for d in found)
+        assert any("validated flag" in d.detail for d in found)
+
+    def test_fuzzed_refinement_sequences(self):
+        """Property: over fuzzed FUP streams (repeats force refinement
+        mid-stream), cache-on and cache-off engines are observationally
+        identical for every adaptive family."""
+        from repro.indexes.dindex import DkIndex
+        from repro.indexes.mindex import MkIndex
+
+        for profile, seed, factory in [
+            (GRAPH_PROFILES[0], 11, MStarIndex),
+            (GRAPH_PROFILES[1], 12, MkIndex),
+            (GRAPH_PROFILES[2], 13, DkIndex),
+            (GRAPH_PROFILES[3], 14, MStarIndex),
+        ]:
+            graph = random_data_graph(profile, seed)
+            stream = random_fup_stream(graph, 30, seed)
+            found = check_cache_equivalence(graph, stream,
+                                            index_factory=factory,
+                                            profile=profile.name,
+                                            graph_seed=seed)
+            assert found == [], (profile.name, seed, factory.__name__)
+
+    def test_windowed_extractor_also_equivalent(self, fig1):
+        """The refresh-gate path (windowed extractor, drifting stream)
+        must behave identically with the cache on."""
+        from repro.core.fup import FupExtractor
+
+        stream = [PathExpression.parse(text) for text in
+                  ("//people/person", "//people/person", "//item/name",
+                   "//item/name", "//people/person", "//seller/person",
+                   "//seller/person", "//people/person")]
+        assert check_cache_equivalence(
+            fig1, stream,
+            extractor_factory=lambda: FupExtractor(threshold=2,
+                                                   window=3)) == []
 
 
 class TestRunner:
