@@ -12,8 +12,12 @@ Commands:
 * ``verify`` — run the differential correctness oracle + fuzz harness
   over every index family (see :mod:`repro.verify`);
 * ``bench`` — measure the optimised hot paths (partition refinement,
-  cached workload replay) against their reference implementations and
-  persist the numbers as a JSON artifact (see :mod:`repro.bench`).
+  cached workload replay, disabled-tracer overhead) against their
+  reference implementations and persist the numbers as a JSON artifact
+  (see :mod:`repro.bench`);
+* ``trace`` — run a workload with the tracer enabled and export a
+  Chrome-trace JSON of the engine/index/evaluator/pager spans
+  (see :mod:`repro.obs` and ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -168,6 +172,113 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Span-name prefixes a healthy traced workload must produce, grouped by
+#: subsystem (``repro trace --check`` fails if any group is empty).
+_TRACE_REQUIRED_GROUPS = {
+    "engine": ("engine.",),
+    "index-refinement": ("mstar.", "mk.", "dk.", "partition."),
+    "evaluator": ("evaluator.",),
+    "pager": ("pager.", "diskindex."),
+}
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    import os
+    import tempfile
+
+    from repro.core.engine import AdaptiveIndexEngine
+    from repro.obs import (
+        REGISTRY,
+        TRACER,
+        validate_chrome_trace,
+        validate_nesting,
+    )
+    from repro.storage.diskindex import DiskMStarIndex
+
+    if args.document:
+        graph = _load_document(args.document)
+    else:
+        generator = generate_xmark if args.dataset == "xmark" else generate_nasa
+        graph = generator(scale=args.scale, seed=args.seed)
+    workload = Workload.generate(graph, num_queries=args.queries,
+                                 max_length=args.max_length, seed=args.seed)
+
+    TRACER.enable(clear=True)
+    metrics_before = REGISTRY.snapshot()
+    zero_span_queries: list[str] = []
+    try:
+        engine = AdaptiveIndexEngine(graph, index_factory=MStarIndex,
+                                     cache=True)
+        for _ in range(args.passes):
+            for expr in workload:
+                recorded_before = TRACER.recorded
+                engine.execute(expr)
+                if TRACER.recorded == recorded_before:
+                    zero_span_queries.append(str(expr))
+        # Disk phase: serialise the refined index and replay the workload
+        # through the buffer pool, so pager/diskindex spans appear too.
+        with tempfile.TemporaryDirectory() as tmp:
+            disk_path = os.path.join(tmp, "trace.rpdi")
+            with DiskMStarIndex.build(engine.index, disk_path,
+                                      buffer_pages=8) as disk:
+                for expr in workload:
+                    disk.query(expr)
+        records = TRACER.spans()
+        payload = TRACER.export_chrome()
+        dropped = TRACER.dropped
+    finally:
+        TRACER.disable()
+        TRACER.clear()
+    metrics_after = REGISTRY.snapshot()
+
+    import json as _json
+    with open(args.output, "w") as handle:
+        _json.dump(payload, handle, indent=None, separators=(",", ":"))
+        handle.write("\n")
+
+    by_group = {group: sum(1 for record in records
+                           if record.name.startswith(prefixes))
+                for group, prefixes in _TRACE_REQUIRED_GROUPS.items()}
+    print(f"trace: {len(records)} spans ({dropped} dropped) from "
+          f"{len(workload)} queries x {args.passes} passes "
+          f"-> {args.output}")
+    print("trace: spans by subsystem: "
+          + ", ".join(f"{group}={count}"
+                      for group, count in sorted(by_group.items())))
+    interesting = ("engine_queries_total", "engine_cache_hits_total",
+                   "engine_refinements_total", "pager_reads_total",
+                   "pager_pool_hits_total", "partition_rounds_total")
+    deltas = {key: metrics_after[key] - metrics_before.get(key, 0)
+              for key in sorted(metrics_after)
+              if key.split("{")[0] in interesting}
+    for key, delta in deltas.items():
+        if delta:
+            print(f"trace: metric {key} +{delta:g}")
+
+    if not args.check:
+        return 0
+    problems = validate_chrome_trace(payload)
+    problems.extend(validate_nesting(records))
+    for group, count in sorted(by_group.items()):
+        if count == 0:
+            problems.append(f"no {group} spans recorded")
+    if zero_span_queries:
+        problems.append(
+            f"{len(zero_span_queries)} engine queries produced zero spans "
+            f"(first: {zero_span_queries[0]})")
+    if dropped:
+        problems.append(f"ring buffer dropped {dropped} spans; "
+                        f"raise capacity or shrink the workload")
+    if problems:
+        print(f"trace: CHECK FAILED — {len(problems)} problems")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print("trace: check OK — schema valid, spans nested, "
+          "all subsystems present")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -250,8 +361,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench = commands.add_parser(
         "bench",
         help="hot-path benchmarks with a persisted JSON trajectory")
-    bench.add_argument("--output", "-o", default="BENCH_pr2.json",
-                       help="JSON artifact path (default: BENCH_pr2.json)")
+    bench.add_argument("--output", "-o", default="BENCH_pr3.json",
+                       help="JSON artifact path (default: BENCH_pr3.json)")
     bench.add_argument("--smoke", action="store_true",
                        help="small fixed configuration for CI")
     bench.add_argument("--scale", type=float, default=0.05)
@@ -265,6 +376,31 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--verbose", "-v", action="store_true",
                        help="print one status line per bench stage")
     bench.set_defaults(handler=cmd_bench)
+
+    trace = commands.add_parser(
+        "trace",
+        help="run a traced workload and export a Chrome-trace JSON")
+    trace.add_argument("document", nargs="?",
+                       help=".rpgr file or XML document (default: generate "
+                            "--dataset at --scale)")
+    trace.add_argument("--dataset", choices=("xmark", "nasa"),
+                       default="xmark")
+    trace.add_argument("--scale", type=float, default=0.02)
+    trace.add_argument("--seed", type=int, default=7)
+    trace.add_argument("--queries", type=int, default=24,
+                       help="workload size")
+    trace.add_argument("--max-length", type=int, default=6)
+    trace.add_argument("--passes", type=int, default=2,
+                       help="workload passes (>= 2 exercises the cache-hit "
+                            "path)")
+    trace.add_argument("--output", "-o", default="trace.json",
+                       help="Chrome-trace JSON path (open in "
+                            "chrome://tracing or Perfetto)")
+    trace.add_argument("--check", action="store_true",
+                       help="validate the export (schema, span nesting, "
+                            "all subsystems traced) and exit non-zero on "
+                            "problems")
+    trace.set_defaults(handler=cmd_trace)
     return parser
 
 

@@ -19,12 +19,21 @@ from repro.core.fup import FupExtractor
 from repro.graph.datagraph import DataGraph
 from repro.indexes.base import QueryResult
 from repro.indexes.mstarindex import MStarIndex
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.queries.pathexpr import PathExpression, as_expression
 
 
 @dataclass
 class EngineStats:
-    """Running totals over the engine's lifetime."""
+    """Running totals over the engine's lifetime.
+
+    Kept as a cheap per-engine view; the numbers are also published to
+    the process-wide metrics registry (:data:`repro.obs.metrics.REGISTRY`)
+    under ``engine_*`` names with a per-index-family ``index`` label,
+    which is the supported way to observe engines in aggregate (several
+    engines, replay harnesses, the CLI) — see ``docs/observability.md``.
+    """
 
     queries: int = 0
     validated_queries: int = 0
@@ -90,6 +99,39 @@ class AdaptiveIndexEngine:
         self._cache: dict[PathExpression, tuple[tuple, QueryResult]] = {}
         self._fingerprint = getattr(self.index, "cache_fingerprint", None)
         self._refine_accepts_counter = self._probe_refine_counter()
+        # Per-index-family metric children, bound once (labels() memoises
+        # but the hot path should not even pay the dict lookup).
+        family = type(self.index).__name__
+        self._family = family
+        registry = _metrics.REGISTRY
+        self._m_queries = registry.counter(
+            "engine_queries_total", "queries served by the engine",
+            ("index",)).labels(index=family)
+        self._m_validated = registry.counter(
+            "engine_validated_queries_total",
+            "queries whose answer needed data-graph validation",
+            ("index",)).labels(index=family)
+        self._m_cache_hits = registry.counter(
+            "engine_cache_hits_total", "result-cache hits", ("index",)
+        ).labels(index=family)
+        self._m_cache_misses = registry.counter(
+            "engine_cache_misses_total",
+            "cacheable queries that had to run", ("index",)
+        ).labels(index=family)
+        self._m_refinements = registry.counter(
+            "engine_refinements_total", "index refinements triggered",
+            ("index",)).labels(index=family)
+        cost_histogram = registry.histogram(
+            "engine_query_cost_visits",
+            "two-part query cost in visits", ("index", "component"))
+        self._m_index_visits = cost_histogram.labels(index=family,
+                                                     component="index")
+        self._m_data_visits = cost_histogram.labels(index=family,
+                                                    component="data")
+        self._m_refine_cost = registry.histogram(
+            "engine_refine_cost_visits",
+            "refinement work in visits (index + data)", ("index",)
+        ).labels(index=family)
 
     def _probe_refine_counter(self) -> bool:
         """Does the index's ``refine`` take a cost counter?  (Third-party
@@ -118,48 +160,81 @@ class AdaptiveIndexEngine:
         future runs avoid the validation cost.
         """
         expr = as_expression(query)
-        token: tuple | None = None
-        result: QueryResult | None = None
-        if self.cache_enabled and self._fingerprint is not None:
-            token = self._fingerprint(expr)
-            entry = self._cache.get(expr)
-            if entry is not None and entry[0] == token:
-                # The fingerprint pins everything the stored result can
-                # depend on, so serving the copy is indistinguishable
-                # (answers and validated flag) from re-running the query.
-                source = entry[1]
-                result = QueryResult(answers=set(source.answers),
-                                     target_nodes=list(source.target_nodes),
-                                     cost=CostCounter(index_visits=1),
-                                     validated=source.validated)
-                self.stats.cache_hits += 1
-        if result is None:
-            result = self.index.query(expr)
-            if token is not None:
-                self._cache_store(expr, token, result)
-        self.stats.queries += 1
-        self.stats.cost.add(result.cost)
-        if result.validated:
-            self.stats.validated_queries += 1
+        tracer = _trace.TRACER
+        traced = tracer.enabled
+        outer = tracer.span("engine.execute", query=str(expr),
+                            index=self._family) if traced else _trace.NULL_SPAN
+        with outer:
+            token: tuple | None = None
+            result: QueryResult | None = None
+            if self.cache_enabled and self._fingerprint is not None:
+                probe = tracer.span("engine.cache_probe") if traced \
+                    else _trace.NULL_SPAN
+                with probe:
+                    token = self._fingerprint(expr)
+                    entry = self._cache.get(expr)
+                    if entry is not None and entry[0] == token:
+                        # The fingerprint pins everything the stored result
+                        # can depend on, so serving the copy is
+                        # indistinguishable (answers and validated flag)
+                        # from re-running the query.
+                        source = entry[1]
+                        result = QueryResult(
+                            answers=set(source.answers),
+                            target_nodes=list(source.target_nodes),
+                            cost=CostCounter(index_visits=1),
+                            validated=source.validated)
+                        self.stats.cache_hits += 1
+                        self._m_cache_hits.inc()
+                        probe.tag(outcome="hit")
+                    else:
+                        self._m_cache_misses.inc()
+                        probe.tag(outcome="stale" if entry is not None
+                                  else "miss")
+            if result is None:
+                run = tracer.span("engine.query") if traced \
+                    else _trace.NULL_SPAN
+                with run:
+                    result = self.index.query(expr)
+                if token is not None:
+                    store = tracer.span("engine.cache_store") if traced \
+                        else _trace.NULL_SPAN
+                    with store:
+                        self._cache_store(expr, token, result)
+            self.stats.queries += 1
+            self.stats.cost.add(result.cost)
+            self._m_queries.inc()
+            self._m_index_visits.observe(result.cost.index_visits)
+            self._m_data_visits.observe(result.cost.data_visits)
+            if result.validated:
+                self.stats.validated_queries += 1
+                self._m_validated.inc()
 
-        is_fup = self.extractor.observe(expr)
-        # needs_refresh: refining *other* FUPs can split this one's target
-        # nodes and reintroduce validation.  A query the engine already
-        # committed refinement work to stays supported regardless of
-        # whether the extractor still flags it frequent — otherwise a
-        # FUP whose count slid out of the extractor's window would pay
-        # validation forever.
-        needs_refresh = expr in self._refined and result.validated
-        if self.can_refine and ((is_fup and expr not in self._refined)
-                                or needs_refresh):
-            if self._refine_accepts_counter:
-                refine_cost = CostCounter()
-                self.index.refine(expr, result, counter=refine_cost)
-                self.stats.refine_cost.add(refine_cost)
-            else:
-                self.index.refine(expr, result)
-            self._refined.add(expr)
-            self.stats.refinements += 1
+            is_fup = self.extractor.observe(expr)
+            # needs_refresh: refining *other* FUPs can split this one's
+            # target nodes and reintroduce validation.  A query the engine
+            # already committed refinement work to stays supported
+            # regardless of whether the extractor still flags it frequent
+            # — otherwise a FUP whose count slid out of the extractor's
+            # window would pay validation forever.
+            needs_refresh = expr in self._refined and result.validated
+            if self.can_refine and ((is_fup and expr not in self._refined)
+                                    or needs_refresh):
+                gate = tracer.span(
+                    "engine.refine", query=str(expr),
+                    reason="refresh" if needs_refresh else "fup"
+                ) if traced else _trace.NULL_SPAN
+                with gate:
+                    if self._refine_accepts_counter:
+                        refine_cost = CostCounter()
+                        self.index.refine(expr, result, counter=refine_cost)
+                        self.stats.refine_cost.add(refine_cost)
+                        self._m_refine_cost.observe(refine_cost.total)
+                    else:
+                        self.index.refine(expr, result)
+                self._refined.add(expr)
+                self.stats.refinements += 1
+                self._m_refinements.inc()
         return result
 
     def _cache_store(self, expr: PathExpression, token: tuple,

@@ -21,7 +21,8 @@ from dataclasses import dataclass, field
 from repro.cost.counters import CostCounter
 from repro.graph.datagraph import DataGraph
 from repro.indexes.partition import kbisimulation_blocks, refine_once
-from repro.queries.evaluator import required_similarity, validate_candidate
+from repro.obs import trace as _trace
+from repro.queries.evaluator import required_similarity, validate_extent
 from repro.queries.pathexpr import WILDCARD, PathExpression
 
 
@@ -452,39 +453,45 @@ class IndexGraph:
         the data graph, charging data-node visits.
         """
         cost = counter if counter is not None else CostCounter()
-        token: tuple | None = None
-        if self.cache_enabled:
-            token = self.cache_token(expr)
-            entry = self._result_cache.get(expr)
-            if entry is not None and entry[0] == token:
-                self.cache_hits += 1
-                cost.index_visits += 1  # one probe pays for the lookup
-                source = entry[1]
-                return QueryResult(answers=set(source.answers),
-                                   target_nodes=list(source.target_nodes),
-                                   cost=cost, validated=source.validated)
-        targets = self.evaluate(expr, cost)
-        answers: set[int] = set()
-        validated = False
-        # A rooted expression implicitly traverses one more edge (from the
-        # synthetic root), so precision needs one extra level of similarity
-        # — and only when the root's label is unique to the root (see
-        # required_similarity); descendant axes make the instance length
-        # unbounded, so no finite similarity can certify them.
-        required = required_similarity(self.graph, expr)
-        for node in targets:
-            if node.k >= required:
-                answers |= node.extent
-            else:
-                validated = True
-                for oid in node.extent:
-                    if validate_candidate(self.graph, expr, oid, cost):
-                        answers.add(oid)
-        result = QueryResult(answers=answers, target_nodes=targets,
-                             cost=cost, validated=validated)
-        if token is not None:
-            self._cache_store(expr, token, result)
-        return result
+        tracer = _trace.TRACER
+        outer = tracer.span("index.answer", query=str(expr)) \
+            if tracer.enabled else _trace.NULL_SPAN
+        with outer:
+            token: tuple | None = None
+            if self.cache_enabled:
+                token = self.cache_token(expr)
+                entry = self._result_cache.get(expr)
+                if entry is not None and entry[0] == token:
+                    self.cache_hits += 1
+                    cost.index_visits += 1  # one probe pays for the lookup
+                    outer.tag(cache="hit")
+                    source = entry[1]
+                    return QueryResult(
+                        answers=set(source.answers),
+                        target_nodes=list(source.target_nodes),
+                        cost=cost, validated=source.validated)
+            targets = self.evaluate(expr, cost)
+            answers: set[int] = set()
+            validated = False
+            # A rooted expression implicitly traverses one more edge (from
+            # the synthetic root), so precision needs one extra level of
+            # similarity — and only when the root's label is unique to the
+            # root (see required_similarity); descendant axes make the
+            # instance length unbounded, so no finite similarity can
+            # certify them.
+            required = required_similarity(self.graph, expr)
+            for node in targets:
+                if node.k >= required:
+                    answers |= node.extent
+                else:
+                    validated = True
+                    answers |= validate_extent(self.graph, expr,
+                                               node.extent, cost)
+            result = QueryResult(answers=answers, target_nodes=targets,
+                                 cost=cost, validated=validated)
+            if token is not None:
+                self._cache_store(expr, token, result)
+            return result
 
     # ------------------------------------------------------------------
     # Invariant checking (used heavily by the test suite)

@@ -26,6 +26,7 @@ from repro.graph.datagraph import DataGraph
 from repro.graph.paths import succ_set
 from repro.indexes.base import IndexGraph, IndexNode, QueryResult
 from repro.indexes.partition import kbisimulation_levels, label_blocks
+from repro.obs import trace as _trace
 from repro.queries.pathexpr import WILDCARD, PathExpression
 
 #: Hard stop for the promote-until-supported loop; a correct run needs far
@@ -144,19 +145,25 @@ class DkIndex:
                              "length; no finite k can support them)")
         required = expr.length + (1 if expr.rooted else 0)
         cost = counter if counter is not None else CostCounter()
-        outer_sink = self.index.work_sink
-        self.index.work_sink = cost
-        try:
-            for _ in range(_MAX_PROMOTE_ROUNDS):
-                violating = [node for node in self.index.evaluate(expr, cost)
-                             if node.k < required]
-                if not violating:
-                    return
-                node = violating[0]
-                self._promote(set(node.extent), required)
-            raise RuntimeError(f"PROMOTE failed to converge for {expr}")
-        finally:
-            self.index.work_sink = outer_sink
+        tracer = _trace.TRACER
+        span = tracer.span("dk.refine", query=str(expr),
+                           required=required) if tracer.enabled \
+            else _trace.NULL_SPAN
+        with span:
+            outer_sink = self.index.work_sink
+            self.index.work_sink = cost
+            try:
+                for _ in range(_MAX_PROMOTE_ROUNDS):
+                    violating = [node
+                                 for node in self.index.evaluate(expr, cost)
+                                 if node.k < required]
+                    if not violating:
+                        return
+                    node = violating[0]
+                    self._promote(set(node.extent), required)
+                raise RuntimeError(f"PROMOTE failed to converge for {expr}")
+            finally:
+                self.index.work_sink = outer_sink
 
     def _promote(self, extent: set[int], kv: int) -> None:
         """The paper's ``PROMOTE(v, kv, IG)``.

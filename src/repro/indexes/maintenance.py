@@ -14,9 +14,19 @@ the two growth operations XML documents see in practice:
   demoted claims never reach the new edge).  Precision lost to the
   demotion is regained lazily by the normal FUP refinement loop.
 
-Static indexes (A(k), 1-index, UD(k,l), DataGuide) have no sound
-incremental story — rebuild them; the helpers here accept only the
-adaptive indexes plus :class:`~repro.indexes.mstarindex.MStarIndex`.
+Which families can be maintained is decided by their *query path*, not
+by whether they refine: the demotions above keep an index sound only if
+queries consult the per-node similarity claims (``v.k``) and fall back
+to validation when a claim is too small.  That holds for the adaptive
+families (M*(k), M(k), D(k)-promote), for a bare ``IndexGraph``, and
+for A(k) (static, but it answers through ``IndexGraph.answer``).  The
+1-index, F&B, and UD(k,l) return extents verbatim without ever reading
+the claims, and DataGuide/APEX have no ``IndexGraph`` at all — for all
+of these the helpers raise ``TypeError``: rebuild them after updates.
+
+Every entry point ends by bumping each maintained ``IndexGraph.epoch``,
+the counter all result-cache tokens pin, so cached answers (engine- or
+index-level) can never survive a document update.
 """
 
 from __future__ import annotations
@@ -26,14 +36,32 @@ from collections.abc import Iterable, Sequence
 
 from repro.graph.datagraph import DataGraph, EdgeKind
 from repro.indexes.base import IndexGraph
+from repro.indexes.fbindex import FBIndex
 from repro.indexes.mstarindex import MStarIndex
+from repro.indexes.oneindex import OneIndex
+from repro.indexes.udindex import UDIndex
 
 #: A subtree specification: ``(label, [children...])`` nested tuples.
 SubtreeSpec = tuple
 
+#: Families whose query paths never consult the per-node similarity
+#: claims maintenance demotes (1-index, F&B return extents verbatim
+#: without validation; UD(k,l) trusts its construction-time ``(k, l)``
+#: parameters).  Registering an update cannot make them re-validate, so
+#: "maintaining" them leaves a live index that serves wrong answers —
+#: they must be rebuilt.  They all expose an ``.index`` IndexGraph, so
+#: the duck-typed acceptance below used to let them through silently.
+_REBUILD_ONLY = (OneIndex, FBIndex, UDIndex)
+
 
 def _index_graphs(index) -> list[IndexGraph]:
     """The IndexGraph(s) behind an adaptive index object."""
+    if isinstance(index, _REBUILD_ONLY):
+        raise TypeError(
+            f"cannot maintain {type(index).__name__} incrementally: its "
+            f"query path does not consult per-node similarity claims, so "
+            f"demotion cannot force re-validation and updates would leave "
+            f"it serving stale answers; rebuild it instead")
     if isinstance(index, MStarIndex):
         return index.components
     if isinstance(index, IndexGraph):
@@ -75,15 +103,42 @@ def _reclamp_links(index: MStarIndex) -> None:
     no longer), so only the upper bounds can break: clamp each node to
     its supernode's value (+1 when the supernode sits at its component's
     cap), walking coarse to fine so clamps cascade.
+
+    Clamps go through ``replace_node`` (single-part form) rather than
+    assigning ``node.k`` directly: a ``k`` change alters what cached
+    results may rely on, and ``replace_node`` is the one mutation path
+    that bumps the mutation counter and per-label versions the cache
+    tokens pin.
     """
     for i in range(1, len(index.components)):
         coarser = index.components[i - 1]
         component = index.components[i]
+        clamps: list[tuple[int, int]] = []
         for nid, node in component.nodes.items():
             sup = coarser.nodes[index.supernode[i][nid]]
             limit = sup.k + 1 if sup.k >= i - 1 else sup.k
             if node.k > limit:
-                node.k = limit
+                clamps.append((nid, limit))
+        for nid, limit in clamps:
+            component.replace_node(
+                nid, [(set(component.nodes[nid].extent), limit)])
+
+
+def _commit_epoch(indexes: Iterable) -> None:
+    """Invalidate every cached result of every maintained index.
+
+    Each maintenance entry point ends here: data-graph updates can
+    change answers (and similarity claims) for labels far from the
+    touched nodes, and ``epoch`` is the one counter every cache token
+    pins unconditionally (engine fingerprints and ``IndexGraph.answer``
+    tokens alike).  The inner registration paths already bump it where
+    they mutate, but the entry-point bump is the *contract* — it keeps
+    cached answers from surviving an update even if those inner paths
+    are later optimised.
+    """
+    for index in indexes:
+        for index_graph in _index_graphs(index):
+            index_graph.epoch += 1
 
 
 def insert_subtree(graph: DataGraph, parent_oid: int, subtree: SubtreeSpec,
@@ -97,6 +152,8 @@ def insert_subtree(graph: DataGraph, parent_oid: int, subtree: SubtreeSpec,
     if parent_oid not in graph:
         raise KeyError(f"no node with oid {parent_oid}")
     indexes = list(indexes)
+    for index in indexes:
+        _index_graphs(index)  # reject unmaintainable families up front
     new_oids: list[int] = []
     new_edges: list[tuple[int, int]] = []
 
@@ -121,6 +178,7 @@ def insert_subtree(graph: DataGraph, parent_oid: int, subtree: SubtreeSpec,
         graph.add_edge(parent, child)
         for index in indexes:
             _register_edge(index, parent, child)
+    _commit_epoch(indexes)
     return new_oids
 
 
@@ -139,6 +197,10 @@ def insert_xml_fragment(graph: DataGraph, parent_oid: int, xml_text: str,
 def add_reference(graph: DataGraph, source_oid: int, target_oid: int,
                   indexes: Iterable = ()) -> None:
     """Add an IDREF edge between existing nodes; demote affected claims."""
+    indexes = list(indexes)
+    for index in indexes:
+        _index_graphs(index)  # reject unmaintainable families up front
     graph.add_edge(source_oid, target_oid, kind=EdgeKind.REFERENCE)
     for index in indexes:
         _register_edge(index, source_oid, target_oid)
+    _commit_epoch(indexes)

@@ -38,6 +38,7 @@ from repro.graph.datagraph import DataGraph
 from repro.graph.paths import pred_set, succ_set
 from repro.indexes.base import IndexGraph, IndexNode, QueryResult
 from repro.indexes.partition import label_blocks
+from repro.obs import trace as _trace
 from repro.queries.evaluator import evaluate_on_data_graph
 from repro.queries.pathexpr import PathExpression
 
@@ -114,12 +115,16 @@ class MkIndex:
                              "(descendant-axis instances have unbounded "
                              "length; no finite k can support them)")
         cost = counter if counter is not None else CostCounter()
-        outer_sink = self.index.work_sink
-        self.index.work_sink = cost
-        try:
-            self._refine_metered(expr, result, cost)
-        finally:
-            self.index.work_sink = outer_sink
+        tracer = _trace.TRACER
+        span = tracer.span("mk.refine", query=str(expr)) if tracer.enabled \
+            else _trace.NULL_SPAN
+        with span:
+            outer_sink = self.index.work_sink
+            self.index.work_sink = cost
+            try:
+                self._refine_metered(expr, result, cost)
+            finally:
+                self.index.work_sink = outer_sink
 
     def _refine_metered(self, expr: PathExpression,
                         result: QueryResult | None,

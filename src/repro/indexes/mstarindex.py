@@ -32,6 +32,7 @@ from repro.graph.datagraph import DataGraph
 from repro.graph.paths import pred_set, succ_set
 from repro.indexes.base import IndexGraph, QueryResult
 from repro.indexes.partition import label_blocks
+from repro.obs import trace as _trace
 from repro.queries.evaluator import evaluate_on_data_graph
 from repro.queries.pathexpr import PathExpression
 
@@ -114,18 +115,24 @@ class MStarIndex:
         """
         from repro.indexes import strategies
 
+        tracer = _trace.TRACER
         if expr.has_descendant_steps:
             # Descendant axes have unbounded instance length: no prefix-
             # per-component scheme applies, so evaluate in the finest
             # component and validate (the safe route).
+            if tracer.enabled:
+                with tracer.span("mstar.query", query=str(expr),
+                                 strategy="naive-descendant"):
+                    return strategies.query_naive(self, expr, counter)
             return strategies.query_naive(self, expr, counter)
 
+        chosen = strategy
         if strategy == "auto":
             if self._optimizer is None:
                 from repro.indexes.optimizer import StrategyOptimizer
 
                 self._optimizer = StrategyOptimizer(self)
-            strategy = self._optimizer.choose(expr)
+            chosen = self._optimizer.choose(expr)
 
         dispatch = {
             "topdown": strategies.query_topdown,
@@ -134,9 +141,15 @@ class MStarIndex:
             "bottomup": strategies.query_bottomup,
             "hybrid": strategies.query_hybrid,
         }
-        if strategy not in dispatch:
-            raise ValueError(f"unknown strategy {strategy!r}")
-        return dispatch[strategy](self, expr, counter)
+        if chosen not in dispatch:
+            raise ValueError(f"unknown strategy {chosen!r}")
+        if tracer.enabled:
+            # The strategy tag records the per-component evaluation route
+            # actually taken (after the cost-based "auto" choice resolves).
+            with tracer.span("mstar.query", query=str(expr),
+                             strategy=chosen, requested=strategy):
+                return dispatch[chosen](self, expr, counter)
+        return dispatch[chosen](self, expr, counter)
 
     def cache_fingerprint(self, expr: PathExpression) -> tuple:
         """Validity token for engine-level result caching.
@@ -186,15 +199,21 @@ class MStarIndex:
         if required == 0:
             return  # I0 answers single-label queries precisely already
         cost = counter if counter is not None else CostCounter()
-        self.extend_components(required)
-        outer_sinks = [component.work_sink for component in self.components]
-        for component in self.components:
-            component.work_sink = cost
-        try:
-            self._refine_metered(expr, result, cost, required)
-        finally:
-            for component, sink in zip(self.components, outer_sinks):
-                component.work_sink = sink
+        tracer = _trace.TRACER
+        span = tracer.span("mstar.refine", query=str(expr),
+                           required=required) if tracer.enabled \
+            else _trace.NULL_SPAN
+        with span:
+            self.extend_components(required)
+            outer_sinks = [component.work_sink
+                           for component in self.components]
+            for component in self.components:
+                component.work_sink = cost
+            try:
+                self._refine_metered(expr, result, cost, required)
+            finally:
+                for component, sink in zip(self.components, outer_sinks):
+                    component.work_sink = sink
 
     def _refine_metered(self, expr: PathExpression,
                         result: QueryResult | None, cost: CostCounter,
@@ -294,6 +313,16 @@ class MStarIndex:
         As in M(k), the node is tracked by extent so the procedure stays
         correct when refining ancestors splits the node itself.
         """
+        tracer = _trace.TRACER
+        if tracer.enabled:
+            with tracer.span("mstar.refinenode", k=k, extent=len(extent),
+                             relevant=len(relevant_data)):
+                self._refine_node_impl(k, extent, relevant_data)
+            return
+        self._refine_node_impl(k, extent, relevant_data)
+
+    def _refine_node_impl(self, k: int, extent: set[int],
+                          relevant_data: set[int]) -> None:
         if k <= 0:
             return
         comp = self.components[k]
@@ -402,6 +431,19 @@ class MStarIndex:
         filtering) and bails out as soon as the FUP has no violating
         target left in the finest component it needs.
         """
+        tracer = _trace.TRACER
+        if tracer.enabled:
+            # The long jump (_FalseInstancesGone) unwinds through the
+            # span, which records it as an ``error`` tag — that is the
+            # signal PROMOTE* converged, not a failure.
+            with tracer.span("mstar.promote", k=k, extent=len(extent),
+                             query=str(expr)):
+                self._promote_star_impl(k, extent, expr, required)
+            return
+        self._promote_star_impl(k, extent, expr, required)
+
+    def _promote_star_impl(self, k: int, extent: set[int],
+                           expr: PathExpression, required: int) -> None:
         if k <= 0:
             return
         comp = self.components[k]

@@ -35,6 +35,16 @@ enough in practice).
 from __future__ import annotations
 
 from repro.graph.datagraph import DataGraph
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+
+_M_ROUNDS = _metrics.REGISTRY.counter(
+    "partition_rounds_total", "worklist refinement rounds executed")
+_M_SPLITS = _metrics.REGISTRY.counter(
+    "partition_block_splits_total",
+    "fresh blocks created by signature splits")
+_M_MOVED = _metrics.REGISTRY.counter(
+    "partition_nodes_moved_total", "nodes that changed block across rounds")
 
 
 def label_blocks(graph: DataGraph) -> list[int]:
@@ -122,6 +132,16 @@ class PartitionRefiner:
         """One refinement round; returns how many nodes changed block."""
         if not self._changed:
             return 0
+        tracer = _trace.TRACER
+        if tracer.enabled:
+            with tracer.span("partition.round",
+                             dirty=len(self._changed)) as span:
+                changed = self._refine_round_impl()
+                span.tag(changed=changed, blocks=self.num_blocks)
+                return changed
+        return self._refine_round_impl()
+
+    def _refine_round_impl(self) -> int:
         blocks = self.blocks
         adjacency = self._adjacency
         block_size = self._block_size
@@ -173,12 +193,14 @@ class PartitionRefiner:
                 plans.append((block, groups, stay))
         # Phase 2 — apply the splits.
         changed_now: set[int] = set()
+        splits = 0
         for block, groups, stay in plans:
             for signature, oids in groups.items():
                 if signature == stay:
                     continue
                 fresh = self._next_block
                 self._next_block += 1
+                splits += 1
                 for oid in oids:
                     blocks[oid] = fresh
                 block_size[block] -= len(oids)
@@ -186,6 +208,10 @@ class PartitionRefiner:
                 block_sig[fresh] = signature
                 changed_now.update(oids)
         self._changed = changed_now
+        _M_ROUNDS.inc()
+        if splits:
+            _M_SPLITS.inc(splits)
+            _M_MOVED.inc(len(changed_now))
         return len(changed_now)
 
     @property

@@ -24,7 +24,11 @@ from typing import TYPE_CHECKING
 
 from repro.cost.counters import CostCounter
 from repro.indexes.base import QueryResult
-from repro.queries.evaluator import required_similarity, validate_candidate
+from repro.queries.evaluator import (
+    required_similarity,
+    validate_candidate,
+    validate_extent,
+)
 from repro.queries.pathexpr import WILDCARD, PathExpression
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -44,9 +48,7 @@ def _finish(index: "MStarIndex", expr: PathExpression, component: int,
             answers |= node.extent
         else:
             validated = True
-            for oid in node.extent:
-                if validate_candidate(index.graph, expr, oid, cost):
-                    answers.add(oid)
+            answers |= validate_extent(index.graph, expr, node.extent, cost)
     return QueryResult(answers=answers, target_nodes=targets, cost=cost,
                        validated=validated)
 

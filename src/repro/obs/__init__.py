@@ -1,0 +1,26 @@
+"""Observability: structured tracing, metrics, and profiling hooks.
+
+See ``docs/observability.md`` for the span model, the metric name/label
+conventions, and the disabled-tracer overhead guarantee.  The package
+is dependency-free and safe to import from any module in the library
+(it imports nothing from ``repro``).
+"""
+
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.trace import (
+    NULL_SPAN,
+    TRACER,
+    Tracer,
+    validate_chrome_trace,
+    validate_nesting,
+)
+
+__all__ = [
+    "NULL_SPAN",
+    "REGISTRY",
+    "TRACER",
+    "MetricsRegistry",
+    "Tracer",
+    "validate_chrome_trace",
+    "validate_nesting",
+]

@@ -19,6 +19,7 @@ from collections.abc import Iterable
 
 from repro.cost.counters import CostCounter
 from repro.graph.datagraph import DataGraph
+from repro.obs import trace as _trace
 from repro.queries.pathexpr import WILDCARD, PathExpression
 
 
@@ -57,6 +58,17 @@ def evaluate_on_data_graph(graph: DataGraph, expr: PathExpression,
     charged as one data-node visit (used by the "no index" baseline in
     the benches).
     """
+    tracer = _trace.TRACER
+    if not tracer.enabled:
+        return _navigate(graph, expr, counter)
+    with tracer.span("evaluator.navigate", query=str(expr)) as span:
+        frontier = _navigate(graph, expr, counter)
+        span.tag(answers=len(frontier))
+        return frontier
+
+
+def _navigate(graph: DataGraph, expr: PathExpression,
+              counter: CostCounter | None = None) -> set[int]:
     node_labels = graph.labels
     children = graph.child_lists
     first = expr.labels[0]
@@ -171,8 +183,16 @@ def validate_extent(graph: DataGraph, expr: PathExpression,
                     extent: Iterable[int],
                     counter: CostCounter | None = None) -> set[int]:
     """Filter an index node's extent down to the true answers to ``expr``."""
-    return {oid for oid in extent
-            if validate_candidate(graph, expr, oid, counter)}
+    tracer = _trace.TRACER
+    if not tracer.enabled:
+        return {oid for oid in extent
+                if validate_candidate(graph, expr, oid, counter)}
+    with tracer.span("evaluator.validate", query=str(expr)) as span:
+        candidates = list(extent)
+        answers = {oid for oid in candidates
+                   if validate_candidate(graph, expr, oid, counter)}
+        span.tag(candidates=len(candidates), answers=len(answers))
+        return answers
 
 
 def find_instance(graph: DataGraph, expr: PathExpression,

@@ -23,6 +23,7 @@ from repro.cost.counters import CostCounter
 from repro.graph.datagraph import DataGraph
 from repro.indexes.base import QueryResult
 from repro.indexes.mstarindex import MStarIndex
+from repro.obs import trace as _trace
 from repro.queries.evaluator import required_similarity, validate_candidate
 from repro.queries.pathexpr import WILDCARD, PathExpression
 from repro.storage.pager import DEFAULT_PAGE_SIZE, BufferPool, PageFile, PageRef
@@ -199,6 +200,17 @@ class DiskMStarIndex:
         Index-node visits are charged as in the in-memory index; physical
         I/O shows up in :attr:`pool` (``reads`` / ``hits``).
         """
+        tracer = _trace.TRACER
+        if tracer.enabled:
+            with tracer.span("diskindex.query", query=str(expr)) as span:
+                result = self._query_impl(expr, counter)
+                span.tag(answers=len(result.answers),
+                         validated=result.validated)
+                return result
+        return self._query_impl(expr, counter)
+
+    def _query_impl(self, expr: PathExpression,
+                    counter: CostCounter | None = None) -> QueryResult:
         cost = counter if counter is not None else CostCounter()
         last = self.num_components - 1
         if expr.rooted:

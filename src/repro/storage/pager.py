@@ -12,9 +12,20 @@ import struct
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.storage.serialization import decode_index_node
 
 DEFAULT_PAGE_SIZE = 4096
+
+_M_READS = _metrics.REGISTRY.counter(
+    "pager_reads_total", "physical page reads (parsed successfully)")
+_M_CORRUPT = _metrics.REGISTRY.counter(
+    "pager_corrupt_pages_total", "page reads rejected as corrupt")
+_M_HITS = _metrics.REGISTRY.counter(
+    "pager_pool_hits_total", "page requests served from the buffer pool")
+_M_MISSES = _metrics.REGISTRY.counter(
+    "pager_pool_misses_total", "page requests that went to disk")
 
 
 @dataclass(frozen=True)
@@ -49,22 +60,31 @@ class PageFile:
         successfully parsed pages, so a corrupt page never inflates the
         I/O metric while returning nothing.
         """
-        ref = self.pages[key]
-        self._handle.seek(ref.offset)
-        data = self._handle.read(ref.length)
-        if len(data) != ref.length:
-            raise ValueError(f"truncated page {key} in {self.path}")
-        records: dict[int, dict] = {}
-        offset = 0
-        try:
-            while offset < len(data):
-                record, offset = decode_index_node(data, offset)
-                records[record["nid"]] = record
-        except (struct.error, ValueError, IndexError) as exc:
-            raise ValueError(
-                f"corrupt page {key} in {self.path}: {exc}") from exc
-        self.reads += 1
-        return records
+        tracer = _trace.TRACER
+        span = tracer.span("pager.read_page", component=key[0],
+                           page=key[1]) if tracer.enabled \
+            else _trace.NULL_SPAN
+        with span:
+            ref = self.pages[key]
+            self._handle.seek(ref.offset)
+            data = self._handle.read(ref.length)
+            if len(data) != ref.length:
+                _M_CORRUPT.inc()
+                raise ValueError(f"truncated page {key} in {self.path}")
+            records: dict[int, dict] = {}
+            offset = 0
+            try:
+                while offset < len(data):
+                    record, offset = decode_index_node(data, offset)
+                    records[record["nid"]] = record
+            except (struct.error, ValueError, IndexError) as exc:
+                _M_CORRUPT.inc()
+                raise ValueError(
+                    f"corrupt page {key} in {self.path}: {exc}") from exc
+            self.reads += 1
+            _M_READS.inc()
+            span.tag(records=len(records))
+            return records
 
     def close(self) -> None:
         self._handle.close()
@@ -100,7 +120,9 @@ class BufferPool:
         if cached is not None:
             self._cached.move_to_end(key)
             self.hits += 1
+            _M_HITS.inc()
             return cached
+        _M_MISSES.inc()
         records = self.file.read_page(key)
         self._cached[key] = records
         if len(self._cached) > self.capacity:

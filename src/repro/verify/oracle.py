@@ -14,6 +14,7 @@ replayed with ``repro verify --profile <p> --graph-seed <s>``.
 
 from __future__ import annotations
 
+import random
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
 
@@ -43,7 +44,8 @@ from repro.verify.invariants import (
 class Discrepancy:
     """One verification failure, with enough context to replay it."""
 
-    kind: str  # "answers" | "invariant" | "witness" | "cost" | "cache" | "error"
+    kind: str  # "answers" | "invariant" | "witness" | "cost" | "cache"
+    # | "update" | "error"
     family: str
     detail: str
     query: str | None = None
@@ -432,4 +434,118 @@ def check_engine_sequence(graph: DataGraph,
                 discrepancies.append(Discrepancy(
                     kind=issue.kind, family=issue.family, query=str(expr),
                     step=step, detail=issue.detail, **context))
+    return discrepancies
+
+
+# ----------------------------------------------------------------------
+# The updates axis: document mutations interleaved with engine rounds
+# ----------------------------------------------------------------------
+def _apply_random_update(graph: DataGraph, rng: random.Random,
+                         indexes: list) -> str:
+    """One random document update through the maintenance entry points.
+
+    Mutates ``graph`` (and every index in ``indexes``) in place and
+    returns a human-readable description for discrepancy details.
+    Roughly half the updates are subtree insertions, half IDREF edge
+    additions (falling back to insertion when no fresh edge is found).
+    """
+    from repro.indexes.maintenance import add_reference, insert_subtree
+
+    labels = sorted(graph.alphabet())
+    if rng.random() >= 0.5:
+        for _ in range(8):
+            source = rng.randrange(graph.num_nodes)
+            target = rng.randrange(1, graph.num_nodes)
+            if target != source and target not in graph.children(source):
+                add_reference(graph, source, target, indexes=indexes)
+                return f"add_reference({source} -> {target})"
+    parent = rng.randrange(graph.num_nodes)
+    label = labels[rng.randrange(len(labels))]
+    child = labels[rng.randrange(len(labels))]
+    insert_subtree(graph, parent, (label, [(child, [])]), indexes=indexes)
+    return f"insert_subtree(({label} -> {child}) under {parent})"
+
+
+def check_update_equivalence(graph: DataGraph,
+                             stream: Sequence[PathExpression],
+                             index_factory: Callable[[DataGraph], object]
+                             = MStarIndex,
+                             extractor_factory: Callable[[], FupExtractor]
+                             | None = None,
+                             update_every: int = 5,
+                             profile: str | None = None,
+                             graph_seed: int | None = None
+                             ) -> list[Discrepancy]:
+    """Document updates must invalidate caches and keep indexes exact.
+
+    Drives a cache-on and a cache-off engine of the same family through
+    one stream over one *shared* graph, interleaving a random document
+    update (``insert_subtree`` / ``add_reference`` via the maintenance
+    module, registered into both engines' indexes) every
+    ``update_every`` steps.  After every step three things must hold:
+
+    * the cached engine matches the data-graph oracle (a stale cache
+      entry surviving an update surfaces here first),
+    * the uncached engine matches the oracle (the demotion-based index
+      maintenance itself is sound),
+    * both engines agree on answers and the ``validated`` flag (the
+      cache stays semantically invisible across updates).
+
+    All divergences are reported as ``kind="update"`` discrepancies
+    naming the last update applied.  **Mutates ``graph``** — callers
+    must run this check last on a given graph (the campaign driver
+    does).
+    """
+    make_extractor = extractor_factory if extractor_factory is not None \
+        else FupExtractor
+    cached = AdaptiveIndexEngine(graph, index_factory=index_factory,
+                                 extractor=make_extractor(), cache=True)
+    plain = AdaptiveIndexEngine(graph, index_factory=index_factory,
+                                extractor=make_extractor(), cache=False)
+    family = f"update[{type(cached.index).__name__}]"
+    rng = random.Random(f"updates:{graph_seed}")
+    discrepancies: list[Discrepancy] = []
+    context = dict(family=family, profile=profile, graph_seed=graph_seed)
+    last_update = "none yet"
+    updates_applied = 0
+    for step, expr in enumerate(stream):
+        if step and step % update_every == 0:
+            try:
+                last_update = _apply_random_update(
+                    graph, rng, [cached.index, plain.index])
+                updates_applied += 1
+            except Exception as exc:  # noqa: BLE001 - fuzzing wants the crash
+                discrepancies.append(Discrepancy(
+                    kind="error", step=step,
+                    detail=f"maintenance raised {type(exc).__name__}: {exc}",
+                    **context))
+                break
+        try:
+            hot = cached.execute(expr)
+            cold = plain.execute(expr)
+        except Exception as exc:  # noqa: BLE001 - fuzzing wants the crash
+            discrepancies.append(Discrepancy(
+                kind="error", query=str(expr), step=step,
+                detail=f"execute raised {type(exc).__name__} after "
+                       f"{last_update}: {exc}", **context))
+            break
+        truth = evaluate_on_data_graph(graph, expr)
+        for name, result in (("cache-on", hot), ("cache-off", cold)):
+            if result.answers != truth:
+                discrepancies.append(Discrepancy(
+                    kind="update", query=str(expr), step=step,
+                    detail=f"{name} engine diverges from oracle after "
+                           f"{updates_applied} updates (last: {last_update}):"
+                           f" false positives "
+                           f"{sorted(result.answers - truth)[:5]}, "
+                           f"false negatives "
+                           f"{sorted(truth - result.answers)[:5]}",
+                    **context))
+        if hot.answers == truth and cold.answers == truth and \
+                hot.validated != cold.validated:
+            discrepancies.append(Discrepancy(
+                kind="update", query=str(expr), step=step,
+                detail=f"validated flag diverges after {last_update}: "
+                       f"cached={hot.validated} uncached={cold.validated}",
+                **context))
     return discrepancies

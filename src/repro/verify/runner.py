@@ -9,6 +9,12 @@ sequences step by step — including one with a windowed FUP extractor
 over a drifting stream, the regime the engine's refresh gate exists for —
 and replays each stream through cache-on vs cache-off engines, which
 must be observationally identical (:func:`check_cache_equivalence`).
+Each adaptive round ends with the *updates* axis
+(:func:`check_update_equivalence`): document updates (subtree
+insertions, IDREF additions) interleaved into the stream through the
+maintenance module, after which cached and uncached engines must still
+match the data-graph oracle — the regime that catches stale caches and
+unsound incremental maintenance.
 
 Deterministic: the same ``(seed, rounds, options)`` always replays the
 same campaign, and every discrepancy reduces to a
@@ -38,6 +44,7 @@ from repro.verify.oracle import (
     check_cache_equivalence,
     check_engine_sequence,
     check_static_suite,
+    check_update_equivalence,
 )
 
 #: Engine index factories exercised on adaptive rounds.
@@ -156,6 +163,13 @@ def run_verification(seed: int = 0, rounds: int = 25,
                     extractor=windowed, profile=round_profile.name,
                     graph_seed=round_seed))
                 report.engine_steps += len(stream)
+            # The updates axis mutates the graph, so it must be the last
+            # user of this round's graph: document updates interleave
+            # with the stream and caches/indexes must stay exact.
+            found.extend(check_update_equivalence(
+                graph, stream, index_factory=ENGINE_FACTORIES[factory_name],
+                profile=round_profile.name, graph_seed=round_seed))
+            report.engine_steps += len(stream)
 
         report.discrepancies.extend(found)
         if progress is not None:

@@ -1,0 +1,141 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_rejected(self):
+        counter = Counter("c")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_labels_memoised(self):
+        counter = Counter("c", labelnames=("index",))
+        child = counter.labels(index="M*(k)")
+        assert counter.labels(index="M*(k)") is child
+        child.inc(2)
+        assert counter.collect()["values"] == {"M*(k)": 2}
+
+    def test_wrong_labels_rejected(self):
+        counter = Counter("c", labelnames=("index",))
+        with pytest.raises(ValueError):
+            counter.labels(family="x")
+        with pytest.raises(ValueError):
+            counter.labels(index="x", extra="y")
+
+
+class TestGauge:
+    def test_up_down_set(self):
+        gauge = Gauge("g")
+        gauge.inc(3)
+        gauge.dec(5)
+        assert gauge.value == -2
+        gauge.set(7)
+        assert gauge.value == 7
+
+    def test_labeled_children_are_gauges(self):
+        gauge = Gauge("g", labelnames=("pool",))
+        gauge.labels(pool="a").dec()
+        assert gauge.labels(pool="a").value == -1
+
+
+class TestHistogram:
+    def test_buckets_must_be_sorted(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(5, 1))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+    def test_observe_and_cumulative(self):
+        histogram = Histogram("h", buckets=(1, 10, 100))
+        for value in (0, 1, 5, 50, 5000):
+            histogram.observe(value)
+        # <=1: {0, 1}; <=10: +{5}; <=100: +{50}; 5000 only in +inf (count)
+        assert histogram.cumulative_counts() == [2, 3, 4]
+        assert histogram.count == 5
+        assert histogram.sum == 5056
+
+    def test_collect_shape(self):
+        histogram = Histogram("h", labelnames=("index",), buckets=(1, 2))
+        histogram.labels(index="A").observe(1)
+        collected = histogram.collect()
+        assert collected["values"]["A"]["counts"] == [1, 1]
+        assert collected["values"]["A"]["count"] == 1
+
+    def test_default_buckets_cover_visit_costs(self):
+        assert DEFAULT_BUCKETS[0] == 1
+        assert DEFAULT_BUCKETS[-1] == 100_000
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestRegistry:
+    def test_registration_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("queries", "help", ("index",))
+        again = registry.counter("queries", "other help", ("index",))
+        assert again is first
+
+    def test_kind_clash_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+        with pytest.raises(TypeError):
+            registry.histogram("x")
+
+    def test_label_clash_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x", labelnames=("a",))
+        with pytest.raises(ValueError):
+            registry.counter("x", labelnames=("b",))
+
+    def test_gauge_is_not_a_plain_counter(self):
+        # Gauge subclasses Counter; the registry must still treat them as
+        # distinct kinds.
+        registry = MetricsRegistry()
+        registry.gauge("g")
+        with pytest.raises(TypeError):
+            registry.counter("g")
+
+    def test_snapshot_flattens_all_kinds(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g", labelnames=("pool",)).labels(pool="p").set(3)
+        registry.histogram("h", buckets=(1,)).observe(7)
+        snapshot = registry.snapshot()
+        assert snapshot["c"] == 2
+        assert snapshot["g{p}"] == 3
+        assert snapshot["h_count"] == 1
+        assert snapshot["h_sum"] == 7
+
+    def test_reset_keeps_bound_children_live(self):
+        registry = MetricsRegistry()
+        child = registry.counter("c", labelnames=("i",)).labels(i="x")
+        child.inc(5)
+        registry.reset()
+        assert registry.snapshot()["c{x}"] == 0
+        child.inc()  # hot paths keep their bound reference across resets
+        assert registry.snapshot()["c{x}"] == 1
+
+    def test_collect_and_names(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.counter("a")
+        assert registry.names() == ["a", "b"]
+        assert set(registry.collect()) == {"a", "b"}
+        assert registry.get("a") is not None
+        assert registry.get("missing") is None

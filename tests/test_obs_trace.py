@@ -1,0 +1,226 @@
+"""Unit tests for the structured tracer (repro.obs.trace)."""
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_SPAN,
+    Tracer,
+    validate_chrome_trace,
+    validate_nesting,
+)
+
+
+class TickClock:
+    """Deterministic ns clock: every read advances by a fixed step."""
+
+    def __init__(self, step_ns: int = 1000) -> None:
+        self.now = 0
+        self.step = step_ns
+
+    def __call__(self) -> int:
+        self.now += self.step
+        return self.now
+
+
+def make_tracer(capacity: int = 64) -> Tracer:
+    tracer = Tracer(capacity=capacity, clock=TickClock())
+    tracer.enable()
+    return tracer
+
+
+class TestDisabledFastPath:
+    def test_disabled_by_default(self):
+        tracer = Tracer()
+        assert not tracer.enabled
+
+    def test_span_returns_null_singleton(self):
+        tracer = Tracer()
+        assert tracer.span("x") is NULL_SPAN
+        assert tracer.span("y", heavy="tag") is NULL_SPAN
+
+    def test_null_span_is_inert(self):
+        tracer = Tracer()
+        with tracer.span("x") as span:
+            assert span.tag(a=1) is NULL_SPAN
+        assert tracer.recorded == 0
+        assert tracer.spans() == []
+
+    def test_disable_mid_run_stops_recording(self):
+        tracer = make_tracer()
+        with tracer.span("kept"):
+            pass
+        tracer.disable()
+        with tracer.span("ignored"):
+            pass
+        assert [record.name for record in tracer.spans()] == ["kept"]
+
+
+class TestRecording:
+    def test_parent_and_depth(self):
+        tracer = make_tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.spans()  # inner completes first
+        assert inner.name == "inner" and outer.name == "outer"
+        assert outer.parent == -1 and outer.depth == 0
+        assert inner.parent == outer.sid and inner.depth == 1
+
+    def test_siblings_share_parent(self):
+        tracer = make_tracer()
+        with tracer.span("outer"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        a, b, outer = tracer.spans()
+        assert a.parent == outer.sid and b.parent == outer.sid
+        assert a.depth == b.depth == 1
+
+    def test_tags_and_mid_span_tag(self):
+        tracer = make_tracer()
+        with tracer.span("x", query="//a/b") as span:
+            span.tag(outcome="hit", answers=3)
+        (record,) = tracer.spans()
+        assert record.tags == {"query": "//a/b", "outcome": "hit",
+                               "answers": 3}
+
+    def test_exception_records_error_tag(self):
+        tracer = make_tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise ValueError("boom")
+        inner, outer = tracer.spans()
+        assert inner.tags["error"] == "ValueError"
+        assert outer.tags["error"] == "ValueError"
+        assert tracer._open == []  # stack unwound cleanly
+
+    def test_durations_from_clock(self):
+        tracer = make_tracer()
+        with tracer.span("x"):
+            pass
+        (record,) = tracer.spans()
+        # TickClock advances 1000 ns per read -> 1 us per clock access.
+        assert record.duration_us == pytest.approx(1.0)
+        assert record.start_us >= 0
+
+
+class TestRingBuffer:
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_overflow_drops_oldest(self):
+        tracer = make_tracer(capacity=4)
+        for i in range(10):
+            with tracer.span(f"s{i}"):
+                pass
+        assert tracer.recorded == 10
+        assert tracer.dropped == 6
+        assert [record.name for record in tracer.spans()] == \
+            ["s6", "s7", "s8", "s9"]
+
+    def test_clear_resets_counters(self):
+        tracer = make_tracer(capacity=2)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        tracer.clear()
+        assert tracer.spans() == []
+        assert tracer.recorded == 0 and tracer.dropped == 0
+        assert tracer.enabled  # clear keeps the enabled flag
+
+    def test_enable_without_clear_keeps_spans(self):
+        tracer = make_tracer()
+        with tracer.span("kept"):
+            pass
+        tracer.disable()
+        tracer.enable(clear=False)
+        assert [record.name for record in tracer.spans()] == ["kept"]
+
+
+class TestExports:
+    def test_chrome_export_is_schema_valid(self):
+        tracer = make_tracer()
+        with tracer.span("engine.execute", query="//a"):
+            with tracer.span("engine.query"):
+                pass
+        payload = tracer.export_chrome()
+        assert validate_chrome_trace(payload) == []
+        assert payload["otherData"] == {"dropped": 0, "recorded": 2}
+        by_name = {event["name"]: event for event in payload["traceEvents"]}
+        assert by_name["engine.execute"]["cat"] == "engine"
+        assert by_name["engine.execute"]["args"]["query"] == "//a"
+        assert by_name["engine.query"]["args"]["parent"] == \
+            by_name["engine.execute"]["args"]["sid"]
+
+    def test_export_round_trips_record_fields(self):
+        tracer = make_tracer()
+        with tracer.span("x", a=1):
+            pass
+        (raw,) = tracer.export()
+        assert raw["name"] == "x" and raw["tags"] == {"a": 1}
+        assert set(raw) == {"sid", "parent", "depth", "name", "tags",
+                            "start_us", "duration_us"}
+
+    def test_write_chrome(self, tmp_path):
+        import json
+
+        tracer = make_tracer()
+        with tracer.span("x"):
+            pass
+        path = tmp_path / "trace.json"
+        tracer.write_chrome(str(path))
+        payload = json.loads(path.read_text())
+        assert validate_chrome_trace(payload) == []
+
+    def test_validate_chrome_trace_catches_problems(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({}) != []
+        bad_event = {"name": "", "ph": "B", "ts": -1, "dur": "x",
+                     "pid": "p", "tid": 1, "args": {}}
+        problems = validate_chrome_trace({"traceEvents": [bad_event]})
+        assert len(problems) >= 5
+
+
+class TestNestingValidator:
+    def test_clean_trace_passes(self):
+        tracer = make_tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+            with tracer.span("d"):
+                pass
+        assert validate_nesting(tracer.spans()) == []
+
+    def test_unknown_parent_flagged(self):
+        tracer = make_tracer()
+        with tracer.span("a"):
+            pass
+        (record,) = tracer.spans()
+        record.parent = 999
+        record.depth = 1
+        problems = validate_nesting([record])
+        assert any("unknown parent" in problem for problem in problems)
+
+    def test_bad_depth_flagged(self):
+        tracer = make_tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        inner, outer = tracer.spans()
+        inner.depth = 5
+        problems = validate_nesting([inner, outer])
+        assert any("depth" in problem for problem in problems)
+
+    def test_non_enclosed_interval_flagged(self):
+        tracer = make_tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        inner, outer = tracer.spans()
+        inner.start_us = outer.start_us + outer.duration_us + 10.0
+        problems = validate_nesting([inner, outer])
+        assert any("not enclosed" in problem for problem in problems)

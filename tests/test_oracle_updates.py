@@ -1,0 +1,96 @@
+"""Tests for the oracle's *updates* axis (repro.verify.oracle)."""
+
+import pytest
+
+from repro.indexes.dindex import DkIndex
+from repro.indexes.mindex import MkIndex
+from repro.indexes.mstarindex import MStarIndex
+from repro.queries.pathexpr import PathExpression
+from repro.verify.fuzz import (
+    GRAPH_PROFILES,
+    random_data_graph,
+    random_fup_stream,
+)
+from repro.verify.oracle import check_update_equivalence
+
+
+def label_sweep_stream(graph, repeats=3):
+    """``//label`` for every label, repeated: any inserted node's label
+    is queried again after the update."""
+    labels = sorted(graph.alphabet())
+    return [PathExpression.parse(f"//{label}")
+            for _ in range(repeats) for label in labels]
+
+
+class TestUpdatesAxisClean:
+    @pytest.mark.parametrize("factory", [MStarIndex, MkIndex, DkIndex])
+    def test_no_discrepancies_on_fuzzed_graph(self, factory):
+        graph = random_data_graph(GRAPH_PROFILES[0], 424200)
+        stream = random_fup_stream(graph, 30, 424200)
+        found = check_update_equivalence(graph, stream,
+                                         index_factory=factory,
+                                         update_every=4, graph_seed=424200)
+        assert found == []
+
+    def test_updates_actually_applied(self, fig1):
+        nodes_before = fig1.num_nodes
+        edges_before = fig1.num_edges
+        stream = label_sweep_stream(fig1, repeats=2)
+        found = check_update_equivalence(fig1, stream, update_every=3,
+                                         graph_seed=1)
+        assert found == []
+        # The axis is only meaningful if it really mutated the document.
+        assert (fig1.num_nodes, fig1.num_edges) != (nodes_before,
+                                                    edges_before)
+
+    def test_deterministic_for_a_seed(self):
+        def run():
+            graph = random_data_graph(GRAPH_PROFILES[0], 77)
+            stream = random_fup_stream(graph, 20, 77)
+            check_update_equivalence(graph, stream, update_every=4,
+                                     graph_seed=77)
+            return graph.num_nodes, graph.num_edges
+
+        assert run() == run()
+
+
+class TestUpdatesAxisDetects:
+    def test_sabotaged_maintenance_is_caught(self, fig1, monkeypatch):
+        """If updates mutate the document but never reach the indexes
+        (the pre-fix staleness mode), the axis must report it."""
+        import repro.indexes.maintenance as maintenance
+
+        real_insert = maintenance.insert_subtree
+        real_add = maintenance.add_reference
+        monkeypatch.setattr(
+            maintenance, "insert_subtree",
+            lambda graph, parent, spec, indexes=(): real_insert(
+                graph, parent, spec, indexes=()))
+        monkeypatch.setattr(
+            maintenance, "add_reference",
+            lambda graph, source, target, indexes=(): real_add(
+                graph, source, target, indexes=()))
+        stream = label_sweep_stream(fig1, repeats=3)
+        found = check_update_equivalence(fig1, stream, update_every=2,
+                                         graph_seed=5)
+        assert found, "stale indexes after updates went undetected"
+        assert {discrepancy.kind for discrepancy in found} <= \
+            {"update", "error"}
+
+    def test_runner_wires_axis_into_campaign(self, monkeypatch):
+        """The campaign driver must actually run the updates axis, last
+        in the round (it mutates the round's graph)."""
+        from repro.verify import runner
+
+        calls = []
+
+        def spy(graph, stream, **kwargs):
+            calls.append(kwargs)
+            return []
+
+        monkeypatch.setattr(runner, "check_update_equivalence", spy)
+        report = runner.run_verification(seed=3, rounds=1,
+                                         queries_per_round=4,
+                                         engine_queries=6)
+        assert report.ok
+        assert len(calls) == 1
