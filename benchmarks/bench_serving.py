@@ -1,0 +1,61 @@
+"""Concurrent serving throughput scaling (the PR 4 BENCH group).
+
+Sweeps the snapshot-isolated serving layer over worker counts on the
+cached replay workload, interleaved with document-update rounds, and
+prints the scaling series that lands in ``BENCH_pr4.json``.  Worker
+threads overlap the simulated per-query client I/O (the GIL serialises
+the index evaluation itself — see ``docs/serving.md``), so the series
+answers "how many workers are worth configuring", not "how parallel is
+the evaluator".
+
+The digest assertion is the point, not a formality: every worker count
+replays the same workload against the same deterministic update
+sequence, so any digest divergence means concurrent runs served
+different document histories — an isolation bug the speedup numbers
+would otherwise hide.
+"""
+
+from conftest import run_once
+
+from repro.bench.runner import run_serving_bench
+from repro.experiments.config import ExperimentConfig
+
+WORKER_COUNTS = (1, 2, 4, 8)
+CLIENT_STALL_S = 0.002
+UPDATE_ROUNDS = 4
+
+
+def _sweep(dataset: str, config: ExperimentConfig) -> list[dict]:
+    return run_serving_bench(
+        dataset, config, queries=config.num_queries, max_length=6,
+        seed=config.seed, passes=2, worker_counts=WORKER_COUNTS,
+        client_stall_s=CLIENT_STALL_S, update_rounds=UPDATE_ROUNDS)
+
+
+def _report(rows: list[dict]) -> None:
+    print()
+    for row in rows:
+        print(f"{row['dataset']}: {row['workers']} workers -> "
+              f"{row['throughput_qps']:.0f} q/s "
+              f"({row['speedup_vs_1_worker']}x vs 1 worker; "
+              f"{row['updates_applied']} updates, "
+              f"{row['conflicts']} conflicts, "
+              f"{row['degraded']} degraded)")
+
+
+def test_serving_throughput_scaling_xmark(benchmark, config):
+    rows = run_once(benchmark, lambda: _sweep("xmark", config))
+    _report(rows)
+    assert len({row["digest"] for row in rows}) == 1
+    at_4 = next(row for row in rows if row["workers"] == 4)
+    assert at_4["speedup_vs_1_worker"] >= 1.5, \
+        "4 workers must buy >= 1.5x replay throughput on the cached " \
+        "replay workload (the PR 4 acceptance criterion)"
+
+
+def test_serving_throughput_scaling_nasa(benchmark, config):
+    rows = run_once(benchmark, lambda: _sweep("nasa", config))
+    _report(rows)
+    assert len({row["digest"] for row in rows}) == 1
+    at_4 = next(row for row in rows if row["workers"] == 4)
+    assert at_4["speedup_vs_1_worker"] >= 1.5

@@ -20,11 +20,18 @@ layer costs when the tracer is disabled (the production default); see
 :func:`run_trace_overhead_bench`.  The acceptance budget is 5% of
 replay time.
 
+A fourth group, **serving**, sweeps the PR 4 concurrent serving layer
+(:mod:`repro.serving`) over worker counts on the cached replay workload
+interleaved with document updates, records throughput scaling, and
+asserts the final-answers digest agrees across worker counts; see
+:func:`run_serving_bench`.  The acceptance criterion is >= 1.5x replay
+throughput at 4 workers vs 1.
+
 ``run_bench`` also runs a small differential-oracle campaign (which
 includes cache-on vs cache-off equivalence checks, and the updates
 axis) so the artifact records that the measured configuration is
 *correct*, not just fast.  The JSON lands at the repository root as
-``BENCH_pr3.json`` by default; CI runs ``repro bench --smoke`` and
+``BENCH_pr4.json`` by default; CI runs ``repro bench --smoke`` and
 fails on any oracle discrepancy.
 """
 
@@ -63,13 +70,22 @@ class BenchConfig:
     replay_passes: int = 3
     max_query_length: int = 6
     verify_rounds: int = 6
+    #: Worker counts for the concurrent serving throughput sweep.
+    serving_worker_counts: tuple[int, ...] = (1, 2, 4, 8)
+    #: Simulated per-query client I/O for the serving sweep (seconds).
+    #: This is what worker threads overlap under the GIL — see
+    #: ``docs/serving.md`` for why 0 here would collapse scaling to ~1x.
+    serving_stall_s: float = 0.002
+    #: Document-update rounds interleaved into each serving replay.
+    serving_update_rounds: int = 4
     smoke: bool = False
 
     @classmethod
     def smoke_config(cls) -> "BenchConfig":
         return cls(scale=0.02, datasets=("xmark",), ak_resolutions=(2, 4),
                    replay_queries=40, replay_passes=2, verify_rounds=3,
-                   smoke=True)
+                   serving_worker_counts=(1, 4), serving_stall_s=0.001,
+                   serving_update_rounds=2, smoke=True)
 
 
 def _timed(fn: Callable[[], object]) -> tuple[float, object]:
@@ -196,6 +212,70 @@ def run_replay_bench(graph: DataGraph, dataset: str, queries: int,
 
 
 # ----------------------------------------------------------------------
+# Serving: concurrent replay throughput scaling with worker count
+# ----------------------------------------------------------------------
+def run_serving_bench(dataset: str, exp: "ExperimentConfig", queries: int,
+                      max_length: int, seed: int, passes: int,
+                      worker_counts: tuple[int, ...], client_stall_s: float,
+                      update_rounds: int) -> list[dict]:
+    """Cached-replay throughput through :class:`ServingEngine` at each
+    worker count, interleaved with document-update rounds.
+
+    Each worker count gets a **fresh** graph (updates mutate the
+    document) built from the same dataset seed, so every run replays the
+    identical workload against the identical evolving document — the
+    final-answers digest must therefore agree across worker counts, and
+    the bench asserts it does before reporting any speedup (a digest
+    mismatch would mean the concurrent runs did not serve the same
+    document history, i.e. an isolation bug, not a slow run).
+    """
+    from repro.serving.engine import ServingEngine
+    from repro.serving.replay import ReplayConfig, run_replay
+
+    rows: list[dict] = []
+    base_qps: float | None = None
+    digests: set[str] = set()
+    for workers in worker_counts:
+        graph = dataset_for(dataset, exp)
+        serving = ServingEngine(graph)
+        workload = Workload.generate(graph, num_queries=queries,
+                                     max_length=max_length, seed=seed)
+        replay_config = ReplayConfig(workers=workers, passes=passes,
+                                     update_rounds=update_rounds,
+                                     update_seed=seed,
+                                     client_stall_s=client_stall_s)
+        report = run_replay(serving, workload.queries, replay_config)
+        digests.add(report.digest)
+        qps = report.throughput_qps
+        if base_qps is None:
+            base_qps = qps
+        rows.append({
+            "dataset": dataset, "family": type(serving.index).__name__,
+            "workers": workers, "passes": passes,
+            "client_stall_ms": client_stall_s * 1e3,
+            "queries_served": report.queries_served,
+            "seconds": round(report.duration_s, 6),
+            "throughput_qps": round(qps, 1),
+            "speedup_vs_1_worker": round(qps / base_qps, 3)
+            if base_qps else 0.0,
+            "updates_applied": report.updates_applied,
+            "refinements": report.refinements,
+            "conflicts": report.conflicts,
+            "degraded": report.degraded,
+            "timeouts": report.timeouts,
+            "cache_hits": report.cache_hits,
+            "end_epoch": report.end_epoch,
+            "digest": report.digest,
+        })
+    if len(digests) > 1:
+        raise AssertionError(
+            f"serving replay digests diverged across worker counts on "
+            f"{dataset}: {sorted(digests)} — concurrent runs did not "
+            f"serve the same document history")
+    return rows
+
+
+# ----------------------------------------------------------------------
 # Trace overhead: the disabled-tracer fast path must be near-free
 # ----------------------------------------------------------------------
 def run_trace_overhead_bench(graph: DataGraph, dataset: str, queries: int,
@@ -299,10 +379,11 @@ def run_bench(config: BenchConfig | None = None,
     exp = ExperimentConfig(scale=config.scale, num_queries=config.replay_queries,
                            seed=config.seed)
     report: dict = {
-        "name": "BENCH_pr3",
+        "name": "BENCH_pr4",
         "config": asdict(config),
         "construction": [],
         "replay": [],
+        "serving": [],
         "trace_overhead": [],
     }
     for dataset in config.datasets:
@@ -317,6 +398,14 @@ def run_bench(config: BenchConfig | None = None,
                              config.max_query_length, config.seed,
                              config.replay_passes))
         say(f"bench: {dataset}: replay done")
+        report["serving"].extend(
+            run_serving_bench(dataset, exp, config.replay_queries,
+                              config.max_query_length, config.seed,
+                              config.replay_passes,
+                              config.serving_worker_counts,
+                              config.serving_stall_s,
+                              config.serving_update_rounds))
+        say(f"bench: {dataset}: serving done")
         report["trace_overhead"].append(
             run_trace_overhead_bench(graph, dataset, config.replay_queries,
                                      config.max_query_length, config.seed,
@@ -352,6 +441,15 @@ def run_bench(config: BenchConfig | None = None,
                           for row in report["trace_overhead"]), default=0.0)
     trace_overhead_ok = all(row["within_budget"]
                             for row in report["trace_overhead"])
+    # The PR 4 criterion names 4 workers; fall back to the best measured
+    # multi-worker speedup when a custom sweep omits that count.
+    serving_at_4 = [row["speedup_vs_1_worker"] for row in report["serving"]
+                    if row["workers"] == 4]
+    serving_multi = [row["speedup_vs_1_worker"] for row in report["serving"]
+                     if row["workers"] > 1]
+    serving_best = min(serving_at_4) if serving_at_4 else (
+        max(serving_multi, default=0.0))
+    serving_ok = (not report["serving"]) or serving_best >= 1.5
     report["criteria"] = {
         "construction_speedup_k4_plus": construction_best,
         "replay_speedup_wall": replay_best,
@@ -359,7 +457,10 @@ def run_bench(config: BenchConfig | None = None,
         "disabled_tracer_overhead_fraction": overhead_worst,
         "disabled_tracer_budget": 0.05,
         "trace_overhead_ok": trace_overhead_ok,
-        "passed": bool(verification.ok and trace_overhead_ok
+        "serving_speedup_4_workers": round(serving_best, 3),
+        "serving_target": 1.5,
+        "serving_ok": serving_ok,
+        "passed": bool(verification.ok and trace_overhead_ok and serving_ok
                        and (construction_best >= 2.0 or replay_best >= 2.0)),
     }
     return report

@@ -17,7 +17,11 @@ Commands:
   (see :mod:`repro.bench`);
 * ``trace`` — run a workload with the tracer enabled and export a
   Chrome-trace JSON of the engine/index/evaluator/pager spans
-  (see :mod:`repro.obs` and ``docs/observability.md``).
+  (see :mod:`repro.obs` and ``docs/observability.md``);
+* ``serve`` — replay a workload through the snapshot-isolated
+  concurrent serving layer on N worker threads, interleaved with
+  document-update rounds (see :mod:`repro.serving` and
+  ``docs/serving.md``).
 """
 
 from __future__ import annotations
@@ -169,6 +173,76 @@ def cmd_bench(args: argparse.Namespace) -> int:
             print(f"  {line}")
         return 1
     print("bench: verify OK (cache-on and cache-off engines agree)")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.serving.engine import ServingEngine
+    from repro.serving.replay import (
+        ReplayConfig,
+        load_workload,
+        run_replay,
+        save_workload,
+    )
+
+    if args.document:
+        graph = _load_document(args.document)
+    else:
+        generator = generate_xmark if args.dataset == "xmark" else generate_nasa
+        graph = generator(scale=args.scale, seed=args.seed)
+    if args.replay:
+        queries = load_workload(args.replay)
+        source = args.replay
+    else:
+        queries = list(Workload.generate(graph, num_queries=args.queries,
+                                         max_length=args.max_length,
+                                         seed=args.seed))
+        source = (f"generated (queries={args.queries}, "
+                  f"max-length={args.max_length}, seed={args.seed})")
+        if args.save_workload:
+            save_workload(args.save_workload, queries,
+                          header=f"workload: {source}")
+            print(f"serve: workload written to {args.save_workload}")
+
+    serving = ServingEngine(graph)
+    config = ReplayConfig(workers=args.workers, passes=args.passes,
+                          timeout=args.timeout,
+                          update_rounds=args.update_rounds,
+                          updates_per_round=args.updates_per_round,
+                          update_seed=args.update_seed,
+                          client_stall_s=args.stall_ms / 1e3,
+                          check=args.check)
+    report = run_replay(serving, queries, config)
+
+    print(f"serve: {report.queries_served} queries "
+          f"({len(queries)} unique x {config.passes} passes) on "
+          f"{config.workers} workers from {source}")
+    print(f"serve: {report.duration_s:.3f}s wall, "
+          f"{report.throughput_qps:.0f} queries/s; epoch "
+          f"{report.start_epoch} -> {report.end_epoch} "
+          f"({report.updates_applied} updates, "
+          f"{report.refinements} refinements)")
+    print(f"serve: {report.cache_hits} cache hits, "
+          f"{report.conflicts} snapshot conflicts, "
+          f"{report.degraded} degraded, {report.timeouts} past deadline")
+    print(f"serve: answers digest {report.digest}")
+    if args.digest_out:
+        with open(args.digest_out, "w") as handle:
+            handle.write(report.digest + "\n")
+        print(f"serve: digest written to {args.digest_out}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            _json.dump(report.as_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"serve: report written to {args.json}")
+    if report.checked:
+        if report.check_failures:
+            print(f"serve: CHECK FAILED — {report.check_failures} queries "
+                  f"diverge from the data-graph oracle")
+            return 1
+        print("serve: check OK — final answers match the data-graph oracle")
     return 0
 
 
@@ -361,8 +435,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench = commands.add_parser(
         "bench",
         help="hot-path benchmarks with a persisted JSON trajectory")
-    bench.add_argument("--output", "-o", default="BENCH_pr3.json",
-                       help="JSON artifact path (default: BENCH_pr3.json)")
+    bench.add_argument("--output", "-o", default="BENCH_pr4.json",
+                       help="JSON artifact path (default: BENCH_pr4.json)")
     bench.add_argument("--smoke", action="store_true",
                        help="small fixed configuration for CI")
     bench.add_argument("--scale", type=float, default=0.05)
@@ -401,6 +475,52 @@ def build_parser() -> argparse.ArgumentParser:
                             "all subsystems traced) and exit non-zero on "
                             "problems")
     trace.set_defaults(handler=cmd_trace)
+
+    serve = commands.add_parser(
+        "serve",
+        help="replay a workload through the concurrent serving layer")
+    serve.add_argument("document", nargs="?",
+                       help=".rpgr file or XML document (default: generate "
+                            "--dataset at --scale)")
+    serve.add_argument("--dataset", choices=("xmark", "nasa"),
+                       default="xmark")
+    serve.add_argument("--scale", type=float, default=0.02)
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument("--replay",
+                       help="workload file (one XPath-style query per "
+                            "line); default: generate one from --queries/"
+                            "--max-length/--seed")
+    serve.add_argument("--save-workload",
+                       help="write the generated workload to this file "
+                            "(replayable via --replay)")
+    serve.add_argument("--queries", type=int, default=60,
+                       help="generated workload size")
+    serve.add_argument("--max-length", type=int, default=6)
+    serve.add_argument("--workers", type=int, default=4,
+                       help="reader worker threads")
+    serve.add_argument("--passes", type=int, default=2,
+                       help="workload passes (>= 2 exercises the serving "
+                            "result cache)")
+    serve.add_argument("--update-rounds", type=int, default=4,
+                       help="document-update rounds interleaved between "
+                            "query chunks")
+    serve.add_argument("--updates-per-round", type=int, default=1)
+    serve.add_argument("--update-seed", type=int, default=0)
+    serve.add_argument("--timeout", type=float, default=None,
+                       help="per-query deadline in seconds (conflicted "
+                            "queries degrade to the locked oracle path)")
+    serve.add_argument("--stall-ms", type=float, default=0.0,
+                       help="simulated per-query client I/O in ms (what "
+                            "worker threads overlap; see docs/serving.md)")
+    serve.add_argument("--check", action="store_true",
+                       help="re-check final answers against the data-graph "
+                            "oracle and exit non-zero on divergence")
+    serve.add_argument("--digest-out",
+                       help="write the final-answers digest to this file "
+                            "(the CI flake guard diffs two runs)")
+    serve.add_argument("--json",
+                       help="write the full replay report as JSON")
+    serve.set_defaults(handler=cmd_serve)
     return parser
 
 

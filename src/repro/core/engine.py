@@ -10,6 +10,7 @@ are simply queried.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -33,6 +34,17 @@ class EngineStats:
     under ``engine_*`` names with a per-index-family ``index`` label,
     which is the supported way to observe engines in aggregate (several
     engines, replay harnesses, the CLI) — see ``docs/observability.md``.
+
+    Accumulation goes through :meth:`record_query` /
+    :meth:`record_refinement`, which hold an internal lock: the serving
+    layer (:mod:`repro.serving`) shares one stats object across worker
+    threads, and unlocked read-modify-write accumulation silently loses
+    updates whenever two workers interleave inside an increment (see
+    ``tests/test_engine_stats_threadsafe.py`` for the failure mode).
+    The fields themselves stay plain attributes so existing readers
+    (`stats.queries`, `stats.cost.total`, reports, benches) keep
+    working; use :meth:`snapshot` when a mutually consistent view across
+    several fields matters.
     """
 
     queries: int = 0
@@ -45,6 +57,57 @@ class EngineStats:
     #: queries, and folding it into per-query cost would make adaptive
     #: indexes look slower than they serve.
     refine_cost: CostCounter = field(default_factory=CostCounter)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
+
+    def record_query(self, cost: CostCounter, validated: bool = False,
+                     cache_hit: bool = False) -> None:
+        """Account one served query atomically (thread-safe)."""
+        with self._lock:
+            self.queries += 1
+            self.cost.add(cost)
+            if validated:
+                self.validated_queries += 1
+            if cache_hit:
+                self.cache_hits += 1
+
+    def record_refinement(self, cost: CostCounter | None = None) -> None:
+        """Account one index refinement atomically (thread-safe)."""
+        with self._lock:
+            self.refinements += 1
+            if cost is not None:
+                self.refine_cost.add(cost)
+
+    def merge(self, other: "EngineStats") -> None:
+        """Fold another stats object into this one (per-worker pattern).
+
+        The alternative to sharing: give each worker its own stats and
+        merge on the way out.  Both sides are locked, ``other`` first —
+        callers must not merge two stats objects into each other
+        concurrently from both directions.
+        """
+        with other._lock:
+            increment = (other.queries, other.validated_queries,
+                         other.refinements, other.cache_hits,
+                         other.cost.copy(), other.refine_cost.copy())
+        with self._lock:
+            self.queries += increment[0]
+            self.validated_queries += increment[1]
+            self.refinements += increment[2]
+            self.cache_hits += increment[3]
+            self.cost.add(increment[4])
+            self.refine_cost.add(increment[5])
+
+    def snapshot(self) -> "EngineStats":
+        """A mutually consistent copy of every field (thread-safe)."""
+        with self._lock:
+            return EngineStats(
+                queries=self.queries,
+                validated_queries=self.validated_queries,
+                refinements=self.refinements,
+                cache_hits=self.cache_hits,
+                cost=self.cost.copy(),
+                refine_cost=self.refine_cost.copy())
 
     @property
     def average_cost(self) -> float:
@@ -167,6 +230,7 @@ class AdaptiveIndexEngine:
         with outer:
             token: tuple | None = None
             result: QueryResult | None = None
+            cache_hit = False
             if self.cache_enabled and self._fingerprint is not None:
                 probe = tracer.span("engine.cache_probe") if traced \
                     else _trace.NULL_SPAN
@@ -184,7 +248,7 @@ class AdaptiveIndexEngine:
                             target_nodes=list(source.target_nodes),
                             cost=CostCounter(index_visits=1),
                             validated=source.validated)
-                        self.stats.cache_hits += 1
+                        cache_hit = True
                         self._m_cache_hits.inc()
                         probe.tag(outcome="hit")
                     else:
@@ -201,13 +265,12 @@ class AdaptiveIndexEngine:
                         else _trace.NULL_SPAN
                     with store:
                         self._cache_store(expr, token, result)
-            self.stats.queries += 1
-            self.stats.cost.add(result.cost)
+            self.stats.record_query(result.cost, validated=result.validated,
+                                    cache_hit=cache_hit)
             self._m_queries.inc()
             self._m_index_visits.observe(result.cost.index_visits)
             self._m_data_visits.observe(result.cost.data_visits)
             if result.validated:
-                self.stats.validated_queries += 1
                 self._m_validated.inc()
 
             is_fup = self.extractor.observe(expr)
@@ -228,12 +291,12 @@ class AdaptiveIndexEngine:
                     if self._refine_accepts_counter:
                         refine_cost = CostCounter()
                         self.index.refine(expr, result, counter=refine_cost)
-                        self.stats.refine_cost.add(refine_cost)
+                        self.stats.record_refinement(refine_cost)
                         self._m_refine_cost.observe(refine_cost.total)
                     else:
                         self.index.refine(expr, result)
+                        self.stats.record_refinement()
                 self._refined.add(expr)
-                self.stats.refinements += 1
                 self._m_refinements.inc()
         return result
 

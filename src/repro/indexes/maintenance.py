@@ -73,6 +73,22 @@ def _index_graphs(index) -> list[IndexGraph]:
                     f"rebuild it instead")
 
 
+def maintainable(index) -> bool:
+    """Can ``index`` be maintained incrementally by this module?
+
+    True for the families whose query path consults per-node similarity
+    claims (M(k), M*(k), A(k), D(k), bare ``IndexGraph``); False for the
+    rebuild-only families (1-index, F&B, UD(k,l), DataGuide, APEX).  The
+    serving layer uses this to decide up front whether a
+    :class:`~repro.serving.ServingEngine` can accept writer traffic.
+    """
+    try:
+        _index_graphs(index)
+    except TypeError:
+        return False
+    return True
+
+
 def _register_node(index, oid: int) -> None:
     if isinstance(index, MStarIndex):
         previous_nid = -1

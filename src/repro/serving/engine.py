@@ -1,0 +1,549 @@
+"""Snapshot-isolated concurrent serving on top of the adaptive engine.
+
+:class:`ServingEngine` wraps an :class:`~repro.core.engine.AdaptiveIndexEngine`
+and splits its single-threaded operating loop into two concurrent roles:
+
+* **readers** answer queries on worker threads through an optimistic
+  seqlock protocol (:mod:`repro.serving.snapshot`): each answer is
+  guaranteed to reflect exactly the index/document state of one
+  committed epoch — never a half-applied REFINE, never a stale ``k``
+  clamp mid-demotion;
+* **writers** (document maintenance via
+  :mod:`repro.indexes.maintenance`, and FUP refinement replayed through
+  the wrapped engine) run one at a time inside
+  :meth:`EpochClock.write` windows, advancing the epoch atomically at
+  commit.
+
+Readers that keep colliding with writers (or run out of their deadline)
+**degrade instead of failing**: the query is answered on the data-graph
+oracle path under the writer mutex, which is always correct — the
+fallback trades latency for exactness, never exactness for latency.
+
+The engine-level result cache is reused through the index's
+``cache_fingerprint`` tokens (PR 2): a token pins the per-label
+versions, mutation counters, and the maintenance ``epoch`` of every
+component, so a cached answer can never be served across a document
+update — the property-based test suite asserts exactly this.
+
+Worker threads buy *overlap*, not CPU parallelism: under CPython's GIL
+the index evaluation serialises, but the per-query client I/O a real
+deployment pays (request parsing, response writing, pager reads)
+overlaps freely.  ``docs/serving.md`` covers worker-count tuning.
+"""
+
+from __future__ import annotations
+
+import queue as _queue
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.engine import AdaptiveIndexEngine
+from repro.core.fup import FupExtractor
+from repro.cost.counters import CostCounter
+from repro.graph.datagraph import DataGraph
+from repro.indexes import maintenance as _maintenance
+from repro.indexes.mstarindex import MStarIndex
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+from repro.queries.evaluator import evaluate_on_data_graph
+from repro.queries.pathexpr import PathExpression, as_expression
+from repro.serving.snapshot import EpochClock
+
+#: Sentinel distinguishing "no timeout given" from "timeout=None".
+_UNSET = object()
+
+
+@dataclass
+class ServedResult:
+    """One answered query, tagged with its snapshot provenance.
+
+    ``epoch`` identifies the committed state the answer reflects;
+    ``conflicts`` counts optimistic attempts discarded because a writer
+    committed underneath them; ``degraded`` marks answers computed on
+    the data-graph oracle path under the writer mutex (still exact);
+    ``timed_out`` marks results returned after their deadline passed
+    (the answer is still correct — the serving layer never trades
+    exactness for latency).
+    """
+
+    expr: PathExpression
+    answers: set[int]
+    validated: bool
+    epoch: int
+    cost: CostCounter = field(default_factory=CostCounter)
+    attempts: int = 1
+    conflicts: int = 0
+    cache_hit: bool = False
+    degraded: bool = False
+    timed_out: bool = False
+    duration_s: float = 0.0
+
+
+class ServingStats:
+    """Thread-safe running totals for one serving engine."""
+
+    _FIELDS = ("queries", "cache_hits", "conflicts", "degraded", "timeouts",
+               "updates", "refinements")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.queries = 0
+        self.cache_hits = 0
+        self.conflicts = 0
+        self.degraded = 0
+        self.timeouts = 0
+        self.updates = 0
+        self.refinements = 0
+
+    def record_result(self, result: ServedResult) -> None:
+        with self._lock:
+            self.queries += 1
+            self.conflicts += result.conflicts
+            if result.cache_hit:
+                self.cache_hits += 1
+            if result.degraded:
+                self.degraded += 1
+            if result.timed_out:
+                self.timeouts += 1
+
+    def record_update(self) -> None:
+        with self._lock:
+            self.updates += 1
+
+    def record_refinement(self) -> None:
+        with self._lock:
+            self.refinements += 1
+
+    def snapshot(self) -> dict[str, int]:
+        """A mutually consistent copy of every counter."""
+        with self._lock:
+            return {name: getattr(self, name) for name in self._FIELDS}
+
+    def __repr__(self) -> str:
+        return f"ServingStats({self.snapshot()})"
+
+
+class _CacheEntry:
+    __slots__ = ("token", "answers", "validated", "epoch")
+
+    def __init__(self, token: tuple, answers: frozenset[int],
+                 validated: bool, epoch: int) -> None:
+        self.token = token
+        self.answers = answers
+        self.validated = validated
+        self.epoch = epoch
+
+
+class PinnedSnapshot:
+    """A reader that pins the current epoch by excluding writers.
+
+    Yielded by :meth:`ServingEngine.pin`; while it is open, every query
+    (index path or oracle path) observes exactly the pinned epoch —
+    writers queue behind the mutex until the pin is released.  This is
+    what the stress suite's oracle and the epoch-boundary regression
+    tests use to ask "what was true at epoch ``e``" while concurrent
+    updates are in flight.
+    """
+
+    def __init__(self, serving: "ServingEngine", epoch: int) -> None:
+        self._serving = serving
+        self.epoch = epoch
+
+    def query(self, expr: "PathExpression | str"):
+        """Evaluate through the index at the pinned epoch."""
+        return self._serving.index.query(as_expression(expr))
+
+    def oracle(self, expr: "PathExpression | str") -> set[int]:
+        """Ground truth at the pinned epoch (data-graph navigation)."""
+        return evaluate_on_data_graph(self._serving.graph,
+                                      as_expression(expr))
+
+
+class ServingEngine:
+    """Concurrent, snapshot-isolated front end for an adaptive engine.
+
+    Example::
+
+        serving = ServingEngine(graph)            # wraps M*(k) engine
+        results = serving.serve(queries, workers=4)
+        serving.insert_subtree(0, ("item", [("name", [])]))
+        serving.refine_pending()                  # adapt to observed FUPs
+
+    Readers (:meth:`query`, :meth:`serve`) are safe from any thread;
+    writers (:meth:`insert_subtree`, :meth:`add_reference`,
+    :meth:`refine_pending`) serialise on the internal epoch clock.
+    """
+
+    def __init__(self, source: "AdaptiveIndexEngine | DataGraph",
+                 index_factory=MStarIndex, *,
+                 extractor: FupExtractor | None = None,
+                 max_attempts: int = 6,
+                 default_timeout: float | None = None,
+                 cache: bool = True, cache_size: int = 1024) -> None:
+        """Wrap an existing engine, or build one over ``source`` graph.
+
+        ``max_attempts`` bounds optimistic retries before a query
+        degrades to the locked oracle path; ``default_timeout`` (seconds)
+        applies to queries that do not pass their own.  ``cache``
+        controls the serving-layer result cache (token-guarded, shared
+        across workers); the wrapped engine's own cache stays whatever
+        it was configured with (it only runs under the writer lock).
+        """
+        if isinstance(source, AdaptiveIndexEngine):
+            self.engine = source
+        else:
+            self.engine = AdaptiveIndexEngine(source,
+                                              index_factory=index_factory,
+                                              cache=cache)
+        self.graph = self.engine.graph
+        self.index = self.engine.index
+        self.extractor = extractor if extractor is not None else FupExtractor()
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.max_attempts = max_attempts
+        self.default_timeout = default_timeout
+        self.stats = ServingStats()
+        self.clock = EpochClock()
+        self._fingerprint = getattr(self.index, "cache_fingerprint", None)
+        self.cache_enabled = cache and self._fingerprint is not None
+        if cache_size < 1:
+            raise ValueError("cache_size must be >= 1")
+        self._cache_size = cache_size
+        self._cache: dict[PathExpression, _CacheEntry] = {}
+        self._cache_lock = threading.Lock()
+        self._fup_lock = threading.Lock()
+        self._pending: deque[PathExpression] = deque()
+        self._pending_set: set[PathExpression] = set()
+        self._family = type(self.index).__name__
+        self._bind_metrics()
+
+    def _bind_metrics(self) -> None:
+        registry = _metrics.REGISTRY
+        queries = registry.counter(
+            "serving_queries_total", "queries answered by the serving layer",
+            ("index", "outcome"))
+        self._m_ok = queries.labels(index=self._family, outcome="ok")
+        self._m_degraded = queries.labels(index=self._family,
+                                          outcome="degraded")
+        self._m_conflicts = registry.counter(
+            "serving_conflicts_total",
+            "optimistic read attempts discarded due to concurrent commits",
+            ("index",)).labels(index=self._family)
+        self._m_timeouts = registry.counter(
+            "serving_timeouts_total",
+            "queries that blew their deadline before answering",
+            ("index",)).labels(index=self._family)
+        self._m_cache_hits = registry.counter(
+            "serving_cache_hits_total", "serving-layer result-cache hits",
+            ("index",)).labels(index=self._family)
+        self._m_updates = registry.counter(
+            "serving_updates_total", "committed writer operations",
+            ("index", "kind"))
+        self._m_queue_depth = registry.gauge(
+            "serving_queue_depth", "queries waiting for a worker")
+        self._m_epoch = registry.gauge(
+            "serving_epoch", "committed epoch of the serving engine",
+            ("index",)).labels(index=self._family)
+        self._m_attempts = registry.histogram(
+            "serving_query_attempts",
+            "optimistic attempts needed per served query", ("index",),
+            buckets=(1, 2, 3, 4, 6, 8, 12, 16)).labels(index=self._family)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Number of committed writer operations."""
+        return self.clock.epoch
+
+    @property
+    def supports_updates(self) -> bool:
+        """Can the wrapped index take document updates (vs rebuild-only)?"""
+        return _maintenance.maintainable(self.index)
+
+    def pending_fups(self) -> list[PathExpression]:
+        """Expressions queued for refinement, oldest first."""
+        with self._fup_lock:
+            return list(self._pending)
+
+    # ------------------------------------------------------------------
+    # Reader path
+    # ------------------------------------------------------------------
+    def query(self, expr: "PathExpression | str",
+              timeout=_UNSET) -> ServedResult:
+        """Answer one query with snapshot isolation.
+
+        Optimistic attempts retry on writer conflicts up to
+        ``max_attempts`` or the deadline, whichever bites first, then
+        the query degrades to the data-graph oracle path under the
+        writer mutex — slower, but always exact, so a conflicted query
+        returns a late correct answer rather than a fast wrong one.
+        """
+        expr = as_expression(expr)
+        timeout = self.default_timeout if timeout is _UNSET else timeout
+        started = time.monotonic()
+        deadline = started + timeout if timeout is not None else None
+        tracer = _trace.TRACER
+        span = tracer.span("serving.query", query=str(expr),
+                           index=self._family) if tracer.enabled \
+            else _trace.NULL_SPAN
+        with span:
+            result = self._query_inner(expr, deadline)
+            result.duration_s = time.monotonic() - started
+            span.tag(outcome="degraded" if result.degraded else "ok",
+                     epoch=result.epoch, attempts=result.attempts,
+                     cache="hit" if result.cache_hit else "miss")
+        self.stats.record_result(result)
+        (self._m_degraded if result.degraded else self._m_ok).inc()
+        if result.conflicts:
+            self._m_conflicts.inc(result.conflicts)
+        if result.timed_out:
+            self._m_timeouts.inc()
+        if result.cache_hit:
+            self._m_cache_hits.inc()
+        self._m_attempts.observe(result.attempts)
+        self._observe_fup(expr, result)
+        return result
+
+    def _query_inner(self, expr: PathExpression,
+                     deadline: float | None) -> ServedResult:
+        conflicts = 0
+        attempts = 0
+        while attempts < self.max_attempts:
+            attempts += 1
+            clean, seq = self.clock.read()
+            if clean:
+                outcome = self._attempt(expr, seq)
+                if outcome is not None and self.clock.validate(seq):
+                    answers, validated, cache_hit, cost, token = outcome
+                    if token is not None and not cache_hit:
+                        self._cache_store(expr, token, answers, validated,
+                                          seq // 2)
+                    return ServedResult(
+                        expr=expr, answers=set(answers), validated=validated,
+                        epoch=seq // 2, cost=cost, attempts=attempts,
+                        conflicts=conflicts, cache_hit=cache_hit)
+            conflicts += 1
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            # Yield first, back off harder if the writer is long-running.
+            time.sleep(0 if conflicts < 2 else min(0.0002 * conflicts, 0.002))
+        return self._degraded_query(expr, attempts, conflicts, deadline)
+
+    def _attempt(self, expr: PathExpression, seq: int):
+        """One optimistic evaluation; ``None`` signals a torn read."""
+        try:
+            token = None
+            if self.cache_enabled:
+                token = self._fingerprint(expr)
+                with self._cache_lock:
+                    entry = self._cache.get(expr)
+                if entry is not None and entry.token == token:
+                    return (entry.answers, entry.validated, True,
+                            CostCounter(index_visits=1), token)
+            cost = CostCounter()
+            result = self.index.query(expr, cost)
+            # Copy out before validation: the caller owns the answer set,
+            # and the index may recycle target extents on a later write.
+            return (set(result.answers), result.validated, False,
+                    cost, token)
+        except Exception:
+            # A concurrent writer left the structures mid-flight (dict
+            # resized during iteration, a node id vanished, ...).  The
+            # sequence check would reject this attempt anyway; bail out
+            # early and let the retry loop decide.
+            return None
+
+    def _degraded_query(self, expr: PathExpression, attempts: int,
+                        conflicts: int,
+                        deadline: float | None) -> ServedResult:
+        tracer = _trace.TRACER
+        span = tracer.span("serving.degraded", query=str(expr)) \
+            if tracer.enabled else _trace.NULL_SPAN
+        with span:
+            with self.clock.pause_writers() as epoch:
+                cost = CostCounter()
+                answers = evaluate_on_data_graph(self.graph, expr, cost)
+            timed_out = (deadline is not None
+                         and time.monotonic() > deadline)
+            span.tag(epoch=epoch, timed_out=timed_out)
+        return ServedResult(expr=expr, answers=answers, validated=True,
+                            epoch=epoch, cost=cost, attempts=attempts,
+                            conflicts=conflicts, degraded=True,
+                            timed_out=timed_out)
+
+    def _cache_store(self, expr: PathExpression, token: tuple,
+                     answers: set[int], validated: bool, epoch: int) -> None:
+        entry = _CacheEntry(token, frozenset(answers), validated, epoch)
+        with self._cache_lock:
+            if expr not in self._cache and \
+                    len(self._cache) >= self._cache_size:
+                self._cache.pop(next(iter(self._cache)))  # FIFO eviction
+            self._cache[expr] = entry
+
+    def _observe_fup(self, expr: PathExpression, result: ServedResult) -> None:
+        """Queue refinement work for frequent, still-validating queries."""
+        with self._fup_lock:
+            frequent = self.extractor.observe(expr)
+            if frequent and result.validated and expr not in self._pending_set:
+                self._pending_set.add(expr)
+                self._pending.append(expr)
+
+    # ------------------------------------------------------------------
+    # Batched serving
+    # ------------------------------------------------------------------
+    def serve(self, queries, workers: int = 4, timeout=_UNSET,
+              client_io=None) -> list[ServedResult]:
+        """Answer a batch on ``workers`` threads; results in input order.
+
+        ``client_io``, when given, is called with each result *on the
+        worker thread* — the hook where a deployment writes the response
+        back to its client (and where the serving bench models that
+        I/O).  Worker exceptions outside :meth:`query`'s own handling
+        are re-raised after the batch drains.
+        """
+        exprs = [as_expression(q) for q in queries]
+        if not exprs:
+            return []
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        results: list[ServedResult | None] = [None] * len(exprs)
+        work: _queue.SimpleQueue = _queue.SimpleQueue()
+        for item in enumerate(exprs):
+            work.put(item)
+        depth = self._m_queue_depth
+        depth.inc(len(exprs))
+        errors: list[BaseException] = []
+
+        def run() -> None:
+            while True:
+                try:
+                    position, expr = work.get_nowait()
+                except _queue.Empty:
+                    return
+                try:
+                    result = self.query(expr, timeout=timeout)
+                    results[position] = result
+                    if client_io is not None:
+                        client_io(result)
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    errors.append(exc)
+                finally:
+                    depth.dec()
+
+        threads = [threading.Thread(target=run, name=f"serving-worker-{i}",
+                                    daemon=True)
+                   for i in range(min(workers, len(exprs)))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        # Every queue item was processed or errored; errors raised above.
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Writer path
+    # ------------------------------------------------------------------
+    def insert_subtree(self, parent_oid: int, subtree) -> list[int]:
+        """Insert ``(label, [children])`` under ``parent_oid`` atomically.
+
+        The document mutation, index registration, and epoch bump all
+        land inside one write window: a reader either sees none of the
+        update or all of it.
+        """
+        tracer = _trace.TRACER
+        span = tracer.span("serving.update", kind="insert_subtree") \
+            if tracer.enabled else _trace.NULL_SPAN
+        with span:
+            with self.clock.write() as epoch:
+                oids = _maintenance.insert_subtree(
+                    self.graph, parent_oid, subtree, indexes=[self.index])
+            span.tag(epoch=epoch, new_nodes=len(oids))
+        self._committed_update("insert_subtree")
+        return oids
+
+    def add_reference(self, source_oid: int, target_oid: int) -> None:
+        """Add an IDREF edge atomically (demotions included)."""
+        tracer = _trace.TRACER
+        span = tracer.span("serving.update", kind="add_reference") \
+            if tracer.enabled else _trace.NULL_SPAN
+        with span:
+            with self.clock.write() as epoch:
+                _maintenance.add_reference(
+                    self.graph, source_oid, target_oid,
+                    indexes=[self.index])
+            span.tag(epoch=epoch)
+        self._committed_update("add_reference")
+
+    def _committed_update(self, kind: str) -> None:
+        self.stats.record_update()
+        self._m_updates.labels(index=self._family, kind=kind).inc()
+        self._m_epoch.set(self.clock.epoch)
+
+    def refine_pending(self, limit: int | None = None) -> int:
+        """Adapt the index for queued FUPs; returns refinements applied.
+
+        Each expression is replayed through the wrapped engine's full
+        adaptive loop inside its *own* write window, so long refinement
+        backlogs never starve readers for the whole batch — conflicts
+        stay per-refinement.
+        """
+        applied = 0
+        tracer = _trace.TRACER
+        while limit is None or applied < limit:
+            with self._fup_lock:
+                if not self._pending:
+                    break
+                expr = self._pending.popleft()
+                self._pending_set.discard(expr)
+            span = tracer.span("serving.refine", query=str(expr)) \
+                if tracer.enabled else _trace.NULL_SPAN
+            with span:
+                with self.clock.write() as epoch:
+                    self.engine.execute(expr)
+                span.tag(epoch=epoch)
+            applied += 1
+            self.stats.record_refinement()
+            self._m_updates.labels(index=self._family, kind="refine").inc()
+            self._m_epoch.set(self.clock.epoch)
+        return applied
+
+    # ------------------------------------------------------------------
+    # Pinned snapshots
+    # ------------------------------------------------------------------
+    def pin(self):
+        """Context manager yielding a :class:`PinnedSnapshot`.
+
+        Writers queue until the pin is released; a query issued through
+        the snapshot — even one that *finishes* while an update is
+        already waiting to commit — observes the pinned epoch's state.
+        Keep pins short: they add writer latency, never wrong answers.
+        """
+        return _Pin(self)
+
+    def __repr__(self) -> str:
+        return (f"ServingEngine(index={self._family}, "
+                f"epoch={self.clock.epoch}, "
+                f"queries={self.stats.snapshot()['queries']})")
+
+
+class _Pin:
+    """Context manager backing :meth:`ServingEngine.pin`."""
+
+    def __init__(self, serving: ServingEngine) -> None:
+        self._serving = serving
+        self._cm = None
+
+    def __enter__(self) -> PinnedSnapshot:
+        self._cm = self._serving.clock.pause_writers()
+        epoch = self._cm.__enter__()
+        return PinnedSnapshot(self._serving, epoch)
+
+    def __exit__(self, *exc) -> bool:
+        cm, self._cm = self._cm, None
+        return bool(cm.__exit__(*exc))

@@ -1,0 +1,114 @@
+"""Epoch-based snapshot coordination for concurrent serving.
+
+The indexes in this package mutate **in place** (refinement splits
+nodes, maintenance demotes claims), so true multi-version snapshots
+would mean copying index graphs per update — far too expensive for the
+write rates the maintenance module supports.  Instead the serving layer
+uses a *seqlock*: a single writer mutex plus a monotone sequence
+counter that is **odd while a writer is mid-mutation** and even once
+the mutation has committed.
+
+Readers never block writers and never take the mutex on the fast path:
+
+1. read the sequence; if odd, a writer is mid-commit — back off;
+2. evaluate the query against the live index;
+3. re-read the sequence; if it moved, a writer committed underneath the
+   evaluation and the answer may mix pre- and post-update state — throw
+   it away and retry (any exception raised by step 2 is treated the
+   same way: torn index state may be structurally inconsistent).
+
+An answer that survives step 3 was computed entirely within one even
+sequence window, i.e. against exactly the state committed by some
+prefix of the writes — that is the snapshot-isolation guarantee.  The
+**epoch** of that answer is ``seq // 2``, the number of committed
+writes; it is what result tokens and the monotonicity property tests
+pin.
+
+This works *because of* CPython's GIL, not despite it: individual
+bytecode operations are atomic, so a torn read can return stale or
+mixed values (or raise mid-iteration) but never observe memory that
+was never written.  The design would need real memory barriers on a
+free-threaded build; the seqlock protocol itself carries over
+unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+
+class EpochClock:
+    """Seqlock: exclusive writers, optimistic lock-free readers.
+
+    ``seq`` is even when no writer is active and odd while one is
+    mutating; ``epoch`` (= ``seq // 2``) counts committed writes and is
+    the value readers report as their snapshot identity.
+    """
+
+    def __init__(self) -> None:
+        self._mutex = threading.RLock()
+        self._seq = 0
+        self._writing = False  # guarded by _mutex; makes write() reentrant
+
+    @property
+    def seq(self) -> int:
+        """Current sequence value (reading it is always safe)."""
+        return self._seq
+
+    @property
+    def epoch(self) -> int:
+        """Number of committed writes (a mid-write read still reports
+        the last committed epoch)."""
+        return self._seq // 2
+
+    def read(self) -> tuple[bool, int]:
+        """Begin an optimistic read: ``(clean, seq)``.
+
+        ``clean`` is False when a writer is mid-commit (``seq`` odd);
+        callers should back off rather than evaluate against state that
+        is guaranteed to be torn.
+        """
+        seq = self._seq
+        return (seq & 1) == 0, seq
+
+    def validate(self, seq: int) -> bool:
+        """Did the window opened by :meth:`read` stay closed to writers?"""
+        return self._seq == seq
+
+    @contextmanager
+    def write(self):
+        """Exclusive write window; yields the epoch being created.
+
+        Reentrant from the owning thread (the inner window joins the
+        outer one rather than double-bumping the sequence).  The
+        sequence is advanced to even even when the body raises: the
+        partial mutation is the writer's problem to surface, but readers
+        must never spin forever on an odd sequence.
+        """
+        with self._mutex:
+            outer = not self._writing
+            if outer:
+                self._writing = True
+                self._seq += 1  # odd: mutation in progress
+            try:
+                yield (self._seq + 1) // 2
+            finally:
+                if outer:
+                    self._seq += 1  # even: committed
+                    self._writing = False
+
+    @contextmanager
+    def pause_writers(self):
+        """Hold the writer mutex *without* advancing the sequence.
+
+        This pins the current epoch: writers queue behind the mutex,
+        optimistic readers continue unobstructed (and keep validating,
+        since nothing moves the sequence).  Used for pinned-snapshot
+        oracles and the degraded query path.
+        """
+        with self._mutex:
+            yield self._seq // 2
+
+    def __repr__(self) -> str:
+        return f"EpochClock(seq={self._seq}, epoch={self.epoch})"

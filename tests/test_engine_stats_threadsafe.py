@@ -1,0 +1,268 @@
+"""EngineStats accumulation must be thread-safe (the PR 4 bugfix).
+
+The serving layer shares one :class:`EngineStats` across worker
+threads.  Before the fix, ``execute()`` accumulated with bare
+``self.stats.queries += 1`` / ``self.stats.cost.add(cost)`` — a lost
+update waiting to happen.  These tests pin both halves of the fix:
+
+* ``test_lost_update_demonstration_on_raw_counter`` *choreographs* the
+  race on an unsynchronised :class:`CostCounter` with a barrier-rigged
+  cost object, proving deterministically that the read-modify-write
+  window is real on CPython (the GIL makes single bytecodes atomic, but
+  ``self.index_visits += other.index_visits`` LOADs the old value
+  *before* evaluating ``other.index_visits`` — any property/call in
+  that window opens it to interleaving);
+* the hammer tests drive :meth:`EngineStats.record_query` /
+  :meth:`merge` from many threads with switch-provoking cost objects
+  and demand exact totals — they fail on the unlocked version.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.engine import EngineStats
+from repro.cost.counters import CostCounter
+
+
+class HandoffCost(CostCounter):
+    """A cost whose ``index_visits`` reads synchronise on a barrier.
+
+    Reading the property parks the thread on a two-party barrier, so
+    two threads accumulating concurrently are released in lockstep —
+    *after* both have LOADed the accumulator's old value and *before*
+    either STOREs.  Both then store ``old + 1`` and one increment is
+    lost, every single run: this turns the probabilistic race into a
+    deterministic demonstration.
+    """
+
+    def __init__(self, barrier: threading.Barrier) -> None:
+        self._barrier = barrier
+        super().__init__(index_visits=1, data_visits=0)
+
+    @property
+    def index_visits(self) -> int:  # type: ignore[override]
+        barrier = getattr(self, "_barrier", None)
+        if barrier is not None:
+            barrier.wait(timeout=5.0)
+        return self._iv
+
+    @index_visits.setter
+    def index_visits(self, value: int) -> None:
+        self._iv = value
+
+
+class SleepyCost(CostCounter):
+    """A cost whose component reads sleep, provoking thread switches
+    inside the accumulation window (sleep always releases the GIL)."""
+
+    def __init__(self, nap_s: float = 0.0002) -> None:
+        self._nap_s = nap_s
+        super().__init__(index_visits=1, data_visits=1)
+
+    def _read(self, name: str) -> int:
+        if getattr(self, "_nap_s", 0):
+            time.sleep(self._nap_s)
+        return getattr(self, name)
+
+    @property
+    def index_visits(self) -> int:  # type: ignore[override]
+        return self._read("_iv")
+
+    @index_visits.setter
+    def index_visits(self, value: int) -> None:
+        self._iv = value
+
+    @property
+    def data_visits(self) -> int:  # type: ignore[override]
+        return self._read("_dv")
+
+    @data_visits.setter
+    def data_visits(self, value: int) -> None:
+        self._dv = value
+
+
+class TestLostUpdateMechanism:
+    def test_lost_update_demonstration_on_raw_counter(self):
+        """Two lockstep adds into a bare CostCounter lose an update.
+
+        This is the racy accumulation EngineStats used to do directly;
+        the barrier pairs the two threads' property reads call for
+        call, so both LOAD the accumulator at 0 before either STOREs.
+        """
+        shared = CostCounter()
+        barrier = threading.Barrier(2)
+        errors: list[BaseException] = []
+
+        def accumulate() -> None:
+            try:
+                shared.add(HandoffCost(barrier))
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=accumulate) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert not errors, errors
+        # Two adds of 1 landed, but the unsynchronised counter shows 1:
+        # the second STORE overwrote the first. This is the bug class
+        # EngineStats' lock exists to prevent.
+        assert shared.index_visits == 1
+
+    def test_locked_record_query_survives_the_same_choreography(self):
+        """The same barrier-rigged costs, accumulated through the locked
+        EngineStats API from lockstep threads, lose nothing.
+
+        The lock serialises the two record_query calls, so the barrier
+        would deadlock if both threads could enter the window together
+        — each thread therefore gets its own pre-released barrier and
+        the assertion is purely on the totals.
+        """
+        stats = EngineStats()
+        errors: list[BaseException] = []
+
+        def accumulate() -> None:
+            try:
+                barrier = threading.Barrier(1)  # never blocks
+                stats.record_query(HandoffCost(barrier), validated=True)
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=accumulate) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert not errors, errors
+        assert stats.queries == 2
+        assert stats.validated_queries == 2
+        assert stats.cost.index_visits == 2
+
+
+class TestConcurrentExactness:
+    THREADS = 4
+    CALLS = 50
+
+    def test_record_query_exact_under_contention(self):
+        """4 threads x 50 record_query calls with switch-provoking costs
+        must account every single call.  Reverting record_query to the
+        unlocked ``self.queries += 1; self.cost.add(...)`` form makes
+        this fail (dozens of lost updates per run)."""
+        stats = EngineStats()
+
+        def worker() -> None:
+            for i in range(self.CALLS):
+                stats.record_query(SleepyCost(), validated=(i % 2 == 0),
+                                   cache_hit=(i % 3 == 0))
+
+        threads = [threading.Thread(target=worker)
+                   for _ in range(self.THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        total = self.THREADS * self.CALLS
+        assert stats.queries == total
+        assert stats.cost.index_visits == total
+        assert stats.cost.data_visits == total
+        assert stats.validated_queries == self.THREADS * 25
+        assert stats.cache_hits == self.THREADS * 17
+
+    def test_record_refinement_exact_under_contention(self):
+        stats = EngineStats()
+
+        def worker() -> None:
+            for _ in range(self.CALLS):
+                stats.record_refinement(SleepyCost())
+
+        threads = [threading.Thread(target=worker)
+                   for _ in range(self.THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert stats.refinements == self.THREADS * self.CALLS
+        assert stats.refine_cost.index_visits == self.THREADS * self.CALLS
+
+    def test_merge_folds_per_worker_stats_exactly(self):
+        """The per-worker-stats-then-merge alternative also adds up."""
+        main = EngineStats()
+        locals_ = [EngineStats() for _ in range(self.THREADS)]
+
+        def worker(stats: EngineStats) -> None:
+            for _ in range(self.CALLS):
+                stats.record_query(CostCounter(index_visits=2, data_visits=3),
+                                   validated=True)
+            main.merge(stats)
+
+        threads = [threading.Thread(target=worker, args=(stats,))
+                   for stats in locals_]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        total = self.THREADS * self.CALLS
+        assert main.queries == total
+        assert main.validated_queries == total
+        assert main.cost.index_visits == 2 * total
+        assert main.cost.data_visits == 3 * total
+
+    def test_snapshot_is_mutually_consistent(self):
+        """snapshot() never observes a half-applied record_query: the
+        per-field relations hold in every snapshot taken mid-hammer."""
+        stats = EngineStats()
+        stop = threading.Event()
+
+        def worker() -> None:
+            while not stop.is_set():
+                stats.record_query(CostCounter(index_visits=1, data_visits=1),
+                                   validated=True)
+
+        writers = [threading.Thread(target=worker) for _ in range(2)]
+        for thread in writers:
+            thread.start()
+        try:
+            for _ in range(200):
+                view = stats.snapshot()
+                assert view.queries == view.validated_queries
+                assert view.cost.index_visits == view.queries
+                assert view.cost.data_visits == view.queries
+        finally:
+            stop.set()
+            for thread in writers:
+                thread.join(timeout=10.0)
+
+
+def test_stats_equality_ignores_the_lock():
+    """The dataclass compare must not include the lock field (two fresh
+    stats objects are equal; a recorded one differs)."""
+    assert EngineStats() == EngineStats()
+    recorded = EngineStats()
+    recorded.record_query(CostCounter(index_visits=1))
+    assert recorded != EngineStats()
+
+
+@pytest.mark.parametrize("threads", [2, 8])
+def test_shared_cost_counter_via_stats_lock_only(threads):
+    """EngineStats' lock is the only thing making `.cost` safe — the
+    counter object itself stays lock-free for single-threaded callers.
+    Document that contract: concurrent record_query on one stats object
+    is exact even though CostCounter.add alone is not atomic."""
+    stats = EngineStats()
+    calls = 40
+
+    def worker() -> None:
+        for _ in range(calls):
+            stats.record_query(SleepyCost(nap_s=0.0001))
+
+    pool = [threading.Thread(target=worker) for _ in range(threads)]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join(timeout=30.0)
+    assert stats.cost.index_visits == threads * calls

@@ -1,0 +1,188 @@
+"""Directed regressions for the writer-lock/epoch boundary.
+
+The contract under test: a query pinned *before* a maintenance commit
+(:func:`repro.indexes.maintenance._commit_epoch` inside the serving
+layer's write window) must see the pre-update target set **even if it
+finishes after the update was initiated** — the update is either
+entirely invisible or entirely visible, per index family that supports
+incremental maintenance: M(k), M*(k), A(k), and D(k).
+
+Each test pins a snapshot, launches a writer thread that immediately
+blocks on the writer mutex, evaluates the pinned query *while the
+update is pending*, and only then releases the pin; the post-release
+view must show the whole update.  A second battery drives the same
+boundary from the optimistic reader side: an update committing between
+a reader's snapshot read and its validation must force a retry, never
+leak a mixed answer.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.indexes.aindex import AkIndex
+from repro.indexes.dindex import DkIndex
+from repro.indexes.mindex import MkIndex
+from repro.indexes.mstarindex import MStarIndex
+from repro.queries.evaluator import evaluate_on_data_graph
+from repro.queries.pathexpr import as_expression
+from repro.serving import ServingEngine
+
+#: One factory per maintainable family (the ISSUE's list).
+MAINTAINABLE_FAMILIES = [
+    pytest.param("M(k)", MkIndex, id="Mk"),
+    pytest.param("M*(k)", MStarIndex, id="MStar"),
+    pytest.param("A(k)", lambda g: AkIndex(g, 2), id="Ak"),
+    pytest.param("D(k)", DkIndex, id="Dk"),
+]
+
+
+def _serving(simple_tree, factory) -> ServingEngine:
+    serving = ServingEngine(simple_tree, index_factory=factory)
+    assert serving.supports_updates
+    return serving
+
+
+@pytest.mark.parametrize("name,factory", MAINTAINABLE_FAMILIES)
+class TestPinnedQueryAcrossInsert:
+    def test_pinned_query_sees_pre_insert_targets(self, simple_tree, name,
+                                                  factory):
+        """Insert a new ``a -> c`` branch while a snapshot is pinned: the
+        pinned query must keep answering {4, 5} although the update was
+        initiated first and the query finishes after it."""
+        serving = _serving(simple_tree, factory)
+        expr = as_expression("//a/c")
+        committed = threading.Event()
+
+        def updater() -> None:
+            serving.insert_subtree(0, ("a", [("c", [])]))
+            committed.set()
+
+        with serving.pin() as snap:
+            pre_truth = snap.oracle(expr)
+            assert pre_truth == {4, 5}
+            thread = threading.Thread(target=updater)
+            thread.start()
+            time.sleep(0.05)  # updater is now parked on the writer mutex
+            assert not committed.is_set(), \
+                f"{name}: update committed through a pinned snapshot"
+            pinned = snap.query(expr)
+            assert pinned.answers == pre_truth, \
+                f"{name}: pinned query leaked a half-applied insert"
+            assert snap.oracle(expr) == pre_truth
+            assert snap.epoch == serving.epoch == 0
+        thread.join(timeout=5.0)
+        assert committed.is_set()
+        post = serving.query(expr)
+        assert post.answers == pre_truth | {8}, \
+            f"{name}: update invisible after the pin was released"
+        assert post.epoch == 1
+        assert post.answers == evaluate_on_data_graph(serving.graph, expr)
+
+    def test_pinned_query_sees_pre_reference_targets(self, simple_tree, name,
+                                                     factory):
+        """Same boundary for ``add_reference``: a new ``b -> 4`` IDREF
+        makes node 4 reachable as ``//b/c``; the pinned view must not
+        show it."""
+        serving = _serving(simple_tree, factory)
+        expr = as_expression("//b/c")
+        committed = threading.Event()
+
+        def updater() -> None:
+            serving.add_reference(3, 4)
+            committed.set()
+
+        with serving.pin() as snap:
+            pre_truth = snap.oracle(expr)
+            assert pre_truth == {6}
+            thread = threading.Thread(target=updater)
+            thread.start()
+            time.sleep(0.05)
+            assert not committed.is_set()
+            assert snap.query(expr).answers == pre_truth, \
+                f"{name}: pinned query leaked a pending reference"
+        thread.join(timeout=5.0)
+        post = serving.query(expr)
+        assert post.answers == {4, 6}, \
+            f"{name}: reference addition lost after the pin"
+        assert post.answers == evaluate_on_data_graph(serving.graph, expr)
+
+
+@pytest.mark.parametrize("name,factory", MAINTAINABLE_FAMILIES)
+class TestOptimisticReaderAcrossCommit:
+    def test_commit_between_read_and_validate_forces_retry(
+            self, simple_tree, name, factory):
+        """An update committing underneath an in-flight evaluation must
+        invalidate that attempt; the served answer reflects the
+        post-commit document, never a mix."""
+        serving = ServingEngine(simple_tree, index_factory=factory,
+                                cache=False)
+        from repro.indexes import maintenance
+
+        original = serving.index.query
+        fired = []
+
+        def query_with_midflight_commit(expr, counter=None, **kwargs):
+            result = original(expr, counter, **kwargs)
+            if not fired:
+                fired.append(True)
+                # Commit a whole update inside the reader's open window
+                # (same thread, so the mutex is free): the reader's
+                # validation must reject the attempt it interrupted.
+                with serving.clock.write():
+                    maintenance.insert_subtree(
+                        serving.graph, 0, ("a", [("c", [])]),
+                        indexes=[serving.index])
+            return result
+
+        serving.index.query = query_with_midflight_commit  # type: ignore
+        try:
+            result = serving.query("//a/c")
+        finally:
+            del serving.index.query
+        assert result.conflicts >= 1, \
+            f"{name}: mid-flight commit went unnoticed"
+        assert result.epoch == 1
+        assert result.answers == {4, 5, 8}, \
+            f"{name}: retried answer is not the committed post-update set"
+        assert result.answers == evaluate_on_data_graph(
+            serving.graph, as_expression("//a/c"))
+
+    def test_refinement_commit_also_invalidates_readers(
+            self, simple_tree, name, factory):
+        """REFINE commits move the epoch too (in-flight queries must not
+        observe a half-applied refinement) — drive refine_pending
+        mid-evaluation and demand a clean retry with unchanged answers
+        (refinement never changes what a query returns)."""
+        serving = ServingEngine(simple_tree, index_factory=factory,
+                                cache=False)
+        probe = as_expression("//a/c")
+        serving.query(probe)  # queue the FUP (threshold-1 extractor)
+        if not serving.pending_fups():
+            pytest.skip(f"{name} never queues refinement work")
+
+        original = serving.index.query
+        fired = []
+
+        def query_with_midflight_refine(expr, counter=None, **kwargs):
+            result = original(expr, counter, **kwargs)
+            if not fired:
+                fired.append(True)
+                serving.refine_pending()
+            return result
+
+        epoch_before = serving.epoch
+        serving.index.query = query_with_midflight_refine  # type: ignore
+        try:
+            result = serving.query("//b/c")
+        finally:
+            del serving.index.query
+        assert serving.epoch > epoch_before, \
+            f"{name}: refinement did not advance the epoch"
+        assert result.conflicts >= 1, \
+            f"{name}: refinement commit went unnoticed by the reader"
+        assert result.answers == {6}
+        assert result.epoch == serving.epoch
