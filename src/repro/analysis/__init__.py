@@ -1,0 +1,49 @@
+"""Static discipline checker for the repro codebase (``repro lint``).
+
+A zero-dependency, stdlib-``ast``-based rule engine that checks the
+project's own source for violations of the invariants its runtime
+disciplines rely on:
+
+* ``lock-discipline`` — writer-lock-guarded attributes only change
+  under their lock (:mod:`repro.analysis.rules.lock`);
+* ``cost-accounting`` — data-graph adjacency walks charge a
+  :class:`~repro.cost.counters.CostCounter`
+  (:mod:`repro.analysis.rules.cost`);
+* ``epoch-discipline`` — index node state mutates only on
+  ``replace_node``/commit paths, and serving writers commit inside
+  epoch write windows (:mod:`repro.analysis.rules.epoch`);
+* ``determinism`` — no wall clocks, unseeded randomness, or
+  set-iteration-order dependence in replayed code
+  (:mod:`repro.analysis.rules.determinism`).
+
+See ``docs/static-analysis.md`` for the invariant each rule protects
+and the runtime check it complements.  New rules register with the
+:func:`~repro.analysis.engine.rule` decorator; inline suppressions use
+``# repro-lint: disable=<rule>`` and documented false positives live in
+the checked-in baseline (:mod:`repro.analysis.baseline`).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import (
+    apply_baseline,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import (
+    RULES,
+    Finding,
+    LintResult,
+    ModuleContext,
+    in_dirs,
+    lint_file,
+    rule,
+    run_lint,
+)
+
+__all__ = [
+    "Finding", "LintConfig", "LintResult", "ModuleContext", "RULES",
+    "apply_baseline", "in_dirs", "lint_file", "load_baseline", "rule",
+    "run_lint", "save_baseline",
+]

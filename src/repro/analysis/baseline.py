@@ -1,0 +1,93 @@
+"""Checked-in baseline for ``repro lint``.
+
+The baseline records findings that are *known and justified* — typically
+documented false positives a rule cannot see past — so the lint can run
+red-on-anything-new while the justified residue stays visible in review.
+Entries are matched on the line-independent finding key ``(path, rule,
+symbol, message)``; line numbers are stored for humans but ignored by
+matching, so edits above a baselined site do not churn the file.
+
+A baseline entry that no longer matches anything is *stale* and fails
+the run: baselines only shrink or stay, they never silently rot.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.analysis.engine import Finding
+
+FORMAT_VERSION = 1
+
+
+@dataclass
+class BaselineMatch:
+    """Findings partitioned against a baseline."""
+
+    new: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    stale: list[dict[str, object]] = field(default_factory=list)
+
+
+def load_baseline(path: str) -> list[dict[str, object]]:
+    """Read baseline entries; a missing file is an empty baseline."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        return []
+    if not isinstance(payload, dict) or \
+            payload.get("version") != FORMAT_VERSION or \
+            not isinstance(payload.get("findings"), list):
+        raise ValueError(
+            f"{path}: not a repro-lint baseline "
+            f"(expected {{'version': {FORMAT_VERSION}, 'findings': [...]}})")
+    entries: list[dict[str, object]] = []
+    for entry in payload["findings"]:
+        if not isinstance(entry, dict) or \
+                not all(isinstance(entry.get(key), str)
+                        for key in ("path", "rule", "symbol", "message")):
+            raise ValueError(f"{path}: malformed baseline entry {entry!r}")
+        entries.append(entry)
+    return entries
+
+
+def save_baseline(path: str, findings: list[Finding]) -> None:
+    """Write the current findings as the new baseline (sorted, stable)."""
+    entries = [{"path": finding.path, "line": finding.line,
+                "rule": finding.rule, "symbol": finding.symbol,
+                "message": finding.message,
+                "justification": "TODO: explain why this is a false "
+                                 "positive or out of scope"}
+               for finding in sorted(findings, key=Finding.sort_key)]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"version": FORMAT_VERSION, "findings": entries},
+                  handle, indent=2)
+        handle.write("\n")
+
+
+def _entry_key(entry: dict[str, object]) -> tuple[str, str, str, str]:
+    return (str(entry["path"]), str(entry["rule"]), str(entry["symbol"]),
+            str(entry["message"]))
+
+
+def apply_baseline(findings: list[Finding],
+                   entries: list[dict[str, object]]) -> BaselineMatch:
+    """Split findings into new vs baselined; report stale entries."""
+    remaining: dict[tuple[str, str, str, str], list[dict[str, object]]] = {}
+    for entry in entries:
+        remaining.setdefault(_entry_key(entry), []).append(entry)
+    match = BaselineMatch()
+    for finding in findings:
+        bucket = remaining.get(finding.key())
+        if bucket:
+            bucket.pop()
+            match.baselined.append(finding)
+        else:
+            match.new.append(finding)
+    for bucket in remaining.values():
+        match.stale.extend(bucket)
+    match.stale.sort(key=lambda entry: (str(entry["path"]),
+                                        str(entry["rule"])))
+    return match

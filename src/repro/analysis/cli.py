@@ -1,0 +1,122 @@
+"""``repro lint`` — run the discipline checker over a source tree.
+
+Exit status: 0 when every finding is suppressed inline or matched by the
+baseline (and no baseline entry is stale); 1 otherwise.  ``--format
+json`` emits a machine-readable report; ``--update-baseline`` rewrites
+the baseline from the current findings (each new entry carries a
+``justification`` field to fill in — the baseline is for documented
+false positives, not for muting real violations).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+import repro
+from repro.analysis import baseline as _baseline
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import RULES, run_lint
+
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def default_paths() -> list[str]:
+    """The installed ``repro`` package itself — linting self-applies."""
+    return [os.path.dirname(os.path.abspath(repro.__file__))]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("paths", nargs="*",
+                        help="files/directories to lint (default: the "
+                             "repro package sources)")
+    parser.add_argument("--baseline",
+                        help=f"baseline JSON (default: ./{DEFAULT_BASELINE} "
+                             f"when it exists)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from current findings "
+                             "and exit 0")
+    parser.add_argument("--rules",
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", dest="output_format")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print registered rules and exit")
+    parser.add_argument("--verbose", "-v", action="store_true",
+                        help="also print suppressed/baselined findings")
+
+
+def run_lint_cli(args: argparse.Namespace) -> int:
+    # Importing the rules package populates RULES before --list-rules.
+    from repro.analysis import rules as _rules  # noqa: F401
+
+    if args.list_rules:
+        for rule_id, registered in sorted(RULES.items()):
+            print(f"{rule_id}: {registered.summary}")
+        return 0
+
+    paths = args.paths if args.paths else default_paths()
+    rule_ids = None
+    if args.rules:
+        rule_ids = [part.strip() for part in args.rules.split(",")
+                    if part.strip()]
+    result = run_lint(paths, config=LintConfig(), rule_ids=rule_ids)
+
+    baseline_path = args.baseline
+    if baseline_path is None and os.path.exists(DEFAULT_BASELINE):
+        baseline_path = DEFAULT_BASELINE
+
+    if args.update_baseline:
+        target = baseline_path if baseline_path is not None \
+            else DEFAULT_BASELINE
+        _baseline.save_baseline(target, result.findings)
+        print(f"lint: baseline with {len(result.findings)} finding(s) "
+              f"written to {target}; fill in each justification field")
+        return 0
+
+    entries = _baseline.load_baseline(baseline_path) \
+        if baseline_path is not None else []
+    match = _baseline.apply_baseline(result.sorted_findings(), entries)
+
+    if args.output_format == "json":
+        payload: dict[str, object] = {
+            "files_checked": result.files_checked,
+            "findings": [finding.as_dict() for finding in match.new],
+            "baselined": [finding.as_dict()
+                          for finding in match.baselined],
+            "suppressed": [finding.as_dict()
+                           for finding in result.suppressed],
+            "stale_baseline": match.stale,
+            "ok": not match.new and not match.stale,
+        }
+        json.dump(payload, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return 0 if not match.new and not match.stale else 1
+
+    for finding in match.new:
+        print(finding.format())
+    if args.verbose:
+        for finding in match.baselined:
+            print(f"{finding.format()}  [baselined]")
+        for finding in result.suppressed:
+            print(f"{finding.format()}  [suppressed inline]")
+    for entry in match.stale:
+        print(f"lint: STALE baseline entry {entry.get('path')} "
+              f"[{entry.get('rule')}] {entry.get('symbol')}: no longer "
+              f"matches any finding — remove it from the baseline")
+    print(f"lint: {result.files_checked} files, "
+          f"{len(match.new)} finding(s), "
+          f"{len(match.baselined)} baselined, "
+          f"{len(result.suppressed)} suppressed inline, "
+          f"{len(match.stale)} stale baseline entr"
+          f"{'y' if len(match.stale) == 1 else 'ies'}")
+    if match.new or match.stale:
+        print("lint: FAILED — fix the findings, add an inline "
+              "'# repro-lint: disable=<rule>' with a justification, or "
+              "(false positives only) --update-baseline")
+        return 1
+    print("lint: OK")
+    return 0

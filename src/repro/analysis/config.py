@@ -1,0 +1,125 @@
+"""Annotation registries and knobs driving the ``repro lint`` rules.
+
+The registries are *seeded from the code they protect*: the writer-lock
+map mirrors what :class:`repro.core.engine.EngineStats` and the
+:mod:`repro.serving.engine` classes declare as lock-guarded today, the
+commit-path allowlist mirrors the mutation paths
+:class:`repro.indexes.base.IndexGraph` documents as the only ones that
+may touch node state, and the adjacency registry names the
+:class:`repro.graph.datagraph.DataGraph` accessors whose traversal the
+paper's Section 5 cost metric meters.  Tests (and third-party callers)
+construct their own :class:`LintConfig` to lint fixture code without
+touching these defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+#: Writer-lock-guarded attributes: class name -> {attribute -> lock
+#: attribute that must be held (``with self.<lock>:``) to write it}.
+#: Reads stay free (the runtime contract: torn reads are tolerated,
+#: lost updates are not — see ``tests/test_engine_stats_threadsafe.py``).
+GUARDED_ATTRIBUTES: Mapping[str, Mapping[str, str]] = MappingProxyType({
+    "EngineStats": MappingProxyType({
+        "queries": "_lock", "validated_queries": "_lock",
+        "refinements": "_lock", "cache_hits": "_lock",
+        "cost": "_lock", "refine_cost": "_lock",
+    }),
+    "ServingStats": MappingProxyType({
+        "queries": "_lock", "cache_hits": "_lock", "conflicts": "_lock",
+        "degraded": "_lock", "timeouts": "_lock", "updates": "_lock",
+        "refinements": "_lock",
+    }),
+    "ServingEngine": MappingProxyType({
+        "_cache": "_cache_lock",
+        "_pending": "_fup_lock", "_pending_set": "_fup_lock",
+    }),
+})
+
+#: Call names that mutate a container in place (flagged on guarded
+#: attributes outside their lock; also used for ``.extent`` mutations).
+MUTATING_METHODS = frozenset({
+    "add", "append", "appendleft", "clear", "discard", "extend", "insert",
+    "pop", "popleft", "remove", "setdefault", "update",
+})
+
+#: Data-graph adjacency: property/attribute names whose *iteration* is a
+#: data-node walk the paper's cost metric meters...
+ADJACENCY_ATTRIBUTES = frozenset({"child_lists", "parent_lists"})
+#: ... and method calls that hand out adjacency (``graph.children(oid)``,
+#: ``graph.parents(oid)``, ``graph.edges()``).
+ADJACENCY_METHODS = frozenset({"children", "parents", "edges"})
+
+#: Evidence that a function charges (or forwards) cost: a parameter or
+#: local with one of these names, an attribute access on a counter
+#: component, or constructing a counter outright.
+CHARGE_NAMES = frozenset({"counter", "cost", "CostCounter"})
+CHARGE_ATTRIBUTES = frozenset({"data_visits", "index_visits", "work_sink"})
+
+#: IndexGraph node state (``IndexNode.k`` / ``IndexNode.extent``) and the
+#: cache-token counters; both may only change on the commit paths below.
+NODE_STATE_ATTRIBUTES = frozenset({"k", "extent"})
+TOKEN_ATTRIBUTES = frozenset({"epoch", "mutations", "label_versions"})
+
+#: The only functions allowed to mutate node state or token counters —
+#: the ``replace_node``/maintenance commit paths of ``IndexGraph`` (and
+#: object construction).  Everything else must route through these so
+#: cache fingerprints and demotion bookkeeping observe the change.
+NODE_MUTATOR_ALLOWLIST = frozenset({
+    "__init__", "_add_node", "_bump_label", "_commit_epoch", "demote_below",
+    "insert_data_node", "register_data_edge", "replace_node",
+})
+
+#: Serving writer operations (document maintenance, engine refinement)
+#: that must commit inside a ``with <...>.clock.write()`` epoch window.
+SERVING_WRITER_MODULES = frozenset({"repro.indexes.maintenance"})
+SERVING_WRITER_CALLS = frozenset({
+    "insert_subtree", "insert_xml_fragment", "add_reference",
+})
+#: ``self``-relative call chains that replay refinement through the
+#: wrapped engine (also writer-side).
+SERVING_ENGINE_CHAINS = frozenset({("self", "engine", "execute")})
+
+#: Wall-clock reads banned where replay digests and the differential
+#: oracle require run-to-run determinism.  ``time.monotonic`` /
+#: ``time.perf_counter`` / ``time.sleep`` stay allowed: they pace and
+#: measure, but their values must never reach answers or digests.
+BANNED_CALLS: Mapping[str, str] = MappingProxyType({
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "datetime.datetime.now": "wall-clock read",
+    "datetime.datetime.utcnow": "wall-clock read",
+    "datetime.datetime.today": "wall-clock read",
+})
+
+#: ``random.<member>`` calls that do NOT share the process-global
+#: unseeded generator (constructing a seeded generator is the fix).
+RANDOM_ALLOWED_MEMBERS = frozenset({"Random"})
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """All knobs for one lint run (defaults mirror the repo's contracts)."""
+
+    guarded_attributes: Mapping[str, Mapping[str, str]] = field(
+        default_factory=lambda: GUARDED_ATTRIBUTES)
+    mutating_methods: frozenset[str] = MUTATING_METHODS
+    adjacency_attributes: frozenset[str] = ADJACENCY_ATTRIBUTES
+    adjacency_methods: frozenset[str] = ADJACENCY_METHODS
+    charge_names: frozenset[str] = CHARGE_NAMES
+    charge_attributes: frozenset[str] = CHARGE_ATTRIBUTES
+    node_state_attributes: frozenset[str] = NODE_STATE_ATTRIBUTES
+    token_attributes: frozenset[str] = TOKEN_ATTRIBUTES
+    node_mutator_allowlist: frozenset[str] = NODE_MUTATOR_ALLOWLIST
+    serving_writer_modules: frozenset[str] = SERVING_WRITER_MODULES
+    serving_writer_calls: frozenset[str] = SERVING_WRITER_CALLS
+    serving_engine_chains: frozenset[tuple[str, ...]] = SERVING_ENGINE_CHAINS
+    banned_calls: Mapping[str, str] = field(
+        default_factory=lambda: BANNED_CALLS)
+    random_allowed_members: frozenset[str] = RANDOM_ALLOWED_MEMBERS
+    #: Extra per-rule scope tokens merged into each rule's defaults (so a
+    #: config can pull, say, ``storage/`` into the determinism net).
+    extra_scope_tokens: tuple[str, ...] = field(default_factory=tuple)

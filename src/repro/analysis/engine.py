@@ -1,0 +1,355 @@
+"""Rule engine for ``repro lint`` (stdlib-``ast``, zero dependencies).
+
+The engine is deliberately small: a **rule** is a function that receives
+a :class:`ModuleContext` (parsed tree, source, config, scope map) and
+reports :class:`Finding` objects; rules register themselves with the
+:func:`rule` decorator the same way bench groups and oracle families
+plug into their runners.  ``run_lint`` walks a set of files/directories,
+runs every registered rule whose *scope predicate* accepts the file, and
+returns the findings partitioned into active and suppressed.
+
+Suppression works at three anchors, checked in order:
+
+* the flagged line itself carries ``# repro-lint: disable=<rule>``;
+* the line directly above it does;
+* the ``def`` line of the enclosing function does (function-wide).
+
+Findings are identified for baseline purposes by ``(path, rule, symbol,
+message)`` — deliberately *without* the line number, so unrelated edits
+above a documented false positive do not churn the baseline file (see
+:mod:`repro.analysis.baseline`).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+
+from repro.analysis.config import LintConfig
+
+#: Comment syntax recognised by the suppression scanner.
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_, \-]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One discipline violation (or documented exception) in one file."""
+
+    path: str
+    line: int
+    rule: str
+    symbol: str
+    message: str
+
+    def key(self) -> tuple[str, str, str, str]:
+        """Line-independent identity used by baseline matching."""
+        return (self.path, self.rule, self.symbol, self.message)
+
+    def sort_key(self) -> tuple[str, int, str, str]:
+        return (self.path, self.line, self.rule, self.message)
+
+    def format(self) -> str:
+        where = f"{self.symbol}: " if self.symbol else ""
+        return f"{self.path}:{self.line}: [{self.rule}] {where}{self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        return {"path": self.path, "line": self.line, "rule": self.rule,
+                "symbol": self.symbol, "message": self.message}
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered rule: id, one-line summary, check, scope predicate."""
+
+    rule_id: str
+    summary: str
+    check: Callable[["ModuleContext"], None]
+    applies: Callable[[LintConfig, str], bool]
+
+
+#: The registry the :func:`rule` decorator fills (id -> rule, insertion
+#: ordered so reports are stable).
+RULES: dict[str, Rule] = {}
+
+
+def rule(rule_id: str, summary: str, *,
+         applies: Callable[[LintConfig, str], bool] | None = None,
+         ) -> Callable[[Callable[["ModuleContext"], None]],
+                       Callable[["ModuleContext"], None]]:
+    """Register a rule function under ``rule_id``.
+
+    ``applies(config, relpath)`` gates which files the rule sees; the
+    default accepts every file.  Registering the same id twice is a
+    programming error and raises immediately.
+    """
+    if not re.fullmatch(r"[a-z][a-z0-9\-]*", rule_id):
+        raise ValueError(f"rule id {rule_id!r} must be kebab-case")
+
+    def register(check: Callable[["ModuleContext"], None],
+                 ) -> Callable[["ModuleContext"], None]:
+        if rule_id in RULES:
+            raise ValueError(f"rule {rule_id!r} already registered")
+        RULES[rule_id] = Rule(
+            rule_id=rule_id, summary=summary, check=check,
+            applies=applies if applies is not None else lambda _c, _p: True)
+        return check
+
+    return register
+
+
+def in_dirs(*tokens: str) -> Callable[[LintConfig, str], bool]:
+    """Scope helper: accept files whose path contains ``/<token>/`` or
+    ends with ``<token>`` (so ``queries/evaluator.py`` works too).
+
+    ``LintConfig.extra_scope_tokens`` are merged in at match time, so a
+    config can widen every rule's net without re-registering rules.
+    """
+
+    def predicate(config: LintConfig, relpath: str) -> bool:
+        haystack = "/" + relpath.replace(os.sep, "/")
+        scope = tokens + tuple(config.extra_scope_tokens)
+        return any(f"/{token.strip('/')}/" in haystack
+                   or haystack.endswith("/" + token.lstrip("/"))
+                   for token in scope)
+
+    return predicate
+
+
+class _ScopeMap:
+    """Innermost function/class qualname lookup by line number."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        #: (start_line, end_line, qualname, is_function)
+        self.spans: list[tuple[int, int, str, bool]] = []
+        self._collect(tree.body, ())
+
+    def _collect(self, body: Sequence[ast.stmt],
+                 stack: tuple[str, ...]) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                qual = stack + (node.name,)
+                end = node.end_lineno if node.end_lineno is not None \
+                    else node.lineno
+                is_function = not isinstance(node, ast.ClassDef)
+                self.spans.append((node.lineno, end, ".".join(qual),
+                                   is_function))
+                self._collect(node.body, qual)
+            elif isinstance(node, (ast.If, ast.For, ast.While, ast.With,
+                                   ast.Try)):
+                self._collect(_compound_bodies(node), stack)
+
+    def qualname(self, line: int) -> str:
+        best = ""
+        best_start = -1
+        for start, end, qual, _is_function in self.spans:
+            if start <= line <= end and start > best_start:
+                best, best_start = qual, start
+        return best
+
+    def enclosing_def_lines(self, line: int) -> list[int]:
+        """Def lines of every enclosing function, innermost included."""
+        return [start for start, end, _qual, is_function in self.spans
+                if is_function and start <= line <= end]
+
+
+def owned_nodes(function: ast.FunctionDef | ast.AsyncFunctionDef,
+                ) -> list[ast.AST]:
+    """All descendant nodes of ``function`` except those belonging to
+    nested function definitions — each function is its own check unit."""
+    owned: list[ast.AST] = []
+    stack: list[ast.AST] = list(ast.iter_child_nodes(function))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        owned.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    return owned
+
+
+def _compound_bodies(node: ast.stmt) -> list[ast.stmt]:
+    bodies: list[ast.stmt] = []
+    for attr in ("body", "orelse", "finalbody"):
+        bodies.extend(getattr(node, attr, []))
+    for handler in getattr(node, "handlers", []):
+        bodies.extend(handler.body)
+    return bodies
+
+
+def _collect_suppressions(source: str) -> dict[int, set[str]]:
+    """Map line number -> rule ids disabled on that line."""
+    suppressions: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if match is None:
+                continue
+            rules = {part.strip() for part in match.group(1).split(",")
+                     if part.strip()}
+            suppressions.setdefault(token.start[0], set()).update(rules)
+    except tokenize.TokenError:
+        pass  # the ast parse will have raised a clearer error already
+    return suppressions
+
+
+def _collect_aliases(tree: ast.Module) -> dict[str, str]:
+    """Local name -> dotted import target (modules and members alike)."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                bound = name.asname if name.asname else \
+                    name.name.split(".", 1)[0]
+                target = name.name if name.asname else \
+                    name.name.split(".", 1)[0]
+                aliases[bound] = target
+        elif isinstance(node, ast.ImportFrom) and node.module and \
+                node.level == 0:
+            for name in node.names:
+                bound = name.asname if name.asname else name.name
+                aliases[bound] = f"{node.module}.{name.name}"
+    return aliases
+
+
+class ModuleContext:
+    """Everything a rule needs to check one parsed module."""
+
+    def __init__(self, relpath: str, source: str, tree: ast.Module,
+                 config: LintConfig) -> None:
+        self.relpath = relpath
+        self.source = source
+        self.tree = tree
+        self.config = config
+        self.findings: list[Finding] = []
+        self.scopes = _ScopeMap(tree)
+        #: Names bound by imports, resolved to dotted targets —
+        #: ``{"_maintenance": "repro.indexes.maintenance"}``.
+        self.aliases = _collect_aliases(tree)
+
+    def resolve_call_target(self, func: ast.expr) -> str | None:
+        """Dotted path of a call target, imports resolved.
+
+        ``time.time`` -> ``"time.time"`` (through any alias), ``from
+        time import time; time()`` -> ``"time.time"``, unknown bases
+        return ``None``.
+        """
+        parts: list[str] = []
+        node: ast.expr = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self.aliases.get(node.id)
+        if base is None:
+            return None
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+    def report(self, node: ast.AST, rule_id: str, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        self.findings.append(Finding(
+            path=self.relpath, line=line, rule=rule_id,
+            symbol=self.scopes.qualname(line), message=message))
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run: active findings plus bookkeeping."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    def sorted_findings(self) -> list[Finding]:
+        return sorted(self.findings, key=Finding.sort_key)
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Expand files/directories into ``.py`` file paths (sorted walk)."""
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(name for name in dirnames
+                                     if name != "__pycache__")
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        yield os.path.join(dirpath, filename)
+        else:
+            yield path
+
+
+def _relative_path(path: str) -> str:
+    """Repo-relative posix path when under the CWD, else as given."""
+    cwd = os.getcwd()
+    absolute = os.path.abspath(path)
+    if absolute.startswith(cwd + os.sep):
+        return os.path.relpath(absolute, cwd).replace(os.sep, "/")
+    return path.replace(os.sep, "/")
+
+
+def lint_file(path: str, config: LintConfig,
+              rule_ids: Sequence[str] | None = None) -> LintResult:
+    """Run the (selected) rules over one file."""
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    relpath = _relative_path(path)
+    result = LintResult(files_checked=1)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        result.findings.append(Finding(
+            path=relpath, line=exc.lineno or 1, rule="parse-error",
+            symbol="", message=f"file does not parse: {exc.msg}"))
+        return result
+    context = ModuleContext(relpath, source, tree, config)
+    selected = (RULES.values() if rule_ids is None
+                else [RULES[rule_id] for rule_id in rule_ids])
+    for registered in selected:
+        if registered.applies(config, relpath):
+            registered.check(context)
+    suppressions = _collect_suppressions(source)
+    for finding in context.findings:
+        lines = [finding.line, finding.line - 1]
+        lines.extend(context.scopes.enclosing_def_lines(finding.line))
+        disabled: set[str] = set()
+        for line in lines:
+            disabled |= suppressions.get(line, set())
+        if finding.rule in disabled or "all" in disabled:
+            result.suppressed.append(finding)
+        else:
+            result.findings.append(finding)
+    return result
+
+
+def run_lint(paths: Iterable[str], config: LintConfig | None = None,
+             rule_ids: Sequence[str] | None = None) -> LintResult:
+    """Lint every python file under ``paths`` with the registered rules."""
+    # Import for side effect: the rule modules register themselves.
+    from repro.analysis import rules as _rules  # noqa: F401
+
+    if config is None:
+        config = LintConfig()
+    if rule_ids is not None:
+        unknown = [rule_id for rule_id in rule_ids if rule_id not in RULES]
+        if unknown:
+            raise ValueError(f"unknown rule ids: {', '.join(unknown)}; "
+                             f"known: {', '.join(sorted(RULES))}")
+    total = LintResult()
+    for path in iter_python_files(paths):
+        result = lint_file(path, config, rule_ids)
+        total.findings.extend(result.findings)
+        total.suppressed.extend(result.suppressed)
+        total.files_checked += result.files_checked
+    total.findings.sort(key=Finding.sort_key)
+    total.suppressed.sort(key=Finding.sort_key)
+    return total

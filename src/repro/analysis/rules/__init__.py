@@ -1,0 +1,9 @@
+"""Rule modules for ``repro lint``; importing this package registers all
+rules with :data:`repro.analysis.engine.RULES` (decorator side effect,
+the same pattern the verify runner uses for oracle families)."""
+
+from __future__ import annotations
+
+from repro.analysis.rules import cost, determinism, epoch, lock
+
+__all__ = ["cost", "determinism", "epoch", "lock"]

@@ -1,0 +1,83 @@
+"""Cost accounting: data-graph adjacency walks must charge a counter.
+
+The paper's evaluation metric (Section 5) is the number of index- and
+data-node visits; a traversal that forgets to charge silently
+under-counts every figure downstream.  This rule requires that any
+function in the metered modules (``queries/evaluator.py``, ``indexes/``)
+that touches data-graph adjacency — the ``child_lists`` /
+``parent_lists`` accessors, or ``children()`` / ``parents()`` /
+``edges()`` calls — shows *charging evidence* in the same function: a
+``counter``/``cost`` name (parameter, local, or attribute base), a
+``data_visits``/``index_visits``/``work_sink`` attribute access, or a
+``CostCounter`` construction.
+
+Construction-time code (building an index is not a query; the paper
+meters construction separately) carries an explicit inline suppression
+instead, so the exemption is visible at the call site and reviewed like
+code.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import ModuleContext, in_dirs, owned_nodes, rule
+
+RULE_ID = "cost-accounting"
+
+
+def _function_nodes(tree: ast.Module) -> list[ast.FunctionDef |
+                                              ast.AsyncFunctionDef]:
+    return [node for node in ast.walk(tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))]
+
+
+def _adjacency_use(nodes: list[ast.AST],
+                   context: ModuleContext) -> ast.AST | None:
+    config = context.config
+    for node in nodes:
+        if isinstance(node, ast.Attribute):
+            if node.attr in config.adjacency_attributes:
+                return node
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                node.func.attr in config.adjacency_methods:
+            return node
+    return None
+
+
+def _charges(function: ast.FunctionDef | ast.AsyncFunctionDef,
+             nodes: list[ast.AST], context: ModuleContext) -> bool:
+    config = context.config
+    arguments = function.args
+    for arg in (arguments.args + arguments.posonlyargs
+                + arguments.kwonlyargs):
+        if arg.arg in config.charge_names:
+            return True
+    for node in nodes:
+        if isinstance(node, ast.Name) and node.id in config.charge_names:
+            return True
+        if isinstance(node, ast.Attribute) and \
+                node.attr in (config.charge_attributes | config.charge_names):
+            return True
+    return False
+
+
+@rule(RULE_ID,
+      "data-graph adjacency walks charge a CostCounter in-function",
+      applies=in_dirs("indexes/", "queries/evaluator.py"))
+def check_cost_accounting(context: ModuleContext) -> None:
+    for function in _function_nodes(context.tree):
+        owned = owned_nodes(function)
+        use = _adjacency_use(owned, context)
+        if use is None:
+            continue
+        if _charges(function, owned, context):
+            continue
+        del use  # anchor on the def line: that is where the fix lands
+        context.report(
+            function, RULE_ID,
+            f"'{function.name}' iterates data-graph adjacency without "
+            f"charging a CostCounter; thread a counter through or "
+            f"suppress with a justification if this walk is outside the "
+            f"paper's cost metric")

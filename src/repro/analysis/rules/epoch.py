@@ -1,0 +1,160 @@
+"""Epoch/token discipline: node state changes only on commit paths, and
+serving writers always run inside an epoch write window.
+
+Two sub-checks share this rule id (both protect the same invariant: no
+consumer may observe state whose cache tokens / epoch were not bumped):
+
+* **node-state mutation** — assignments to ``<x>.k`` / ``<x>.extent``
+  (or in-place mutation of ``.extent``) and to the cache-token counters
+  (``epoch`` / ``mutations`` / ``label_versions``) are only legal inside
+  the ``IndexGraph`` commit paths (``replace_node``, ``_add_node``,
+  maintenance registration, ``_commit_epoch``, construction).  Anything
+  else bypasses the mutation counter / per-label version bumps that
+  result-cache fingerprints pin — the staleness family of bugs PR 3
+  flushed out dynamically, caught statically here.
+* **serving write windows** — in ``serving/``, calls into
+  :mod:`repro.indexes.maintenance` (``insert_subtree`` etc.) and
+  refinement replays through ``self.engine.execute`` must sit lexically
+  inside ``with <...>.write()`` on the epoch clock, so the document
+  mutation and the epoch bump commit atomically; a writer outside the
+  window publishes half-applied state to optimistic readers.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import ModuleContext, in_dirs, rule
+
+RULE_ID = "epoch-discipline"
+
+
+def _attribute_name(node: ast.expr) -> str | None:
+    return node.attr if isinstance(node, ast.Attribute) else None
+
+
+def _enclosing_function_name(context: ModuleContext, line: int) -> str:
+    qual = context.scopes.qualname(line)
+    return qual.rsplit(".", 1)[-1] if qual else ""
+
+
+def _check_node_state(context: ModuleContext) -> None:
+    config = context.config
+    tracked = config.node_state_attributes | config.token_attributes
+    for node in ast.walk(context.tree):
+        flagged: str | None = None
+        anchor: ast.AST = node
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            for target in targets:
+                attr = _attribute_name(target)
+                if attr is None and isinstance(target, ast.Subscript):
+                    attr = _attribute_name(target.value)
+                if attr in tracked:
+                    flagged = attr
+        elif isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                node.func.attr in config.mutating_methods:
+            receiver = node.func.value
+            attr = _attribute_name(receiver)
+            if attr in config.node_state_attributes | \
+                    config.token_attributes:
+                flagged = attr
+        if flagged is None:
+            continue
+        line = getattr(anchor, "lineno", 1)
+        function = _enclosing_function_name(context, line)
+        if function in config.node_mutator_allowlist:
+            continue
+        context.report(
+            anchor, RULE_ID,
+            f"mutation of index node state '.{flagged}' outside the "
+            f"replace_node/commit paths "
+            f"({', '.join(sorted(config.node_mutator_allowlist))}); "
+            f"route the change through replace_node so cache tokens "
+            f"and demotion bookkeeping observe it")
+
+
+def _is_write_window(item: ast.withitem) -> bool:
+    """True for ``with <anything>.write(...)`` items (the epoch clock)."""
+    expr = item.context_expr
+    return isinstance(expr, ast.Call) and \
+        isinstance(expr.func, ast.Attribute) and expr.func.attr == "write"
+
+
+def _self_chain(node: ast.expr) -> tuple[str, ...] | None:
+    parts: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return tuple(reversed(parts))
+
+
+def _check_serving_windows(context: ModuleContext) -> None:
+    config = context.config
+
+    def visit(node: ast.AST, inside: bool) -> None:
+        if isinstance(node, ast.With):
+            opens = any(_is_write_window(item) for item in node.items)
+            # The with-items themselves evaluate before the window opens.
+            for item in node.items:
+                visit(item, inside)
+            for child in node.body:
+                visit(child, inside or opens)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            # A nested callable runs later, possibly outside the window.
+            for child in ast.iter_child_nodes(node):
+                visit(child, False)
+            return
+        if isinstance(node, ast.Call):
+            _check_writer_call(node, inside)
+        for child in ast.iter_child_nodes(node):
+            visit(child, inside)
+
+    def _check_writer_call(call: ast.Call, inside: bool) -> None:
+        if inside:
+            return
+        target = context.resolve_call_target(call.func)
+        if target is not None:
+            module, _, member = target.rpartition(".")
+            if module in config.serving_writer_modules and \
+                    member in config.serving_writer_calls:
+                context.report(
+                    call, RULE_ID,
+                    f"serving-state commit '{member}' outside a "
+                    f"'with ....write()' epoch window; the mutation and "
+                    f"the epoch bump must land atomically")
+                return
+        chain = _self_chain(call.func)
+        if chain is not None and chain in config.serving_engine_chains:
+            context.report(
+                call, RULE_ID,
+                f"writer call '{'.'.join(chain)}' outside a "
+                f"'with ....write()' epoch window; refinement must "
+                f"commit under the epoch clock")
+
+    for node in context.tree.body:
+        visit(node, False)
+
+
+# Sub-check (b) only fires on serving/ paths; gate inside the check so
+# the rule keeps a single id (suppressions and baselines stay simple).
+_SERVING_SCOPE = in_dirs("serving/")
+
+
+@rule(RULE_ID,
+      "node state mutates only on commit paths; serving writers commit "
+      "inside epoch write windows",
+      applies=in_dirs("indexes/", "core/", "serving/"))
+def check_epoch_discipline(context: ModuleContext) -> None:
+    if not _SERVING_SCOPE(context.config, context.relpath):
+        _check_node_state(context)
+    else:
+        _check_serving_windows(context)

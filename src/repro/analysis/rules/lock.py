@@ -1,0 +1,133 @@
+"""Lock discipline: writer-lock-guarded attributes only change under
+their lock.
+
+The registry (:data:`repro.analysis.config.GUARDED_ATTRIBUTES`) maps a
+class name to its guarded attributes and the lock each one requires.
+Inside any method of such a class (``__init__`` excluded — construction
+happens before the object is shared), an assignment, augmented
+assignment, subscript store/delete, or in-place mutating call on
+``self.<attr>`` must sit lexically inside ``with self.<lock>:`` (the
+lock may be one of several items of the same ``with``).  Reads stay
+free: the runtime contract tolerates torn reads but not lost updates —
+exactly the failure mode ``tests/test_engine_stats_threadsafe.py``
+demonstrates.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Mapping, Sequence
+
+from repro.analysis.engine import ModuleContext, rule
+
+RULE_ID = "lock-discipline"
+
+
+def _self_attribute(node: ast.expr) -> str | None:
+    """``self.<attr>`` -> attr name, else None."""
+    if isinstance(node, ast.Attribute) and \
+            isinstance(node.value, ast.Name) and node.value.id == "self":
+        return node.attr
+    return None
+
+
+def _locks_acquired(item: ast.withitem) -> str | None:
+    """Lock attribute name when the with-item is ``self.<lock>``."""
+    return _self_attribute(item.context_expr)
+
+
+class _MethodChecker:
+    def __init__(self, context: ModuleContext, class_name: str,
+                 guarded: Mapping[str, str]) -> None:
+        self.context = context
+        self.class_name = class_name
+        self.guarded = guarded
+
+    def check(self, method: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self._walk(method.body, frozenset())
+
+    def _walk(self, statements: Sequence[ast.stmt],
+              held: frozenset[str]) -> None:
+        for statement in statements:
+            if isinstance(statement, ast.With):
+                acquired = {_locks_acquired(item)
+                            for item in statement.items}
+                acquired.discard(None)
+                self._walk(statement.body,
+                           held | {name for name in acquired
+                                   if name is not None})
+                continue
+            if isinstance(statement, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef)):
+                # A nested closure runs later, possibly off-thread; it
+                # cannot rely on the lexically enclosing lock.
+                self._walk(statement.body, frozenset())
+                continue
+            self._check_statement(statement, held)
+            if isinstance(statement, (ast.If, ast.For, ast.While, ast.Try)):
+                for attr in ("body", "orelse", "finalbody"):
+                    self._walk(getattr(statement, attr, []), held)
+                for handler in getattr(statement, "handlers", []):
+                    self._walk(handler.body, held)
+
+    def _check_statement(self, statement: ast.stmt,
+                         held: frozenset[str]) -> None:
+        if isinstance(statement, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = statement.targets if isinstance(statement, ast.Assign) \
+                else [statement.target]
+            for target in targets:
+                self._check_write(target, statement, held)
+        elif isinstance(statement, ast.Delete):
+            for target in statement.targets:
+                self._check_write(target, statement, held)
+        elif isinstance(statement, ast.Expr) and \
+                isinstance(statement.value, ast.Call):
+            self._check_mutating_call(statement.value, statement, held)
+
+    def _check_write(self, target: ast.expr, statement: ast.stmt,
+                     held: frozenset[str]) -> None:
+        # Direct store: self.attr = / += ...
+        attr = _self_attribute(target)
+        # Subscript store/delete: self.attr[key] = / del self.attr[key]
+        if attr is None and isinstance(target, ast.Subscript):
+            attr = _self_attribute(target.value)
+        if attr is None or attr not in self.guarded:
+            return
+        required = self.guarded[attr]
+        if required not in held:
+            self.context.report(
+                statement, RULE_ID,
+                f"write to lock-guarded attribute 'self.{attr}' outside "
+                f"'with self.{required}' (class {self.class_name})")
+
+    def _check_mutating_call(self, call: ast.Call, statement: ast.stmt,
+                             held: frozenset[str]) -> None:
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr not in self.context.config.mutating_methods:
+            return
+        attr = _self_attribute(func.value)
+        if attr is None or attr not in self.guarded:
+            return
+        required = self.guarded[attr]
+        if required not in held:
+            self.context.report(
+                statement, RULE_ID,
+                f"mutating call 'self.{attr}.{func.attr}(...)' outside "
+                f"'with self.{required}' (class {self.class_name})")
+
+
+@rule(RULE_ID,
+      "writer-lock-guarded attributes only change under their lock")
+def check_lock_discipline(context: ModuleContext) -> None:
+    registry = context.config.guarded_attributes
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.ClassDef) or node.name not in registry:
+            continue
+        guarded = registry[node.name]
+        checker = _MethodChecker(context, node.name, guarded)
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and item.name != "__init__":
+                checker.check(item)

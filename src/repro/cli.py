@@ -21,7 +21,10 @@ Commands:
 * ``serve`` — replay a workload through the snapshot-isolated
   concurrent serving layer on N worker threads, interleaved with
   document-update rounds (see :mod:`repro.serving` and
-  ``docs/serving.md``).
+  ``docs/serving.md``);
+* ``lint`` — run the AST-based discipline checker (lock / cost / epoch
+  / determinism rules) over the project's own source (see
+  :mod:`repro.analysis` and ``docs/static-analysis.md``).
 """
 
 from __future__ import annotations
@@ -353,6 +356,12 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run_lint_cli
+
+    return run_lint_cli(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -521,6 +530,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--json",
                        help="write the full replay report as JSON")
     serve.set_defaults(handler=cmd_serve)
+
+    lint = commands.add_parser(
+        "lint",
+        help="AST-based discipline checker (lock/cost/epoch/determinism)")
+    from repro.analysis.cli import add_lint_arguments
+    add_lint_arguments(lint)
+    lint.set_defaults(handler=cmd_lint)
     return parser
 
 

@@ -17,6 +17,7 @@ entry point.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
@@ -37,7 +38,7 @@ class IndexSize:
     nodes: int
     edges: int
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[int]:
         yield self.nodes
         yield self.edges
 

@@ -130,6 +130,9 @@ class IndexGraph:
             raise ValueError(f"extent mixes labels {sorted(labels)}")
         nid = self._next_id
         self._next_id += 1
+        # labels has exactly one element (checked above), so pop() cannot
+        # depend on hash order.
+        # repro-lint: disable=determinism
         node = IndexNode(nid, labels.pop(), k, extent)
         self.nodes[nid] = node
         self._parents[nid] = set()
@@ -145,6 +148,9 @@ class IndexGraph:
             raise ValueError(
                 f"{len(missing)} data nodes not covered, e.g. {missing[:5]}")
 
+    # Construction-time edge walk: runs once when the index is (re)built,
+    # outside the per-query cost metric.
+    # repro-lint: disable=cost-accounting
     def _rebuild_edges(self) -> None:
         for nid in self.nodes:
             self._parents[nid].clear()
@@ -512,6 +518,8 @@ class IndexGraph:
         if len(seen) != self.graph.num_nodes:
             raise AssertionError("extents do not cover the data graph")
 
+    # Invariant checker (tests/oracles only), not a metered query path.
+    # repro-lint: disable=cost-accounting
     def check_edges(self) -> None:
         """Property 2: index edges mirror data edges exactly."""
         expected_children: dict[int, set[int]] = {nid: set() for nid in self.nodes}

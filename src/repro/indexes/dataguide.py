@@ -25,6 +25,9 @@ from repro.queries.pathexpr import WILDCARD, PathExpression
 class DataGuide:
     """Strong DataGuide: deterministic label-path summary of a data graph."""
 
+    # Subset construction visits every data edge once at build time; the
+    # paper's cost metric only meters query-time traversal.
+    # repro-lint: disable=cost-accounting
     def __init__(self, graph: DataGraph, max_states: int = 100_000) -> None:
         """Build by subset construction from the root.
 

@@ -34,6 +34,9 @@ from repro.queries.pathexpr import WILDCARD, PathExpression
 _MAX_PROMOTE_ROUNDS = 10_000
 
 
+# D(k)-construct preprocessing: one edges() sweep to build the label
+# graph, before any metered query runs.
+# repro-lint: disable=cost-accounting
 def required_similarity_by_label(graph: DataGraph,
                                  fups: list[PathExpression]) -> dict[str, int]:
     """Per-label similarity requirements for D(k)-construct.

@@ -33,7 +33,8 @@ DEFAULT_BUCKETS = (1, 2, 5, 10, 25, 50, 100, 250, 500,
                    1000, 2500, 5000, 10_000, 50_000, 100_000)
 
 
-def _label_key(labelnames: tuple[str, ...], labels: dict) -> tuple:
+def _label_key(labelnames: tuple[str, ...],
+               labels: dict[str, str]) -> tuple[str, ...]:
     if set(labels) != set(labelnames):
         raise ValueError(f"expected labels {labelnames}, got "
                          f"{tuple(sorted(labels))}")
@@ -50,10 +51,10 @@ class Counter:
         self.name = name
         self.help = help
         self.labelnames = tuple(labelnames)
-        self._children: dict[tuple, "Counter"] = {}
-        self.value = 0
+        self._children: dict[tuple[str, ...], "Counter"] = {}
+        self.value: float = 0
 
-    def labels(self, **labels) -> "Counter":
+    def labels(self, **labels: str) -> "Counter":
         key = _label_key(self.labelnames, labels)
         child = self._children.get(key)
         if child is None:
@@ -66,7 +67,7 @@ class Counter:
             raise ValueError("counters only go up")
         self.value += amount
 
-    def collect(self) -> dict:
+    def collect(self) -> dict[str, object]:
         if not self.labelnames:
             return {"type": self.kind, "help": self.help, "value": self.value}
         return {"type": self.kind, "help": self.help,
@@ -85,13 +86,15 @@ class Gauge(Counter):
 
     kind = "gauge"
 
-    def labels(self, **labels) -> "Gauge":
+    def labels(self, **labels: str) -> "Gauge":
         key = _label_key(self.labelnames, labels)
+        # A Gauge's children are always Gauges; isinstance (rather than
+        # an is-None check) lets the checker see that.
         child = self._children.get(key)
-        if child is None:
+        if not isinstance(child, Gauge):
             child = Gauge(self.name, self.help)
             self._children[key] = child
-        return child  # type: ignore[return-value]
+        return child
 
     def inc(self, amount: float = 1) -> None:
         self.value += amount
@@ -117,14 +120,14 @@ class Histogram:
         self.help = help
         self.labelnames = tuple(labelnames)
         self.buckets = tuple(buckets)
-        self._children: dict[tuple, "Histogram"] = {}
+        self._children: dict[tuple[str, ...], "Histogram"] = {}
         # counts[i] counts observations <= buckets[i]; the implicit +inf
         # bucket is ``count`` itself.
         self.counts = [0] * len(self.buckets)
         self.sum = 0.0
         self.count = 0
 
-    def labels(self, **labels) -> "Histogram":
+    def labels(self, **labels: str) -> "Histogram":
         key = _label_key(self.labelnames, labels)
         child = self._children.get(key)
         if child is None:
@@ -149,13 +152,13 @@ class Histogram:
             out.append(running)
         return out
 
-    def collect(self) -> dict:
-        def one(h: "Histogram") -> dict:
+    def collect(self) -> dict[str, object]:
+        def one(h: "Histogram") -> dict[str, object]:
             return {"buckets": list(h.buckets),
                     "counts": h.cumulative_counts(),
                     "sum": h.sum, "count": h.count}
 
-        base = {"type": self.kind, "help": self.help}
+        base: dict[str, object] = {"type": self.kind, "help": self.help}
         if not self.labelnames:
             base.update(one(self))
             return base
@@ -176,10 +179,12 @@ class MetricsRegistry:
     """Name -> metric map with idempotent registration."""
 
     def __init__(self) -> None:
-        self._metrics: dict[str, object] = {}
+        self._metrics: dict[str, Counter | Histogram] = {}
 
-    def _register(self, cls, name: str, help: str,
-                  labelnames: tuple[str, ...], **kwargs):
+    def _register(self, cls: type[Counter | Histogram], name: str, help: str,
+                  labelnames: tuple[str, ...],
+                  buckets: tuple[float, ...] | None = None,
+                  ) -> Counter | Histogram:
         existing = self._metrics.get(name)
         if existing is not None:
             if type(existing) is not cls:
@@ -189,31 +194,41 @@ class MetricsRegistry:
                 raise ValueError(f"metric {name!r} already registered with "
                                  f"labels {existing.labelnames}")
             return existing
-        metric = cls(name, help, tuple(labelnames), **kwargs)
+        metric: Counter | Histogram
+        if buckets is not None:
+            metric = Histogram(name, help, tuple(labelnames), buckets)
+        else:
+            metric = cls(name, help, tuple(labelnames))
         self._metrics[name] = metric
         return metric
 
     def counter(self, name: str, help: str = "",
                 labelnames: tuple[str, ...] = ()) -> Counter:
-        return self._register(Counter, name, help, labelnames)
+        metric = self._register(Counter, name, help, labelnames)
+        assert isinstance(metric, Counter)
+        return metric
 
     def gauge(self, name: str, help: str = "",
               labelnames: tuple[str, ...] = ()) -> Gauge:
-        return self._register(Gauge, name, help, labelnames)
+        metric = self._register(Gauge, name, help, labelnames)
+        assert isinstance(metric, Gauge)
+        return metric
 
     def histogram(self, name: str, help: str = "",
                   labelnames: tuple[str, ...] = (),
                   buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> Histogram:
-        return self._register(Histogram, name, help, labelnames,
-                              buckets=buckets)
+        metric = self._register(Histogram, name, help, labelnames,
+                                buckets=buckets)
+        assert isinstance(metric, Histogram)
+        return metric
 
-    def get(self, name: str):
+    def get(self, name: str) -> Counter | Histogram | None:
         return self._metrics.get(name)
 
     def names(self) -> list[str]:
         return sorted(self._metrics)
 
-    def collect(self) -> dict:
+    def collect(self) -> dict[str, dict[str, object]]:
         """JSON-able dump of every registered metric."""
         return {name: metric.collect()
                 for name, metric in sorted(self._metrics.items())}

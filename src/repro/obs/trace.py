@@ -40,6 +40,8 @@ from __future__ import annotations
 
 import json
 import time
+from collections.abc import Callable
+from types import TracebackType
 
 #: Default ring-buffer capacity (completed spans retained).
 DEFAULT_CAPACITY = 65_536
@@ -52,7 +54,8 @@ class SpanRecord:
                  "start_us", "duration_us")
 
     def __init__(self, sid: int, parent: int, depth: int, name: str,
-                 tags: dict, start_us: float, duration_us: float) -> None:
+                 tags: dict[str, object], start_us: float,
+                 duration_us: float) -> None:
         self.sid = sid
         self.parent = parent  # -1 for a root span
         self.depth = depth
@@ -61,7 +64,7 @@ class SpanRecord:
         self.start_us = start_us
         self.duration_us = duration_us
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, object]:
         return {"sid": self.sid, "parent": self.parent, "depth": self.depth,
                 "name": self.name, "tags": dict(self.tags),
                 "start_us": self.start_us, "duration_us": self.duration_us}
@@ -79,10 +82,10 @@ class _NullSpan:
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, *_exc) -> bool:
+    def __exit__(self, *_exc: object) -> bool:
         return False
 
-    def tag(self, **_tags) -> "_NullSpan":
+    def tag(self, **_tags: object) -> "_NullSpan":
         return self
 
 
@@ -97,7 +100,7 @@ class _LiveSpan:
                  "_start_ns")
 
     def __init__(self, tracer: "Tracer", sid: int, parent: int, depth: int,
-                 name: str, tags: dict) -> None:
+                 name: str, tags: dict[str, object]) -> None:
         self._tracer = tracer
         self.sid = sid
         self.parent = parent
@@ -106,7 +109,7 @@ class _LiveSpan:
         self.tags = tags
         self._start_ns = 0
 
-    def tag(self, **tags) -> "_LiveSpan":
+    def tag(self, **tags: object) -> "_LiveSpan":
         """Attach tags discovered mid-span (e.g. an outcome)."""
         self.tags.update(tags)
         return self
@@ -116,7 +119,9 @@ class _LiveSpan:
         self._tracer._open.append(self.sid)
         return self
 
-    def __exit__(self, exc_type, exc, _tb) -> bool:
+    def __exit__(self, exc_type: type[BaseException] | None,
+                 exc: BaseException | None,
+                 _tb: TracebackType | None) -> bool:
         end_ns = self._tracer._clock()
         if exc_type is not None:
             self.tags["error"] = exc_type.__name__
@@ -143,7 +148,7 @@ class Tracer:
     """
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY,
-                 clock=time.perf_counter_ns) -> None:
+                 clock: Callable[[], int] = time.perf_counter_ns) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.enabled = False
@@ -158,7 +163,7 @@ class Tracer:
         self._next_sid = 0
 
     # -- recording -----------------------------------------------------
-    def span(self, name: str, **tags):
+    def span(self, name: str, **tags: object) -> "_LiveSpan | _NullSpan":
         """Open a span (use as a context manager).
 
         Returns :data:`NULL_SPAN` when disabled.  Note the keyword tags
@@ -207,20 +212,21 @@ class Tracer:
             return list(self._ring)
         return self._ring[self._cursor:] + self._ring[:self._cursor]
 
-    def export(self) -> list[dict]:
+    def export(self) -> list[dict[str, object]]:
         """Raw span dicts (``sid``/``parent``/``depth`` preserved)."""
         return [record.as_dict() for record in self.spans()]
 
-    def export_chrome(self) -> dict:
+    def export_chrome(self) -> dict[str, object]:
         """Chrome trace-event JSON: one complete ("X") event per span.
 
         ``ts``/``dur`` are microseconds since the tracer's origin, the
         unit the trace-event format specifies; ``args`` carries the tags
         plus the span/parent ids so tooling can rebuild the tree.
         """
-        events = []
+        events: list[dict[str, object]] = []
         for record in self.spans():
-            args = {str(key): value for key, value in record.tags.items()}
+            args: dict[str, object] = {str(key): value
+                                       for key, value in record.tags.items()}
             args["sid"] = record.sid
             args["parent"] = record.parent
             events.append({
@@ -255,7 +261,7 @@ TRACER = Tracer()
 # ----------------------------------------------------------------------
 # Validation (used by ``repro trace --check`` and the CI smoke job)
 # ----------------------------------------------------------------------
-def validate_chrome_trace(payload) -> list[str]:
+def validate_chrome_trace(payload: object) -> list[str]:
     """Validate a Chrome-trace payload against the span schema.
 
     Returns a list of problems (empty when valid): the payload must be a

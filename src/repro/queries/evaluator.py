@@ -195,14 +195,16 @@ def validate_extent(graph: DataGraph, expr: PathExpression,
         return answers
 
 
-def find_instance(graph: DataGraph, expr: PathExpression,
-                  oid: int) -> list[int] | None:
+def find_instance(graph: DataGraph, expr: PathExpression, oid: int,
+                  counter: CostCounter | None = None) -> list[int] | None:
     """One witness node path for answer ``oid``, or ``None``.
 
     Returns ``[v0, ..., vn]`` with ``vn == oid`` such that the node path
     instantiates ``expr`` (starting at a child of the root for rooted
     expressions).  Useful for explaining query results to users and in
-    tests; mirrors :func:`validate_candidate` but keeps back-pointers.
+    tests; mirrors :func:`validate_candidate` but keeps back-pointers,
+    and like it charges one data-node visit per parent examined when a
+    ``counter`` is given (Section 5's second cost component).
     Descendant-axis expressions are not supported (their witnesses have
     variable length).
 
@@ -227,6 +229,8 @@ def find_instance(graph: DataGraph, expr: PathExpression,
         # back-pointer is the smallest matching node below it.
         for node in sorted(levels[-1]):
             for parent in parents[node]:
+                if counter is not None:
+                    counter.data_visits += 1
                 if parent not in above and \
                         expr.matches_label(position, node_labels[parent]):
                     above[parent] = node
@@ -235,12 +239,21 @@ def find_instance(graph: DataGraph, expr: PathExpression,
         levels.append(above)
     start_candidates = levels[-1]
     if expr.rooted:
+        # Ascending order + stop at the first root edge keeps the charge
+        # deterministic, exactly like validate_candidate's rooted check.
         root = graph.root
-        eligible = [node for node in start_candidates
-                    if root in parents[node]]
-        if not eligible:
+        start = None
+        for node in sorted(start_candidates):
+            if start is not None:
+                break
+            for parent in parents[node]:
+                if counter is not None:
+                    counter.data_visits += 1
+                if parent == root:
+                    start = node
+                    break
+        if start is None:
             return None
-        start = min(eligible)
     else:
         start = min(start_candidates)
     path = [start]

@@ -1,0 +1,30 @@
+"""Seeded lock-discipline violations (see ../README.md).
+
+The class name ``EngineStats`` matches the guarded-attribute registry,
+so writes to ``queries``/``cost`` outside ``with self._lock`` must be
+flagged; the guarded method shows the compliant pattern.
+"""
+
+import threading
+
+
+class EngineStats:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.queries = 0
+        self.cost = []
+
+    def unguarded_store(self):
+        self.queries += 1  # VIOLATION: guarded attribute, no lock held
+
+    def unguarded_mutating_call(self):
+        self.cost.append(1)  # VIOLATION: in-place mutation, no lock held
+
+    def guarded_ok(self):
+        with self._lock:
+            self.queries += 1
+            self.cost.append(2)
+
+    def suppressed_store(self):
+        # repro-lint: disable=lock-discipline
+        self.queries += 1

@@ -1,0 +1,41 @@
+"""Negative control: allowed counterparts of everything the rules flag.
+
+Must produce zero findings (asserted by tests/test_lint_rules.py).
+"""
+
+import random
+import threading
+import time
+
+
+class EngineStats:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.queries = 0
+
+    def record(self):
+        with self._lock:
+            self.queries += 1
+
+
+def replace_node(self, nid, parts):
+    node = self.nodes[nid]
+    node.k = parts[0][1]        # allowed: the commit path itself
+    node.extent.add(7)
+    self.mutations += 1
+
+
+def walk_charged(graph, frontier, counter):
+    visited = []
+    for oid in frontier:
+        for parent in graph.parent_lists[oid]:
+            counter.data_visits += 1
+            visited.append(parent)
+    return visited
+
+
+def paced_sample(items, seed):
+    rng = random.Random(seed)           # allowed: seeded generator
+    deadline = time.monotonic() + 1.0   # allowed: pacing clock
+    picked = sorted(items)[:2]          # allowed: deterministic order
+    return rng.choice(picked), deadline

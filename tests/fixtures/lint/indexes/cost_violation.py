@@ -1,0 +1,23 @@
+"""Seeded cost-accounting violation (see ../README.md).
+
+``walk_children`` iterates data-graph adjacency without charging (or
+forwarding) a CostCounter; ``walk_charged`` shows the compliant shape.
+"""
+
+
+def walk_children(graph, frontier):
+    reached = []
+    for oid in frontier:
+        for child in graph.child_lists[oid]:  # VIOLATION: uncharged walk
+            reached.append(child)
+    return reached
+
+
+def walk_charged(graph, frontier, counter):
+    reached = []
+    for oid in frontier:
+        for child in graph.child_lists[oid]:
+            if counter is not None:
+                counter.data_visits += 1
+            reached.append(child)
+    return reached

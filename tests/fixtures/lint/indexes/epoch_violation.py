@@ -1,0 +1,17 @@
+"""Seeded epoch-discipline violations (see ../README.md).
+
+``sneaky_promote`` mutates index node state and bumps a cache-token
+counter outside the ``replace_node``/commit allowlist; ``replace_node``
+itself shows the allowed path.
+"""
+
+
+def sneaky_promote(index, nid, k):
+    node = index.nodes[nid]
+    node.k = k            # VIOLATION: node state outside commit paths
+    node.extent.add(99)   # VIOLATION: extent mutated in place
+    index.epoch += 1      # VIOLATION: token bump outside commit paths
+
+
+def replace_node(self, nid, parts):
+    self.nodes[nid].k = parts[0][1]  # allowed: inside replace_node

@@ -1,0 +1,30 @@
+"""Seeded determinism violations (see ../README.md).
+
+Wall-clock reads, the process-global random generator, and set-order
+dependent picks are each flagged; the seeded/ordered variants are not.
+"""
+
+import random
+import time
+
+
+def stamp():
+    return time.time()  # VIOLATION: wall clock in replayed code
+
+
+def shuffle_unseeded(items):
+    random.shuffle(items)  # VIOLATION: process-global unseeded generator
+    return items
+
+
+def shuffle_seeded(items, seed):
+    random.Random(seed).shuffle(items)  # allowed: seeded generator
+    return items
+
+
+def pick(extent):
+    chosen = {oid for oid in extent}
+    first = chosen.pop()           # VIOLATION: hash-order pop from a set
+    other = next(iter({1, 2, 3}))  # VIOLATION: hash-order first element
+    ordered = min(extent)          # allowed: deterministic pick
+    return first, other, ordered

@@ -1,0 +1,22 @@
+"""Seeded epoch-window violations on the serving side (see ../README.md).
+
+Maintenance writers and engine refinement must commit inside a
+``with <clock>.write():`` window so the mutation and the epoch bump land
+atomically; ``commit_ok`` shows the compliant shape.
+"""
+
+from repro.indexes import maintenance as _maintenance
+
+
+class Server:
+    def commit_ok(self, graph, subtree):
+        with self.clock.write() as epoch:
+            _maintenance.insert_subtree(graph, 0, subtree)
+        return epoch
+
+    def commit_outside_window(self, graph, subtree):
+        # VIOLATION: writer call with no epoch write window open
+        return _maintenance.insert_subtree(graph, 0, subtree)
+
+    def refine_outside_window(self, expr):
+        return self.engine.execute(expr)  # VIOLATION: same, via the engine

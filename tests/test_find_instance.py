@@ -1,5 +1,6 @@
 """Tests for witness-path reconstruction (find_instance)."""
 
+from repro.cost.counters import CostCounter
 from repro.queries.evaluator import (
     evaluate_on_data_graph,
     find_instance,
@@ -69,6 +70,31 @@ class TestFindInstance:
             path = find_instance(graph, expr, oid)
             assert path is not None
             assert is_valid_instance(graph, expr, path)
+
+    def test_counter_charges_parent_examinations(self, fig1):
+        """Regression (repro lint, cost-accounting): witness search walks
+        parent_lists, so it must charge Section 5's data-visit component
+        when handed a counter."""
+        expr = PathExpression.parse("//people/person")
+        counter = CostCounter()
+        path = find_instance(fig1, expr, 8, counter)
+        assert path == [3, 8]
+        assert counter.data_visits > 0
+        assert counter.index_visits == 0
+
+    def test_counter_is_optional_and_deterministic(self, fig1):
+        expr = PathExpression.parse("/site/people/person")
+        baseline = find_instance(fig1, expr, 7)
+        first, second = CostCounter(), CostCounter()
+        assert find_instance(fig1, expr, 7, first) == baseline
+        assert find_instance(fig1, expr, 7, second) == baseline
+        assert first.data_visits == second.data_visits > 0
+
+    def test_failed_rooted_search_still_charges(self, fig1):
+        expr = PathExpression.parse("/people/person")  # people not at root
+        counter = CostCounter()
+        assert find_instance(fig1, expr, 7, counter) is None
+        assert counter.data_visits > 0
 
     def test_agrees_with_evaluation_everywhere(self, small_xmark):
         workload = Workload.generate(small_xmark, num_queries=30,

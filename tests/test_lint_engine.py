@@ -1,0 +1,207 @@
+"""Unit tests for the repro-lint rule engine (repro.analysis.engine)."""
+
+import ast
+import json
+import os
+
+import pytest
+
+from repro.analysis import (
+    RULES,
+    Finding,
+    LintConfig,
+    ModuleContext,
+    apply_baseline,
+    in_dirs,
+    load_baseline,
+    rule,
+    run_lint,
+    save_baseline,
+)
+from repro.analysis.baseline import FORMAT_VERSION
+
+
+def write(tmp_path, relative, source):
+    path = tmp_path / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return str(path)
+
+
+class TestRuleRegistry:
+    def test_rules_are_registered(self):
+        run_lint([])  # force the side-effect import of the rule modules
+        assert {"lock-discipline", "cost-accounting", "epoch-discipline",
+                "determinism"} <= set(RULES)
+
+    def test_rejects_non_kebab_ids(self):
+        with pytest.raises(ValueError, match="kebab-case"):
+            rule("Bad_Id", "nope")
+
+    def test_rejects_duplicate_registration(self):
+        run_lint([])
+        with pytest.raises(ValueError, match="already registered"):
+            rule("determinism", "again")(lambda context: None)
+
+    def test_custom_rule_runs_and_unregisters(self, tmp_path):
+        @rule("temp-rule", "flags every module")
+        def check(context):
+            context.report(context.tree, "temp-rule", "hello")
+
+        try:
+            path = write(tmp_path, "anywhere.py", "x = 1\n")
+            result = run_lint([path], rule_ids=["temp-rule"])
+            assert [f.message for f in result.findings] == ["hello"]
+        finally:
+            del RULES["temp-rule"]
+
+    def test_unknown_rule_ids_raise(self):
+        with pytest.raises(ValueError, match="unknown rule ids"):
+            run_lint([], rule_ids=["no-such-rule"])
+
+
+class TestScopePredicates:
+    def test_in_dirs_matches_directory_token(self):
+        predicate = in_dirs("indexes/")
+        assert predicate(LintConfig(), "src/repro/indexes/base.py")
+        assert not predicate(LintConfig(), "src/repro/graph/datagraph.py")
+
+    def test_in_dirs_matches_file_suffix(self):
+        predicate = in_dirs("queries/evaluator.py")
+        assert predicate(LintConfig(), "src/repro/queries/evaluator.py")
+        assert not predicate(LintConfig(), "src/repro/queries/pathexpr.py")
+
+    def test_extra_scope_tokens_widen_the_net(self, tmp_path):
+        path = write(tmp_path, "weirdplace/clockuser.py",
+                     "import time\n\n\ndef f():\n    return time.time()\n")
+        assert not run_lint([path]).findings
+        widened = LintConfig(extra_scope_tokens=("weirdplace/",))
+        findings = run_lint([path], config=widened).findings
+        assert [f.rule for f in findings] == ["determinism"]
+
+
+class TestSuppressions:
+    BAD = "import time\n\n\ndef f():\n{}    return time.time(){}\n"
+
+    def lint(self, tmp_path, source, name="core/clock.py"):
+        return run_lint([write(tmp_path, name, source)])
+
+    def test_same_line_suppression(self, tmp_path):
+        result = self.lint(tmp_path, self.BAD.format(
+            "", "  # repro-lint: disable=determinism"))
+        assert not result.findings
+        assert [f.rule for f in result.suppressed] == ["determinism"]
+
+    def test_line_above_suppression(self, tmp_path):
+        result = self.lint(tmp_path, self.BAD.format(
+            "    # repro-lint: disable=determinism\n", ""))
+        assert not result.findings and result.suppressed
+
+    def test_def_line_suppression_covers_the_body(self, tmp_path):
+        source = ("import time\n\n\n"
+                  "def f():  # repro-lint: disable=determinism\n"
+                  "    return time.time()\n")
+        result = self.lint(tmp_path, source)
+        assert not result.findings and result.suppressed
+
+    def test_disable_all_and_comma_lists(self, tmp_path):
+        for directive in ("all", "determinism, lock-discipline"):
+            result = self.lint(tmp_path, self.BAD.format(
+                "", f"  # repro-lint: disable={directive}"))
+            assert not result.findings, directive
+
+    def test_wrong_rule_id_does_not_suppress(self, tmp_path):
+        result = self.lint(tmp_path, self.BAD.format(
+            "", "  # repro-lint: disable=lock-discipline"))
+        assert [f.rule for f in result.findings] == ["determinism"]
+
+    def test_prose_mention_is_not_a_suppression(self, tmp_path):
+        result = self.lint(tmp_path, self.BAD.format(
+            "    # discussed in repro-lint: disable=determinism docs\n", ""))
+        assert [f.rule for f in result.findings] == ["determinism"]
+
+
+class TestParseErrors:
+    def test_syntax_error_becomes_a_finding(self, tmp_path):
+        path = write(tmp_path, "broken.py", "def f(:\n")
+        findings = run_lint([path]).findings
+        assert [f.rule for f in findings] == ["parse-error"]
+
+
+class TestCallResolution:
+    def resolve(self, source, call_source):
+        context = ModuleContext("m.py", source, ast.parse(source),
+                                LintConfig())
+        call = ast.parse(call_source, mode="eval").body
+        return context.resolve_call_target(call.func)
+
+    def test_plain_import(self):
+        assert self.resolve("import time", "time.time()") == "time.time"
+
+    def test_aliased_import(self):
+        assert self.resolve("import time as t", "t.time()") == "time.time"
+
+    def test_from_import_member(self):
+        assert self.resolve("from time import time", "time()") == "time.time"
+
+    def test_aliased_submodule(self):
+        assert self.resolve(
+            "from repro.indexes import maintenance as _m",
+            "_m.insert_subtree()",
+        ) == "repro.indexes.maintenance.insert_subtree"
+
+    def test_unknown_base_is_none(self):
+        assert self.resolve("import time", "rng.choice()") is None
+
+
+class TestBaseline:
+    def finding(self, line=10, message="uncharged walk"):
+        return Finding(path="src/repro/x.py", line=line,
+                       rule="cost-accounting", symbol="f", message=message)
+
+    def test_round_trip_matches_independent_of_line(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        save_baseline(path, [self.finding(line=10)])
+        entries = load_baseline(path)
+        match = apply_baseline([self.finding(line=99)], entries)
+        assert not match.new and not match.stale
+        assert len(match.baselined) == 1
+
+    def test_new_findings_are_not_absorbed(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        save_baseline(path, [self.finding()])
+        match = apply_baseline(
+            [self.finding(), self.finding(message="other walk")],
+            load_baseline(path))
+        assert [f.message for f in match.new] == ["other walk"]
+
+    def test_stale_entries_are_reported(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        save_baseline(path, [self.finding()])
+        match = apply_baseline([], load_baseline(path))
+        assert not match.new and not match.baselined
+        assert [entry["message"] for entry in match.stale] \
+            == ["uncharged walk"]
+
+    def test_saved_entries_carry_justification_field(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        save_baseline(path, [self.finding()])
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["version"] == FORMAT_VERSION
+        assert "justification" in payload["findings"][0]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(str(tmp_path / "absent.json")) == []
+
+    def test_malformed_payload_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError, match="not a repro-lint baseline"):
+            load_baseline(str(path))
+
+    def test_checked_in_baseline_loads(self):
+        repo_root = os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__)))
+        path = os.path.join(repo_root, "lint-baseline.json")
+        assert load_baseline(path) == []

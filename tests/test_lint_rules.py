@@ -1,0 +1,131 @@
+"""Golden-finding tests: each rule family against its seeded fixture.
+
+The fixtures under ``tests/fixtures/lint/`` carry deliberate violations
+(one file per rule family, directories chosen so the rules' scope
+predicates fire); these tests pin exactly which (file, line, rule)
+triples ``repro lint`` reports for them.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis import run_lint
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "fixtures", "lint")
+
+
+def lint_fixture(*relative):
+    return run_lint([os.path.join(FIXTURES, *relative)])
+
+
+def triples(result):
+    return [(os.path.basename(f.path), f.line, f.rule)
+            for f in result.sorted_findings()]
+
+
+class TestLockRule:
+    def test_golden_findings(self):
+        result = lint_fixture("core", "lock_violation.py")
+        assert triples(result) == [
+            ("lock_violation.py", 18, "lock-discipline"),
+            ("lock_violation.py", 21, "lock-discipline"),
+        ]
+
+    def test_messages_name_attribute_and_lock(self):
+        result = lint_fixture("core", "lock_violation.py")
+        store, call = result.sorted_findings()
+        assert "self.queries" in store.message
+        assert "self._lock" in store.message
+        assert "self.cost.append" in call.message
+
+    def test_guarded_method_not_flagged(self):
+        result = lint_fixture("core", "lock_violation.py")
+        assert all("guarded_ok" not in f.symbol
+                   for f in result.findings)
+
+    def test_seeded_suppression_is_honoured(self):
+        result = lint_fixture("core", "lock_violation.py")
+        assert [f.symbol for f in result.suppressed] \
+            == ["EngineStats.suppressed_store"]
+
+
+class TestCostRule:
+    def test_golden_findings(self):
+        result = lint_fixture("indexes", "cost_violation.py")
+        assert triples(result) == [
+            ("cost_violation.py", 8, "cost-accounting"),
+        ]
+        assert result.findings[0].symbol == "walk_children"
+
+    def test_charged_walk_not_flagged(self):
+        result = lint_fixture("indexes", "cost_violation.py")
+        assert all(f.symbol != "walk_charged" for f in result.findings)
+
+
+class TestEpochRule:
+    def test_golden_node_state_findings(self):
+        result = lint_fixture("indexes", "epoch_violation.py")
+        assert triples(result) == [
+            ("epoch_violation.py", 11, "epoch-discipline"),
+            ("epoch_violation.py", 12, "epoch-discipline"),
+            ("epoch_violation.py", 13, "epoch-discipline"),
+        ]
+        assert all(f.symbol == "sneaky_promote" for f in result.findings)
+
+    def test_replace_node_is_allowed(self):
+        result = lint_fixture("indexes", "epoch_violation.py")
+        assert all(f.symbol != "replace_node" for f in result.findings)
+
+    def test_golden_serving_window_findings(self):
+        result = lint_fixture("serving", "window_violation.py")
+        assert triples(result) == [
+            ("window_violation.py", 19, "epoch-discipline"),
+            ("window_violation.py", 22, "epoch-discipline"),
+        ]
+
+    def test_windowed_commit_is_allowed(self):
+        result = lint_fixture("serving", "window_violation.py")
+        assert all("commit_ok" not in f.symbol for f in result.findings)
+
+
+class TestDeterminismRule:
+    def test_golden_findings(self):
+        result = lint_fixture("queries", "determinism_violation.py")
+        assert triples(result) == [
+            ("determinism_violation.py", 12, "determinism"),
+            ("determinism_violation.py", 16, "determinism"),
+            ("determinism_violation.py", 27, "determinism"),
+            ("determinism_violation.py", 28, "determinism"),
+        ]
+
+    def test_seeded_and_ordered_variants_not_flagged(self):
+        result = lint_fixture("queries", "determinism_violation.py")
+        symbols = {f.symbol for f in result.findings}
+        assert "shuffle_seeded" not in symbols
+
+
+class TestWholeTree:
+    def test_every_rule_family_fires_exactly_once_per_seed(self):
+        result = lint_fixture()
+        by_rule = {}
+        for finding in result.findings:
+            by_rule.setdefault(finding.rule, []).append(finding)
+        assert sorted(by_rule) == ["cost-accounting", "determinism",
+                                   "epoch-discipline", "lock-discipline"]
+        assert len(result.findings) == 12
+
+    def test_clean_fixture_produces_no_findings(self):
+        result = lint_fixture("indexes", "clean_module.py")
+        assert result.findings == []
+        assert result.suppressed == []
+
+    @pytest.mark.parametrize("rule_id,expected", [
+        ("lock-discipline", 2), ("cost-accounting", 1),
+        ("epoch-discipline", 5), ("determinism", 4),
+    ])
+    def test_rule_filter_isolates_one_family(self, rule_id, expected):
+        result = run_lint([FIXTURES], rule_ids=[rule_id])
+        assert len(result.findings) == expected
+        assert all(f.rule == rule_id for f in result.findings)

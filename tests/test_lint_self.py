@@ -1,0 +1,122 @@
+"""Self-application and CLI tests for ``repro lint``.
+
+The headline property of the PR: the checker runs clean over the repo's
+own sources (with its justified inline suppressions), and the CLI exits
+non-zero the moment a seeded violation enters the tree.
+"""
+
+import json
+import os
+
+import repro
+from repro.analysis import run_lint
+from repro.cli import main
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "fixtures", "lint")
+PACKAGE = os.path.dirname(os.path.abspath(repro.__file__))
+
+
+class TestSelfLint:
+    def test_repo_sources_are_clean(self):
+        """The invariant CI enforces: zero unsuppressed findings in src."""
+        result = run_lint([PACKAGE])
+        assert result.files_checked > 50
+        assert result.sorted_findings() == []
+
+    def test_suppressions_in_src_are_few_and_justified(self):
+        """Every inline suppression in the real tree is one we placed
+        deliberately (construction-time walks, the single-label pop);
+        growth here should be a conscious review decision."""
+        result = run_lint([PACKAGE])
+        assert len(result.suppressed) <= 10
+        assert {f.rule for f in result.suppressed} \
+            <= {"cost-accounting", "determinism"}
+
+    def test_cli_default_invocation_is_green(self, capsys):
+        assert main(["lint"]) == 0
+        assert "lint: OK" in capsys.readouterr().out
+
+
+class TestCliOnFixtures:
+    def test_exits_nonzero_on_seeded_violations(self, capsys):
+        assert main(["lint", FIXTURES]) == 1
+        out = capsys.readouterr().out
+        assert "lint: FAILED" in out
+        assert "12 finding(s)" in out
+
+    def test_each_seeded_fixture_fails_alone(self, capsys):
+        for relative in (
+            ("core", "lock_violation.py"),
+            ("indexes", "cost_violation.py"),
+            ("indexes", "epoch_violation.py"),
+            ("queries", "determinism_violation.py"),
+            ("serving", "window_violation.py"),
+        ):
+            path = os.path.join(FIXTURES, *relative)
+            assert main(["lint", path]) == 1, relative
+            capsys.readouterr()
+
+    def test_json_format_reports_ok_flag(self, capsys):
+        assert main(["lint", FIXTURES, "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert len(payload["findings"]) == 12
+        assert payload["suppressed"]
+        rules = {finding["rule"] for finding in payload["findings"]}
+        assert rules == {"lock-discipline", "cost-accounting",
+                         "epoch-discipline", "determinism"}
+
+    def test_rules_flag_filters(self, capsys):
+        assert main(["lint", FIXTURES, "--rules", "lock-discipline",
+                     "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert {f["rule"] for f in payload["findings"]} \
+            == {"lock-discipline"}
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("lock-discipline", "cost-accounting",
+                        "epoch-discipline", "determinism"):
+            assert rule_id in out
+
+
+class TestCliBaselineFlow:
+    def seed(self, tmp_path):
+        target = tmp_path / "queries" / "legacy.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(
+            "import time\n\n\ndef stamp():\n    return time.time()\n")
+        return target
+
+    def test_update_baseline_then_green_then_stale(self, tmp_path, capsys):
+        target = self.seed(tmp_path)
+        baseline = str(tmp_path / "baseline.json")
+
+        assert main(["lint", str(tmp_path), "--baseline", baseline]) == 1
+        capsys.readouterr()
+
+        assert main(["lint", str(tmp_path), "--baseline", baseline,
+                     "--update-baseline"]) == 0
+        assert "fill in each justification" in capsys.readouterr().out
+
+        assert main(["lint", str(tmp_path), "--baseline", baseline]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+        # Fixing the violation makes the baseline entry stale -> red.
+        target.write_text(
+            "def stamp(epoch):\n    return epoch\n")
+        assert main(["lint", str(tmp_path), "--baseline", baseline]) == 1
+        assert "STALE baseline entry" in capsys.readouterr().out
+
+    def test_baselined_runs_stay_green_across_line_shifts(
+            self, tmp_path, capsys):
+        target = self.seed(tmp_path)
+        baseline = str(tmp_path / "baseline.json")
+        assert main(["lint", str(tmp_path), "--baseline", baseline,
+                     "--update-baseline"]) == 0
+        capsys.readouterr()
+        target.write_text("# a new comment shifting every line\n"
+                          + target.read_text())
+        assert main(["lint", str(tmp_path), "--baseline", baseline]) == 0
