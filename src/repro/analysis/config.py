@@ -50,8 +50,10 @@ MUTATING_METHODS = frozenset({
 #: data-node walk the paper's cost metric meters...
 ADJACENCY_ATTRIBUTES = frozenset({"child_lists", "parent_lists"})
 #: ... and method calls that hand out adjacency (``graph.children(oid)``,
-#: ``graph.parents(oid)``, ``graph.edges()``).
-ADJACENCY_METHODS = frozenset({"children", "parents", "edges"})
+#: ``graph.parents(oid)``, ``graph.edges()``), including the raw row
+#: accessors hot loops use post-freeze and the O(1) edge probe.
+ADJACENCY_METHODS = frozenset({"children", "parents", "edges",
+                               "child_rows", "parent_rows", "has_edge"})
 
 #: Evidence that a function charges (or forwards) cost: a parameter or
 #: local with one of these names, an attribute access on a counter

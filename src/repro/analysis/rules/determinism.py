@@ -19,6 +19,20 @@ ways to break that, banned in ``core/``, ``indexes/``, ``queries/`` and
   order-insensitive set is fine; picking one element depends on hash
   order, which ``PYTHONHASHSEED`` perturbs across runs for strings.
   The deterministic spellings are ``min()``/``max()``/``sorted()[0]``.
+
+Extents are additionally held to the compact-data-plane contract:
+``IndexNode.extent`` is a pre-sorted immutable int array
+(:class:`repro.core.extents.Extent`), so
+
+* **iterating a set built from an extent** (``for oid in
+  set(node.extent)``, or over a set-BinOp with an extent operand)
+  throws away the sorted order the array already guarantees and
+  reintroduces hash-order dependence — iterate the extent directly;
+* **set-method spellings** (``node.extent.intersection(...)`` etc.) do
+  not exist on the array type — use the ``&``/``|``/``-`` operators or
+  the merge helpers in :mod:`repro.core.extents`;
+* **re-sorting** (``sorted(node.extent)``) is redundant work on every
+  call — ``list(node.extent)`` is already sorted.
 """
 
 from __future__ import annotations
@@ -134,6 +148,63 @@ def _check_set_order(context: ModuleContext) -> None:
                         "deterministically")
 
 
+def _mentions_extent(node: ast.AST) -> bool:
+    return any(isinstance(inner, ast.Attribute) and inner.attr == "extent"
+               for inner in ast.walk(node))
+
+
+def _is_set_over_extent(node: ast.expr) -> bool:
+    """``set(<...extent...>)`` / ``frozenset(...)``, or a set-BinOp with
+    an extent mentioned in either operand."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) and \
+            node.func.id in ("set", "frozenset") and node.args and \
+            _mentions_extent(node.args[0]):
+        return True
+    if isinstance(node, ast.BinOp) and \
+            isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub)) and \
+            (_is_set_expression(node.left) or _is_set_expression(node.right)) \
+            and _mentions_extent(node):
+        return True
+    return False
+
+
+def _check_extent_order(context: ModuleContext) -> None:
+    iterated: list[ast.expr] = []
+    for node in ast.walk(context.tree):
+        if isinstance(node, (ast.For, ast.comprehension)):
+            iterated.append(node.iter)
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        # <x>.extent.intersection(...) and friends: set-method spellings
+        # the array type does not provide.
+        if isinstance(func, ast.Attribute) and \
+                func.attr in ("intersection", "union", "difference") and \
+                isinstance(func.value, ast.Attribute) and \
+                func.value.attr == "extent":
+            context.report(
+                node, RULE_ID,
+                f"'.extent.{func.attr}(...)' assumes a set-typed extent; "
+                f"extents are sorted int arrays — use the &/|/- operators "
+                f"or the merge helpers in repro.core.extents")
+        # sorted(<x>.extent): the extent is already sorted.
+        if isinstance(func, ast.Name) and func.id == "sorted" and \
+                node.args and isinstance(node.args[0], ast.Attribute) and \
+                node.args[0].attr == "extent":
+            context.report(
+                node, RULE_ID,
+                "'sorted(<x>.extent)' re-sorts a pre-sorted extent array "
+                "on every call; use list(<x>.extent) — it is already "
+                "in ascending oid order")
+    for iter_expr in iterated:
+        if _is_set_over_extent(iter_expr):
+            context.report(
+                iter_expr, RULE_ID,
+                "iterating a set built from an extent discards the sorted "
+                "order the extent array already guarantees and depends on "
+                "hash order; iterate the extent directly")
+
+
 @rule(RULE_ID,
       "no wall clocks, unseeded randomness, or set-order dependence in "
       "replay-deterministic code",
@@ -141,3 +212,4 @@ def _check_set_order(context: ModuleContext) -> None:
 def check_determinism(context: ModuleContext) -> None:
     _check_banned_calls(context)
     _check_set_order(context)
+    _check_extent_order(context)

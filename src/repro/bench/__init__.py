@@ -7,6 +7,11 @@ and persists the numbers as a JSON artifact (``BENCH_pr2.json``) so the
 speedups travel with the code instead of living in a PR description.
 """
 
-from repro.bench.runner import BenchConfig, run_bench, write_bench
+from repro.bench.runner import (
+    BenchConfig,
+    run_bench,
+    run_compact_bench,
+    write_bench,
+)
 
-__all__ = ["BenchConfig", "run_bench", "write_bench"]
+__all__ = ["BenchConfig", "run_bench", "run_compact_bench", "write_bench"]

@@ -27,17 +27,33 @@ asserts the final-answers digest agrees across worker counts; see
 :func:`run_serving_bench`.  The acceptance criterion is >= 1.5x replay
 throughput at 4 workers vs 1.
 
+A fifth group, **compact**, measures the PR 6 compact data plane
+(interned labels + CSR adjacency in :mod:`repro.graph`, sorted-int-array
+extents in :mod:`repro.core.extents`) against the set-based reference
+semantics it replaced: snapshot extent pinning, canonical digest
+construction, extent intersection, partition-refinement construction on
+a frozen vs mutable graph, and bytes per extent member; see
+:func:`run_compact_bench`.  Every timed line asserts result parity with
+the set path before reporting a speedup.  The acceptance criterion is
+>= 1.5x on at least one line.
+
 ``run_bench`` also runs a small differential-oracle campaign (which
 includes cache-on vs cache-off equivalence checks, and the updates
 axis) so the artifact records that the measured configuration is
 *correct*, not just fast.  The JSON lands at the repository root as
-``BENCH_pr4.json`` by default; CI runs ``repro bench --smoke`` and
-fails on any oracle discrepancy.
+``BENCH_pr6.json`` by default; CI runs ``repro bench --smoke`` and
+fails on any oracle discrepancy.  When a committed ``BENCH_pr4.json``
+is readable from the working directory, the report also records
+construction/replay wall-time deltas against that artifact under
+``vs_pr4`` (informational: the two artifacts may come from different
+machines).
 """
 
 from __future__ import annotations
 
 import json
+import os
+import sys
 import time
 from dataclasses import asdict, dataclass
 from typing import Callable
@@ -276,6 +292,194 @@ def run_serving_bench(dataset: str, exp: "ExperimentConfig", queries: int,
 
 
 # ----------------------------------------------------------------------
+# Compact data plane: array extents + CSR adjacency vs set reference
+# ----------------------------------------------------------------------
+def run_compact_bench(graph: DataGraph, dataset: str) -> list[dict]:
+    """Benchmark the compact data plane against the set-based reference.
+
+    The operand population is realistic, not synthetic: the A(2)
+    partition's blocks (one extent per index node), so sizes and skew
+    match what the index families actually hold.  Each line times the
+    old set spelling against the compact one, asserts both produce the
+    same values, and reports the wall-time ratio.
+    """
+    from repro.core.extents import Extent, extent_intersect
+
+    blocks = kbisimulation_blocks(graph, 2)
+    members: dict[int, list[int]] = {}
+    for oid, block in enumerate(blocks):
+        members.setdefault(block, []).append(oid)
+    as_sets = [set(values) for values in members.values()]
+    as_extents = [Extent.from_iterable(values)
+                  for values in members.values()]
+    total_members = sum(len(s) for s in as_sets)
+    repeats = max(5, min(400, 2_000_000 // max(total_members, 1)))
+    rows: list[dict] = []
+
+    def line(name: str, baseline: Callable[[], object],
+             fast: Callable[[], object], **extra) -> None:
+        base_seconds, base_result = _timed(baseline)
+        fast_seconds, fast_result = _timed(fast)
+        if base_result != fast_result:
+            raise AssertionError(
+                f"compact '{name}' diverged from set reference on "
+                f"{dataset}")
+        rows.append({
+            "dataset": dataset, "line": name, "repeats": repeats,
+            "extents": len(as_sets), "members": total_members,
+            "baseline_seconds": round(base_seconds, 6),
+            "fast_seconds": round(fast_seconds, 6),
+            "speedup": round(base_seconds / fast_seconds, 3)
+            if fast_seconds else float("inf"), **extra,
+        })
+
+    # 1. Snapshot pinning: copying every extent for a snapshot.  The
+    # set path rehashes every member; the immutable array is shared.
+    def copy_sets() -> int:
+        count = 0
+        for _ in range(repeats):
+            pinned = [set(value) for value in as_sets]
+            count += len(pinned)
+        return count
+
+    def copy_extents() -> int:
+        count = 0
+        for _ in range(repeats):
+            pinned = [extent.copy() for extent in as_extents]
+            count += len(pinned)
+        return count
+
+    line("snapshot_extent_copy", copy_sets, copy_extents)
+
+    # 2. Canonical digests: every replay/cache token needs extents in
+    # canonical order.  Sets must sort per call; arrays already are.
+    def digest_sets() -> list[tuple]:
+        out: list[tuple] = []
+        for _ in range(repeats):
+            out = [tuple(sorted(value)) for value in as_sets]
+        return out
+
+    def digest_extents() -> list[tuple]:
+        out: list[tuple] = []
+        for _ in range(repeats):
+            out = [tuple(extent) for extent in as_extents]
+        return out
+
+    line("canonical_digest", digest_sets, digest_extents)
+
+    # 3. Merge intersect: each block against a dense window spanning it
+    # (guaranteed overlap; partition blocks themselves are disjoint).
+    windows = [range(min(values), max(values) + 1)
+               for values in members.values()]
+    window_sets = [set(window) for window in windows]
+    window_extents = [Extent.from_sorted(list(window))
+                      for window in windows]
+
+    def intersect_sets() -> list[list[int]]:
+        out: list[list[int]] = []
+        for _ in range(repeats):
+            out = [sorted(value & window)
+                   for value, window in zip(as_sets, window_sets)]
+        return out
+
+    def intersect_extents() -> list[list[int]]:
+        out: list[list[int]] = []
+        for _ in range(repeats):
+            out = [list(extent_intersect(extent, window))
+                   for extent, window in zip(as_extents, window_extents)]
+        return out
+
+    line("merge_intersect", intersect_sets, intersect_extents)
+
+    # 4. Construction on a frozen (CSR) vs mutable (list-of-lists)
+    # graph: partition refinement is adjacency-scan bound.  Freeze/thaw
+    # happen outside the timed region (steady-state comparison, best of
+    # three): the point is what refinement costs on each backend, not
+    # the one-off CSR build.
+    was_frozen = graph.frozen
+    graph.thaw()
+    mutable_seconds, mutable_blocks = min(
+        (_timed(lambda: kbisimulation_blocks(graph, 4)) for _ in range(3)),
+        key=lambda pair: pair[0])
+    graph.freeze()
+    frozen_seconds, frozen_blocks = min(
+        (_timed(lambda: kbisimulation_blocks(graph, 4)) for _ in range(3)),
+        key=lambda pair: pair[0])
+    if frozen_blocks != mutable_blocks:
+        raise AssertionError(
+            f"compact 'construction_frozen_graph' diverged from the "
+            f"mutable-graph reference on {dataset}")
+    rows.append({
+        "dataset": dataset, "line": "construction_frozen_graph",
+        "repeats": 3, "extents": len(as_sets), "members": total_members,
+        "baseline_seconds": round(mutable_seconds, 6),
+        "fast_seconds": round(frozen_seconds, 6),
+        "speedup": round(mutable_seconds / frozen_seconds, 3)
+        if frozen_seconds else float("inf"),
+    })
+    if not was_frozen:
+        graph.thaw()
+
+    # 5. Memory: bytes per extent member, set object vs array payload
+    # (shallow sizes; the set's int objects are shared with the graph
+    # either way, so the delta below *understates* the set's true cost).
+    set_bytes = sum(sys.getsizeof(value) for value in as_sets)
+    extent_bytes = 0
+    for extent in as_extents:
+        data = extent._data
+        extent_bytes += getattr(data, "nbytes", None) or \
+            (data.itemsize * len(data))
+    rows.append({
+        "dataset": dataset, "line": "memory_bytes_per_member",
+        "extents": len(as_sets), "members": total_members,
+        "set_bytes": set_bytes, "array_bytes": extent_bytes,
+        "set_bytes_per_member": round(set_bytes / max(total_members, 1), 2),
+        "array_bytes_per_member": round(
+            extent_bytes / max(total_members, 1), 2),
+        "ratio": round(set_bytes / extent_bytes, 3)
+        if extent_bytes else float("inf"),
+    })
+    return rows
+
+
+def _vs_pr4_deltas(report: dict, previous_path: str) -> list[dict]:
+    """Wall-time deltas of construction/replay lines vs a prior artifact.
+
+    Matches lines by ``(group, dataset, family)``; silently returns
+    nothing when the previous artifact is absent or unreadable (the
+    bench must not fail because history is missing).
+    """
+    try:
+        with open(previous_path) as handle:
+            previous = json.load(handle)
+    except (OSError, ValueError):
+        return []
+    deltas: list[dict] = []
+    for group, seconds_key in (("construction", "fast_seconds"),
+                               ("replay", None)):
+        old_rows = {(row["dataset"], row["family"]): row
+                    for row in previous.get(group, [])}
+        for row in report.get(group, []):
+            old = old_rows.get((row["dataset"], row["family"]))
+            if old is None:
+                continue
+            if seconds_key is not None:
+                now, then = row[seconds_key], old[seconds_key]
+            else:
+                now = row["cache_on"]["seconds"]
+                then = old["cache_on"]["seconds"]
+            deltas.append({
+                "group": group, "dataset": row["dataset"],
+                "family": row["family"],
+                "pr4_seconds": round(then, 6),
+                "pr6_seconds": round(now, 6),
+                "speedup_vs_pr4": round(then / now, 3)
+                if now else float("inf"),
+            })
+    return deltas
+
+
+# ----------------------------------------------------------------------
 # Trace overhead: the disabled-tracer fast path must be near-free
 # ----------------------------------------------------------------------
 def run_trace_overhead_bench(graph: DataGraph, dataset: str, queries: int,
@@ -379,12 +583,13 @@ def run_bench(config: BenchConfig | None = None,
     exp = ExperimentConfig(scale=config.scale, num_queries=config.replay_queries,
                            seed=config.seed)
     report: dict = {
-        "name": "BENCH_pr4",
+        "name": "BENCH_pr6",
         "config": asdict(config),
         "construction": [],
         "replay": [],
         "serving": [],
         "trace_overhead": [],
+        "compact": [],
     }
     for dataset in config.datasets:
         graph = dataset_for(dataset, exp)
@@ -411,6 +616,8 @@ def run_bench(config: BenchConfig | None = None,
                                      config.max_query_length, config.seed,
                                      config.replay_passes))
         say(f"bench: {dataset}: trace overhead done")
+        report["compact"].extend(run_compact_bench(graph, dataset))
+        say(f"bench: {dataset}: compact data plane done")
 
     from repro.verify.runner import run_verification
 
@@ -450,6 +657,11 @@ def run_bench(config: BenchConfig | None = None,
     serving_best = min(serving_at_4) if serving_at_4 else (
         max(serving_multi, default=0.0))
     serving_ok = (not report["serving"]) or serving_best >= 1.5
+    compact_best = max((row["speedup"] for row in report["compact"]
+                        if "speedup" in row), default=0.0)
+    compact_ok = (not report["compact"]) or compact_best >= 1.5
+    report["vs_pr4"] = _vs_pr4_deltas(report, os.environ.get(
+        "REPRO_BENCH_PREVIOUS", "BENCH_pr4.json"))
     report["criteria"] = {
         "construction_speedup_k4_plus": construction_best,
         "replay_speedup_wall": replay_best,
@@ -460,7 +672,11 @@ def run_bench(config: BenchConfig | None = None,
         "serving_speedup_4_workers": round(serving_best, 3),
         "serving_target": 1.5,
         "serving_ok": serving_ok,
+        "compact_speedup_best": round(compact_best, 3),
+        "compact_target": 1.5,
+        "compact_ok": compact_ok,
         "passed": bool(verification.ok and trace_overhead_ok and serving_ok
+                       and compact_ok
                        and (construction_best >= 2.0 or replay_best >= 2.0)),
     }
     return report

@@ -170,6 +170,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
           f"{criteria['construction_speedup_k4_plus']}x; "
           f"replay speedup: {criteria['replay_speedup_wall']}x "
           f"(target {criteria['target']}x)")
+    print(f"bench: compact data plane best line: "
+          f"{criteria['compact_speedup_best']}x "
+          f"(target {criteria['compact_target']}x)")
     if not report["verify"]["ok"]:
         print("bench: FAILED — oracle discrepancies with caching enabled:")
         for line in report["verify"]["discrepancies"]:
@@ -444,8 +447,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench = commands.add_parser(
         "bench",
         help="hot-path benchmarks with a persisted JSON trajectory")
-    bench.add_argument("--output", "-o", default="BENCH_pr4.json",
-                       help="JSON artifact path (default: BENCH_pr4.json)")
+    bench.add_argument("--output", "-o", default="BENCH_pr6.json",
+                       help="JSON artifact path (default: BENCH_pr6.json)")
     bench.add_argument("--smoke", action="store_true",
                        help="small fixed configuration for CI")
     bench.add_argument("--scale", type=float, default=0.05)

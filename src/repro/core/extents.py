@@ -1,0 +1,456 @@
+"""Sorted-int-array extents: the compact data plane's answer sets.
+
+The paper's index nodes carry *extents* — sets of data-node oids.  The
+original implementation stored them as ``set[int]``: ~32+ bytes per
+member, hash-order iteration (canonical digests needed a sort), and a
+full rehash to copy.  :class:`Extent` stores the same values as a
+strictly-increasing ``array('i')``:
+
+* ~4 bytes per member, one contiguous allocation;
+* iteration order *is* canonical order — digests, tokens, and replay
+  traces need no ``sorted()`` pass;
+* snapshot pinning is a slice-copy (``memcpy``), and because extents
+  are immutable the common case is sharing, which is free;
+* membership is a ``bisect`` probe; intersection/union/difference run
+  at C speed (hash kernels + sort for balanced operands, a bisect
+  gallop when one side is much larger) and always return canonical
+  sorted arrays.
+
+Interop with the set-based world is deliberate: binary operators accept
+plain ``set``/``frozenset`` operands and *return sets* for mixed
+operands (so refinement procedures that accumulate mutable working sets
+keep working unchanged), while ``Extent``-``Extent`` operations return
+``Extent``.  Everything here is order-preserving and deterministic.
+
+Differential reference mode
+---------------------------
+The pre-compact implementation defined extent algebra by Python set
+semantics.  That reference stays available: under
+:func:`differential_checks` every merge helper recomputes its result
+through sets and raises :class:`ExtentMismatch` on any divergence.  The
+verification campaign (``repro verify``) runs with this armed, so every
+compact operation executed during an oracle round is differentially
+checked against the set-based path.
+
+Numpy backend
+-------------
+``use_numpy(True)`` (or ``REPRO_EXTENT_NUMPY=1`` in the environment)
+switches the storage to ``numpy.int32`` arrays and the merge helpers to
+``numpy``'s C set routines (``intersect1d``/``union1d``/``setdiff1d``).
+The flag is read when an :class:`Extent` is constructed; mixing backends
+is safe (helpers normalise through iteration).  See
+``docs/tuning.md#compact-data-plane``.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from bisect import bisect_left
+from collections.abc import Iterable, Iterator
+from contextlib import contextmanager
+
+__all__ = [
+    "Extent",
+    "ExtentMismatch",
+    "differential_checks",
+    "extent_contains",
+    "extent_difference",
+    "extent_intersect",
+    "extent_union",
+    "extent_is_subset",
+    "use_numpy",
+    "numpy_enabled",
+]
+
+_TYPECODE = "i"
+
+#: When True, every merge helper double-checks its output against the
+#: set-based reference semantics (the pre-compact implementation).
+_DIFFERENTIAL = False
+
+#: Lazily imported numpy module when the backend flag is on, else None.
+_NP = None
+_USE_NUMPY = False
+
+
+def _init_numpy_flag() -> None:
+    if os.environ.get("REPRO_EXTENT_NUMPY", "") not in ("", "0"):
+        use_numpy(True)
+
+
+def use_numpy(enabled: bool) -> bool:
+    """Toggle the numpy storage backend; returns the effective state.
+
+    Enabling is best-effort: when numpy is not importable the flag stays
+    off (the ``array`` backend is always available).
+    """
+    global _NP, _USE_NUMPY
+    if not enabled:
+        _USE_NUMPY = False
+        return False
+    if _NP is None:
+        try:
+            import numpy
+        except ImportError:  # pragma: no cover - numpy present in CI image
+            _USE_NUMPY = False
+            return False
+        _NP = numpy
+    _USE_NUMPY = True
+    return True
+
+
+def numpy_enabled() -> bool:
+    """Is the numpy backend currently active?"""
+    return _USE_NUMPY
+
+
+class ExtentMismatch(AssertionError):
+    """A compact extent operation diverged from set-reference semantics."""
+
+
+@contextmanager
+def differential_checks(enabled: bool = True):
+    """Context manager arming the set-based reference cross-check."""
+    global _DIFFERENTIAL
+    previous = _DIFFERENTIAL
+    _DIFFERENTIAL = enabled
+    try:
+        yield
+    finally:
+        _DIFFERENTIAL = previous
+
+
+def _storage(values: list[int]):
+    """Build backing storage for an ascending, deduplicated value list."""
+    if _USE_NUMPY:
+        return _NP.asarray(values, dtype=_NP.int32)
+    return array(_TYPECODE, values)
+
+
+class Extent:
+    """An immutable, strictly-increasing array of data-node oids.
+
+    Construct via :meth:`from_iterable` (sorts + dedups) or
+    :meth:`from_sorted` (trusts the caller — used on already-canonical
+    merge outputs).  Instances are immutable: there are no mutator
+    methods and the backing array is never exposed writable, so sharing
+    one across snapshots, caches, and index nodes is safe.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data) -> None:
+        # Internal: ``data`` must already be sorted strictly ascending.
+        self._data = data
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_iterable(cls, values: Iterable[int]) -> "Extent":
+        """Canonicalise arbitrary ints into an extent (sort + dedup)."""
+        if isinstance(values, Extent):
+            return values
+        return cls(_storage(sorted(set(values))))
+
+    @classmethod
+    def from_sorted(cls, values) -> "Extent":
+        """Wrap an already strictly-ascending sequence without checking."""
+        if _USE_NUMPY:
+            return cls(_NP.asarray(values, dtype=_NP.int32))
+        if isinstance(values, array) and values.typecode == _TYPECODE:
+            return cls(values)
+        return cls(array(_TYPECODE, values))
+
+    def copy(self) -> "Extent":
+        """Pin a snapshot of this extent.
+
+        Immutability makes sharing safe, so this is O(1); callers that
+        need an independent buffer (e.g. spill-to-disk staging) can use
+        ``Extent.from_sorted(extent.tolist())``.
+        """
+        return self
+
+    def tolist(self) -> list[int]:
+        """The members as a plain ascending ``list[int]``."""
+        if _USE_NUMPY and not isinstance(self._data, array):
+            return [int(v) for v in self._data]
+        return self._data.tolist()
+
+    def to_set(self) -> set[int]:
+        """The members as a plain ``set[int]`` (the reference shape)."""
+        return set(self._data)
+
+    # ------------------------------------------------------------------
+    # Sequence / container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __bool__(self) -> bool:
+        return len(self._data) > 0
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._data)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [int(v) for v in self._data[index]]
+        return int(self._data[index])
+
+    def __contains__(self, oid: object) -> bool:
+        if not isinstance(oid, int):
+            return False
+        data = self._data
+        position = bisect_left(data, oid)
+        return position < len(data) and data[position] == oid
+
+    def __repr__(self) -> str:
+        # Bounded on purpose: reprs run inside debug/trace paths and an
+        # extent can hold millions of oids.
+        shown = self[:6]
+        suffix = ", ..." if len(self) > 6 else ""
+        body = ", ".join(str(v) for v in shown)
+        return f"Extent([{body}{suffix}], n={len(self)})"
+
+    # ------------------------------------------------------------------
+    # Equality / ordering (set semantics)
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Extent):
+            da, db = self._data, other._data
+            if len(da) != len(db):
+                return False
+            if isinstance(da, array) and isinstance(db, array):
+                return da == db
+            if not isinstance(da, array) and not isinstance(db, array):
+                return bool((da == db).all())
+            # Mixed backends (one array, one numpy): elementwise walk —
+            # numpy's == on an array operand is ambiguous as a truth
+            # value.
+            return all(int(x) == int(y) for x, y in zip(da, db))
+        if isinstance(other, (set, frozenset)):
+            return len(other) == len(self._data) and \
+                all(v in other for v in self._data)
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    # Extents compare by membership, not identity, and are not meant to
+    # key dicts (convert to frozenset for that), so hashing is disabled
+    # to catch accidental set-of-extents usage early.
+    __hash__ = None  # type: ignore[assignment]
+
+    def __le__(self, other) -> bool:
+        """Subset test (``extent <= other``)."""
+        if isinstance(other, Extent):
+            return extent_is_subset(self, other)
+        if isinstance(other, (set, frozenset)):
+            return all(v in other for v in self._data)
+        return NotImplemented
+
+    def __ge__(self, other) -> bool:
+        if isinstance(other, Extent):
+            return extent_is_subset(other, self)
+        if isinstance(other, (set, frozenset)):
+            return all(v in self for v in other)
+        return NotImplemented
+
+    def __lt__(self, other) -> bool:
+        le = self.__le__(other)
+        if le is NotImplemented:
+            return le
+        return le and len(self) != len(other)
+
+    def __gt__(self, other) -> bool:
+        ge = self.__ge__(other)
+        if ge is NotImplemented:
+            return ge
+        return ge and len(self) != len(other)
+
+    def isdisjoint(self, other) -> bool:
+        if isinstance(other, Extent):
+            return not extent_intersect(self, other)
+        return self.to_set().isdisjoint(other)
+
+    # ------------------------------------------------------------------
+    # Set algebra.  Extent op Extent -> Extent (canonical merge);
+    # mixed-operand ops return plain sets so callers that accumulate
+    # into mutable working sets keep their idioms.
+    # ------------------------------------------------------------------
+    def __and__(self, other):
+        if isinstance(other, Extent):
+            return extent_intersect(self, other)
+        if isinstance(other, (set, frozenset)):
+            return other.intersection(self._data)
+        return NotImplemented
+
+    __rand__ = __and__
+
+    def __or__(self, other):
+        if isinstance(other, Extent):
+            return extent_union(self, other)
+        if isinstance(other, (set, frozenset)):
+            return other.union(self._data)
+        return NotImplemented
+
+    __ror__ = __or__
+
+    def __sub__(self, other):
+        if isinstance(other, Extent):
+            return extent_difference(self, other)
+        if isinstance(other, (set, frozenset)):
+            return self.to_set().difference(other)
+        return NotImplemented
+
+    def __rsub__(self, other):
+        if isinstance(other, (set, frozenset)):
+            return other.difference(self._data)
+        return NotImplemented
+
+
+# ----------------------------------------------------------------------
+# Set-algebra kernels (the compact data plane's merge helpers)
+# ----------------------------------------------------------------------
+def _as_extent(value) -> Extent:
+    if isinstance(value, Extent):
+        return value
+    return Extent.from_iterable(value)
+
+
+def _differential_guard(op: str, a: Extent, b: Extent,
+                        result: Extent) -> None:
+    reference = getattr(set(a), op)(set(b))
+    if set(result) != reference or list(result) != sorted(reference):
+        raise ExtentMismatch(
+            f"extent_{op} diverged from set reference: "
+            f"got {list(result)[:10]}..., want {sorted(reference)[:10]}...")
+
+
+def extent_intersect(a, b) -> Extent:
+    """``a ∩ b`` as a canonical extent (C hash kernel + sort;
+    bisect gallop when one side is much smaller)."""
+    a, b = _as_extent(a), _as_extent(b)
+    if len(a) > len(b):
+        a, b = b, a
+    da, db = a._data, b._data
+    out: list[int] = []
+    if not len(da) or not len(db):
+        result = Extent.from_sorted(out)
+    elif _USE_NUMPY and not isinstance(da, array) \
+            and not isinstance(db, array):
+        result = Extent(_NP.intersect1d(da, db, assume_unique=True))
+    elif len(db) > 8 * len(da):
+        # Gallop: bisect each member of the small side into the large —
+        # O(|a| log |b|), beats any whole-operand pass when sizes skew.
+        nb = len(db)
+        lo = 0
+        for value in da:
+            lo = bisect_left(db, value, lo)
+            if lo >= nb:
+                break
+            if db[lo] == value:
+                out.append(value)
+        result = Extent.from_sorted(out)
+    else:
+        # Balanced sizes: C-level hash intersection + C sort beats an
+        # interpreted merge loop at every size CPython reaches; the
+        # sorted() is what makes the result canonical again.
+        result = Extent.from_sorted(sorted(set(da).intersection(db)))
+    if _DIFFERENTIAL:
+        _differential_guard("intersection", a, b, result)
+    return result
+
+
+def extent_union(a, b) -> Extent:
+    """``a ∪ b`` as a canonical extent (C hash kernel + sort)."""
+    a, b = _as_extent(a), _as_extent(b)
+    da, db = a._data, b._data
+    if not len(da):
+        result = b
+    elif not len(db):
+        result = a
+    elif _USE_NUMPY and not isinstance(da, array) \
+            and not isinstance(db, array):
+        result = Extent(_NP.union1d(da, db))
+    else:
+        # C-level hash union + C sort; see extent_intersect.
+        union = set(da)
+        union.update(db)
+        result = Extent.from_sorted(sorted(union))
+    if _DIFFERENTIAL:
+        _differential_guard("union", a, b, result)
+    return result
+
+
+def extent_difference(a, b) -> Extent:
+    """``a \\ b`` as a canonical extent (C hash kernel + sort)."""
+    a, b = _as_extent(a), _as_extent(b)
+    da, db = a._data, b._data
+    if not len(da) or not len(db):
+        result = a
+    elif _USE_NUMPY and not isinstance(da, array) \
+            and not isinstance(db, array):
+        result = Extent(_NP.setdiff1d(da, db, assume_unique=True))
+    else:
+        # C-level hash difference + C sort; see extent_intersect.
+        result = Extent.from_sorted(sorted(set(da).difference(db)))
+    if _DIFFERENTIAL:
+        _differential_guard("difference", a, b, result)
+    return result
+
+
+def extent_contains(extent, oid: int) -> bool:
+    """Membership probe (bisect; O(log n))."""
+    extent = _as_extent(extent)
+    result = oid in extent
+    if _DIFFERENTIAL and result != (oid in set(extent)):
+        raise ExtentMismatch(
+            f"extent_contains({oid}) diverged from set reference")
+    return result
+
+
+def extent_is_subset(a, b) -> bool:
+    """Is every member of ``a`` in ``b``? (merge walk with galloping)."""
+    a, b = _as_extent(a), _as_extent(b)
+    da, db = a._data, b._data
+    na, nb = len(da), len(db)
+    if na > nb:
+        result = False
+    elif na == 0:
+        result = True
+    elif nb > 8 * na:
+        lo = 0
+        result = True
+        for value in da:
+            lo = bisect_left(db, value, lo)
+            if lo >= nb or db[lo] != value:
+                result = False
+                break
+    else:
+        i = j = 0
+        result = True
+        while i < na:
+            if j >= nb:
+                result = False
+                break
+            va, vb = da[i], db[j]
+            if va == vb:
+                i += 1
+                j += 1
+            elif va > vb:
+                j += 1
+            else:
+                result = False
+                break
+    if _DIFFERENTIAL and result != set(a).issubset(set(b)):
+        raise ExtentMismatch("extent_is_subset diverged from set reference")
+    return result
+
+
+_init_numpy_flag()

@@ -84,7 +84,7 @@ class DocumentGenerator:
                     count = rng.randint(1, reference.max_targets)
                     for _ in range(count):
                         target = pool[rng.randrange(len(pool))]
-                        if target == oid or target in graph.children(oid):
+                        if target == oid or graph.has_edge(oid, target):
                             continue
                         graph.add_edge(oid, target, kind=EdgeKind.REFERENCE)
 

@@ -261,7 +261,7 @@ def run_update_experiment(graph: DataGraph, workload: Workload,
     while added < references:
         source = rng.randrange(graph.num_nodes)
         target = rng.randrange(graph.num_nodes)
-        if source == target or target in graph.children(source):
+        if source == target or graph.has_edge(source, target):
             continue
         add_reference(graph, source, target, indexes=[index])
         added += 1

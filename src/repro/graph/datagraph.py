@@ -10,12 +10,33 @@ An XML document is represented by a labeled directed graph
 Both kinds participate identically in path-expression semantics (a label
 path may traverse either), which is how the paper treats them; the kind is
 retained only for statistics and serialisation.
+
+Compact data plane
+------------------
+Labels are interned at :meth:`DataGraph.add_node` time into a dense
+first-occurrence table, so every node also carries an integer *label id*
+(``label_ids()``) — the same numbering :func:`repro.indexes.partition.label_blocks`
+assigns, which makes level-0 block assignment a straight array copy.
+
+After construction, :meth:`DataGraph.freeze` packs both adjacency
+directions into CSR arrays (:class:`repro.graph.compact.CompactAdjacency`)
+— ``array('i')`` offsets plus flat targets, optionally ``numpy.int32``
+behind a flag.  Frozen graphs answer the same adjacency queries from
+contiguous memory; :meth:`thaw` (invoked automatically by the mutating
+methods) restores the append-friendly list-of-lists form, so document
+updates keep working unchanged.
 """
 
 from __future__ import annotations
 
 import enum
+import os
 from collections.abc import Iterable, Iterator
+
+from repro.graph.compact import AdjacencyListView, CompactAdjacency, ReadonlyRow
+
+#: Environment flag: freeze() defaults to the numpy CSR backend when set.
+_NUMPY_ENV = "REPRO_GRAPH_NUMPY"
 
 
 class EdgeKind(enum.Enum):
@@ -25,6 +46,11 @@ class EdgeKind(enum.Enum):
     REFERENCE = "reference"
 
 
+def _edge_key(parent: int, child: int) -> int:
+    # Packed (parent, child) pair; oids are dense ints far below 2**31.
+    return (parent << 32) | child
+
+
 class DataGraph:
     """A labeled directed graph over integer oids.
 
@@ -32,18 +58,30 @@ class DataGraph:
     starting at 0.  The first node added is the root by default (it can be
     changed via :attr:`root`).  Edges are added with :meth:`add_edge`.
 
-    The graph is append-only: indexes built on top of it keep references to
-    its adjacency lists, and the experiments in the paper never mutate the
-    document while an index is live.
+    Indexes built on top of the graph read its adjacency through
+    :meth:`child_rows`/:meth:`parent_rows` (internal fast path) or the
+    read-only public accessors; the experiments in the paper never mutate
+    the document while an index is live, and incremental maintenance goes
+    through the mutating methods here, which automatically :meth:`thaw` a
+    frozen graph first.
     """
 
-    __slots__ = ("_labels", "_children", "_parents", "_edge_kinds", "root",
-                 "_label_index_cache")
+    __slots__ = ("_labels", "_label_table", "_label_to_id", "_label_ids",
+                 "_children", "_parents", "_csr_children", "_csr_parents",
+                 "_edge_set", "_edge_kinds", "root", "_label_index_cache")
 
     def __init__(self) -> None:
         self._labels: list[str] = []
-        self._children: list[list[int]] = []
-        self._parents: list[list[int]] = []
+        # Interned labels: dense ids in first-occurrence order.
+        self._label_table: list[str] = []
+        self._label_to_id: dict[str, int] = {}
+        self._label_ids: list[int] = []
+        self._children: list[list[int]] | None = []
+        self._parents: list[list[int]] | None = []
+        self._csr_children: CompactAdjacency | None = None
+        self._csr_parents: CompactAdjacency | None = None
+        # Packed (parent << 32 | child) keys: O(1) duplicate-edge checks.
+        self._edge_set: set[int] = set()
         # (u, v) -> EdgeKind; absent for REGULAR to keep the dict small.
         self._edge_kinds: dict[tuple[int, int], EdgeKind] = {}
         self.root: int = 0
@@ -56,8 +94,15 @@ class DataGraph:
         """Add a node with the given label and return its oid."""
         if not isinstance(label, str) or not label:
             raise ValueError(f"node label must be a non-empty string, got {label!r}")
+        self._ensure_mutable()
         oid = len(self._labels)
         self._labels.append(label)
+        label_id = self._label_to_id.get(label)
+        if label_id is None:
+            label_id = len(self._label_table)
+            self._label_to_id[label] = label_id
+            self._label_table.append(label)
+        self._label_ids.append(label_id)
         self._children.append([])
         self._parents.append([])
         self._label_index_cache = None
@@ -69,12 +114,16 @@ class DataGraph:
 
         Parallel edges are rejected: the index definitions in the paper are
         in terms of edge *existence* between extents, so multi-edges carry
-        no information.
+        no information.  The membership check is O(1) against the packed
+        edge set, keeping bulk loads linear on high-fanout nodes.
         """
         self._check_oid(parent)
         self._check_oid(child)
-        if child in self._children[parent]:
+        key = _edge_key(parent, child)
+        if key in self._edge_set:
             raise ValueError(f"duplicate edge ({parent}, {child})")
+        self._ensure_mutable()
+        self._edge_set.add(key)
         self._children[parent].append(child)
         self._parents[child].append(parent)
         if kind is not EdgeKind.REGULAR:
@@ -85,6 +134,62 @@ class DataGraph:
             raise KeyError(f"no node with oid {oid}")
 
     # ------------------------------------------------------------------
+    # Freeze / thaw (compact data plane)
+    # ------------------------------------------------------------------
+    @property
+    def frozen(self) -> bool:
+        """Is the adjacency currently in compact CSR form?"""
+        return self._children is None
+
+    def freeze(self, use_numpy: bool | None = None) -> "DataGraph":
+        """Pack both adjacency directions into CSR arrays.
+
+        Row order is preserved exactly, so everything observable through
+        the accessors — including digests — is unchanged.  ``use_numpy``
+        selects the ``numpy.int32`` backend; ``None`` defers to the
+        ``REPRO_GRAPH_NUMPY`` environment flag.  Returns ``self`` so
+        builders can end with ``return graph.freeze()``.
+        """
+        if self.frozen:
+            return self
+        numpy_module = None
+        if use_numpy is None:
+            use_numpy = os.environ.get(_NUMPY_ENV, "") not in ("", "0")
+        if use_numpy:
+            try:
+                import numpy as numpy_module
+            except ImportError:  # pragma: no cover - numpy present in CI
+                numpy_module = None
+        self._csr_children = CompactAdjacency(self._children, numpy_module)
+        self._csr_parents = CompactAdjacency(self._parents, numpy_module)
+        self._children = None
+        self._parents = None
+        return self
+
+    def thaw(self) -> "DataGraph":
+        """Restore list-of-lists adjacency (the mutable form)."""
+        if not self.frozen:
+            return self
+        csr_children, csr_parents = self._csr_children, self._csr_parents
+        self._children = [csr_children.row_list(oid)
+                          for oid in range(len(csr_children))]
+        self._parents = [csr_parents.row_list(oid)
+                         for oid in range(len(csr_parents))]
+        self._csr_children = None
+        self._csr_parents = None
+        return self
+
+    def _ensure_mutable(self) -> None:
+        if self.frozen:
+            self.thaw()
+
+    def adjacency_nbytes(self) -> int | None:
+        """CSR payload bytes when frozen (``None`` while mutable)."""
+        if not self.frozen:
+            return None
+        return self._csr_children.nbytes() + self._csr_parents.nbytes()
+
+    # ------------------------------------------------------------------
     # Inspection
     # ------------------------------------------------------------------
     @property
@@ -93,7 +198,7 @@ class DataGraph:
 
     @property
     def num_edges(self) -> int:
-        return sum(len(kids) for kids in self._children)
+        return len(self._edge_set)
 
     @property
     def num_reference_edges(self) -> int:
@@ -108,30 +213,78 @@ class DataGraph:
         """The label list indexed by oid (do not mutate)."""
         return self._labels
 
-    def children(self, oid: int) -> list[int]:
-        """Children of ``oid`` (regular and reference targets alike)."""
-        return self._children[oid]
+    @property
+    def label_table(self) -> tuple[str, ...]:
+        """Distinct labels in first-occurrence (interning) order."""
+        return tuple(self._label_table)
 
-    def parents(self, oid: int) -> list[int]:
-        """Parents of ``oid`` (regular and reference sources alike)."""
-        return self._parents[oid]
+    def label_ids(self) -> list[int]:
+        """Interned label ids indexed by oid (do not mutate).
+
+        Ids are dense, assigned in first-occurrence order — the same
+        numbering :func:`repro.indexes.partition.label_blocks` produces,
+        so level-0 partition blocks are a copy of this list.
+        """
+        return self._label_ids
+
+    def label_id_of(self, label: str) -> int:
+        """The interned id of ``label`` (-1 when absent from the graph)."""
+        return self._label_to_id.get(label, -1)
+
+    def children(self, oid: int) -> ReadonlyRow:
+        """Children of ``oid`` (regular and reference targets alike).
+
+        The returned view is read-only; it compares equal to a plain
+        list with the same contents.
+        """
+        return ReadonlyRow(self.child_rows()[oid])
+
+    def parents(self, oid: int) -> ReadonlyRow:
+        """Parents of ``oid`` (regular and reference sources alike).
+
+        Read-only view; see :meth:`children`.
+        """
+        return ReadonlyRow(self.parent_rows()[oid])
 
     @property
-    def child_lists(self) -> list[list[int]]:
-        """Adjacency (children) lists indexed by oid (do not mutate)."""
-        return self._children
+    def child_lists(self) -> AdjacencyListView:
+        """Read-only adjacency (children) view indexed by oid."""
+        return AdjacencyListView(self, forward=True)
 
     @property
-    def parent_lists(self) -> list[list[int]]:
-        """Reverse adjacency (parents) lists indexed by oid (do not mutate)."""
-        return self._parents
+    def parent_lists(self) -> AdjacencyListView:
+        """Read-only reverse adjacency (parents) view indexed by oid."""
+        return AdjacencyListView(self, forward=False)
+
+    def child_rows(self):
+        """Raw children adjacency rows (internal fast path).
+
+        ``rows[oid]`` is the row of ``oid``: a list while mutable, a
+        read-only CSR slice when frozen.  Callers must treat rows as
+        immutable — the public accessors enforce this; this accessor
+        skips the wrapper for hot loops.
+        """
+        if self._children is not None:
+            return self._children
+        return self._csr_children
+
+    def parent_rows(self):
+        """Raw parents adjacency rows (internal fast path); see
+        :meth:`child_rows`."""
+        if self._parents is not None:
+            return self._parents
+        return self._csr_parents
+
+    def has_edge(self, parent: int, child: int) -> bool:
+        """Does the edge ``parent -> child`` exist? (O(1))."""
+        return _edge_key(parent, child) in self._edge_set
 
     def edge_kind(self, parent: int, child: int) -> EdgeKind:
         """Return the kind of edge ``parent -> child``.
 
         Raises ``KeyError`` if the edge does not exist.
         """
-        if child not in self._children[parent]:
+        if not self.has_edge(parent, child):
             raise KeyError(f"no edge ({parent}, {child})")
         return self._edge_kinds.get((parent, child), EdgeKind.REGULAR)
 
@@ -141,13 +294,14 @@ class DataGraph:
 
     def edges(self) -> Iterator[tuple[int, int]]:
         """Iterate over all edges as ``(parent, child)`` pairs."""
-        for parent, kids in enumerate(self._children):
-            for child in kids:
-                yield parent, child
+        rows = self.child_rows()
+        for parent in range(len(self._labels)):
+            for child in rows[parent]:
+                yield parent, int(child)
 
     def alphabet(self) -> set[str]:
         """The set of distinct labels (``Sigma_G``)."""
-        return set(self._labels)
+        return set(self._label_table)
 
     def nodes_with_label(self, label: str) -> list[int]:
         """All oids carrying ``label`` (cached; cache reset on mutation)."""
@@ -177,11 +331,13 @@ class DataGraph:
     # ------------------------------------------------------------------
     def reachable_from_root(self) -> set[int]:
         """Oids reachable from the root (a well-formed document covers all)."""
+        rows = self.child_rows()
         seen = {self.root}
         stack = [self.root]
         while stack:
             node = stack.pop()
-            for child in self._children[node]:
+            for child in rows[node]:
+                child = int(child)
                 if child not in seen:
                     seen.add(child)
                     stack.append(child)

@@ -76,7 +76,7 @@ def index_to_networkx(index_graph: IndexGraph) -> "nx.DiGraph":
     digraph = nx.DiGraph()
     for nid, node in index_graph.nodes.items():
         digraph.add_node(nid, label=node.label, k=node.k,
-                         extent=tuple(sorted(node.extent)),
+                         extent=tuple(node.extent),
                          size=len(node.extent))
     for nid in index_graph.nodes:
         for child in index_graph.children_of(nid):

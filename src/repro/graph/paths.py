@@ -18,7 +18,7 @@ from repro.graph.datagraph import DataGraph
 
 def succ_set(graph: DataGraph, oids: Iterable[int]) -> set[int]:
     """``Succ(s)``: all data nodes that are children of some node in ``s``."""
-    children = graph.child_lists
+    children = graph.child_rows()
     result: set[int] = set()
     for oid in oids:
         result.update(children[oid])
@@ -27,7 +27,7 @@ def succ_set(graph: DataGraph, oids: Iterable[int]) -> set[int]:
 
 def pred_set(graph: DataGraph, oids: Iterable[int]) -> set[int]:
     """``Pred(s)``: all data nodes that are parents of some node in ``s``."""
-    parents = graph.parent_lists
+    parents = graph.parent_rows()
     result: set[int] = set()
     for oid in oids:
         result.update(parents[oid])
@@ -54,7 +54,7 @@ def label_path_target_set(graph: DataGraph, labels: Sequence[str],
     else:
         frontier = {oid for oid in start
                     if first == "*" or node_labels[oid] == first}
-    children = graph.child_lists
+    children = graph.child_rows()
     for label in labels[1:]:
         next_frontier: set[int] = set()
         for oid in frontier:
@@ -92,7 +92,7 @@ def enumerate_rooted_label_paths(graph: DataGraph, max_length: int,
     if max_length < 0:
         raise ValueError("max_length must be >= 0")
     node_labels = graph.labels
-    children = graph.child_lists
+    children = graph.child_rows()
 
     if include_root_label:
         seeds: list[tuple[tuple[str, ...], frozenset[int]]] = [

@@ -18,6 +18,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
+from repro.core.extents import Extent
 from repro.cost.counters import CostCounter
 from repro.graph.datagraph import DataGraph
 from repro.indexes.partition import kbisimulation_blocks, refine_once
@@ -27,19 +28,30 @@ from repro.queries.pathexpr import WILDCARD, PathExpression
 
 
 class IndexNode:
-    """One equivalence class of data nodes."""
+    """One equivalence class of data nodes.
+
+    ``extent`` is an immutable sorted int array (:class:`Extent`); the
+    constructor canonicalises whatever iterable it is given.  All set
+    algebra against plain sets keeps working (``Extent`` interoperates),
+    but iteration order is now always ascending-oid.
+    """
 
     __slots__ = ("nid", "label", "k", "extent")
 
-    def __init__(self, nid: int, label: str, k: int, extent: set[int]) -> None:
+    def __init__(self, nid: int, label: str, k: int,
+                 extent: Iterable[int]) -> None:
         self.nid = nid
         self.label = label
         self.k = k
-        self.extent = extent
+        self.extent = Extent.from_iterable(extent)
 
     def __repr__(self) -> str:
-        sample = sorted(self.extent)
-        shown = sample if len(sample) <= 6 else sample[:6] + ["..."]
+        # The extent is pre-sorted: sampling the first few elements is
+        # O(1), where sorting the whole extent for a sample was O(n log n)
+        # per repr call inside debug/trace paths.
+        shown: list = self.extent[:6]
+        if len(self.extent) > 6:
+            shown = shown + ["..."]
         return f"IndexNode({self.nid}, {self.label!r}, k={self.k}, extent={shown})"
 
 
@@ -122,7 +134,7 @@ class IndexGraph:
         return cls.from_extents(graph, ((extent, k)
                                         for _, extent in sorted(extents.items())))
 
-    def _add_node(self, extent: set[int], k: int) -> int:
+    def _add_node(self, extent: Iterable[int], k: int) -> int:
         if not extent:
             raise ValueError("index node extent must be non-empty")
         labels = {self.graph.labels[oid] for oid in extent}
@@ -195,8 +207,9 @@ class IndexGraph:
 
     def extents(self) -> list[frozenset[int]]:
         """All extents as a canonical (sorted) list of frozensets."""
-        return sorted((frozenset(node.extent) for node in self.nodes.values()),
-                      key=lambda extent: min(extent))
+        # Extents are pre-sorted arrays: their first element IS min().
+        return [frozenset(node.extent) for node in
+                sorted(self.nodes.values(), key=lambda node: node.extent[0])]
 
     def root_node(self) -> IndexNode:
         return self.node_containing(self.graph.root)
@@ -261,8 +274,8 @@ class IndexGraph:
         # index-node assignments were updated by _add_node, so edges among
         # the parts themselves come out right too.
         node_of = self.node_of
-        graph_children = self.graph.child_lists
-        graph_parents = self.graph.parent_lists
+        graph_children = self.graph.child_rows()
+        graph_parents = self.graph.parent_rows()
         for new_id in new_ids:
             extent = self.nodes[new_id].extent
             children_out = self._children[new_id]
@@ -488,7 +501,7 @@ class IndexGraph:
             required = required_similarity(self.graph, expr)
             for node in targets:
                 if node.k >= required:
-                    answers |= node.extent
+                    answers.update(node.extent)
                 else:
                     validated = True
                     answers |= validate_extent(self.graph, expr,
@@ -511,7 +524,7 @@ class IndexGraph:
             overlap = seen & node.extent
             if overlap:
                 raise AssertionError(f"extent overlap at oids {sorted(overlap)[:5]}")
-            seen |= node.extent
+            seen.update(node.extent)
             for oid in node.extent:
                 if self.node_of[oid] != node.nid:
                     raise AssertionError(f"node_of[{oid}] stale")

@@ -42,7 +42,7 @@ class DataGuide:
         self._state_ids: dict[frozenset[int], int] = {}
 
         node_labels = graph.labels
-        children = graph.child_lists
+        children = graph.child_rows()
         root_state = frozenset({graph.root})
         self._add_state(root_state)
         worklist = [0]

@@ -184,7 +184,7 @@ class DkIndex:
         pending = set(extent)
         while pending:
             piece = self.index.nodes[node_of[min(pending)]]
-            pending -= piece.extent
+            pending.difference_update(piece.extent)
             if piece.k >= kv:
                 continue
             # Lines 3-4: recursively promote *all* parents (this is where
@@ -198,7 +198,7 @@ class DkIndex:
             sub_pending = set(piece.extent)
             while sub_pending:
                 sub_piece = self.index.nodes[node_of[min(sub_pending)]]
-                sub_pending -= sub_piece.extent
+                sub_pending.difference_update(sub_piece.extent)
                 if sub_piece.k >= kv:
                     continue
                 self._split_by_parents(sub_piece, kv)

@@ -125,6 +125,14 @@ def _reclamp_links(index: MStarIndex) -> None:
     results may rely on, and ``replace_node`` is the one mutation path
     that bumps the mutation counter and per-label versions the cache
     tokens pin.
+
+    Every clamp then relaxes Property 3 below the clamped node
+    (:func:`_restore_property3`).  The BFS demotion itself preserves
+    Property 3, but a clamp lowers one node out-of-band: a child keeping
+    ``k`` much larger than its parent's holds a certificate that chains
+    through that parent — queries reaching the child through it would be
+    served verbatim on the strength of paths the parent no longer
+    vouches for.
     """
     for i in range(1, len(index.components)):
         coarser = index.components[i - 1]
@@ -138,6 +146,36 @@ def _reclamp_links(index: MStarIndex) -> None:
         for nid, limit in clamps:
             component.replace_node(
                 nid, [(set(component.nodes[nid].extent), limit)])
+        _restore_property3(component, [nid for nid, _ in clamps])
+
+
+def _restore_property3(component: IndexGraph, seeds: Sequence[int]) -> None:
+    """Push lowered similarity claims down from ``seeds`` until every
+    index edge again satisfies ``u.k >= v.k - 1`` (Property 3).
+
+    The verbatim-serving certificate is chained: ``v.k >= len(p)`` only
+    proves every member of ``v.extent`` has incoming path ``p`` when
+    each ancestor along ``p`` vouches for the remaining prefix, which is
+    exactly what Property 3 encodes.  A node whose parent's claim just
+    dropped must therefore drop to ``parent.k + 1`` itself, recursively.
+    Lowering ``k`` is always sound, and the relaxation is monotone, so
+    the fixpoint is unique and termination is bounded by total ``k``
+    mass.  Children are visited in sorted order to keep the number of
+    ``replace_node`` commits (and hence cache-token counters)
+    deterministic.
+    """
+    frontier = sorted(seeds)
+    while frontier:
+        next_frontier: list[int] = []
+        for nid in frontier:
+            bound = component.nodes[nid].k + 1
+            for child in sorted(component.children_of(nid)):
+                node = component.nodes[child]
+                if node.k > bound:
+                    component.replace_node(
+                        child, [(set(node.extent), bound)])
+                    next_frontier.append(child)
+        frontier = next_frontier
 
 
 def _commit_epoch(indexes: Iterable) -> None:

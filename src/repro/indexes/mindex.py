@@ -227,7 +227,7 @@ class MkIndex:
         pending = set(extent)
         while pending:
             piece = self.index.nodes[node_of[min(pending)]]
-            pending -= piece.extent
+            pending.difference_update(piece.extent)
             piece_relevant = relevant_data & piece.extent
             if not piece_relevant or piece.k >= k:
                 continue
@@ -245,7 +245,7 @@ class MkIndex:
             sub_pending = set(piece.extent)
             while sub_pending:
                 sub_piece = self.index.nodes[node_of[min(sub_pending)]]
-                sub_pending -= sub_piece.extent
+                sub_pending.difference_update(sub_piece.extent)
                 sub_relevant = relevant_data & sub_piece.extent
                 if not sub_relevant or sub_piece.k >= k:
                     continue
@@ -324,7 +324,7 @@ class MkIndex:
         pending = set(extent)
         while pending:
             piece = self.index.nodes[node_of[min(pending)]]
-            pending -= piece.extent
+            pending.difference_update(piece.extent)
             if piece.k >= kv:
                 continue
             parent_extents = [set(self.index.nodes[parent].extent)
@@ -334,7 +334,7 @@ class MkIndex:
             sub_pending = set(piece.extent)
             while sub_pending:
                 sub_piece = self.index.nodes[node_of[min(sub_pending)]]
-                sub_pending -= sub_piece.extent
+                sub_pending.difference_update(sub_piece.extent)
                 if sub_piece.k >= kv:
                     continue
                 self._split_by_all_parents(sub_piece, kv)

@@ -333,7 +333,7 @@ class MStarIndex:
         while pending:
             piece_nid = comp.node_of[min(pending)]
             piece = comp.nodes[piece_nid]
-            pending -= piece.extent
+            pending.difference_update(piece.extent)
             piece_relevant = relevant_data & piece.extent
             if not piece_relevant or piece.k >= k:
                 continue
@@ -357,7 +357,7 @@ class MStarIndex:
             while sub_pending:
                 sub_nid = comp.node_of[min(sub_pending)]
                 sub = comp.nodes[sub_nid]
-                sub_pending -= sub.extent
+                sub_pending.difference_update(sub.extent)
                 sub_relevant = relevant_data & sub.extent
                 if not sub_relevant or sub.k >= k:
                     continue
@@ -452,7 +452,7 @@ class MStarIndex:
         while pending:
             piece_nid = comp.node_of[min(pending)]
             piece = comp.nodes[piece_nid]
-            pending -= piece.extent
+            pending.difference_update(piece.extent)
             if piece.k >= k:
                 continue
             sup = self.supernode[k][piece_nid]
@@ -465,7 +465,7 @@ class MStarIndex:
             while sub_pending:
                 sub_nid = comp.node_of[min(sub_pending)]
                 sub = comp.nodes[sub_nid]
-                sub_pending -= sub.extent
+                sub_pending.difference_update(sub.extent)
                 if sub.k >= k:
                     continue
                 representative = min(sub.extent)
@@ -633,7 +633,7 @@ class MStarIndex:
                 for sub in subs:
                     if self.supernode[i][sub] != sup:
                         raise AssertionError("sub/supernode maps disagree")
-                    extent_union |= comp.nodes[sub].extent
+                    extent_union.update(comp.nodes[sub].extent)
                 if extent_union != coarser.nodes[sup].extent:
                     raise AssertionError(
                         f"subnodes of I{i - 1}:{sup} do not cover its extent")

@@ -45,7 +45,7 @@ def _finish(index: "MStarIndex", expr: PathExpression, component: int,
     validated = False
     for node in targets:
         if node.k >= required:
-            answers |= node.extent
+            answers.update(node.extent)
         else:
             validated = True
             answers |= validate_extent(index.graph, expr, node.extent, cost)

@@ -33,7 +33,7 @@ def validate_outgoing(graph: DataGraph, expr: PathExpression, oid: int,
     node_labels = graph.labels
     if not expr.matches_label(0, node_labels[oid]):
         return False
-    children = graph.child_lists
+    children = graph.child_rows()
     frontier = {oid}
     for position in range(1, len(expr.labels)):
         next_frontier: set[int] = set()
@@ -116,7 +116,7 @@ class UDIndex:
         validated = False
         for node in targets:
             if self.l >= expr.length:
-                answers |= node.extent
+                answers.update(node.extent)
             else:
                 validated = True
                 for oid in node.extent:

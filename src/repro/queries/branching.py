@@ -166,7 +166,7 @@ def satisfying_nodes(graph: DataGraph, predicate: PathExpression,
         frontier = set(graph.nodes_with_label(last))
     if counter is not None:
         counter.data_visits += len(frontier)
-    parents = graph.parent_lists
+    parents = graph.parent_rows()
     for position in range(len(predicate.labels) - 2, -1, -1):
         label = predicate.labels[position]
         climbed: set[int] = set()
@@ -186,7 +186,7 @@ def evaluate_branching(graph: DataGraph, expr: BranchingPathExpression,
                        counter: CostCounter | None = None) -> set[int]:
     """Exact target set of a branching expression on the data graph."""
     node_labels = graph.labels
-    children = graph.child_lists
+    children = graph.child_rows()
 
     def step_filter(candidates: set[int], step: Step) -> set[int]:
         for predicate in step.predicates:
@@ -255,7 +255,7 @@ def validate_branching_candidate(graph: DataGraph,
                 graph, PathExpression((last_step.label,), rooted=True), oid,
                 counter)
         return True
-    parents = graph.parent_lists
+    parents = graph.parent_rows()
     frontier = {oid}
     for position in range(len(expr.steps) - 2, -1, -1):
         step = expr.steps[position]
@@ -392,7 +392,7 @@ def branching_answer(index_graph, expr: BranchingPathExpression,
     validated = False
     for node in targets:
         if skip_validation:
-            answers |= node.extent
+            answers.update(node.extent)
             continue
         validated = True
         for oid in node.extent:

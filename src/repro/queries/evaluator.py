@@ -70,7 +70,7 @@ def evaluate_on_data_graph(graph: DataGraph, expr: PathExpression,
 def _navigate(graph: DataGraph, expr: PathExpression,
               counter: CostCounter | None = None) -> set[int]:
     node_labels = graph.labels
-    children = graph.child_lists
+    children = graph.child_rows()
     first = expr.labels[0]
     if expr.rooted:
         frontier = {child for child in children[graph.root]
@@ -143,7 +143,7 @@ def validate_candidate(graph: DataGraph, expr: PathExpression, oid: int,
     node_labels = graph.labels
     if not expr.matches_label(len(expr.labels) - 1, node_labels[oid]):
         return False
-    parents = graph.parent_lists
+    parents = graph.parent_rows()
     frontier = {oid}
     for position in range(len(expr.labels) - 2, -1, -1):
         if (position + 1) in expr.descendant_steps:
@@ -219,7 +219,7 @@ def find_instance(graph: DataGraph, expr: PathExpression, oid: int,
     node_labels = graph.labels
     if not expr.matches_label(len(expr.labels) - 1, node_labels[oid]):
         return None
-    parents = graph.parent_lists
+    parents = graph.parent_rows()
     # levels[i] maps a node matching label position i to the child that
     # led to it (position len-1 holds the candidate itself).
     levels: list[dict[int, int | None]] = [{oid: None}]

@@ -119,7 +119,7 @@ def generate_twig_queries(graph: DataGraph, num_queries: int,
                              max_length=max_trunk_length, seed=seed)
     rng = random.Random(seed + 1)
     node_labels = graph.labels
-    children = graph.child_lists
+    children = graph.child_rows()
     queries = []
     for trunk in base:
         steps = []

@@ -80,7 +80,7 @@ def random_update(serving: ServingEngine, rng: random.Random) -> str:
         for _ in range(8):
             source = rng.randrange(graph.num_nodes)
             target = rng.randrange(1, graph.num_nodes)
-            if target != source and target not in graph.children(source):
+            if target != source and not graph.has_edge(source, target):
                 serving.add_reference(source, target)
                 return f"add_reference({source} -> {target})"
     parent = rng.randrange(graph.num_nodes)

@@ -127,7 +127,7 @@ class DiskMStarIndex:
                                    for sub in index.subnodes[i][nid])
                             if not is_last else [])
                 record = encode_index_node(dense, label_ids[node.label],
-                                           node.k, sorted(node.extent),
+                                           node.k, list(node.extent),
                                            children, subnodes)
                 directory.setdefault(node.label, []).append(dense)
                 if current and current_size + len(record) > page_size:

@@ -190,7 +190,7 @@ def save_mstar(index: MStarIndex, path: str) -> None:
                             if not is_last else [])
                 out.write(encode_index_node(
                     mapping[nid], label_ids[node.label], node.k,
-                    sorted(node.extent), children, subnodes))
+                    list(node.extent), children, subnodes))
 
 
 def load_mstar(path: str, graph: DataGraph) -> MStarIndex:
@@ -233,7 +233,7 @@ def load_mstar(path: str, graph: DataGraph) -> MStarIndex:
             label = table[record["label_id"]]
             if any(graph.labels[oid] != label for oid in record["extent"]):
                 raise ValueError("index file does not match this data graph")
-            created = component._add_node(set(record["extent"]), record["k"])
+            created = component._add_node(record["extent"], record["k"])
             if created != record["nid"]:
                 # _add_node numbers sequentially; remap is not supported,
                 # but save_mstar writes nodes in ascending nid order after

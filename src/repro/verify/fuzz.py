@@ -113,12 +113,12 @@ def random_data_graph(profile: GraphProfile, seed: int) -> DataGraph:
     for _ in range(num_dag):
         parent = rng.randrange(profile.num_nodes - 1)
         child = rng.randrange(parent + 1, profile.num_nodes)
-        if child not in graph.children(parent):
+        if not graph.has_edge(parent, child):
             graph.add_edge(parent, child, kind=EdgeKind.REFERENCE)
     for _ in range(num_back):
         child = rng.randrange(1, profile.num_nodes)
         parent = rng.randrange(child, profile.num_nodes)
-        if parent != child and child not in graph.children(parent):
+        if parent != child and not graph.has_edge(parent, child):
             graph.add_edge(parent, child, kind=EdgeKind.REFERENCE)
     return graph
 

@@ -44,7 +44,7 @@ def incoming_label_paths(graph: DataGraph, oid: int,
     on cyclic graphs.
     """
     node_labels = graph.labels
-    parents = graph.parent_lists
+    parents = graph.parent_rows()
     paths = {(node_labels[oid],)}
     frontier: set[tuple[int, tuple[str, ...]]] = {(oid, (node_labels[oid],))}
     for _ in range(depth):
@@ -73,7 +73,7 @@ def check_extent_path_consistency(graph: DataGraph, index: IndexGraph,
         depth = min(node.k, max_depth)
         if depth == 0 or len(node.extent) < 2:
             continue
-        oids = sorted(node.extent)
+        oids = list(node.extent)
         reference = incoming_label_paths(graph, oids[0], depth)
         for oid in oids[1:]:
             observed = incoming_label_paths(graph, oid, depth)

@@ -247,9 +247,9 @@ def _witness_problem(graph: DataGraph, expr: PathExpression, oid: int,
             return (f"label {graph.labels[node]!r} at position {position} "
                     f"does not match step {expr.labels[position]!r}")
     for parent, child in zip(witness, witness[1:]):
-        if child not in graph.children(parent):
+        if not graph.has_edge(parent, child):
             return f"edge ({parent}, {child}) missing from the data graph"
-    if expr.rooted and witness[0] not in graph.children(graph.root):
+    if expr.rooted and not graph.has_edge(graph.root, witness[0]):
         return "rooted witness does not start at a child of the root"
     return None
 
@@ -456,7 +456,7 @@ def _apply_random_update(graph: DataGraph, rng: random.Random,
         for _ in range(8):
             source = rng.randrange(graph.num_nodes)
             target = rng.randrange(1, graph.num_nodes)
-            if target != source and target not in graph.children(source):
+            if target != source and not graph.has_edge(source, target):
                 add_reference(graph, source, target, indexes=indexes)
                 return f"add_reference({source} -> {target})"
     parent = rng.randrange(graph.num_nodes)

@@ -20,6 +20,14 @@ Deterministic: the same ``(seed, rounds, options)`` always replays the
 same campaign, and every discrepancy reduces to a
 ``(profile, graph seed, query)`` triple replayable via
 ``repro verify --profile <p> --graph-seed <s>``.
+
+The campaign doubles as the differential oracle for the compact data
+plane: every round's graph is frozen to the CSR adjacency after
+generation (the updates axis thaws it automatically on its first
+mutation, so both backends get exercised in one round), and the whole
+campaign runs under :func:`repro.core.extents.differential_checks`, so
+every merge-based extent operation is recomputed against Python set
+semantics and any divergence raises immediately.
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
+from repro.core.extents import differential_checks
 from repro.core.fup import FupExtractor
 from repro.indexes.dindex import DkIndex
 from repro.indexes.mindex import MkIndex
@@ -125,10 +134,23 @@ def run_verification(seed: int = 0, rounds: int = 25,
         seeds = [_graph_seed(seed, r) for r in range(rounds)]
 
     family_list = None if families is None else list(families)
+    with differential_checks():
+        _run_rounds(report, profiles, seeds, family_list, k,
+                    queries_per_round, engine_queries,
+                    max_rounds_with_engine, progress)
+    return report
+
+
+def _run_rounds(report: VerificationReport, profiles, seeds, family_list,
+                k: int, queries_per_round: int, engine_queries: int,
+                max_rounds_with_engine: int | None, progress) -> None:
     for round_number, (round_profile, round_seed) in enumerate(
             zip(profiles, seeds)):
         report.rounds += 1
-        graph = random_data_graph(round_profile, round_seed)
+        # Freeze to the CSR backend: the static suite and engine checks
+        # read through the compact adjacency, and the updates axis thaws
+        # the graph on its first mutation — one round covers both.
+        graph = random_data_graph(round_profile, round_seed).freeze()
         report.graphs_checked += 1
         queries = random_workload(graph, queries_per_round, round_seed)
         found = check_static_suite(
@@ -178,4 +200,3 @@ def run_verification(seed: int = 0, rounds: int = 25,
                      f"graph-seed={round_seed} "
                      f"nodes={graph.num_nodes} edges={graph.num_edges} "
                      f"-> {status}")
-    return report

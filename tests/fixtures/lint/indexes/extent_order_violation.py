@@ -1,0 +1,29 @@
+"""Seeded extent-order violations (see ../README.md).
+
+Extents are pre-sorted immutable int arrays: re-wrapping one in a set
+before iterating, spelling merges as set methods, and re-sorting are
+each flagged; direct iteration and the operator spellings are not.
+"""
+
+
+def drain(node):
+    total = 0
+    for oid in set(node.extent):  # VIOLATION: set-wrap discards order
+        total += oid
+    return total
+
+
+def overlap(node, other):
+    return node.extent.intersection(other)  # VIOLATION: set-method spelling
+
+
+def ordered(node):
+    return sorted(node.extent)  # VIOLATION: extent is already sorted
+
+
+def drain_ok(node):
+    return [oid for oid in node.extent]  # allowed: arrays iterate sorted
+
+
+def overlap_ok(node, other):
+    return node.extent & other  # allowed: operator spelling

@@ -4,6 +4,7 @@ import json
 
 from repro.bench.runner import (
     BenchConfig,
+    run_compact_bench,
     run_construction_bench,
     run_replay_bench,
     write_bench,
@@ -44,6 +45,34 @@ class TestReplayBench:
             assert warm["total_cost"] < cold["total_cost"], row["family"]
 
 
+class TestCompactBench:
+    def test_lines_cover_the_data_plane(self, small_xmark):
+        rows = run_compact_bench(small_xmark, "xmark")
+        lines = [row["line"] for row in rows]
+        assert lines == ["snapshot_extent_copy", "canonical_digest",
+                         "merge_intersect", "construction_frozen_graph",
+                         "memory_bytes_per_member"]
+        for row in rows:
+            assert row["dataset"] == "xmark"
+            assert row["extents"] >= 1
+            assert row["members"] >= row["extents"]
+        timed = [row for row in rows if "speedup" in row]
+        assert all(row["baseline_seconds"] >= 0 and row["fast_seconds"] >= 0
+                   for row in timed)
+        memory = rows[-1]
+        # The array plane must be materially smaller than sets per member.
+        assert memory["array_bytes_per_member"] <= 8.0
+        assert memory["ratio"] > 2.0
+
+    def test_graph_mutability_is_restored(self, small_xmark):
+        assert not small_xmark.frozen
+        run_compact_bench(small_xmark, "xmark")
+        assert not small_xmark.frozen
+        small_xmark.freeze()
+        run_compact_bench(small_xmark, "xmark")
+        assert small_xmark.frozen
+
+
 class TestBenchReport:
     def test_smoke_config_is_smaller(self):
         smoke, full = BenchConfig.smoke_config(), BenchConfig()
@@ -73,3 +102,22 @@ class TestBenchReport:
                 or criteria["replay_speedup_wall"] >= 2.0)
         assert report["verify"]["ok"]
         assert report["verify"]["discrepancies"] == []
+
+    def test_committed_pr6_artifact_meets_criteria(self):
+        """The repository-root BENCH_pr6.json must record a >= 1.5x win
+        on at least one compact-data-plane line, keep the PR 2 headline
+        criterion, and have a clean oracle (run under differential
+        extent checks and frozen-graph rounds)."""
+        import os
+
+        root = os.path.join(os.path.dirname(__file__), "..")
+        with open(os.path.join(root, "BENCH_pr6.json")) as handle:
+            report = json.load(handle)
+        assert report["name"] == "BENCH_pr6"
+        criteria = report["criteria"]
+        assert criteria["passed"]
+        assert criteria["compact_ok"]
+        assert criteria["compact_speedup_best"] >= 1.5
+        assert report["verify"]["ok"]
+        assert report["verify"]["discrepancies"] == []
+        assert len(report["compact"]) >= 5

@@ -106,6 +106,24 @@ class TestDeterminismRule:
         assert "shuffle_seeded" not in symbols
 
 
+class TestExtentOrderRule:
+    def test_golden_findings(self):
+        result = lint_fixture("indexes", "extent_order_violation.py")
+        assert triples(result) == [
+            ("extent_order_violation.py", 11, "determinism"),
+            ("extent_order_violation.py", 17, "determinism"),
+            ("extent_order_violation.py", 21, "determinism"),
+        ]
+        assert [f.symbol for f in result.sorted_findings()] == \
+            ["drain", "overlap", "ordered"]
+
+    def test_direct_iteration_and_operators_not_flagged(self):
+        result = lint_fixture("indexes", "extent_order_violation.py")
+        symbols = {f.symbol for f in result.findings}
+        assert "drain_ok" not in symbols
+        assert "overlap_ok" not in symbols
+
+
 class TestWholeTree:
     def test_every_rule_family_fires_exactly_once_per_seed(self):
         result = lint_fixture()
@@ -114,7 +132,7 @@ class TestWholeTree:
             by_rule.setdefault(finding.rule, []).append(finding)
         assert sorted(by_rule) == ["cost-accounting", "determinism",
                                    "epoch-discipline", "lock-discipline"]
-        assert len(result.findings) == 12
+        assert len(result.findings) == 15
 
     def test_clean_fixture_produces_no_findings(self):
         result = lint_fixture("indexes", "clean_module.py")
@@ -123,7 +141,7 @@ class TestWholeTree:
 
     @pytest.mark.parametrize("rule_id,expected", [
         ("lock-discipline", 2), ("cost-accounting", 1),
-        ("epoch-discipline", 5), ("determinism", 4),
+        ("epoch-discipline", 5), ("determinism", 7),
     ])
     def test_rule_filter_isolates_one_family(self, rule_id, expected):
         result = run_lint([FIXTURES], rule_ids=[rule_id])

@@ -100,6 +100,32 @@ class TestInterleavingExactness:
                     serving.graph, expr), \
                     f"{expr} wrong after {kind}(seed={seed})"
 
+    def test_reclamp_restores_property3_regression(self):
+        """Pinned interleaving where ``_reclamp_links`` used to lower a
+        node's claim without re-clamping its index children.
+
+        The dangling child kept ``k`` two above its parent (a Property 3
+        breach, ``u.k >= v.k - 1``), and M*(k)'s coarse-resolution
+        drill-down then served the child's extent verbatim on the
+        strength of ancestor paths the parent no longer vouched for —
+        returning a non-answer for one probe.  Found by the hypothesis
+        interleaving test above; kept as a deterministic case so the
+        fix cannot regress silently.
+        """
+        ops = [("insert", 0), ("addref", 637), ("refine", 0),
+               ("insert", 0), ("addref", 4174)]
+        serving, probes = _fresh_serving(MStarIndex)
+        for kind, seed in ops:
+            _apply(serving, kind, seed, probes)
+            for component in serving.index.components:
+                assert component.property3_violations() == []
+            serving.index.check_invariants()
+            for expr in probes:
+                result = serving.query(expr)
+                assert result.answers == evaluate_on_data_graph(
+                    serving.graph, expr), \
+                    f"{expr} wrong after {kind}(seed={seed})"
+
     @SETTINGS
     @given(ops=_ops)
     def test_mk_index_family_matches_oracle_too(self, ops):

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.extents import Extent
 from repro.cost.counters import CostCounter
 from repro.graph.builder import graph_from_edges
 from repro.indexes.aindex import AkIndex
@@ -140,7 +141,8 @@ class TestInvariantChecks:
         assert check_index_partition(index) == []
         node = next(node for node in index.nodes.values()
                     if len(node.extent) > 1)
-        node.extent.discard(sorted(node.extent)[0])
+        # Extents are immutable arrays now; corrupt by reassignment.
+        node.extent = Extent.from_iterable(list(node.extent)[1:])
         assert check_index_partition(index)
 
     def test_negative_cost_counter_flagged(self):
