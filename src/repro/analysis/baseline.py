@@ -9,6 +9,11 @@ matching, so edits above a baselined site do not churn the file.
 
 A baseline entry that no longer matches anything is *stale* and fails
 the run: baselines only shrink or stay, they never silently rot.
+
+An entry whose ``justification`` is still the generated placeholder (or
+empty) is *unjustified* and also fails the run: ``--update-baseline``
+writes the placeholder precisely so an unexplained suppression cannot
+survive review by default.
 """
 
 from __future__ import annotations
@@ -19,6 +24,12 @@ from dataclasses import dataclass, field
 from repro.analysis.engine import Finding
 
 FORMAT_VERSION = 1
+
+#: What ``save_baseline`` writes into fresh entries.  A baseline run
+#: rejects any entry still carrying it: the placeholder marks an entry
+#: a human has not yet justified.
+PLACEHOLDER_JUSTIFICATION = ("TODO: explain why this is a false positive "
+                             "or out of scope")
 
 
 @dataclass
@@ -58,13 +69,31 @@ def save_baseline(path: str, findings: list[Finding]) -> None:
     entries = [{"path": finding.path, "line": finding.line,
                 "rule": finding.rule, "symbol": finding.symbol,
                 "message": finding.message,
-                "justification": "TODO: explain why this is a false "
-                                 "positive or out of scope"}
+                "justification": PLACEHOLDER_JUSTIFICATION}
                for finding in sorted(findings, key=Finding.sort_key)]
     with open(path, "w", encoding="utf-8") as handle:
         json.dump({"version": FORMAT_VERSION, "findings": entries},
                   handle, indent=2)
         handle.write("\n")
+
+
+def unjustified_entries(
+        entries: list[dict[str, object]]) -> list[dict[str, object]]:
+    """Entries whose justification is absent, blank, or the placeholder.
+
+    These fail the lint run just like new findings: an unexplained
+    baseline entry is a muted violation, not a documented false
+    positive.  The comparison strips whitespace so reflowed placeholders
+    do not slip through.
+    """
+    flagged: list[dict[str, object]] = []
+    placeholder = " ".join(PLACEHOLDER_JUSTIFICATION.split())
+    for entry in entries:
+        justification = str(entry.get("justification") or "")
+        collapsed = " ".join(justification.split())
+        if not collapsed or collapsed == placeholder:
+            flagged.append(entry)
+    return flagged
 
 
 def _entry_key(entry: dict[str, object]) -> tuple[str, str, str, str]:

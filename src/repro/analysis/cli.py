@@ -80,6 +80,8 @@ def run_lint_cli(args: argparse.Namespace) -> int:
     entries = _baseline.load_baseline(baseline_path) \
         if baseline_path is not None else []
     match = _baseline.apply_baseline(result.sorted_findings(), entries)
+    unjustified = _baseline.unjustified_entries(entries)
+    failed = bool(match.new or match.stale or unjustified)
 
     if args.output_format == "json":
         payload: dict[str, object] = {
@@ -90,11 +92,12 @@ def run_lint_cli(args: argparse.Namespace) -> int:
             "suppressed": [finding.as_dict()
                            for finding in result.suppressed],
             "stale_baseline": match.stale,
-            "ok": not match.new and not match.stale,
+            "unjustified_baseline": unjustified,
+            "ok": not failed,
         }
         json.dump(payload, sys.stdout, indent=2)
         sys.stdout.write("\n")
-        return 0 if not match.new and not match.stale else 1
+        return 0 if not failed else 1
 
     for finding in match.new:
         print(finding.format())
@@ -107,16 +110,23 @@ def run_lint_cli(args: argparse.Namespace) -> int:
         print(f"lint: STALE baseline entry {entry.get('path')} "
               f"[{entry.get('rule')}] {entry.get('symbol')}: no longer "
               f"matches any finding — remove it from the baseline")
+    for entry in unjustified:
+        print(f"lint: UNJUSTIFIED baseline entry {entry.get('path')} "
+              f"[{entry.get('rule')}] {entry.get('symbol')}: the "
+              f"justification is still the generated placeholder — "
+              f"explain the suppression or remove the entry")
     print(f"lint: {result.files_checked} files, "
           f"{len(match.new)} finding(s), "
           f"{len(match.baselined)} baselined, "
           f"{len(result.suppressed)} suppressed inline, "
           f"{len(match.stale)} stale baseline entr"
-          f"{'y' if len(match.stale) == 1 else 'ies'}")
-    if match.new or match.stale:
+          f"{'y' if len(match.stale) == 1 else 'ies'}, "
+          f"{len(unjustified)} unjustified")
+    if failed:
         print("lint: FAILED — fix the findings, add an inline "
               "'# repro-lint: disable=<rule>' with a justification, or "
-              "(false positives only) --update-baseline")
+              "(false positives only) --update-baseline and fill in "
+              "every justification field")
         return 1
     print("lint: OK")
     return 0

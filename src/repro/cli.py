@@ -173,6 +173,17 @@ def cmd_bench(args: argparse.Namespace) -> int:
     print(f"bench: compact data plane best line: "
           f"{criteria['compact_speedup_best']}x "
           f"(target {criteria['compact_target']}x)")
+    print(f"bench: shard sweep {criteria['shard_counts']} digest vs "
+          f"single-shard: {'OK' if criteria['shard_sweep_ok'] else 'FAILED'}")
+    if criteria["replay_speedup_vs_pr4_min"] is not None:
+        print(f"bench: replay vs pr4 worst line "
+              f"({criteria['replay_baseline_source']} baseline): "
+              f"{criteria['replay_speedup_vs_pr4_min']}x "
+              f"(target {criteria['replay_vs_pr4_target']}x): "
+              f"{'OK' if criteria['replay_vs_pr4_ok'] else 'FAILED'}")
+    if not criteria["shard_sweep_ok"]:
+        print("bench: FAILED — sharded answers diverged from single-shard")
+        return 1
     if not report["verify"]["ok"]:
         print("bench: FAILED — oracle discrepancies with caching enabled:")
         for line in report["verify"]["discrepancies"]:
@@ -212,7 +223,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
                           header=f"workload: {source}")
             print(f"serve: workload written to {args.save_workload}")
 
-    serving = ServingEngine(graph)
+    if args.shards > 1:
+        from repro.sharding import ShardedEngine
+
+        serving = ShardedEngine(graph.freeze(), num_shards=args.shards)
+        sizes = serving.placement.shard_sizes()
+        print(f"serve: {args.shards} shards (owned nodes {sizes}, "
+              f"{serving.num_cross_edges} cross edges, "
+              f"built in {serving.construction_s:.3f}s)")
+    else:
+        serving = ServingEngine(graph)
     config = ReplayConfig(workers=args.workers, passes=args.passes,
                           timeout=args.timeout,
                           update_rounds=args.update_rounds,
@@ -233,6 +253,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
     print(f"serve: {report.cache_hits} cache hits, "
           f"{report.conflicts} snapshot conflicts, "
           f"{report.degraded} degraded, {report.timeouts} past deadline")
+    if args.shards > 1:
+        snap = serving.stats.snapshot()
+        pending = sum(shard.log.pending() for shard in serving.shards)
+        print(f"serve: {snap['fallbacks']} cross-shard fallbacks; "
+              f"{pending} pending segments across {args.shards} shards")
     print(f"serve: answers digest {report.digest}")
     if args.digest_out:
         with open(args.digest_out, "w") as handle:
@@ -447,8 +472,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench = commands.add_parser(
         "bench",
         help="hot-path benchmarks with a persisted JSON trajectory")
-    bench.add_argument("--output", "-o", default="BENCH_pr6.json",
-                       help="JSON artifact path (default: BENCH_pr6.json)")
+    bench.add_argument("--output", "-o", default="BENCH_pr7.json",
+                       help="JSON artifact path (default: BENCH_pr7.json)")
     bench.add_argument("--smoke", action="store_true",
                        help="small fixed configuration for CI")
     bench.add_argument("--scale", type=float, default=0.05)
@@ -510,6 +535,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-length", type=int, default=6)
     serve.add_argument("--workers", type=int, default=4,
                        help="reader worker threads")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="serve through a ShardedEngine with this many "
+                            "shards (1 = plain single-engine serving)")
     serve.add_argument("--passes", type=int, default=2,
                        help="workload passes (>= 2 exercises the serving "
                             "result cache)")

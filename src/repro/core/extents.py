@@ -138,11 +138,14 @@ class Extent:
     one across snapshots, caches, and index nodes is safe.
     """
 
-    __slots__ = ("_data",)
+    __slots__ = ("_data", "_members")
 
     def __init__(self, data) -> None:
         # Internal: ``data`` must already be sorted strictly ascending.
         self._data = data
+        # Lazily-built frozenset view (see members()); immutability makes
+        # caching it safe.
+        self._members = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -152,6 +155,11 @@ class Extent:
         """Canonicalise arbitrary ints into an extent (sort + dedup)."""
         if isinstance(values, Extent):
             return values
+        if isinstance(values, (set, frozenset)):
+            # Already deduplicated: sorting alone canonicalises, and
+            # skipping the extra set() copy matters on the refinement
+            # hot path (every split part passes through here).
+            return cls(_storage(sorted(values)))
         return cls(_storage(sorted(set(values))))
 
     @classmethod
@@ -180,7 +188,26 @@ class Extent:
 
     def to_set(self) -> set[int]:
         """The members as a plain ``set[int]`` (the reference shape)."""
+        cached = self._members
+        if cached is not None:
+            return set(cached)
         return set(self._data)
+
+    def members(self) -> frozenset:
+        """Cached frozenset view, for hash-speed bulk set operations.
+
+        Answer assembly unions many small extents into a working set;
+        ``set.update`` from another set runs ~1.7x faster per element
+        than from the int array (no per-member boxing).  The view is
+        built on first use and shared thereafter — callers must treat it
+        as read-only (it is a frozenset precisely so mutation attempts
+        fail loudly).  Extents that are never served verbatim pay no
+        memory for it.
+        """
+        cached = self._members
+        if cached is None:
+            cached = self._members = frozenset(self._data)
+        return cached
 
     # ------------------------------------------------------------------
     # Sequence / container protocol
@@ -232,7 +259,7 @@ class Extent:
             return all(int(x) == int(y) for x, y in zip(da, db))
         if isinstance(other, (set, frozenset)):
             return len(other) == len(self._data) and \
-                all(v in other for v in self._data)
+                self.members() == other
         return NotImplemented
 
     def __ne__(self, other: object) -> bool:
@@ -251,14 +278,14 @@ class Extent:
         if isinstance(other, Extent):
             return extent_is_subset(self, other)
         if isinstance(other, (set, frozenset)):
-            return all(v in other for v in self._data)
+            return self.members() <= other
         return NotImplemented
 
     def __ge__(self, other) -> bool:
         if isinstance(other, Extent):
             return extent_is_subset(other, self)
         if isinstance(other, (set, frozenset)):
-            return all(v in self for v in other)
+            return self.members() >= other
         return NotImplemented
 
     def __lt__(self, other) -> bool:
@@ -276,7 +303,7 @@ class Extent:
     def isdisjoint(self, other) -> bool:
         if isinstance(other, Extent):
             return not extent_intersect(self, other)
-        return self.to_set().isdisjoint(other)
+        return self.members().isdisjoint(other)
 
     # ------------------------------------------------------------------
     # Set algebra.  Extent op Extent -> Extent (canonical merge);
@@ -287,7 +314,10 @@ class Extent:
         if isinstance(other, Extent):
             return extent_intersect(self, other)
         if isinstance(other, (set, frozenset)):
-            return other.intersection(self._data)
+            # members() is the cached boxed view: set-vs-frozenset
+            # intersection runs fully in C, where iterating the int
+            # array re-boxes every member per call.
+            return other.intersection(self.members())
         return NotImplemented
 
     __rand__ = __and__
@@ -296,7 +326,7 @@ class Extent:
         if isinstance(other, Extent):
             return extent_union(self, other)
         if isinstance(other, (set, frozenset)):
-            return other.union(self._data)
+            return other.union(self.members())
         return NotImplemented
 
     __ror__ = __or__
@@ -305,12 +335,12 @@ class Extent:
         if isinstance(other, Extent):
             return extent_difference(self, other)
         if isinstance(other, (set, frozenset)):
-            return self.to_set().difference(other)
+            return set(self.members()) - other
         return NotImplemented
 
     def __rsub__(self, other):
         if isinstance(other, (set, frozenset)):
-            return other.difference(self._data)
+            return other.difference(self.members())
         return NotImplemented
 
 

@@ -104,6 +104,10 @@ class IndexGraph:
         self.work_sink: CostCounter | None = None
         self._result_cache: dict[PathExpression,
                                  tuple[tuple, QueryResult]] = {}
+        # expr -> sorted label tuple used by cache_token (the label set
+        # of an expression never changes; recomputing it per query
+        # showed up in replay profiles).
+        self._token_labels: dict[PathExpression, tuple[str, ...]] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -134,18 +138,24 @@ class IndexGraph:
         return cls.from_extents(graph, ((extent, k)
                                         for _, extent in sorted(extents.items())))
 
-    def _add_node(self, extent: Iterable[int], k: int) -> int:
+    def _add_node(self, extent: Iterable[int], k: int,
+                  label: str | None = None) -> int:
+        """Add one index node.  ``label`` may be passed by callers that
+        already know the extent is homogeneous (splits of an existing
+        node, component copies) to skip the per-oid homogeneity scan."""
         if not extent:
             raise ValueError("index node extent must be non-empty")
-        labels = {self.graph.labels[oid] for oid in extent}
-        if len(labels) != 1:
-            raise ValueError(f"extent mixes labels {sorted(labels)}")
+        if label is None:
+            labels = {self.graph.labels[oid] for oid in extent}
+            if len(labels) != 1:
+                raise ValueError(f"extent mixes labels {sorted(labels)}")
+            # labels has exactly one element (checked above), so pop()
+            # cannot depend on hash order.
+            # repro-lint: disable=determinism
+            label = labels.pop()
         nid = self._next_id
         self._next_id += 1
-        # labels has exactly one element (checked above), so pop() cannot
-        # depend on hash order.
-        # repro-lint: disable=determinism
-        node = IndexNode(nid, labels.pop(), k, extent)
+        node = IndexNode(nid, label, k, extent)
         self.nodes[nid] = node
         self._parents[nid] = set()
         self._children[nid] = set()
@@ -168,10 +178,21 @@ class IndexGraph:
             self._parents[nid].clear()
             self._children[nid].clear()
         node_of = self.node_of
-        for parent, child in self.graph.edges():
-            up, down = node_of[parent], node_of[child]
-            self._children[up].add(down)
-            self._parents[down].add(up)
+        children = self._children
+        parents = self._parents
+        # Walk the raw adjacency rows instead of the edges() generator:
+        # one frame and no per-edge int() boxing on this O(E) pass.
+        rows = self.graph.child_rows()
+        for parent_oid in range(self.graph.num_nodes):
+            row = rows[parent_oid]
+            if not len(row):
+                continue
+            up = node_of[parent_oid]
+            out = children[up]
+            for child in row:
+                down = node_of[child]
+                out.add(down)
+                parents[down].add(up)
 
     # ------------------------------------------------------------------
     # Inspection
@@ -234,12 +255,16 @@ class IndexGraph:
         which is how refinement procedures "promote without splitting".
         """
         old = self.nodes[nid]
-        covered: set[int] = set()
+        old_extent = old.extent
         total = 0
+        covered: set[int] = set()
+        update = covered.update
         for extent, _ in parts:
-            covered |= extent
+            update(extent._data if isinstance(extent, Extent) else extent)
             total += len(extent)
-        if covered != old.extent or total != len(old.extent):
+        # Compare set-to-set (C level); Extent.__eq__ against a set walks
+        # element-wise in Python, which dominated refinement profiles.
+        if total != len(old_extent) or covered != old_extent.to_set():
             raise ValueError("parts must disjointly cover the old extent")
 
         if len(parts) == 1:
@@ -268,7 +293,11 @@ class IndexGraph:
         del self.nodes[nid]
         self._by_label[old.label].discard(nid)
 
-        new_ids = [self._add_node(set(extent), k) for extent, k in parts]
+        # Parts were just checked to cover the old extent, so they share
+        # its label; pass it to skip the homogeneity scan and hand the
+        # part straight to the Extent constructor (no defensive copy).
+        new_ids = [self._add_node(extent, k, label=old.label)
+                   for extent, k in parts]
 
         # Derive edges touching the new parts from the data graph.  oid ->
         # index-node assignments were updated by _add_node, so edges among
@@ -276,19 +305,33 @@ class IndexGraph:
         node_of = self.node_of
         graph_children = self.graph.child_rows()
         graph_parents = self.graph.parent_rows()
-        for new_id in new_ids:
-            extent = self.nodes[new_id].extent
-            children_out = self._children[new_id]
-            parents_in = self._parents[new_id]
+        all_parents = self._parents
+        all_children = self._children
+        for new_id, (extent, _) in zip(new_ids, parts):
+            # Iterate the caller's part (usually a plain set) rather than
+            # the freshly packed Extent: same members, no per-oid array
+            # unboxing in this O(extent · degree) loop.  Dedupe into
+            # local sets first: many data edges collapse onto one index
+            # edge, and touching the shared adjacency maps once per
+            # *distinct* neighbour (not once per data edge) halves the
+            # set.add traffic that dominated refinement profiles.
+            downs: set[int] = set()
+            ups: set[int] = set()
             for oid in extent:
                 for child in graph_children[oid]:
-                    down = node_of[child]
-                    children_out.add(down)
-                    self._parents[down].add(new_id)
+                    downs.add(node_of[child])
                 for parent in graph_parents[oid]:
-                    up = node_of[parent]
-                    parents_in.add(up)
-                    self._children[up].add(new_id)
+                    ups.add(node_of[parent])
+            # Rebinding the part's own rows is safe: edges added by
+            # sibling parts processed earlier are recomputed from the
+            # same data edges, and nothing external holds a reference to
+            # a row this young.
+            all_children[new_id] = downs
+            all_parents[new_id] = ups
+            for down in downs:
+                all_parents[down].add(new_id)
+            for up in ups:
+                all_children[up].add(new_id)
         return new_ids
 
     # ------------------------------------------------------------------
@@ -385,12 +428,20 @@ class IndexGraph:
         """
         if expr.has_wildcard or expr.has_descendant_steps:
             return (self.epoch, self.mutations)
-        labels = set(expr.labels)
-        if expr.rooted:
-            labels.add(self.nodes[self.node_of[self.graph.root]].label)
+        labels = self._token_labels.get(expr)
+        if labels is None:
+            label_set = set(expr.labels)
+            if expr.rooted:
+                # The root's label is fixed for the graph's lifetime, so
+                # memoising it with the expression's labels is safe.
+                label_set.add(self.nodes[self.node_of[self.graph.root]].label)
+            labels = tuple(sorted(label_set))
+            if len(self._token_labels) >= 4096:
+                self._token_labels.clear()
+            self._token_labels[expr] = labels
         versions = self.label_versions
         return (self.epoch,) + tuple(
-            sorted((label, versions.get(label, 0)) for label in labels))
+            (label, versions.get(label, 0)) for label in labels)
 
     def _cache_store(self, expr: PathExpression, token: tuple,
                      result: QueryResult) -> None:
@@ -425,7 +476,9 @@ class IndexGraph:
             if first == WILDCARD:
                 frontier = set(self.nodes)
             else:
-                frontier = set(self._by_label.get(first, ()))
+                # Read-only below (steps rebind, never mutate), so the
+                # by-label set is used directly instead of copied.
+                frontier = self._by_label.get(first, set())
             counter.index_visits += len(frontier)
             positions = list(range(1, len(expr.labels)))
         for position in positions:
@@ -436,13 +489,26 @@ class IndexGraph:
                             if label == WILDCARD
                             or self.nodes[nid].label == label}
             else:
+                # Each child examined costs one index visit; the charge
+                # is batched per row (identical totals, fewer attribute
+                # stores in the hottest navigation loop).
                 next_frontier: set[int] = set()
-                for nid in frontier:
-                    for child in self._children[nid]:
-                        counter.index_visits += 1
-                        child_node = self.nodes[child]
-                        if label == WILDCARD or child_node.label == label:
-                            next_frontier.add(child)
+                children = self._children
+                nodes = self.nodes
+                examined = 0
+                if label == WILDCARD:
+                    for nid in frontier:
+                        row = children[nid]
+                        examined += len(row)
+                        next_frontier.update(row)
+                else:
+                    for nid in frontier:
+                        row = children[nid]
+                        examined += len(row)
+                        for child in row:
+                            if nodes[child].label == label:
+                                next_frontier.add(child)
+                counter.index_visits += examined
                 frontier = next_frontier
             if not frontier:
                 break
@@ -501,7 +567,7 @@ class IndexGraph:
             required = required_similarity(self.graph, expr)
             for node in targets:
                 if node.k >= required:
-                    answers.update(node.extent)
+                    answers.update(node.extent.members())
                 else:
                     validated = True
                     answers |= validate_extent(self.graph, expr,

@@ -143,7 +143,7 @@ class MkIndex:
             if not pending:
                 break
             node = pending[0]
-            self._refine_node(set(node.extent), required,
+            self._refine_node(set(node.extent.members()), required,
                               node.extent & target_data)
         else:
             raise RuntimeError(f"REFINENODE failed to converge for {expr}")
@@ -172,7 +172,7 @@ class MkIndex:
                 break
             before = self.index.mutations
             try:
-                self._promote_break(set(under[0].extent), required,
+                self._promote_break(set(under[0].extent.members()), required,
                                     expr, required)
             except _FalseInstancesGone:
                 break
@@ -227,14 +227,14 @@ class MkIndex:
         pending = set(extent)
         while pending:
             piece = self.index.nodes[node_of[min(pending)]]
-            pending.difference_update(piece.extent)
+            pending.difference_update(piece.extent.members())
             piece_relevant = relevant_data & piece.extent
             if not piece_relevant or piece.k >= k:
                 continue
             relevant_parents = pred_set(self.graph, piece_relevant)
             # Lines 4-7: refine only parents that contain parents of
             # relevant data nodes.
-            parent_extents = [set(self.index.nodes[parent].extent)
+            parent_extents = [set(self.index.nodes[parent].extent.members())
                               for parent in sorted(self.index.parents_of(piece.nid))]
             for parent_extent in parent_extents:
                 pred_data = relevant_parents & parent_extent
@@ -242,10 +242,10 @@ class MkIndex:
                     self._refine_node(parent_extent, k - 1, pred_data)
             # Lines 9-26: split the (current pieces of the) node by the
             # qualified parents and merge irrelevant splits back together.
-            sub_pending = set(piece.extent)
+            sub_pending = set(piece.extent.members())
             while sub_pending:
                 sub_piece = self.index.nodes[node_of[min(sub_pending)]]
-                sub_pending.difference_update(sub_piece.extent)
+                sub_pending.difference_update(sub_piece.extent.members())
                 sub_relevant = relevant_data & sub_piece.extent
                 if not sub_relevant or sub_piece.k >= k:
                     continue
@@ -271,7 +271,7 @@ class MkIndex:
         avoidances is lost.
         """
         k_old = node.k
-        parts: list[set[int]] = [set(node.extent)]
+        parts: list[set[int]] = [set(node.extent.members())]
         for parent in sorted(self.index.parents_of(node.nid)):
             parent_node = self.index.nodes[parent]
             succ = succ_set(self.graph, parent_node.extent)
@@ -324,17 +324,17 @@ class MkIndex:
         pending = set(extent)
         while pending:
             piece = self.index.nodes[node_of[min(pending)]]
-            pending.difference_update(piece.extent)
+            pending.difference_update(piece.extent.members())
             if piece.k >= kv:
                 continue
-            parent_extents = [set(self.index.nodes[parent].extent)
+            parent_extents = [set(self.index.nodes[parent].extent.members())
                               for parent in sorted(self.index.parents_of(piece.nid))]
             for parent_extent in parent_extents:
                 self._promote_break(parent_extent, kv - 1, expr, required)
-            sub_pending = set(piece.extent)
+            sub_pending = set(piece.extent.members())
             while sub_pending:
                 sub_piece = self.index.nodes[node_of[min(sub_pending)]]
-                sub_pending.difference_update(sub_piece.extent)
+                sub_pending.difference_update(sub_piece.extent.members())
                 if sub_piece.k >= kv:
                     continue
                 self._split_by_all_parents(sub_piece, kv)
@@ -344,7 +344,7 @@ class MkIndex:
 
     def _split_by_all_parents(self, node: IndexNode, kv: int) -> list[int]:
         """Partition ``node`` by every parent's ``Succ`` set; assign ``kv``."""
-        parts: list[set[int]] = [set(node.extent)]
+        parts: list[set[int]] = [set(node.extent.members())]
         for parent in sorted(self.index.parents_of(node.nid)):
             succ = succ_set(self.graph, self.index.nodes[parent].extent)
             refined: list[set[int]] = []

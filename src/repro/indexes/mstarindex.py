@@ -81,8 +81,19 @@ class MStarIndex:
             mapping: dict[int, int] = {}
             for nid in sorted(source.nodes):
                 node = source.nodes[nid]
-                mapping[nid] = copy._add_node(set(node.extent), node.k)
-            copy._rebuild_edges()
+                # Share the immutable extent and trust its label: the
+                # copy holds the identical partition, so the per-node
+                # homogeneity scan and re-sort would be pure overhead.
+                mapping[nid] = copy._add_node(node.extent, node.k,
+                                              label=node.label)
+            # Identical partitions induce identical index edges — clone
+            # them through the id mapping instead of re-deriving from
+            # every data edge (_rebuild_edges is O(E) per new component).
+            for nid, new in mapping.items():
+                copy._children[new] = {mapping[child]
+                                       for child in source._children[nid]}
+                copy._parents[new] = {mapping[parent]
+                                      for parent in source._parents[nid]}
             self.subnodes.append({nid: {new} for nid, new in mapping.items()})
             self.supernode.append({new: nid for nid, new in mapping.items()})
             self.components.append(copy)

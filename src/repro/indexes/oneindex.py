@@ -42,7 +42,7 @@ class OneIndex:
         targets = self.index.evaluate(expr, cost)
         answers: set[int] = set()
         for node in targets:
-            answers.update(node.extent)
+            answers.update(node.extent.members())
         return QueryResult(answers=answers, target_nodes=targets, cost=cost,
                            validated=False)
 

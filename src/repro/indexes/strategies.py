@@ -45,7 +45,7 @@ def _finish(index: "MStarIndex", expr: PathExpression, component: int,
     validated = False
     for node in targets:
         if node.k >= required:
-            answers.update(node.extent)
+            answers.update(node.extent.members())
         else:
             validated = True
             answers |= validate_extent(index.graph, expr, node.extent, cost)
@@ -130,12 +130,24 @@ def topdown_frontier(index: "MStarIndex", expr: PathExpression,
             current += 1
         comp = index.components[current]
         label = expr.labels[position]
+        # One index visit per child examined, charged in bulk per row
+        # (identical totals; this loop dominates refinement's re-walks).
         stepped: set[int] = set()
-        for nid in frontier:
-            for child in comp.children_of(nid):
-                cost.index_visits += 1
-                if label == WILDCARD or comp.nodes[child].label == label:
-                    stepped.add(child)
+        nodes = comp.nodes
+        examined = 0
+        if label == WILDCARD:
+            for nid in frontier:
+                row = comp.children_of(nid)
+                examined += len(row)
+                stepped |= row
+        else:
+            for nid in frontier:
+                row = comp.children_of(nid)
+                examined += len(row)
+                for child in row:
+                    if nodes[child].label == label:
+                        stepped.add(child)
+        cost.index_visits += examined
         frontier = stepped
         if not frontier:
             break

@@ -116,7 +116,7 @@ class UDIndex:
         validated = False
         for node in targets:
             if self.l >= expr.length:
-                answers.update(node.extent)
+                answers.update(node.extent.members())
             else:
                 validated = True
                 for oid in node.extent:

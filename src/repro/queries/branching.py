@@ -392,7 +392,7 @@ def branching_answer(index_graph, expr: BranchingPathExpression,
     validated = False
     for node in targets:
         if skip_validation:
-            answers.update(node.extent)
+            answers.update(node.extent.members())
             continue
         validated = True
         for oid in node.extent:

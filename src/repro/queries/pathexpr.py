@@ -47,6 +47,14 @@ class PathExpression:
             if not 1 <= position < len(self.labels):
                 raise ValueError(
                     f"descendant step {position} out of range")
+        # Expressions key every hot dict (engine cache, FUP counters,
+        # refined sets); the generated dataclass __hash__ re-hashes all
+        # three fields per probe, so pin the value once.
+        object.__setattr__(self, "_hash", hash(
+            (self.labels, self.rooted, self.descendant_steps)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @classmethod
     def parse(cls, text: str) -> "PathExpression":

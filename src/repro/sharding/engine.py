@@ -1,0 +1,641 @@
+"""The sharded index service: N shard engines behind one combiner.
+
+:class:`ShardedEngine` splits a document across ``num_shards`` shards by
+deterministic subtree-hash placement (:mod:`repro.sharding.placement`).
+Each shard owns a local :class:`~repro.graph.datagraph.DataGraph` — the
+replicated spine plus its owned placement units — with its own index
+family behind a :class:`~repro.serving.engine.ServingEngine`, so every
+shard keeps the full snapshot-isolation protocol it already had when it
+was the whole database.
+
+The combiner adds one more :class:`~repro.serving.snapshot.EpochClock`
+on top:
+
+* **readers** fan a query to every shard under an optimistic combiner
+  read and merge the per-shard answers with the compact data plane's
+  sorted-extent union kernel — each shard's local oids map to global
+  oids through a monotone table, so its sorted local answer maps to a
+  sorted global run and the merge is pure
+  :func:`~repro.core.extents.extent_union`;
+* queries that could traverse a **cross-shard edge** (an edge leaving a
+  placement unit — detected conservatively from the query's label
+  pairs) are answered exactly on the combiner's global mirror graph
+  under the writer mutex, counted as ``fallbacks`` in the stats;
+* **writers** update the global mirror first (allocating the same oids
+  a single-shard engine would, which is what makes the replay digests
+  comparable), then route the update to the owning shard and append an
+  immutable :class:`~repro.sharding.segments.Segment` to its log;
+* the **compactor** (:meth:`compact`, or the background thread started
+  by :meth:`start_compactor`) drains a shard's refinement backlog,
+  re-freezes its graph, and retires its segment run — one combiner
+  epoch per shard merge.
+
+Completeness rests on placement: every tree path from the root lies
+inside one shard (the spine is replicated everywhere), so a query
+instance can only escape its shard by traversing an edge that *leaves*
+a placement unit.  All such edges are recorded as cross edges, and any
+query whose label sequence could match one falls back to the exact
+global path.  Soundness is free: every shard graph is a subgraph of the
+document, so a local match is a global match.
+"""
+
+from __future__ import annotations
+
+import queue as _queue
+import threading
+import time
+from array import array
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core.extents import Extent, extent_union
+from repro.cost.counters import CostCounter
+from repro.graph.datagraph import DataGraph, EdgeKind
+from repro.indexes import maintenance as _maintenance
+from repro.indexes.mstarindex import MStarIndex
+from repro.queries.evaluator import evaluate_on_data_graph
+from repro.queries.pathexpr import PathExpression, WILDCARD, as_expression
+from repro.serving.engine import ServedResult, ServingEngine, ServingStats
+from repro.serving.snapshot import EpochClock
+from repro.sharding.placement import (Placement, SPINE, compute_placement,
+                                      shard_of_key, structural_key)
+from repro.sharding.segments import SegmentLog
+
+#: Sentinel distinguishing "no timeout given" from "timeout=None".
+_UNSET = object()
+
+
+class ShardedStats(ServingStats):
+    """Serving stats plus combiner-specific counters.
+
+    ``fallbacks`` counts queries answered on the exact global path
+    because their label sequence could match a cross-shard edge (these
+    are also counted under ``degraded``, matching the single-engine
+    convention that any locked-oracle answer is a degraded one).
+    """
+
+    _FIELDS = ServingStats._FIELDS + ("fallbacks",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.fallbacks = 0
+
+    def record_fallback(self) -> None:
+        with self._lock:
+            self.fallbacks += 1
+
+
+class _Shard:
+    """One shard: local graph + serving engine + oid maps + segment log."""
+
+    __slots__ = ("shard_id", "serving", "to_global", "g2l", "log")
+
+    def __init__(self, shard_id: int, serving: ServingEngine,
+                 to_global: list[int], g2l: dict[int, int]) -> None:
+        self.shard_id = shard_id
+        self.serving = serving
+        #: local oid -> global oid; strictly ascending (locals are
+        #: allocated in ascending global order, inserts append), which
+        #: is what keeps mapped answers sorted for ``extent_union``.
+        self.to_global = to_global
+        self.g2l = g2l
+        self.log = SegmentLog(base_records=len(to_global))
+
+
+def _build_local_graph(graph: DataGraph,
+                       members: list[int]) -> tuple[DataGraph, dict[int, int]]:
+    """The shard-local subgraph over ``members`` (ascending global oids).
+
+    Nodes are added in ascending global order so the local->global map
+    is monotone; edges keep their kinds and their child-row order (a
+    subsequence of the global row).
+    """
+    local = DataGraph()
+    g2l: dict[int, int] = {}
+    for gid in members:
+        g2l[gid] = local.add_node(graph.label(gid))
+    rows = graph.child_rows()
+    kinds = getattr(graph, "_edge_kinds")
+    for gid in members:
+        local_parent = g2l[gid]
+        for child in rows[gid]:
+            child = int(child)
+            local_child = g2l.get(child)
+            if local_child is not None:
+                kind = kinds.get((gid, child), EdgeKind.REGULAR)
+                local.add_edge(local_parent, local_child, kind=kind)
+    local.root = g2l[graph.root]
+    return local.freeze(), g2l
+
+
+class _ShardedSnapshot:
+    """Pinned view of the combiner (see :meth:`ShardedEngine.pin`)."""
+
+    def __init__(self, engine: "ShardedEngine", epoch: int) -> None:
+        self._engine = engine
+        self.epoch = epoch
+
+    def oracle(self, expr: "PathExpression | str") -> set[int]:
+        """Ground truth at the pinned epoch (global mirror navigation)."""
+        return evaluate_on_data_graph(self._engine.graph,
+                                      as_expression(expr))
+
+    def query(self, expr: "PathExpression | str") -> set[int]:
+        """Fan the query out at the pinned epoch; returns global oids."""
+        expr = as_expression(expr)
+        if self._engine._crosses(expr):
+            return self.oracle(expr)
+        answers, _, _, _ = self._engine._fanout(expr)
+        return answers
+
+
+class _ShardedPin:
+    """Context manager backing :meth:`ShardedEngine.pin`."""
+
+    def __init__(self, engine: "ShardedEngine") -> None:
+        self._engine = engine
+        self._cm = None
+
+    def __enter__(self) -> _ShardedSnapshot:
+        self._cm = self._engine.clock.pause_writers()
+        epoch = self._cm.__enter__()
+        return _ShardedSnapshot(self._engine, epoch)
+
+    def __exit__(self, *exc) -> bool:
+        cm, self._cm = self._cm, None
+        return bool(cm.__exit__(*exc))
+
+
+class ShardedEngine:
+    """N shard serving engines behind one epoch-clocked combiner.
+
+    Duck-types the reader/writer surface of
+    :class:`~repro.serving.engine.ServingEngine` (``query``, ``serve``,
+    ``insert_subtree``, ``add_reference``, ``refine_pending``, ``pin``,
+    ``stats``, ``epoch``), so workload replay, the CLI, and the bench
+    drivers run unchanged against it.
+
+    ``graph`` is the combiner's *global mirror*: the authoritative
+    whole document, used for cross-shard fallback queries, pinned
+    oracles, and oid allocation (updates hit the mirror first so global
+    oids match what a single-shard engine would assign).
+    """
+
+    def __init__(self, graph: DataGraph, num_shards: int,
+                 index_factory=MStarIndex, *,
+                 cache: bool = True,
+                 max_attempts: int = 6,
+                 default_timeout: float | None = None,
+                 parallel_build: bool = True) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.graph = graph
+        self.num_shards = num_shards
+        self.max_attempts = max_attempts
+        self.default_timeout = default_timeout
+        self.placement: Placement = compute_placement(graph, num_shards)
+        self.clock = EpochClock()
+        self.stats = ShardedStats()
+        self.construction_s = 0.0
+
+        started = time.perf_counter()
+        member_lists = [self.placement.members(s) for s in range(num_shards)]
+
+        def build(shard_id: int) -> _Shard:
+            members = member_lists[shard_id]
+            local, g2l = _build_local_graph(graph, members)
+            serving = ServingEngine(local, index_factory=index_factory,
+                                    cache=cache, max_attempts=max_attempts)
+            return _Shard(shard_id, serving, list(members), g2l)
+
+        if parallel_build and num_shards > 1:
+            with ThreadPoolExecutor(max_workers=num_shards) as pool:
+                self._shards = list(pool.map(build, range(num_shards)))
+        else:
+            self._shards = [build(s) for s in range(num_shards)]
+        self.construction_s = time.perf_counter() - started
+
+        # Cross edges: every edge leaving a placement unit.  A query
+        # instance can only span two shards by traversing one, so the
+        # label pairs below are exactly what the router must screen for.
+        owner = self.placement.owner
+        rows = graph.child_rows()
+        self._cross_pairs: set[tuple[str, str]] = set()
+        self._num_cross_edges = 0
+        for source in range(graph.num_nodes):
+            who = owner[source]
+            if who == SPINE:
+                continue
+            for target in rows[source]:
+                target = int(target)
+                if owner[target] != who:
+                    self._cross_pairs.add((graph.label(source),
+                                           graph.label(target)))
+                    self._num_cross_edges += 1
+
+        # Structural keys of spine nodes, for placing units inserted
+        # later under a spine parent.  The spine never grows (new nodes
+        # always land inside a unit), so this cache is complete.
+        self._spine_keys: dict[int, str] = {}
+        tree_parent = self._spine_tree_parents()
+        for oid, who in enumerate(owner):
+            if who == SPINE:
+                structural_key(graph, oid, tree_parent, self._spine_keys)
+
+        self._compactor: threading.Thread | None = None
+        self._compactor_stop = threading.Event()
+
+    def _spine_tree_parents(self) -> dict[int, int]:
+        """Tree parents of spine nodes (REGULAR edges, first reach wins)."""
+        owner = self.placement.owner
+        rows = self.graph.child_rows()
+        kinds = getattr(self.graph, "_edge_kinds")
+        tree_parent: dict[int, int] = {}
+        frontier = [self.graph.root]
+        seen = {self.graph.root}
+        while frontier:
+            next_frontier: list[int] = []
+            for oid in frontier:
+                for child in rows[oid]:
+                    child = int(child)
+                    if child in seen or owner[child] != SPINE:
+                        continue
+                    if kinds.get((oid, child),
+                                 EdgeKind.REGULAR) is not EdgeKind.REGULAR:
+                        continue
+                    seen.add(child)
+                    tree_parent[child] = oid
+                    next_frontier.append(child)
+            frontier = next_frontier
+        return tree_parent
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Committed combiner writer operations (updates + compactions)."""
+        return self.clock.epoch
+
+    @property
+    def supports_updates(self) -> bool:
+        return all(shard.serving.supports_updates for shard in self._shards)
+
+    @property
+    def index(self):
+        """Shard 0's index (family introspection; shards are homogeneous)."""
+        return self._shards[0].serving.index
+
+    @property
+    def shards(self) -> list[_Shard]:
+        return self._shards
+
+    @property
+    def num_cross_edges(self) -> int:
+        return self._num_cross_edges
+
+    def shard_stats(self) -> list[dict]:
+        """Per-shard size/serving/segment bookkeeping for reports."""
+        out = []
+        for shard in self._shards:
+            stats = {"shard": shard.shard_id,
+                     "nodes": len(shard.to_global),
+                     "serving": shard.serving.stats.snapshot()}
+            stats.update(shard.log.stats())
+            out.append(stats)
+        return out
+
+    # ------------------------------------------------------------------
+    # Reader path
+    # ------------------------------------------------------------------
+    def _crosses(self, expr: PathExpression) -> bool:
+        """Could an instance of ``expr`` traverse a cross-shard edge?
+
+        Conservative: a descendant step can hide arbitrary labels, so
+        any cross edge at all routes those to the fallback; otherwise
+        the expression's consecutive label pairs (wildcards match
+        anything) are screened against the recorded cross-edge pairs.
+        """
+        if not self._cross_pairs:
+            return False
+        if expr.descendant_steps:
+            return True
+        labels = expr.labels
+        for position in range(1, len(labels)):
+            step_from = labels[position - 1]
+            step_to = labels[position]
+            for edge_from, edge_to in self._cross_pairs:
+                if ((step_from == WILDCARD or step_from == edge_from)
+                        and (step_to == WILDCARD or step_to == edge_to)):
+                    return True
+        return False
+
+    def _fanout(self, expr: PathExpression):
+        """Query every shard and union the answers in global-oid space."""
+        cost = CostCounter()
+        merged: Extent | None = None
+        validated = False
+        cache_hit = True
+        for shard in self._shards:
+            result = shard.serving.query(expr)
+            cost.add(result.cost)
+            validated = validated or result.validated
+            cache_hit = cache_hit and result.cache_hit
+            if result.answers:
+                to_global = shard.to_global
+                run = array("i", [to_global[local]
+                                  for local in sorted(result.answers)])
+                extent = Extent.from_sorted(run)
+                merged = extent if merged is None else \
+                    extent_union(merged, extent)
+        answers = set() if merged is None else merged.to_set()
+        return answers, validated, cache_hit, cost
+
+    def query(self, expr: "PathExpression | str",
+              timeout=_UNSET) -> ServedResult:
+        """Answer one query with combiner-level snapshot isolation.
+
+        Non-crossing queries fan out to every shard under an optimistic
+        combiner read (retried on writer conflicts, exactly like a
+        single serving engine); crossing queries — and fan-outs that
+        exhaust their retries — are answered exactly on the global
+        mirror under the writer mutex.
+        """
+        expr = as_expression(expr)
+        timeout = self.default_timeout if timeout is _UNSET else timeout
+        started = time.monotonic()
+        deadline = started + timeout if timeout is not None else None
+        result = self._query_inner(expr, deadline)
+        result.duration_s = time.monotonic() - started
+        self.stats.record_result(result)
+        return result
+
+    def _query_inner(self, expr: PathExpression,
+                     deadline: float | None) -> ServedResult:
+        if self._crosses(expr):
+            self.stats.record_fallback()
+            return self._global_query(expr, attempts=1, conflicts=0,
+                                      deadline=deadline)
+        conflicts = 0
+        attempts = 0
+        while attempts < self.max_attempts:
+            attempts += 1
+            clean, seq = self.clock.read()
+            if clean:
+                answers, validated, cache_hit, cost = self._fanout(expr)
+                if self.clock.validate(seq):
+                    return ServedResult(
+                        expr=expr, answers=answers, validated=validated,
+                        epoch=seq // 2, cost=cost, attempts=attempts,
+                        conflicts=conflicts, cache_hit=cache_hit)
+            conflicts += 1
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            time.sleep(0 if conflicts < 2 else min(0.0002 * conflicts, 0.002))
+        return self._global_query(expr, attempts=attempts,
+                                  conflicts=conflicts, deadline=deadline)
+
+    def _global_query(self, expr: PathExpression, attempts: int,
+                      conflicts: int,
+                      deadline: float | None) -> ServedResult:
+        with self.clock.pause_writers() as epoch:
+            cost = CostCounter()
+            answers = evaluate_on_data_graph(self.graph, expr, cost)
+        timed_out = deadline is not None and time.monotonic() > deadline
+        return ServedResult(expr=expr, answers=answers, validated=True,
+                            epoch=epoch, cost=cost, attempts=attempts,
+                            conflicts=conflicts, degraded=True,
+                            timed_out=timed_out)
+
+    def serve(self, queries, workers: int = 4, timeout=_UNSET,
+              client_io=None) -> list[ServedResult]:
+        """Answer a batch on ``workers`` threads; results in input order.
+
+        Same contract as :meth:`ServingEngine.serve` — ``client_io``
+        runs on the worker thread, worker exceptions re-raise after the
+        batch drains.
+        """
+        exprs = [as_expression(q) for q in queries]
+        if not exprs:
+            return []
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        results: list[ServedResult | None] = [None] * len(exprs)
+        work: _queue.SimpleQueue = _queue.SimpleQueue()
+        for item in enumerate(exprs):
+            work.put(item)
+        errors: list[BaseException] = []
+
+        def run() -> None:
+            while True:
+                try:
+                    position, expr = work.get_nowait()
+                except _queue.Empty:
+                    return
+                try:
+                    result = self.query(expr, timeout=timeout)
+                    results[position] = result
+                    if client_io is not None:
+                        client_io(result)
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    errors.append(exc)
+
+        threads = [threading.Thread(target=run, name=f"shard-combiner-{i}",
+                                    daemon=True)
+                   for i in range(min(workers, len(exprs)))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Writer path
+    # ------------------------------------------------------------------
+    def _owner_for_insert(self, parent_gid: int, new_root_gid: int,
+                          label: str) -> int:
+        """Which shard absorbs a subtree inserted under ``parent_gid``.
+
+        Inside a unit the subtree stays with the unit's shard.  Under a
+        spine parent it *is* a fresh placement unit: its structural key
+        extends the parent's spine key with the same ``label[ordinal]``
+        rule :func:`compute_placement` uses, so placement of later
+        inserts is exactly as deterministic as the initial build.
+        """
+        who = self.placement.owner[parent_gid]
+        if who != SPINE:
+            return who
+        ordinal = 0
+        for sibling in self.graph.children(parent_gid):
+            sibling = int(sibling)
+            if sibling == new_root_gid:
+                break
+            if self.graph.label(sibling) == label:
+                ordinal += 1
+        key = f"{self._spine_keys[parent_gid]}/{label}[{ordinal}]"
+        self.placement.unit_keys[new_root_gid] = key
+        return shard_of_key(key, self.num_shards)
+
+    def insert_subtree(self, parent_oid: int, subtree) -> list[int]:
+        """Insert ``(label, [children])`` under global oid ``parent_oid``.
+
+        One combiner write window covers the mirror mutation, the
+        placement extension, the owning shard's (index-maintaining)
+        insert, and the segment append — a combiner reader sees none of
+        it or all of it.  Returns the new *global* oids, matching what
+        a single-shard engine would have allocated.
+        """
+        with self.clock.write() as epoch:
+            new_gids = _maintenance.insert_subtree(
+                self.graph, parent_oid, subtree, indexes=())
+            who = self._owner_for_insert(parent_oid, new_gids[0], subtree[0])
+            self.placement.owner.extend([who] * len(new_gids))
+            shard = self._shards[who]
+            local_parent = shard.g2l[parent_oid]
+            new_lids = shard.serving.insert_subtree(local_parent, subtree)
+            for gid, lid in zip(new_gids, new_lids):
+                shard.g2l[gid] = lid
+                shard.to_global.append(gid)
+            shard.log.append("insert_subtree",
+                             (parent_oid, subtree, tuple(new_gids)), epoch)
+        self.stats.record_update()
+        return new_gids
+
+    def add_reference(self, source_oid: int, target_oid: int) -> None:
+        """Add an IDREF edge between existing global oids.
+
+        The edge is materialised in every shard that holds both
+        endpoints (one shard normally; all of them for spine-to-spine).
+        An edge leaving a placement unit exists in no single shard with
+        both roles intact — it becomes a *cross edge*: recorded on the
+        mirror, its label pair added to the router's screen so affected
+        queries take the exact global path.
+        """
+        with self.clock.write() as epoch:
+            _maintenance.add_reference(self.graph, source_oid, target_oid,
+                                       indexes=())
+            owner = self.placement.owner
+            who_source = owner[source_oid]
+            who_target = owner[target_oid]
+            if who_source == SPINE and who_target == SPINE:
+                targets = range(self.num_shards)
+            elif who_source == SPINE:
+                targets = (who_target,)
+            elif who_target == SPINE or who_target == who_source:
+                targets = (who_source,)
+            else:
+                targets = ()
+            for shard_id in targets:
+                shard = self._shards[shard_id]
+                shard.serving.add_reference(shard.g2l[source_oid],
+                                            shard.g2l[target_oid])
+            if who_source != SPINE and who_target != who_source:
+                self._cross_pairs.add((self.graph.label(source_oid),
+                                       self.graph.label(target_oid)))
+                self._num_cross_edges += 1
+            log_shard = who_source if who_source != SPINE else (
+                who_target if who_target != SPINE else 0)
+            self._shards[log_shard].log.append(
+                "add_reference", (source_oid, target_oid), epoch)
+        self.stats.record_update()
+
+    def refine_pending(self, limit: int | None = None) -> int:
+        """Drain shard refinement backlogs; returns refinements applied.
+
+        Each shard refines through its own serving engine (its own
+        write windows), so shard readers stay live; the combiner clock
+        is untouched — refinement never changes answers, only cost.
+        """
+        applied = 0
+        for shard in self._shards:
+            remaining = None if limit is None else limit - applied
+            if remaining is not None and remaining <= 0:
+                break
+            count = shard.serving.refine_pending(remaining)
+            applied += count
+            for _ in range(count):
+                self.stats.record_refinement()
+        return applied
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def compact(self, shard_id: int | None = None) -> dict[str, int]:
+        """Fold segment runs into shard base packs.
+
+        Per shard, inside **one combiner epoch**: drain the shard's
+        refinement backlog (re-refining its index against everything
+        the segments delivered), re-freeze its graph into the compact
+        CSR form, and retire the segment run.  Compaction is
+        semantically invisible to readers — answers cannot change, only
+        representation and cost.
+        """
+        shards = self._shards if shard_id is None \
+            else [self._shards[shard_id]]
+        merged = 0
+        refined = 0
+        compactions = 0
+        for shard in shards:
+            with self.clock.write() as epoch:
+                refined += shard.serving.refine_pending()
+                with shard.serving.clock.write():
+                    shard.serving.graph.freeze()
+                retired = shard.log.compact(epoch)
+            if retired:
+                compactions += 1
+            merged += retired
+        return {"segments_merged": merged, "refinements": refined,
+                "compactions": compactions}
+
+    def start_compactor(self, interval_s: float = 0.05,
+                        min_pending: int = 1) -> None:
+        """Run the compactor on a background thread until
+        :meth:`stop_compactor`.
+
+        Each sweep compacts only shards with at least ``min_pending``
+        segments.  Background compaction advances the combiner epoch at
+        its own rhythm, so digest-determinism checks should compact
+        manually instead.
+        """
+        if self._compactor is not None:
+            raise RuntimeError("compactor already running")
+        self._compactor_stop.clear()
+
+        def run() -> None:
+            while not self._compactor_stop.wait(interval_s):
+                for shard in self._shards:
+                    if shard.log.pending() >= min_pending:
+                        self.compact(shard.shard_id)
+
+        self._compactor = threading.Thread(target=run, name="shard-compactor",
+                                           daemon=True)
+        self._compactor.start()
+
+    def stop_compactor(self) -> None:
+        """Stop the background compactor (no-op when not running)."""
+        compactor, self._compactor = self._compactor, None
+        if compactor is not None:
+            self._compactor_stop.set()
+            compactor.join()
+
+    # ------------------------------------------------------------------
+    # Pinned snapshots
+    # ------------------------------------------------------------------
+    def pin(self) -> _ShardedPin:
+        """Context manager yielding a pinned combiner snapshot.
+
+        Combiner writers queue behind the pin; shard writers only run
+        inside combiner write windows, so the whole fleet is quiescent
+        for the pin's holder.
+        """
+        return _ShardedPin(self)
+
+    def __repr__(self) -> str:
+        sizes = self.placement.shard_sizes()
+        return (f"ShardedEngine(shards={self.num_shards}, "
+                f"epoch={self.clock.epoch}, "
+                f"owned_nodes={sizes}, "
+                f"cross_edges={self._num_cross_edges})")

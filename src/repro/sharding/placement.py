@@ -1,0 +1,188 @@
+"""Deterministic subtree-hash placement of document regions onto shards.
+
+The documents this project indexes are trees plus IDREF edges, usually
+with a thin *spine* near the root (XMark's single ``site`` element, its
+handful of section children) fanning out into many similar subtrees
+(items, persons, datasets).  Placement works at the first tree depth
+wide enough to spread load:
+
+* the **unit depth** is the smallest depth whose node count reaches
+  ``max(2 * num_shards, MIN_UNITS)`` (falling back to the widest level
+  of a shallow document);
+* every node strictly above the unit depth is **spine** and is
+  replicated into every shard — spine nodes are few, and replicating
+  them means each shard holds the full root-to-unit tree path, so any
+  tree path instance of a simple path expression lies entirely inside
+  one shard;
+* every subtree rooted at the unit depth is a **placement unit**, owned
+  by exactly one shard.
+
+A unit's shard is chosen by hashing its *structural key* — the label
+path from the root with per-parent sibling ordinals, e.g.
+``site[0]/regions[0]/africa[1]`` — through SHA-256.  The key depends
+only on document structure and insertion order, never on Python hash
+seeds, memory addresses, or subtree size, so the same document history
+always lands every unit on the same shard, and a subtree may grow
+without migrating.
+
+Only unit-to-unit IDREF edges can cross shards (an edge with a spine
+endpoint is materialisable in the other endpoint's shard, since spine
+is everywhere).  The combiner records those as cross edges and routes
+potentially-affected queries to the global fallback path; see
+:mod:`repro.sharding.engine`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.graph.datagraph import DataGraph, EdgeKind
+
+#: Placement wants at least this many units even for tiny shard counts,
+#: so load spreads beyond a handful of giant subtrees.
+MIN_UNITS = 8
+
+#: Owner value marking a spine node (replicated into every shard).
+SPINE = -1
+
+
+def shard_of_key(key: str, num_shards: int) -> int:
+    """Map a structural key to a shard id (stable SHA-256 placement)."""
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % num_shards
+
+
+@dataclass
+class Placement:
+    """Where every node of a document lives.
+
+    ``owner[oid]`` is the owning shard id, or :data:`SPINE` for
+    replicated spine nodes.  ``unit_depth`` is the tree depth of unit
+    roots; ``unit_keys`` maps each unit root oid to its structural key
+    (the hash preimage, kept for diagnostics and for assigning keys to
+    units inserted later).
+    """
+
+    num_shards: int
+    unit_depth: int
+    owner: list[int]
+    unit_keys: dict[int, str] = field(default_factory=dict)
+
+    def members(self, shard: int) -> list[int]:
+        """Global oids present in ``shard`` (spine + owned), ascending."""
+        return [oid for oid, who in enumerate(self.owner)
+                if who == shard or who == SPINE]
+
+    def shard_sizes(self) -> list[int]:
+        """Owned (non-replicated) node count per shard."""
+        sizes = [0] * self.num_shards
+        for who in self.owner:
+            if who != SPINE:
+                sizes[who] += 1
+        return sizes
+
+
+def _tree_rows(graph: DataGraph) -> list[list[int]]:
+    """Child rows restricted to tree (REGULAR) edges."""
+    rows = graph.child_rows()
+    kinds = getattr(graph, "_edge_kinds")
+    if not kinds:
+        return [list(rows[oid]) for oid in range(graph.num_nodes)]
+    out: list[list[int]] = []
+    for oid in range(graph.num_nodes):
+        out.append([int(child) for child in rows[oid]
+                    if (oid, int(child)) not in kinds
+                    or kinds[(oid, int(child))] is EdgeKind.REGULAR])
+    return out
+
+
+def structural_key(graph: DataGraph, oid: int,
+                   tree_parent: dict[int, int],
+                   cache: dict[int, str]) -> str:
+    """``label[ordinal]`` path from the root down to ``oid``.
+
+    The ordinal counts earlier same-label siblings in the parent's
+    child-row order (insertion order), which is identical across runs
+    that applied the same update history.
+    """
+    cached = cache.get(oid)
+    if cached is not None:
+        return cached
+    label = graph.label(oid)
+    parent = tree_parent.get(oid)
+    if parent is None:
+        key = f"{label}[0]"
+    else:
+        ordinal = 0
+        for sibling in graph.children(parent):
+            sibling = int(sibling)
+            if sibling == oid:
+                break
+            if graph.label(sibling) == label:
+                ordinal += 1
+        key = (f"{structural_key(graph, parent, tree_parent, cache)}"
+               f"/{label}[{ordinal}]")
+    cache[oid] = key
+    return key
+
+
+def compute_placement(graph: DataGraph, num_shards: int) -> Placement:
+    """Assign every node of ``graph`` to a shard (or the spine).
+
+    Deterministic in the document's structure: two graphs built by the
+    same insertion/update history get byte-identical placements.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    rows = _tree_rows(graph)
+    root = graph.root
+
+    # Level-by-level tree walk to find the unit depth.
+    levels: list[list[int]] = [[root]]
+    tree_parent: dict[int, int] = {}
+    seen = {root}
+    want = max(2 * num_shards, MIN_UNITS)
+    while True:
+        next_level: list[int] = []
+        for oid in levels[-1]:
+            for child in rows[oid]:
+                if child not in seen:
+                    seen.add(child)
+                    tree_parent[child] = oid
+                    next_level.append(child)
+        if not next_level:
+            break
+        levels.append(next_level)
+        if len(next_level) >= want:
+            break
+    if len(levels) == 1:
+        # A root with no tree children: everything is spine.
+        return Placement(num_shards=num_shards, unit_depth=1,
+                         owner=[SPINE] * graph.num_nodes)
+    # Deepest computed level is the widest candidate we reached; shallow
+    # documents that never hit ``want`` shard at their widest frontier.
+    unit_depth = len(levels) - 1
+
+    owner = [SPINE] * graph.num_nodes
+    key_cache: dict[int, str] = {}
+    unit_keys: dict[int, str] = {}
+    for unit_root in levels[unit_depth]:
+        key = structural_key(graph, unit_root, tree_parent, key_cache)
+        unit_keys[unit_root] = key
+        shard = shard_of_key(key, num_shards)
+        # Claim the whole subtree (tree edges only; IDREFs do not move
+        # ownership).  In a tree every node below the unit root is
+        # reached exactly once; the owner guard keeps the walk linear
+        # and deterministic even if a generator produced a tree-edge
+        # DAG (units are processed in level order).
+        stack = [unit_root]
+        owner[unit_root] = shard
+        while stack:
+            node = stack.pop()
+            for child in rows[node]:
+                if owner[child] == SPINE and child != root:
+                    owner[child] = shard
+                    stack.append(child)
+    return Placement(num_shards=num_shards, unit_depth=unit_depth,
+                     owner=owner, unit_keys=unit_keys)

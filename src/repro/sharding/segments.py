@@ -1,0 +1,86 @@
+"""Append-only update segments and per-shard pack bookkeeping.
+
+Each shard's state is *pack-structured*, borrowing the shape (not the
+bytes) of pack-based storage engines: a **base pack** — the index/graph
+state as of the last compaction — plus an ordered run of immutable
+**segments**, one per committed update, recording what changed and at
+which combiner epoch.  Readers never consult segments (the shard's
+live index already reflects them); segments exist so the compactor can
+tell how much un-merged history a shard has accumulated, and so tests
+and benches can audit exactly which updates each shard absorbed.
+
+Compaction (:meth:`SegmentLog.compact`) folds the segment run into the
+base pack: the caller drains the shard's refinement backlog and
+re-freezes its graph, then the log retires the merged segments and
+remembers the epoch.  Each compaction is one epoch of the combiner's
+:class:`~repro.serving.snapshot.EpochClock` — see
+:meth:`repro.sharding.engine.ShardedEngine.compact`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One committed update, immutable once appended.
+
+    ``kind`` is ``"insert_subtree"`` or ``"add_reference"``; ``payload``
+    is the update's arguments plus its results (new global oids for
+    inserts), enough to replay or audit the shard's history.
+    """
+
+    seqno: int
+    kind: str
+    payload: tuple
+    epoch: int
+
+
+@dataclass
+class SegmentLog:
+    """Ordered segments atop a base pack, with compaction totals."""
+
+    base_records: int = 0
+    segments: list[Segment] = field(default_factory=list)
+    retired: int = 0
+    compactions: int = 0
+    last_compaction_epoch: int = -1
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False)
+
+    def append(self, kind: str, payload: tuple, epoch: int) -> Segment:
+        """Record one committed update as a fresh immutable segment."""
+        with self._lock:
+            segment = Segment(seqno=self.base_records + self.retired
+                              + len(self.segments),
+                              kind=kind, payload=payload, epoch=epoch)
+            self.segments.append(segment)
+            return segment
+
+    def pending(self) -> int:
+        """Segments accumulated since the last compaction."""
+        with self._lock:
+            return len(self.segments)
+
+    def compact(self, epoch: int) -> int:
+        """Fold the segment run into the base pack; returns how many
+        segments were retired."""
+        with self._lock:
+            merged = len(self.segments)
+            self.retired += merged
+            self.segments.clear()
+            if merged:
+                self.compactions += 1
+                self.last_compaction_epoch = epoch
+            return merged
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "pending_segments": len(self.segments),
+                "retired_segments": self.retired,
+                "compactions": self.compactions,
+                "last_compaction_epoch": self.last_compaction_epoch,
+            }

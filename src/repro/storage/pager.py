@@ -9,6 +9,7 @@ the disk-resident benches report.
 from __future__ import annotations
 
 import struct
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -51,6 +52,10 @@ class PageFile:
         self._handle = open(path, "rb")
         #: Physical page reads performed (monotone).
         self.reads = 0
+        #: Serialises seek+read pairs and the ``reads`` counter — the
+        #: file handle's position is shared state, so two concurrent
+        #: readers would otherwise interleave seeks and parse garbage.
+        self._lock = threading.Lock()
 
     def read_page(self, key: tuple[int, int]) -> dict[int, dict]:
         """Read and parse one page; one physical read.
@@ -66,8 +71,9 @@ class PageFile:
             else _trace.NULL_SPAN
         with span:
             ref = self.pages[key]
-            self._handle.seek(ref.offset)
-            data = self._handle.read(ref.length)
+            with self._lock:
+                self._handle.seek(ref.offset)
+                data = self._handle.read(ref.length)
             if len(data) != ref.length:
                 _M_CORRUPT.inc()
                 raise ValueError(f"truncated page {key} in {self.path}")
@@ -81,7 +87,8 @@ class PageFile:
                 _M_CORRUPT.inc()
                 raise ValueError(
                     f"corrupt page {key} in {self.path}: {exc}") from exc
-            self.reads += 1
+            with self._lock:
+                self.reads += 1
             _M_READS.inc()
             span.tag(records=len(records))
             return records
@@ -97,7 +104,17 @@ class PageFile:
 
 
 class BufferPool:
-    """Bounded LRU cache of parsed pages with hit/read accounting."""
+    """Bounded LRU cache of parsed pages with hit/read accounting.
+
+    Safe for concurrent readers (the sharded service points several
+    shard engines at one pool): one lock covers the lookup, the LRU
+    reorder, the miss fill, and the counters, so under any interleaving
+    ``hits + misses == requests``, every miss is exactly one physical
+    read, and the pool never exceeds its capacity.  Holding the lock
+    across the physical read also means concurrent requests for the
+    *same* cold page collapse into one read instead of racing to fill
+    the slot.
+    """
 
     def __init__(self, file: PageFile, capacity_pages: int) -> None:
         if capacity_pages < 1:
@@ -108,6 +125,9 @@ class BufferPool:
             OrderedDict()
         #: Logical page requests served from the pool.
         self.hits = 0
+        #: Logical page requests that went to disk.
+        self.misses = 0
+        self._lock = threading.Lock()
 
     @property
     def reads(self) -> int:
@@ -116,25 +136,35 @@ class BufferPool:
 
     def page(self, key: tuple[int, int]) -> dict[int, dict]:
         """Fetch one page through the pool."""
-        cached = self._cached.get(key)
-        if cached is not None:
-            self._cached.move_to_end(key)
-            self.hits += 1
-            _M_HITS.inc()
-            return cached
-        _M_MISSES.inc()
-        records = self.file.read_page(key)
-        self._cached[key] = records
-        if len(self._cached) > self.capacity:
-            self._cached.popitem(last=False)
-        return records
+        with self._lock:
+            cached = self._cached.get(key)
+            if cached is not None:
+                self._cached.move_to_end(key)
+                self.hits += 1
+                _M_HITS.inc()
+                return cached
+            self.misses += 1
+            _M_MISSES.inc()
+            records = self.file.read_page(key)
+            self._cached[key] = records
+            if len(self._cached) > self.capacity:
+                self._cached.popitem(last=False)
+            return records
+
+    def cached_pages(self) -> int:
+        """Pages currently resident in the pool."""
+        with self._lock:
+            return len(self._cached)
 
     def reset_stats(self) -> None:
         """Zero the counters (the cache contents stay warm)."""
-        self.hits = 0
-        self.file.reads = 0
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+            self.file.reads = 0
 
     def __repr__(self) -> str:
-        return (f"BufferPool(capacity={self.capacity}, "
-                f"cached={len(self._cached)}, reads={self.reads}, "
-                f"hits={self.hits})")
+        with self._lock:
+            return (f"BufferPool(capacity={self.capacity}, "
+                    f"cached={len(self._cached)}, reads={self.reads}, "
+                    f"hits={self.hits}, misses={self.misses})")

@@ -14,7 +14,11 @@ Each adaptive round ends with the *updates* axis
 insertions, IDREF additions) interleaved into the stream through the
 maintenance module, after which cached and uncached engines must still
 match the data-graph oracle — the regime that catches stale caches and
-unsound incremental maintenance.
+unsound incremental maintenance.  Adaptive rounds also run the
+*sharding* axis (:func:`check_shard_equivalence`): a
+:class:`~repro.sharding.ShardedEngine` over 2-4 shards of a private
+copy of the round's graph, fed the same stream with interleaved
+updates, must answer byte-for-byte like an unsharded database.
 
 Deterministic: the same ``(seed, rounds, options)`` always replays the
 same campaign, and every discrepancy reduces to a
@@ -52,6 +56,7 @@ from repro.verify.oracle import (
     Discrepancy,
     check_cache_equivalence,
     check_engine_sequence,
+    check_shard_equivalence,
     check_static_suite,
     check_update_equivalence,
 )
@@ -185,6 +190,14 @@ def _run_rounds(report: VerificationReport, profiles, seeds, family_list,
                     extractor=windowed, profile=round_profile.name,
                     graph_seed=round_seed))
                 report.engine_steps += len(stream)
+            # The sharding axis: a combiner over 2-4 shards (rotating
+            # with the round) must answer exactly like one unsharded
+            # database, through interleaved updates.  It works on a
+            # private copy of the graph, so round order is unaffected.
+            found.extend(check_shard_equivalence(
+                graph, stream, num_shards=2 + round_number % 3,
+                profile=round_profile.name, graph_seed=round_seed))
+            report.engine_steps += len(stream)
             # The updates axis mutates the graph, so it must be the last
             # user of this round's graph: document updates interleave
             # with the stream and caches/indexes must stay exact.

@@ -103,6 +103,34 @@ class TestBenchReport:
         assert report["verify"]["ok"]
         assert report["verify"]["discrepancies"] == []
 
+    def test_committed_pr7_artifact_meets_criteria(self):
+        """The repository-root BENCH_pr7.json must record the shard sweep
+        landing on single-shard content digests at every shard count, and
+        the replay regression from PR 6 gone against the same-machine
+        PR 4 baseline (BENCH_pr4_samebox.json, lockstep protocol)."""
+        import os
+
+        root = os.path.join(os.path.dirname(__file__), "..")
+        with open(os.path.join(root, "BENCH_pr7.json")) as handle:
+            report = json.load(handle)
+        assert report["name"] == "BENCH_pr7"
+        criteria = report["criteria"]
+        assert criteria["passed"]
+        assert criteria["shard_sweep_ok"]
+        assert criteria["shard_counts"] == [4, 8, 16]
+        assert all(row["digest_matches_single"]
+                   for row in report["sharding"] if row["shards"] > 1)
+        assert criteria["replay_baseline_source"] == "samebox"
+        assert criteria["replay_vs_pr4_ok"]
+        assert criteria["replay_speedup_vs_pr4_min"] >= 1.0
+        assert report["verify"]["ok"]
+        assert report["verify"]["discrepancies"] == []
+        with open(os.path.join(root, "BENCH_pr4_samebox.json")) as handle:
+            samebox = json.load(handle)
+        assert samebox["pr4_commit"]
+        assert set(samebox["baseline"]) == \
+            set(samebox["current_at_measurement"])
+
     def test_committed_pr6_artifact_meets_criteria(self):
         """The repository-root BENCH_pr6.json must record a >= 1.5x win
         on at least one compact-data-plane line, keep the PR 2 headline

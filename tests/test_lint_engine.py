@@ -18,7 +18,7 @@ from repro.analysis import (
     run_lint,
     save_baseline,
 )
-from repro.analysis.baseline import FORMAT_VERSION
+from repro.analysis.baseline import FORMAT_VERSION, unjustified_entries
 
 
 def write(tmp_path, relative, source):
@@ -190,6 +190,57 @@ class TestBaseline:
             payload = json.load(handle)
         assert payload["version"] == FORMAT_VERSION
         assert "justification" in payload["findings"][0]
+
+    def test_fresh_baseline_entries_are_unjustified(self, tmp_path):
+        # --update-baseline writes the placeholder; until a human
+        # replaces it, the entry must fail the run, not mute the finding.
+        path = str(tmp_path / "baseline.json")
+        save_baseline(path, [self.finding()])
+        entries = load_baseline(path)
+        assert unjustified_entries(entries) == entries
+
+    def test_reflowed_placeholder_is_still_unjustified(self):
+        entry = {"path": "x.py", "rule": "cost-accounting", "symbol": "f",
+                 "message": "m",
+                 "justification": "  TODO: explain why this is a\n"
+                                  "   false positive or out of scope "}
+        assert unjustified_entries([entry]) == [entry]
+
+    def test_blank_or_missing_justification_is_unjustified(self):
+        blank = {"path": "x.py", "rule": "r", "symbol": "f",
+                 "message": "m", "justification": "   "}
+        missing = {"path": "x.py", "rule": "r", "symbol": "f",
+                   "message": "m"}
+        assert unjustified_entries([blank, missing]) == [blank, missing]
+
+    def test_real_justification_passes(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        save_baseline(path, [self.finding()])
+        with open(path) as handle:
+            payload = json.load(handle)
+        payload["findings"][0]["justification"] = \
+            "walk is charged by the caller; see docs/cost.md"
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        assert unjustified_entries(load_baseline(path)) == []
+
+    def test_unjustified_entry_fails_the_cli(self, tmp_path, capsys,
+                                             monkeypatch):
+        import argparse
+
+        from repro.analysis.cli import add_lint_arguments, run_lint_cli
+
+        clean = write(tmp_path, "pkg/clean.py", "x = 1\n")
+        baseline_path = str(tmp_path / "baseline.json")
+        save_baseline(baseline_path, [self.finding()])
+        # The baselined finding is stale too; justify nothing and check
+        # the unjustified failure is reported in its own right.
+        parser = argparse.ArgumentParser()
+        add_lint_arguments(parser)
+        args = parser.parse_args([clean, "--baseline", baseline_path])
+        assert run_lint_cli(args) == 1
+        out = capsys.readouterr().out
+        assert "UNJUSTIFIED baseline entry" in out
 
     def test_missing_file_is_empty(self, tmp_path):
         assert load_baseline(str(tmp_path / "absent.json")) == []

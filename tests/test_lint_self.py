@@ -90,6 +90,15 @@ class TestCliBaselineFlow:
             "import time\n\n\ndef stamp():\n    return time.time()\n")
         return target
 
+    def justify(self, baseline, text="pinned by a legacy consumer"):
+        """Replace every placeholder justification (the human's step)."""
+        with open(baseline) as handle:
+            payload = json.load(handle)
+        for entry in payload["findings"]:
+            entry["justification"] = text
+        with open(baseline, "w") as handle:
+            json.dump(payload, handle)
+
     def test_update_baseline_then_green_then_stale(self, tmp_path, capsys):
         target = self.seed(tmp_path)
         baseline = str(tmp_path / "baseline.json")
@@ -101,6 +110,12 @@ class TestCliBaselineFlow:
                      "--update-baseline"]) == 0
         assert "fill in each justification" in capsys.readouterr().out
 
+        # A freshly generated baseline still carries the placeholder
+        # justification; it must stay red until a human explains it.
+        assert main(["lint", str(tmp_path), "--baseline", baseline]) == 1
+        assert "UNJUSTIFIED baseline entry" in capsys.readouterr().out
+
+        self.justify(baseline)
         assert main(["lint", str(tmp_path), "--baseline", baseline]) == 0
         assert "1 baselined" in capsys.readouterr().out
 
@@ -116,6 +131,7 @@ class TestCliBaselineFlow:
         baseline = str(tmp_path / "baseline.json")
         assert main(["lint", str(tmp_path), "--baseline", baseline,
                      "--update-baseline"]) == 0
+        self.justify(baseline)
         capsys.readouterr()
         target.write_text("# a new comment shifting every line\n"
                           + target.read_text())

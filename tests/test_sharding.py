@@ -1,0 +1,280 @@
+"""Tests for the sharded index service (repro.sharding)."""
+
+import random
+
+import pytest
+
+from repro.datasets import generate_xmark
+from repro.graph.datagraph import DataGraph
+from repro.queries.evaluator import evaluate_on_data_graph
+from repro.queries.pathexpr import PathExpression
+from repro.queries.workload import Workload
+from repro.serving.engine import ServingEngine
+from repro.serving.replay import ReplayConfig, random_update, run_replay
+from repro.sharding import ShardedEngine, compute_placement
+from repro.sharding.placement import SPINE, shard_of_key
+from repro.sharding.segments import SegmentLog
+
+
+@pytest.fixture
+def xmark_pair():
+    """Two independent, identical xmark documents (one per engine)."""
+    return (generate_xmark(scale=0.02, seed=7).freeze(),
+            generate_xmark(scale=0.02, seed=7).freeze())
+
+
+def workload_for(graph, queries=30, seed=3):
+    return list(Workload.generate(graph, num_queries=queries,
+                                  max_length=5, seed=seed))
+
+
+class TestPlacement:
+    def test_every_node_is_spine_or_owned(self, xmark_pair):
+        graph, _ = xmark_pair
+        placement = compute_placement(graph, 4)
+        assert len(placement.owner) == graph.num_nodes
+        assert all(who == SPINE or 0 <= who < 4
+                   for who in placement.owner)
+        assert placement.owner[graph.root] == SPINE
+
+    def test_members_partition_non_spine_nodes(self, xmark_pair):
+        graph, _ = xmark_pair
+        placement = compute_placement(graph, 4)
+        seen: dict[int, int] = {}
+        spine = {oid for oid, who in enumerate(placement.owner)
+                 if who == SPINE}
+        for shard in range(4):
+            for oid in placement.members(shard):
+                if oid in spine:
+                    continue  # replicated spine appears in every shard
+                assert oid not in seen
+                seen[oid] = shard
+        assert set(seen) | spine == set(range(graph.num_nodes))
+
+    def test_deterministic_across_rebuilds(self, xmark_pair):
+        first, second = xmark_pair
+        a = compute_placement(first, 8)
+        b = compute_placement(second, 8)
+        assert a.owner == b.owner
+        assert a.unit_depth == b.unit_depth
+        assert a.unit_keys == b.unit_keys
+
+    def test_placement_determinism_property(self):
+        # Same construction history => same placement, across many
+        # random tree shapes and shard counts.
+        for seed in range(8):
+            rng = random.Random(seed)
+            labels = "abcde"
+
+            def build():
+                make = random.Random(seed)
+                graph = DataGraph()
+                graph.add_node("root")
+                for oid in range(1, 60):
+                    graph.add_node(labels[make.randrange(len(labels))])
+                    graph.add_edge(make.randrange(oid), oid)
+                return graph
+
+            shards = rng.randrange(2, 7)
+            assert compute_placement(build(), shards).owner \
+                == compute_placement(build(), shards).owner
+
+    def test_structural_keys_are_paths_with_ordinals(self, xmark_pair):
+        graph, _ = xmark_pair
+        placement = compute_placement(graph, 4)
+        assert placement.unit_keys
+        for key in placement.unit_keys.values():
+            head = key.split("/")[0]
+            assert "[" in head and head.endswith("]")
+
+    def test_key_hashing_is_stable(self):
+        # Pinned values: placement must never depend on the process.
+        assert shard_of_key("site[0]/regions[0]", 4) \
+            == shard_of_key("site[0]/regions[0]", 4)
+        assert 0 <= shard_of_key("anything", 3) < 3
+
+    def test_single_shard_owns_everything_but_spine(self, xmark_pair):
+        graph, _ = xmark_pair
+        placement = compute_placement(graph, 1)
+        assert set(placement.members(0)) == set(range(graph.num_nodes))
+
+
+class TestShardedAnswers:
+    def test_matches_single_engine_statically(self, xmark_pair):
+        single_graph, shard_graph = xmark_pair
+        single = ServingEngine(single_graph)
+        sharded = ShardedEngine(shard_graph, num_shards=4)
+        for expr in workload_for(single_graph):
+            assert single.query(expr).answers \
+                == sharded.query(expr).answers, str(expr)
+
+    def test_matches_oracle_through_update_rounds(self, xmark_pair):
+        _, shard_graph = xmark_pair
+        sharded = ShardedEngine(shard_graph, num_shards=3)
+        rng = random.Random(5)
+        queries = workload_for(sharded.graph, queries=15)
+        for round_number in range(4):
+            for _ in range(2):
+                random_update(sharded, rng)
+            for expr in queries:
+                truth = evaluate_on_data_graph(sharded.graph, expr)
+                assert sharded.query(expr).answers == truth, \
+                    (round_number, str(expr))
+
+    def test_replay_digest_equality_vs_single(self, xmark_pair):
+        single_graph, shard_graph = xmark_pair
+        single = ServingEngine(single_graph)
+        sharded = ShardedEngine(shard_graph, num_shards=4)
+        queries = workload_for(single_graph)
+        config = ReplayConfig(workers=2, passes=2, update_rounds=3,
+                              updates_per_round=2, update_seed=11,
+                              check=True)
+        first = run_replay(single, queries, config)
+        second = run_replay(sharded, queries, config)
+        assert first.check_failures == 0
+        assert second.check_failures == 0
+        # Epoch counters legitimately differ (shard refinements run on
+        # shard clocks), so compare the answers, not answers_digest.
+        with single.pin() as a, sharded.pin() as b:
+            for expr in sorted(set(map(str, queries))):
+                assert a.oracle(expr) == b.oracle(expr), expr
+
+    def test_crossing_queries_fall_back_and_stay_exact(self, xmark_pair):
+        _, shard_graph = xmark_pair
+        sharded = ShardedEngine(shard_graph, num_shards=4)
+        assert sharded._cross_pairs  # xmark's itemrefs cross units
+        source_label, target_label = next(iter(sorted(sharded._cross_pairs)))
+        expr = PathExpression.parse(f"{source_label}/{target_label}")
+        before = sharded.stats.snapshot()["fallbacks"]
+        result = sharded.query(expr)
+        assert sharded.stats.snapshot()["fallbacks"] == before + 1
+        assert result.degraded
+        assert result.answers \
+            == evaluate_on_data_graph(sharded.graph, expr)
+
+    def test_descendant_queries_fall_back_when_cross_edges_exist(
+            self, xmark_pair):
+        _, shard_graph = xmark_pair
+        sharded = ShardedEngine(shard_graph, num_shards=4)
+        expr = PathExpression.parse("//item//text")
+        before = sharded.stats.snapshot()["fallbacks"]
+        result = sharded.query(expr)
+        assert sharded.stats.snapshot()["fallbacks"] == before + 1
+        assert result.answers \
+            == evaluate_on_data_graph(sharded.graph, expr)
+
+    def test_serve_batch_preserves_order_and_answers(self, xmark_pair):
+        _, shard_graph = xmark_pair
+        sharded = ShardedEngine(shard_graph, num_shards=2)
+        queries = workload_for(sharded.graph, queries=20)
+        results = sharded.serve(queries, workers=3)
+        assert [str(r.expr) for r in results] == [str(q) for q in queries]
+        for result in results:
+            assert result.answers \
+                == evaluate_on_data_graph(sharded.graph, result.expr)
+
+    def test_insert_under_spine_places_a_new_unit(self, xmark_pair):
+        _, shard_graph = xmark_pair
+        sharded = ShardedEngine(shard_graph, num_shards=4)
+        root = sharded.graph.root
+        assert sharded.placement.owner[root] == SPINE
+        new_gids = sharded.insert_subtree(root, ("wing", [("feather", [])]))
+        owners = {sharded.placement.owner[gid] for gid in new_gids}
+        assert len(owners) == 1
+        who = owners.pop()
+        assert 0 <= who < 4
+        assert new_gids[0] in sharded.placement.unit_keys
+        # The new nodes answer through their owning shard.
+        assert sharded.query("wing/feather").answers == {new_gids[1]}
+
+    def test_new_global_oids_match_single_engine(self, xmark_pair):
+        single_graph, shard_graph = xmark_pair
+        single = ServingEngine(single_graph)
+        sharded = ShardedEngine(shard_graph, num_shards=3)
+        spec = ("extra", [("leaf", []), ("leaf", [])])
+        assert single.insert_subtree(2, spec) \
+            == sharded.insert_subtree(2, spec)
+
+
+class TestSegmentsAndCompaction:
+    def test_updates_append_segments(self, xmark_pair):
+        _, shard_graph = xmark_pair
+        sharded = ShardedEngine(shard_graph, num_shards=2)
+        rng = random.Random(1)
+        for _ in range(6):
+            random_update(sharded, rng)
+        pending = sum(shard.log.pending() for shard in sharded.shards)
+        assert pending == 6
+
+    def test_compact_retires_segments_one_epoch_per_shard(self, xmark_pair):
+        _, shard_graph = xmark_pair
+        sharded = ShardedEngine(shard_graph, num_shards=2)
+        rng = random.Random(2)
+        for _ in range(5):
+            random_update(sharded, rng)
+        epoch_before = sharded.epoch
+        outcome = sharded.compact()
+        assert outcome["segments_merged"] == 5
+        # One combiner epoch per shard merge, merged or not.
+        assert sharded.epoch == epoch_before + 2
+        assert sum(shard.log.pending() for shard in sharded.shards) == 0
+        for shard in sharded.shards:
+            stats = shard.log.stats()
+            assert stats["retired_segments"] == stats["compactions"] == 0 \
+                or stats["retired_segments"] > 0
+
+    def test_compaction_does_not_change_answers(self, xmark_pair):
+        _, shard_graph = xmark_pair
+        sharded = ShardedEngine(shard_graph, num_shards=3)
+        rng = random.Random(3)
+        queries = workload_for(sharded.graph, queries=12)
+        for _ in range(4):
+            random_update(sharded, rng)
+        before = {str(q): sharded.query(q).answers for q in queries}
+        sharded.compact()
+        for query, answers in before.items():
+            assert sharded.query(query).answers == answers
+
+    def test_background_compactor_drains_segments(self, xmark_pair):
+        import time
+
+        _, shard_graph = xmark_pair
+        sharded = ShardedEngine(shard_graph, num_shards=2)
+        rng = random.Random(4)
+        for _ in range(4):
+            random_update(sharded, rng)
+        sharded.start_compactor(interval_s=0.01)
+        try:
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline and \
+                    sum(s.log.pending() for s in sharded.shards):
+                time.sleep(0.01)
+        finally:
+            sharded.stop_compactor()
+        assert sum(shard.log.pending() for shard in sharded.shards) == 0
+
+    def test_segment_log_seqnos_are_contiguous(self):
+        log = SegmentLog(base_records=10)
+        first = log.append("insert_subtree", (1,), epoch=1)
+        second = log.append("add_reference", (2, 3), epoch=2)
+        assert (first.seqno, second.seqno) == (10, 11)
+        assert log.compact(epoch=3) == 2
+        third = log.append("insert_subtree", (4,), epoch=4)
+        assert third.seqno == 12
+        assert log.stats()["retired_segments"] == 2
+
+
+class TestFuzzedGraphs:
+    def test_dag_and_back_edges_stay_exact(self):
+        # Random non-tree shapes: regular DAG edges and back references
+        # force the conservative cross-edge routing to earn its keep.
+        from repro.verify.fuzz import GRAPH_PROFILES, random_data_graph
+        from repro.verify.oracle import check_shard_equivalence
+
+        profile = next(p for p in GRAPH_PROFILES
+                       if p.dag_edge_ratio or p.back_edge_ratio)
+        graph = random_data_graph(profile, seed=77).freeze()
+        stream = workload_for(graph, queries=18, seed=9)
+        found = check_shard_equivalence(graph, stream, num_shards=3,
+                                        profile=profile.name, graph_seed=77)
+        assert found == []

@@ -130,6 +130,51 @@ class TestPager:
         assert pool.reads == reads_before + 1
         disk.close()
 
+    def test_concurrent_readers_account_exactly(self, small_xmark,
+                                                refined_mstar, tmp_path):
+        # Concurrent shard readers share one pool; under any
+        # interleaving every request must be exactly one hit or one
+        # miss, every miss exactly one physical read, and the pool must
+        # respect its capacity.  The unlocked pool lost hit increments,
+        # double-read pages, and raced the OrderedDict reorder.
+        import threading
+
+        index, _ = refined_mstar
+        path = str(tmp_path / "i.rpdi")
+        disk = DiskMStarIndex.build(index, path, page_size=256,
+                                    buffer_pages=4)
+        pool = disk.pool
+        keys = list(disk._file.pages)
+        assert len(keys) >= 2
+        pool.reset_stats()
+        requests_per_thread = 400
+        num_threads = 8
+        barrier = threading.Barrier(num_threads)
+        failures: list[BaseException] = []
+
+        def reader(worker: int) -> None:
+            barrier.wait()
+            try:
+                for i in range(requests_per_thread):
+                    key = keys[(i * (worker + 1)) % len(keys)]
+                    records = pool.page(key)
+                    assert records
+            except BaseException as exc:  # pragma: no cover - surfaced below
+                failures.append(exc)
+
+        threads = [threading.Thread(target=reader, args=(worker,))
+                   for worker in range(num_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+        total = num_threads * requests_per_thread
+        assert pool.hits + pool.misses == total
+        assert pool.reads == pool.misses
+        assert pool.cached_pages() <= pool.capacity
+        disk.close()
+
     def test_capacity_validation(self, tmp_path):
         path = str(tmp_path / "x")
         with open(path, "wb") as out:
