@@ -29,9 +29,14 @@ GUARDED_ATTRIBUTES: Mapping[str, Mapping[str, str]] = MappingProxyType({
         "cost": "_lock", "refine_cost": "_lock",
     }),
     "ServingStats": MappingProxyType({
-        "queries": "_lock", "cache_hits": "_lock", "conflicts": "_lock",
-        "degraded": "_lock", "timeouts": "_lock", "updates": "_lock",
-        "refinements": "_lock",
+        "queries": "_lock", "cache_hits": "_lock", "misses": "_lock",
+        "conflicts": "_lock", "degraded": "_lock", "timeouts": "_lock",
+        "updates": "_lock", "refinements": "_lock",
+    }),
+    "ShardedStats": MappingProxyType({
+        "queries": "_lock", "cache_hits": "_lock", "misses": "_lock",
+        "conflicts": "_lock", "degraded": "_lock", "timeouts": "_lock",
+        "updates": "_lock", "refinements": "_lock", "fallbacks": "_lock",
     }),
     "ServingEngine": MappingProxyType({
         "_cache": "_cache_lock",

@@ -33,6 +33,12 @@ Extents are additionally held to the compact-data-plane contract:
   the merge helpers in :mod:`repro.core.extents`;
 * **re-sorting** (``sorted(node.extent)``) is redundant work on every
   call — ``list(node.extent)`` is already sorted.
+
+``src/repro/net`` is additionally held to a liveness contract: every
+blocking socket receive (``recv`` and friends, ``accept``) must happen
+in a function that arms a socket timeout, so a silent peer can never
+wedge a server worker or survive a shutdown request — see
+:func:`_check_socket_reads`.
 """
 
 from __future__ import annotations
@@ -205,11 +211,66 @@ def _check_extent_order(context: ModuleContext) -> None:
                 "hash order; iterate the extent directly")
 
 
+#: Socket receive-side calls that block until the peer sends (or
+#: forever, when no timeout is armed on the socket).
+_BLOCKING_SOCKET_METHODS = frozenset({"recv", "recv_into", "recvfrom",
+                                      "recvfrom_into", "accept"})
+
+
+def _arms_timeout(nodes: list[ast.AST]) -> bool:
+    """Does this function call ``<sock>.settimeout(<non-None>)``?"""
+    for node in nodes:
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "settimeout" \
+                and node.args:
+            arg = node.args[0]
+            if not (isinstance(arg, ast.Constant) and arg.value is None):
+                return True
+    return False
+
+
+def _check_socket_reads(context: ModuleContext) -> None:
+    """Ban unbounded blocking socket reads (``net/`` only).
+
+    A ``.recv``/``.accept`` on a socket with no timeout armed blocks a
+    server or client thread forever on a silent peer — the network
+    front-end's no-wedged-workers contract (and its graceful shutdown)
+    depends on every blocking read being bounded.  The check is
+    per-function: a function that calls one of the blocking receive
+    methods must also call ``.settimeout(<non-None>)`` before it (on
+    any socket — the AST cannot track aliasing, and arming *a* timeout
+    in the same function is the pattern
+    :func:`repro.net.protocol.recv_exact` canonicalises).
+    """
+    for node in ast.walk(context.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        owned = owned_nodes(node)
+        if _arms_timeout(owned):
+            continue
+        for inner in owned:
+            if not isinstance(inner, ast.Call):
+                continue
+            func = inner.func
+            if isinstance(func, ast.Attribute) and \
+                    func.attr in _BLOCKING_SOCKET_METHODS:
+                context.report(
+                    inner, RULE_ID,
+                    f"blocking '.{func.attr}()' with no "
+                    f"'.settimeout(...)' armed in '{node.name}' can wedge "
+                    f"a thread forever on a silent peer; bound every "
+                    f"socket read (see repro.net.protocol.recv_exact)")
+
+
 @rule(RULE_ID,
       "no wall clocks, unseeded randomness, or set-order dependence in "
-      "replay-deterministic code",
-      applies=in_dirs("core/", "indexes/", "queries/", "serving/"))
+      "replay-deterministic code; no unbounded socket reads in net/",
+      applies=in_dirs("core/", "indexes/", "queries/", "serving/", "net/"))
 def check_determinism(context: ModuleContext) -> None:
     _check_banned_calls(context)
     _check_set_order(context)
     _check_extent_order(context)
+    if "net/" in "/" + context.relpath.replace("\\", "/"):
+        _check_socket_reads(context)

@@ -43,11 +43,18 @@ replay workload, records per-shard placement/segment bookkeeping, and
 asserts the answers-only digest of every sharded run is byte-identical
 to the single-shard engine's; see :func:`run_shard_bench`.
 
+A seventh group, **network**, replays the same workload *over the
+wire* through the PR 8 TCP front-end (:mod:`repro.net`) at a sweep of
+client connection counts (plus one sharded row), records p50/p95/p99
+request latency and saturation throughput, and asserts every
+over-the-wire answers digest is byte-identical to an in-process replay
+of the same configuration; see :func:`run_net_bench`.
+
 ``run_bench`` also runs a small differential-oracle campaign (which
 includes cache-on vs cache-off equivalence checks, and the updates
 axis) so the artifact records that the measured configuration is
 *correct*, not just fast.  The JSON lands at the repository root as
-``BENCH_pr7.json`` by default; CI runs ``repro bench --smoke`` and
+``BENCH_pr8.json`` by default; CI runs ``repro bench --smoke`` and
 fails on any oracle discrepancy.  When a committed ``BENCH_pr4.json``
 is readable from the working directory, the report also records
 construction/replay wall-time deltas against that artifact under
@@ -105,6 +112,13 @@ class BenchConfig:
     shard_counts: tuple[int, ...] = (4, 8, 16)
     #: Document-update rounds interleaved into each sharded replay.
     shard_update_rounds: int = 3
+    #: Connection counts for the over-the-wire loadgen sweep (each is
+    #: digest-checked against an in-process replay).
+    net_connection_counts: tuple[int, ...] = (1, 4, 16)
+    #: Document-update rounds interleaved into each loadgen replay.
+    net_update_rounds: int = 2
+    #: Shard count for the sharded over-the-wire row (0 disables it).
+    net_shard_check: int = 4
     smoke: bool = False
 
     @classmethod
@@ -113,7 +127,9 @@ class BenchConfig:
                    replay_queries=40, replay_passes=2, verify_rounds=3,
                    serving_worker_counts=(1, 4), serving_stall_s=0.001,
                    serving_update_rounds=2, shard_counts=(2, 4),
-                   shard_update_rounds=2, smoke=True)
+                   shard_update_rounds=2,
+                   net_connection_counts=(1, 4, 16),
+                   net_update_rounds=2, net_shard_check=4, smoke=True)
 
 
 def _timed(fn: Callable[[], object]) -> tuple[float, object]:
@@ -317,6 +333,93 @@ def run_serving_bench(dataset: str, exp: "ExperimentConfig", queries: int,
             f"serving replay digests diverged across worker counts on "
             f"{dataset}: {sorted(digests)} — concurrent runs did not "
             f"serve the same document history")
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Network: over-the-wire loadgen sweep, digest-checked vs in-process
+# ----------------------------------------------------------------------
+def run_net_bench(dataset: str, exp: "ExperimentConfig", queries: int,
+                  max_length: int, seed: int, passes: int,
+                  connection_counts: tuple[int, ...],
+                  update_rounds: int, shard_check: int) -> list[dict]:
+    """Over-the-wire replay sweep: latency percentiles + digest check.
+
+    Each connection count gets a fresh single-shard engine behind an
+    ephemeral-port :class:`~repro.net.server.IndexServer` and replays
+    the identical workload/update schedule through ``repro loadgen``'s
+    driver; ``shard_check > 1`` adds one sharded row at the highest
+    multi-connection count.  Every row's over-the-wire
+    :func:`~repro.net.loadgen.wire_content_digest` must equal the
+    answers-only :func:`content_digest` of an in-process replay with
+    the same configuration — computed once, since every row serves the
+    same document history — or the bench raises: a wire stack that
+    changes answers has no throughput worth reporting.  The maximum
+    row throughput is the *saturation* estimate the criteria carry
+    (this is a loopback, GIL-shared measurement — the useful signal is
+    the trend across connection counts, not the absolute number).
+    """
+    from repro.net.loadgen import LoadgenConfig, run_loadgen
+    from repro.net.server import IndexServer
+    from repro.serving.engine import ServingEngine
+    from repro.serving.replay import ReplayConfig, run_replay
+    from repro.sharding import ShardedEngine
+
+    workload_graph = dataset_for(dataset, exp)
+    workload = Workload.generate(workload_graph, num_queries=queries,
+                                 max_length=max_length, seed=seed)
+
+    # The in-process baseline every over-the-wire row must match.
+    baseline_engine = ServingEngine(dataset_for(dataset, exp))
+    run_replay(baseline_engine, workload.queries,
+               ReplayConfig(workers=4, passes=passes,
+                            update_rounds=update_rounds, update_seed=seed))
+    baseline_digest = content_digest(baseline_engine, workload.queries)
+
+    plans = [(1, connections) for connections in connection_counts]
+    if shard_check > 1:
+        multi = [c for c in connection_counts if c > 1]
+        plans.append((shard_check, max(multi) if multi else 4))
+
+    rows: list[dict] = []
+    for shards, connections in plans:
+        if shards > 1:
+            engine = ShardedEngine(dataset_for(dataset, exp).freeze(),
+                                   num_shards=shards)
+            mirror = dataset_for(dataset, exp).freeze()
+        else:
+            engine = ServingEngine(dataset_for(dataset, exp))
+            mirror = dataset_for(dataset, exp)
+        config = LoadgenConfig(connections=connections, passes=passes,
+                               update_rounds=update_rounds,
+                               update_seed=seed)
+        with IndexServer(engine, port=0,
+                         workers=max(4, connections)) as server:
+            host, port = server.address
+            report = run_loadgen(host, port, mirror, workload.queries,
+                                 config)
+        if report.content_digest != baseline_digest:
+            raise AssertionError(
+                f"over-the-wire replay digest diverged from in-process "
+                f"replay on {dataset} ({shards} shards, {connections} "
+                f"connections): {report.content_digest} != "
+                f"{baseline_digest}")
+        rows.append({
+            "dataset": dataset, "shards": shards,
+            "connections": connections, "passes": passes,
+            "queries_ok": report.queries_ok, "shed": report.shed,
+            "seconds": round(report.duration_s, 6),
+            "throughput_qps": round(report.throughput_qps, 1),
+            "p50_ms": round(report.p50_ms, 3),
+            "p95_ms": round(report.p95_ms, 3),
+            "p99_ms": round(report.p99_ms, 3),
+            "degraded": report.degraded,
+            "timeouts": report.timeouts,
+            "cache_hits": report.cache_hits,
+            "updates_applied": report.updates_applied,
+            "digest": report.content_digest,
+            "digest_matches_inproc": True,
+        })
     return rows
 
 
@@ -761,12 +864,13 @@ def run_bench(config: BenchConfig | None = None,
     exp = ExperimentConfig(scale=config.scale, num_queries=config.replay_queries,
                            seed=config.seed)
     report: dict = {
-        "name": "BENCH_pr7",
+        "name": "BENCH_pr8",
         "config": asdict(config),
         "construction": [],
         "replay": [],
         "serving": [],
         "sharding": [],
+        "network": [],
         "trace_overhead": [],
         "compact": [],
     }
@@ -796,6 +900,14 @@ def run_bench(config: BenchConfig | None = None,
                             config.replay_passes, config.shard_counts,
                             config.shard_update_rounds))
         say(f"bench: {dataset}: shard sweep done")
+        report["network"].extend(
+            run_net_bench(dataset, exp, config.replay_queries,
+                          config.max_query_length, config.seed,
+                          config.replay_passes,
+                          config.net_connection_counts,
+                          config.net_update_rounds,
+                          config.net_shard_check))
+        say(f"bench: {dataset}: network sweep done")
         report["trace_overhead"].append(
             run_trace_overhead_bench(graph, dataset, config.replay_queries,
                                      config.max_query_length, config.seed,
@@ -848,6 +960,11 @@ def run_bench(config: BenchConfig | None = None,
     shard_rows = [row for row in report["sharding"] if row["shards"] > 1]
     shard_sweep_ok = bool(shard_rows) and all(
         row["digest_matches_single"] for row in shard_rows)
+    net_rows = report["network"]
+    net_sweep_ok = bool(net_rows) and all(
+        row["digest_matches_inproc"] for row in net_rows)
+    net_saturation_qps = max((row["throughput_qps"] for row in net_rows),
+                             default=0.0)
     report["vs_pr4"] = _vs_pr4_deltas(
         report,
         os.environ.get("REPRO_BENCH_PREVIOUS", "BENCH_pr4.json"),
@@ -880,13 +997,19 @@ def run_bench(config: BenchConfig | None = None,
         "compact_ok": compact_ok,
         "shard_counts": sorted({row["shards"] for row in shard_rows}),
         "shard_sweep_ok": shard_sweep_ok,
+        "net_connection_counts": sorted({row["connections"]
+                                         for row in net_rows}),
+        "net_shard_counts": sorted({row["shards"] for row in net_rows}),
+        "net_saturation_qps": net_saturation_qps,
+        "net_sweep_ok": net_sweep_ok,
         "replay_speedup_vs_pr4_min": replay_vs_pr4_min,
         "replay_vs_pr4_target": 1.0,
         "replay_baseline_source": ("samebox" if samebox_used
                                    else "artifact"),
         "replay_vs_pr4_ok": replay_vs_pr4_ok,
         "passed": bool(verification.ok and trace_overhead_ok and serving_ok
-                       and compact_ok and shard_sweep_ok and replay_vs_pr4_ok
+                       and compact_ok and shard_sweep_ok and net_sweep_ok
+                       and replay_vs_pr4_ok
                        and (construction_best >= 2.0 or replay_best >= 2.0)),
     }
     return report

@@ -21,7 +21,13 @@ Commands:
 * ``serve`` — replay a workload through the snapshot-isolated
   concurrent serving layer on N worker threads, interleaved with
   document-update rounds (see :mod:`repro.serving` and
-  ``docs/serving.md``);
+  ``docs/serving.md``); with ``--listen HOST:PORT`` it instead exposes
+  the engine over the TCP wire protocol (see :mod:`repro.net` and
+  ``docs/network.md``);
+* ``loadgen`` — replay a workload *over the wire* against a ``serve
+  --listen`` server (or an inline ephemeral one) at configurable
+  connection concurrency, reporting p50/p95/p99 latency, throughput,
+  and the over-the-wire answers digest (see ``docs/network.md``);
 * ``lint`` — run the AST-based discipline checker (lock / cost / epoch
   / determinism rules) over the project's own source (see
   :mod:`repro.analysis` and ``docs/static-analysis.md``).
@@ -31,6 +37,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.datasets import generate_nasa, generate_xmark
 from repro.graph.xml_io import parse_xml_file
@@ -175,6 +182,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
           f"(target {criteria['compact_target']}x)")
     print(f"bench: shard sweep {criteria['shard_counts']} digest vs "
           f"single-shard: {'OK' if criteria['shard_sweep_ok'] else 'FAILED'}")
+    print(f"bench: network sweep {criteria['net_connection_counts']} "
+          f"connections (shards {criteria['net_shard_counts']}): "
+          f"{criteria['net_saturation_qps']:.0f} q/s saturation, wire "
+          f"digest vs in-process: "
+          f"{'OK' if criteria['net_sweep_ok'] else 'FAILED'}")
     if criteria["replay_speedup_vs_pr4_min"] is not None:
         print(f"bench: replay vs pr4 worst line "
               f"({criteria['replay_baseline_source']} baseline): "
@@ -183,6 +195,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
               f"{'OK' if criteria['replay_vs_pr4_ok'] else 'FAILED'}")
     if not criteria["shard_sweep_ok"]:
         print("bench: FAILED — sharded answers diverged from single-shard")
+        return 1
+    if not criteria["net_sweep_ok"]:
+        print("bench: FAILED — over-the-wire answers diverged from "
+              "in-process replay")
         return 1
     if not report["verify"]["ok"]:
         print("bench: FAILED — oracle discrepancies with caching enabled:")
@@ -193,10 +209,32 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_hostport(text: str) -> tuple[str, int]:
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"expected HOST:PORT, got {text!r}")
+    return host, int(port)
+
+
+def _build_serving_engine(graph, shards: int, *, banner: str = "serve"):
+    """The single-shard or sharded engine the serve/loadgen commands use."""
+    from repro.serving.engine import ServingEngine
+
+    if shards > 1:
+        from repro.sharding import ShardedEngine
+
+        serving = ShardedEngine(graph.freeze(), num_shards=shards)
+        sizes = serving.placement.shard_sizes()
+        print(f"{banner}: {shards} shards (owned nodes {sizes}, "
+              f"{serving.num_cross_edges} cross edges, "
+              f"built in {serving.construction_s:.3f}s)")
+        return serving
+    return ServingEngine(graph)
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     import json as _json
 
-    from repro.serving.engine import ServingEngine
     from repro.serving.replay import (
         ReplayConfig,
         load_workload,
@@ -209,6 +247,28 @@ def cmd_serve(args: argparse.Namespace) -> int:
     else:
         generator = generate_xmark if args.dataset == "xmark" else generate_nasa
         graph = generator(scale=args.scale, seed=args.seed)
+
+    if args.listen:
+        from repro.net.server import IndexServer
+
+        host, port = _parse_hostport(args.listen)
+        serving = _build_serving_engine(graph, args.shards)
+        server = IndexServer(serving, host, port,
+                             workers=args.net_workers,
+                             max_queue=args.max_queue)
+        with server:
+            bound_host, bound_port = server.address
+            print(f"serve: listening on {bound_host}:{bound_port} "
+                  f"({args.net_workers} workers, "
+                  f"queue depth {args.max_queue}); Ctrl-C to stop",
+                  flush=True)
+            try:
+                while True:
+                    time.sleep(0.5)
+            except KeyboardInterrupt:
+                print("serve: shutting down")
+        return 0
+
     if args.replay:
         queries = load_workload(args.replay)
         source = args.replay
@@ -223,16 +283,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
                           header=f"workload: {source}")
             print(f"serve: workload written to {args.save_workload}")
 
-    if args.shards > 1:
-        from repro.sharding import ShardedEngine
-
-        serving = ShardedEngine(graph.freeze(), num_shards=args.shards)
-        sizes = serving.placement.shard_sizes()
-        print(f"serve: {args.shards} shards (owned nodes {sizes}, "
-              f"{serving.num_cross_edges} cross edges, "
-              f"built in {serving.construction_s:.3f}s)")
-    else:
-        serving = ServingEngine(graph)
+    serving = _build_serving_engine(graph, args.shards)
     config = ReplayConfig(workers=args.workers, passes=args.passes,
                           timeout=args.timeout,
                           update_rounds=args.update_rounds,
@@ -263,6 +314,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         with open(args.digest_out, "w") as handle:
             handle.write(report.digest + "\n")
         print(f"serve: digest written to {args.digest_out}")
+    if args.content_digest_out:
+        from repro.bench.runner import content_digest
+
+        digest = content_digest(serving, queries)
+        with open(args.content_digest_out, "w") as handle:
+            handle.write(digest + "\n")
+        print(f"serve: content digest {digest} written to "
+              f"{args.content_digest_out}")
     if args.json:
         with open(args.json, "w") as handle:
             _json.dump(report.as_dict(), handle, indent=2)
@@ -274,6 +333,100 @@ def cmd_serve(args: argparse.Namespace) -> int:
                   f"diverge from the data-graph oracle")
             return 1
         print("serve: check OK — final answers match the data-graph oracle")
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Replay a workload over the wire; optionally cross-check digests.
+
+    With ``--connect`` the target is an external ``serve --listen``
+    server (which must have been started from the same dataset, scale,
+    seed, and shard count for the digest check to be meaningful);
+    without it an ephemeral inline server is started on a loopback
+    port, which is what the CI ``net-smoke`` job uses.
+    """
+    import json as _json
+
+    from repro.net.loadgen import LoadgenConfig, run_loadgen
+    from repro.serving.replay import load_workload
+
+    generator = generate_xmark if args.dataset == "xmark" else generate_nasa
+
+    def build_graph():
+        graph = generator(scale=args.scale, seed=args.seed)
+        return graph.freeze() if args.shards > 1 else graph
+
+    graph = build_graph()
+    if args.replay:
+        queries = load_workload(args.replay)
+    else:
+        queries = list(Workload.generate(graph, num_queries=args.queries,
+                                         max_length=args.max_length,
+                                         seed=args.seed))
+    config = LoadgenConfig(connections=args.connections,
+                           passes=args.passes,
+                           update_rounds=args.update_rounds,
+                           updates_per_round=args.updates_per_round,
+                           update_seed=args.update_seed,
+                           budget_ms=args.budget_ms)
+
+    server = None
+    if args.connect:
+        host, port = _parse_hostport(args.connect)
+    else:
+        from repro.net.server import IndexServer
+
+        serving = _build_serving_engine(build_graph(), args.shards,
+                                        banner="loadgen")
+        server = IndexServer(serving, workers=args.net_workers,
+                             max_queue=args.max_queue).start()
+        host, port = server.address
+        print(f"loadgen: inline server on {host}:{port}")
+    try:
+        report = run_loadgen(host, port, graph, queries, config)
+    finally:
+        if server is not None:
+            server.stop()
+
+    print(f"loadgen: {report.queries_ok}/{report.queries_sent} served on "
+          f"{config.connections} connections ({report.shed} shed, "
+          f"{report.updates_applied} updates, "
+          f"{report.refinements} refinements)")
+    print(f"loadgen: {report.duration_s:.3f}s serving wall, "
+          f"{report.throughput_qps:.0f} queries/s; latency p50 "
+          f"{report.p50_ms:.2f}ms, p95 {report.p95_ms:.2f}ms, "
+          f"p99 {report.p99_ms:.2f}ms")
+    print(f"loadgen: {report.cache_hits} cache hits, "
+          f"{report.degraded} degraded, {report.timeouts} past deadline")
+    print(f"loadgen: content digest {report.content_digest}")
+    if args.digest_out:
+        with open(args.digest_out, "w") as handle:
+            handle.write(report.content_digest + "\n")
+        print(f"loadgen: digest written to {args.digest_out}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            _json.dump(report.as_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"loadgen: report written to {args.json}")
+
+    if args.check_inproc:
+        from repro.bench.runner import content_digest
+        from repro.serving.replay import ReplayConfig, run_replay
+
+        serving = _build_serving_engine(build_graph(), args.shards,
+                                        banner="loadgen")
+        run_replay(serving, queries,
+                   ReplayConfig(workers=4, passes=config.passes,
+                                update_rounds=config.update_rounds,
+                                updates_per_round=config.updates_per_round,
+                                update_seed=config.update_seed))
+        inproc = content_digest(serving, queries)
+        if inproc != report.content_digest:
+            print(f"loadgen: CHECK FAILED — over-the-wire digest "
+                  f"{report.content_digest} != in-process digest {inproc}")
+            return 1
+        print("loadgen: check OK — over-the-wire answers match "
+              "in-process replay byte-for-byte")
     return 0
 
 
@@ -472,8 +625,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench = commands.add_parser(
         "bench",
         help="hot-path benchmarks with a persisted JSON trajectory")
-    bench.add_argument("--output", "-o", default="BENCH_pr7.json",
-                       help="JSON artifact path (default: BENCH_pr7.json)")
+    bench.add_argument("--output", "-o", default="BENCH_pr8.json",
+                       help="JSON artifact path (default: BENCH_pr8.json)")
     bench.add_argument("--smoke", action="store_true",
                        help="small fixed configuration for CI")
     bench.add_argument("--scale", type=float, default=0.05)
@@ -558,9 +711,62 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--digest-out",
                        help="write the final-answers digest to this file "
                             "(the CI flake guard diffs two runs)")
+    serve.add_argument("--content-digest-out",
+                       help="write the answers-only content digest (the "
+                            "one `repro loadgen` reproduces over the wire)")
     serve.add_argument("--json",
                        help="write the full replay report as JSON")
+    serve.add_argument("--listen",
+                       help="serve over TCP at HOST:PORT (port 0 = "
+                            "ephemeral) instead of replaying; see "
+                            "docs/network.md")
+    serve.add_argument("--net-workers", type=int, default=4,
+                       help="server worker threads draining the request "
+                            "queue (with --listen)")
+    serve.add_argument("--max-queue", type=int, default=64,
+                       help="admitted-but-unserved request bound before "
+                            "load-shedding (with --listen)")
     serve.set_defaults(handler=cmd_serve)
+
+    loadgen = commands.add_parser(
+        "loadgen",
+        help="replay a workload over the wire protocol, reporting "
+             "p50/p95/p99 latency and the answers digest")
+    loadgen.add_argument("--connect",
+                         help="HOST:PORT of a running `serve --listen` "
+                              "server (default: start an inline server)")
+    loadgen.add_argument("--dataset", choices=("xmark", "nasa"),
+                         default="xmark")
+    loadgen.add_argument("--scale", type=float, default=0.02)
+    loadgen.add_argument("--seed", type=int, default=7)
+    loadgen.add_argument("--shards", type=int, default=1,
+                         help="shard count of the target engine (must "
+                              "match the server's with --connect)")
+    loadgen.add_argument("--replay",
+                         help="workload file; default: generate from "
+                              "--queries/--max-length/--seed")
+    loadgen.add_argument("--queries", type=int, default=60)
+    loadgen.add_argument("--max-length", type=int, default=6)
+    loadgen.add_argument("--connections", type=int, default=4,
+                         help="concurrent client connections")
+    loadgen.add_argument("--passes", type=int, default=2)
+    loadgen.add_argument("--update-rounds", type=int, default=4)
+    loadgen.add_argument("--updates-per-round", type=int, default=1)
+    loadgen.add_argument("--update-seed", type=int, default=0)
+    loadgen.add_argument("--budget-ms", type=int, default=None,
+                         help="per-query deadline shipped on the wire")
+    loadgen.add_argument("--net-workers", type=int, default=4,
+                         help="inline server worker threads")
+    loadgen.add_argument("--max-queue", type=int, default=64,
+                         help="inline server admission-control bound")
+    loadgen.add_argument("--check-inproc", action="store_true",
+                         help="also run the identical replay in-process "
+                              "and fail on any digest difference")
+    loadgen.add_argument("--digest-out",
+                         help="write the over-the-wire content digest")
+    loadgen.add_argument("--json",
+                         help="write the loadgen report as JSON")
+    loadgen.set_defaults(handler=cmd_loadgen)
 
     lint = commands.add_parser(
         "lint",

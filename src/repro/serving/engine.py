@@ -37,6 +37,7 @@ import queue as _queue
 import threading
 import time
 from collections import deque
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro.core.engine import AdaptiveIndexEngine
@@ -78,19 +79,39 @@ class ServedResult:
     cache_hit: bool = False
     degraded: bool = False
     timed_out: bool = False
+    #: Set by the sharded combiner: the query was routed to the exact
+    #: global path because it could traverse a cross-shard edge (every
+    #: fallback answer is also a degraded one, never the reverse).
+    fallback: bool = False
     duration_s: float = 0.0
 
 
 class ServingStats:
-    """Thread-safe running totals for one serving engine."""
+    """Thread-safe running totals for one serving engine.
 
-    _FIELDS = ("queries", "cache_hits", "conflicts", "degraded", "timeouts",
-               "updates", "refinements")
+    Every counter derived from one result moves inside a *single* lock
+    acquisition, so any :meth:`snapshot` (the stats RPC reads through
+    it) observes a consistent state in which
+
+    * ``queries == cache_hits + misses`` — every answered query is
+      exactly one of the two, and
+    * ``timeouts <= queries`` / ``degraded <= queries`` — per-result
+      flags can never outrun the query count.
+
+    The lock is reentrant so subclasses (``ShardedStats``) can extend
+    :meth:`record_result` and keep their extra counters inside the same
+    atomic step; ``tests/test_stats_consistency.py`` hammers exactly
+    these invariants from concurrent readers.
+    """
+
+    _FIELDS = ("queries", "cache_hits", "misses", "conflicts", "degraded",
+               "timeouts", "updates", "refinements")
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = threading.RLock()
         self.queries = 0
         self.cache_hits = 0
+        self.misses = 0
         self.conflicts = 0
         self.degraded = 0
         self.timeouts = 0
@@ -103,6 +124,8 @@ class ServingStats:
             self.conflicts += result.conflicts
             if result.cache_hit:
                 self.cache_hits += 1
+            else:
+                self.misses += 1
             if result.degraded:
                 self.degraded += 1
             if result.timed_out:
@@ -181,7 +204,8 @@ class ServingEngine:
                  extractor: FupExtractor | None = None,
                  max_attempts: int = 6,
                  default_timeout: float | None = None,
-                 cache: bool = True, cache_size: int = 1024) -> None:
+                 cache: bool = True, cache_size: int = 1024,
+                 now: "Callable[[], float] | None" = None) -> None:
         """Wrap an existing engine, or build one over ``source`` graph.
 
         ``max_attempts`` bounds optimistic retries before a query
@@ -190,6 +214,9 @@ class ServingEngine:
         controls the serving-layer result cache (token-guarded, shared
         across workers); the wrapped engine's own cache stays whatever
         it was configured with (it only runs under the writer lock).
+        ``now`` replaces the monotonic clock deadlines are measured on —
+        only tests should pass it (a fake clock is how the deadline
+        boundary is pinned deterministically).
         """
         if isinstance(source, AdaptiveIndexEngine):
             self.engine = source
@@ -204,6 +231,7 @@ class ServingEngine:
             raise ValueError("max_attempts must be >= 1")
         self.max_attempts = max_attempts
         self.default_timeout = default_timeout
+        self._now = time.monotonic if now is None else now
         self.stats = ServingStats()
         self.clock = EpochClock()
         self._fingerprint = getattr(self.index, "cache_fingerprint", None)
@@ -281,10 +309,18 @@ class ServingEngine:
         the query degrades to the data-graph oracle path under the
         writer mutex — slower, but always exact, so a conflicted query
         returns a late correct answer rather than a fast wrong one.
+
+        Deadline classification happens here, in exactly one place and
+        with one comparator: a result is ``timed_out`` iff it *finished*
+        at or past its deadline (``>=``, matching the retry loop's own
+        cutoff), whatever path produced it.  ``degraded`` stays
+        orthogonal — it marks oracle-path answers — so a query that
+        degrades *and* finishes late counts once in ``degraded`` and
+        once in ``timeouts``, never twice in either.
         """
         expr = as_expression(expr)
         timeout = self.default_timeout if timeout is _UNSET else timeout
-        started = time.monotonic()
+        started = self._now()
         deadline = started + timeout if timeout is not None else None
         tracer = _trace.TRACER
         span = tracer.span("serving.query", query=str(expr),
@@ -292,7 +328,9 @@ class ServingEngine:
             else _trace.NULL_SPAN
         with span:
             result = self._query_inner(expr, deadline)
-            result.duration_s = time.monotonic() - started
+            finished = self._now()
+            result.duration_s = finished - started
+            result.timed_out = deadline is not None and finished >= deadline
             span.tag(outcome="degraded" if result.degraded else "ok",
                      epoch=result.epoch, attempts=result.attempts,
                      cache="hit" if result.cache_hit else "miss")
@@ -327,11 +365,11 @@ class ServingEngine:
                         epoch=seq // 2, cost=cost, attempts=attempts,
                         conflicts=conflicts, cache_hit=cache_hit)
             conflicts += 1
-            if deadline is not None and time.monotonic() >= deadline:
+            if deadline is not None and self._now() >= deadline:
                 break
             # Yield first, back off harder if the writer is long-running.
             time.sleep(0 if conflicts < 2 else min(0.0002 * conflicts, 0.002))
-        return self._degraded_query(expr, attempts, conflicts, deadline)
+        return self._degraded_query(expr, attempts, conflicts)
 
     def _attempt(self, expr: PathExpression, seq: int):
         """One optimistic evaluation; ``None`` signals a torn read."""
@@ -358,8 +396,9 @@ class ServingEngine:
             return None
 
     def _degraded_query(self, expr: PathExpression, attempts: int,
-                        conflicts: int,
-                        deadline: float | None) -> ServedResult:
+                        conflicts: int) -> ServedResult:
+        # ``timed_out`` is classified by the caller once the result is
+        # final — the degraded path only marks *how* it was answered.
         tracer = _trace.TRACER
         span = tracer.span("serving.degraded", query=str(expr)) \
             if tracer.enabled else _trace.NULL_SPAN
@@ -367,13 +406,10 @@ class ServingEngine:
             with self.clock.pause_writers() as epoch:
                 cost = CostCounter()
                 answers = evaluate_on_data_graph(self.graph, expr, cost)
-            timed_out = (deadline is not None
-                         and time.monotonic() > deadline)
-            span.tag(epoch=epoch, timed_out=timed_out)
+            span.tag(epoch=epoch)
         return ServedResult(expr=expr, answers=answers, validated=True,
                             epoch=epoch, cost=cost, attempts=attempts,
-                            conflicts=conflicts, degraded=True,
-                            timed_out=timed_out)
+                            conflicts=conflicts, degraded=True)
 
     def _cache_store(self, expr: PathExpression, token: tuple,
                      answers: set[int], validated: bool, epoch: int) -> None:

@@ -54,14 +54,12 @@ from repro.indexes import maintenance as _maintenance
 from repro.indexes.mstarindex import MStarIndex
 from repro.queries.evaluator import evaluate_on_data_graph
 from repro.queries.pathexpr import PathExpression, WILDCARD, as_expression
-from repro.serving.engine import ServedResult, ServingEngine, ServingStats
+from repro.serving.engine import (_UNSET, ServedResult, ServingEngine,
+                                  ServingStats)
 from repro.serving.snapshot import EpochClock
 from repro.sharding.placement import (Placement, SPINE, compute_placement,
                                       shard_of_key, structural_key)
 from repro.sharding.segments import SegmentLog
-
-#: Sentinel distinguishing "no timeout given" from "timeout=None".
-_UNSET = object()
 
 
 class ShardedStats(ServingStats):
@@ -70,7 +68,11 @@ class ShardedStats(ServingStats):
     ``fallbacks`` counts queries answered on the exact global path
     because their label sequence could match a cross-shard edge (these
     are also counted under ``degraded``, matching the single-engine
-    convention that any locked-oracle answer is a degraded one).
+    convention that any locked-oracle answer is a degraded one).  The
+    fallback flag rides on the :class:`ServedResult` itself and lands
+    in the same lock acquisition as every other per-result counter, so
+    a concurrent :meth:`snapshot` can never observe ``fallbacks``
+    running ahead of ``degraded`` or ``queries``.
     """
 
     _FIELDS = ServingStats._FIELDS + ("fallbacks",)
@@ -79,9 +81,11 @@ class ShardedStats(ServingStats):
         super().__init__()
         self.fallbacks = 0
 
-    def record_fallback(self) -> None:
+    def record_result(self, result: ServedResult) -> None:
         with self._lock:
-            self.fallbacks += 1
+            super().record_result(result)
+            if result.fallback:
+                self.fallbacks += 1
 
 
 class _Shard:
@@ -185,7 +189,8 @@ class ShardedEngine:
                  cache: bool = True,
                  max_attempts: int = 6,
                  default_timeout: float | None = None,
-                 parallel_build: bool = True) -> None:
+                 parallel_build: bool = True,
+                 now=None) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         if max_attempts < 1:
@@ -194,6 +199,7 @@ class ShardedEngine:
         self.num_shards = num_shards
         self.max_attempts = max_attempts
         self.default_timeout = default_timeout
+        self._now = time.monotonic if now is None else now
         self.placement: Placement = compute_placement(graph, num_shards)
         self.clock = EpochClock()
         self.stats = ShardedStats()
@@ -331,14 +337,28 @@ class ShardedEngine:
                     return True
         return False
 
-    def _fanout(self, expr: PathExpression):
-        """Query every shard and union the answers in global-oid space."""
+    def _fanout(self, expr: PathExpression, deadline: float | None = None):
+        """Query every shard and union the answers in global-oid space.
+
+        ``deadline`` bounds the *total* fan-out: every shard query gets
+        the budget **remaining** at the moment it starts (a slow shard
+        eats into its successors' budgets), never the caller's full
+        timeout reapplied per shard.  Without a deadline the ``_UNSET``
+        sentinel is passed through unchanged, so each shard engine
+        applies its own ``default_timeout`` exactly as if it were
+        queried directly — this is the shared sentinel from
+        :mod:`repro.serving.engine`, not a combiner-private copy.
+        """
         cost = CostCounter()
         merged: Extent | None = None
         validated = False
         cache_hit = True
         for shard in self._shards:
-            result = shard.serving.query(expr)
+            if deadline is None:
+                budget = _UNSET
+            else:
+                budget = max(deadline - self._now(), 0.0)
+            result = shard.serving.query(expr, timeout=budget)
             cost.add(result.cost)
             validated = validated or result.validated
             cache_hit = cache_hit and result.cache_hit
@@ -364,49 +384,53 @@ class ShardedEngine:
         """
         expr = as_expression(expr)
         timeout = self.default_timeout if timeout is _UNSET else timeout
-        started = time.monotonic()
+        started = self._now()
         deadline = started + timeout if timeout is not None else None
         result = self._query_inner(expr, deadline)
-        result.duration_s = time.monotonic() - started
+        finished = self._now()
+        result.duration_s = finished - started
+        # Same single-place classification as ServingEngine.query: the
+        # combiner decides ``timed_out`` once the result is final.
+        result.timed_out = deadline is not None and finished >= deadline
         self.stats.record_result(result)
         return result
 
     def _query_inner(self, expr: PathExpression,
                      deadline: float | None) -> ServedResult:
         if self._crosses(expr):
-            self.stats.record_fallback()
             return self._global_query(expr, attempts=1, conflicts=0,
-                                      deadline=deadline)
+                                      fallback=True)
         conflicts = 0
         attempts = 0
         while attempts < self.max_attempts:
             attempts += 1
             clean, seq = self.clock.read()
             if clean:
-                answers, validated, cache_hit, cost = self._fanout(expr)
+                answers, validated, cache_hit, cost = self._fanout(
+                    expr, deadline)
                 if self.clock.validate(seq):
                     return ServedResult(
                         expr=expr, answers=answers, validated=validated,
                         epoch=seq // 2, cost=cost, attempts=attempts,
                         conflicts=conflicts, cache_hit=cache_hit)
             conflicts += 1
-            if deadline is not None and time.monotonic() >= deadline:
+            if deadline is not None and self._now() >= deadline:
                 break
             time.sleep(0 if conflicts < 2 else min(0.0002 * conflicts, 0.002))
         return self._global_query(expr, attempts=attempts,
-                                  conflicts=conflicts, deadline=deadline)
+                                  conflicts=conflicts)
 
     def _global_query(self, expr: PathExpression, attempts: int,
-                      conflicts: int,
-                      deadline: float | None) -> ServedResult:
+                      conflicts: int, fallback: bool = False) -> ServedResult:
         with self.clock.pause_writers() as epoch:
             cost = CostCounter()
             answers = evaluate_on_data_graph(self.graph, expr, cost)
-        timed_out = deadline is not None and time.monotonic() > deadline
+        # ``timed_out`` is classified by ``query`` once the result is
+        # final; the exact path only marks *how* it was answered.
         return ServedResult(expr=expr, answers=answers, validated=True,
                             epoch=epoch, cost=cost, attempts=attempts,
                             conflicts=conflicts, degraded=True,
-                            timed_out=timed_out)
+                            fallback=fallback)
 
     def serve(self, queries, workers: int = 4, timeout=_UNSET,
               client_io=None) -> list[ServedResult]:

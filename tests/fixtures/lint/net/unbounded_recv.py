@@ -1,0 +1,16 @@
+"""Seeded unbounded-socket-read violation (see ../README.md).
+
+Every blocking receive in ``net/`` must happen in a function that arms
+a socket timeout (``.settimeout(<non-None>)``); the bounded variant
+shows the compliant shape.
+"""
+
+
+def read_forever(sock):
+    return sock.recv(4096)  # VIOLATION: no timeout armed; wedges on a
+    # silent peer
+
+
+def read_bounded(sock):
+    sock.settimeout(0.5)  # allowed: every recv below is bounded
+    return sock.recv(4096)

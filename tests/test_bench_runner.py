@@ -131,6 +131,41 @@ class TestBenchReport:
         assert set(samebox["baseline"]) == \
             set(samebox["current_at_measurement"])
 
+    def test_committed_pr8_artifact_meets_criteria(self):
+        """The repository-root BENCH_pr8.json must record the network
+        sweep: every over-the-wire row's answers-only digest equal to
+        the in-process replay's (single-shard and sharded), latency
+        percentiles populated, and a positive saturation estimate."""
+        import os
+
+        root = os.path.join(os.path.dirname(__file__), "..")
+        with open(os.path.join(root, "BENCH_pr8.json")) as handle:
+            report = json.load(handle)
+        assert report["name"] == "BENCH_pr8"
+        criteria = report["criteria"]
+        assert criteria["passed"]
+        assert criteria["net_sweep_ok"]
+        assert criteria["net_connection_counts"] == [1, 4, 16]
+        assert criteria["net_saturation_qps"] > 0
+        rows = report["network"]
+        assert rows
+        assert all(row["digest_matches_inproc"] for row in rows)
+        by_dataset: dict = {}
+        for row in rows:
+            by_dataset.setdefault(row["dataset"], set()).add(row["digest"])
+        # Within one dataset every topology (1-shard, sharded, any
+        # connection count) must land on the same answers.
+        assert all(len(digests) == 1 for digests in by_dataset.values())
+        assert any(row["shards"] > 1 for row in rows)
+        for row in rows:
+            assert row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"]
+            assert row["queries_ok"] > 0
+        # The earlier headline criteria all survive the new front-end.
+        assert criteria["shard_sweep_ok"]
+        assert criteria["compact_ok"]
+        assert report["verify"]["ok"]
+        assert report["verify"]["discrepancies"] == []
+
     def test_committed_pr6_artifact_meets_criteria(self):
         """The repository-root BENCH_pr6.json must record a >= 1.5x win
         on at least one compact-data-plane line, keep the PR 2 headline

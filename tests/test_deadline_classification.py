@@ -1,0 +1,179 @@
+"""Deadline classification pinned with a fake clock (the PR 8 fix).
+
+``timed_out`` is decided in exactly one place — ``query()``, after the
+result is final, with one comparator (``finished >= deadline``) — and
+``degraded`` stays orthogonal (it marks *how* a query was answered,
+not *when*).  The injectable ``now=`` clock makes the boundary exactly
+testable: before the fix, a query that degraded *and* finished late
+could double-count, and an at-the-boundary finish was classified
+differently from the retry loop's own cutoff.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.queries.evaluator import evaluate_on_data_graph
+from repro.queries.pathexpr import as_expression
+from repro.serving.engine import ServingEngine
+
+
+class FakeClock:
+    """A monotonic clock the test advances by hand."""
+
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def serving(simple_tree, clock):
+    return ServingEngine(simple_tree, now=clock)
+
+
+def stall_index(serving: ServingEngine, clock: FakeClock,
+                seconds: float) -> None:
+    """Make every index evaluation advance the fake clock, simulating a
+    slow lookup without sleeping."""
+    original = serving.index.query
+
+    def slow(expr, cost=None):
+        clock.advance(seconds)
+        return original(expr, cost)
+
+    serving.index.query = slow
+
+
+def break_index(serving: ServingEngine, clock: FakeClock,
+                seconds: float = 0.0) -> None:
+    """Make every index evaluation fail (forcing the degraded path)
+    after advancing the fake clock."""
+
+    def torn(expr, cost=None):
+        clock.advance(seconds)
+        raise RuntimeError("simulated torn read")
+
+    serving.index.query = torn
+
+
+class TestOnTime:
+    def test_fast_answer_is_not_timed_out(self, serving):
+        result = serving.query("//a/c", timeout=5.0)
+        assert not result.timed_out
+        assert not result.degraded
+        assert serving.stats.snapshot()["timeouts"] == 0
+
+    def test_just_under_the_deadline_is_on_time(self, serving, clock):
+        stall_index(serving, clock, 4.999)
+        result = serving.query("//a/c", timeout=5.0)
+        assert not result.timed_out
+        assert result.duration_s == pytest.approx(4.999)
+
+    def test_no_deadline_never_times_out(self, serving, clock):
+        stall_index(serving, clock, 3600.0)
+        result = serving.query("//a/c")  # default_timeout is None
+        assert not result.timed_out
+        assert serving.stats.snapshot()["timeouts"] == 0
+
+
+class TestBoundary:
+    def test_finishing_exactly_at_the_deadline_is_timed_out(
+            self, serving, clock):
+        """``>=``: the same comparator the retry loop uses as its
+        cutoff, so the two can never disagree about the boundary."""
+        stall_index(serving, clock, 5.0)
+        result = serving.query("//a/c", timeout=5.0)
+        assert result.timed_out
+        assert result.duration_s == pytest.approx(5.0)
+
+    def test_zero_timeout_classifies_immediately(self, serving, simple_tree):
+        result = serving.query("//a/c", timeout=0.0)
+        assert result.timed_out
+        assert result.answers == \
+            evaluate_on_data_graph(simple_tree, as_expression("//a/c"))
+
+
+class TestLateButExact:
+    def test_slow_success_is_timed_out_not_degraded(self, serving,
+                                                    simple_tree, clock):
+        stall_index(serving, clock, 10.0)
+        result = serving.query("//a/c", timeout=5.0)
+        assert result.timed_out
+        assert not result.degraded
+        assert result.answers == \
+            evaluate_on_data_graph(simple_tree, as_expression("//a/c"))
+        snapshot = serving.stats.snapshot()
+        assert snapshot["queries"] == 1
+        assert snapshot["timeouts"] == 1
+        assert snapshot["degraded"] == 0
+
+    def test_timed_out_flag_rides_the_result_over_the_stats(self, serving,
+                                                            clock):
+        stall_index(serving, clock, 10.0)
+        late = serving.query("//a/c", timeout=5.0)
+        on_time = serving.query("//b/c", timeout=1000.0)
+        assert late.timed_out and not on_time.timed_out
+        assert serving.stats.snapshot()["timeouts"] == 1
+
+
+class TestDegradedAndLate:
+    def test_counts_once_in_each_metric_never_twice(self, simple_tree,
+                                                    clock):
+        """A query that degrades AND blows its deadline lands exactly
+        once in ``degraded`` and once in ``timeouts`` — the double-count
+        this PR's classification fix removed."""
+        serving = ServingEngine(simple_tree, now=clock, max_attempts=1)
+        break_index(serving, clock, seconds=10.0)
+        result = serving.query("//a/c", timeout=5.0)
+        assert result.degraded and result.timed_out
+        assert result.validated  # the oracle path is always exact
+        assert result.answers == \
+            evaluate_on_data_graph(simple_tree, as_expression("//a/c"))
+        snapshot = serving.stats.snapshot()
+        assert snapshot["queries"] == 1
+        assert snapshot["degraded"] == 1
+        assert snapshot["timeouts"] == 1
+        assert snapshot["misses"] == 1
+        assert snapshot["cache_hits"] == 0
+
+    def test_degraded_on_time_is_not_timed_out(self, simple_tree, clock):
+        serving = ServingEngine(simple_tree, now=clock, max_attempts=1)
+        break_index(serving, clock)  # fails fast, clock never moves
+        result = serving.query("//a/c", timeout=5.0)
+        assert result.degraded
+        assert not result.timed_out
+        snapshot = serving.stats.snapshot()
+        assert snapshot["degraded"] == 1
+        assert snapshot["timeouts"] == 0
+
+    def test_degraded_without_deadline_is_never_timed_out(self, simple_tree,
+                                                          clock):
+        serving = ServingEngine(simple_tree, now=clock, max_attempts=1)
+        break_index(serving, clock, seconds=3600.0)
+        result = serving.query("//a/c")
+        assert result.degraded
+        assert not result.timed_out
+
+
+class TestInjectableClock:
+    def test_default_clock_is_monotonic(self, simple_tree):
+        import time
+
+        serving = ServingEngine(simple_tree)
+        assert serving._now is time.monotonic
+
+    def test_duration_is_measured_on_the_injected_clock(self, serving,
+                                                        clock):
+        stall_index(serving, clock, 2.5)
+        result = serving.query("//a/c", timeout=100.0)
+        assert result.duration_s == pytest.approx(2.5)

@@ -124,6 +124,28 @@ class TestExtentOrderRule:
         assert "overlap_ok" not in symbols
 
 
+class TestSocketReadRule:
+    def test_golden_findings(self):
+        result = lint_fixture("net", "unbounded_recv.py")
+        assert triples(result) == [
+            ("unbounded_recv.py", 10, "determinism"),
+        ]
+        assert [f.symbol for f in result.sorted_findings()] == \
+            ["read_forever"]
+
+    def test_bounded_variant_not_flagged(self):
+        result = lint_fixture("net", "unbounded_recv.py")
+        symbols = {f.symbol for f in result.findings}
+        assert "read_bounded" not in symbols
+
+    def test_socket_rule_scoped_to_net_only(self):
+        # The same unbounded recv outside net/ is not the wire
+        # protocol's business; the queries/ fixture has no sockets and
+        # must stay at its four findings.
+        result = lint_fixture("queries", "determinism_violation.py")
+        assert len(result.findings) == 4
+
+
 class TestWholeTree:
     def test_every_rule_family_fires_exactly_once_per_seed(self):
         result = lint_fixture()
@@ -132,7 +154,7 @@ class TestWholeTree:
             by_rule.setdefault(finding.rule, []).append(finding)
         assert sorted(by_rule) == ["cost-accounting", "determinism",
                                    "epoch-discipline", "lock-discipline"]
-        assert len(result.findings) == 15
+        assert len(result.findings) == 16
 
     def test_clean_fixture_produces_no_findings(self):
         result = lint_fixture("indexes", "clean_module.py")
@@ -141,7 +163,7 @@ class TestWholeTree:
 
     @pytest.mark.parametrize("rule_id,expected", [
         ("lock-discipline", 2), ("cost-accounting", 1),
-        ("epoch-discipline", 5), ("determinism", 7),
+        ("epoch-discipline", 5), ("determinism", 8),
     ])
     def test_rule_filter_isolates_one_family(self, rule_id, expected):
         result = run_lint([FIXTURES], rule_ids=[rule_id])

@@ -43,7 +43,7 @@ class TestCliOnFixtures:
         assert main(["lint", FIXTURES]) == 1
         out = capsys.readouterr().out
         assert "lint: FAILED" in out
-        assert "15 finding(s)" in out
+        assert "16 finding(s)" in out
 
     def test_each_seeded_fixture_fails_alone(self, capsys):
         for relative in (
@@ -61,7 +61,7 @@ class TestCliOnFixtures:
         assert main(["lint", FIXTURES, "--format", "json"]) == 1
         payload = json.loads(capsys.readouterr().out)
         assert payload["ok"] is False
-        assert len(payload["findings"]) == 15
+        assert len(payload["findings"]) == 16
         assert payload["suppressed"]
         rules = {finding["rule"] for finding in payload["findings"]}
         assert rules == {"lock-discipline", "cost-accounting",

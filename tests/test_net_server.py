@@ -1,0 +1,356 @@
+"""IndexServer + NetClient behaviour tests (repro.net).
+
+Covers the RPC surface end-to-end over loopback, plus the abuse matrix
+the ISSUE calls out: partial and oversized frames, malformed payloads,
+disconnects mid-exchange, and admission-control shedding — none of
+which may wedge a worker thread or leave the engine's writers stalled
+behind a leaked pinned snapshot.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.net import protocol as _p
+from repro.net.client import LoadShedError, NetClient, NetError, RemoteError
+from repro.net.server import IndexServer
+from repro.queries.evaluator import evaluate_on_data_graph
+from repro.queries.pathexpr import as_expression
+from repro.serving.engine import _UNSET, ServingEngine
+
+
+@pytest.fixture
+def served(simple_tree):
+    serving = ServingEngine(simple_tree)
+    with IndexServer(serving, port=0, workers=2) as server:
+        yield serving, server
+
+
+@pytest.fixture
+def client(served):
+    _, server = served
+    with NetClient(*server.address) as net_client:
+        yield net_client
+
+
+def raw_connect(server: IndexServer) -> socket.socket:
+    sock = socket.create_connection(server.address, timeout=5.0)
+    sock.settimeout(5.0)
+    return sock
+
+
+def raw_response(sock: socket.socket):
+    payload = _p.read_frame(sock, deadline=time.monotonic() + 10.0)
+    assert payload is not None, "server closed before responding"
+    return _p.decode_response(payload)
+
+
+def assert_writers_not_stalled(serving: ServingEngine) -> None:
+    """A leaked pinned snapshot would park this insert forever."""
+    box: list[list[int]] = []
+    thread = threading.Thread(
+        target=lambda: box.append(
+            serving.insert_subtree(0, ("probe", []))))
+    thread.start()
+    thread.join(timeout=5.0)
+    assert not thread.is_alive(), "writer stalled: a snapshot pin leaked"
+    assert box and box[0]
+
+
+class TestRpcSurface:
+    def test_ping_round_trips(self, client):
+        assert client.ping("hello") == "hello"
+
+    def test_query_matches_oracle(self, served, client):
+        serving, _ = served
+        response = client.query("//a/c")
+        expected = evaluate_on_data_graph(serving.graph, as_expression("//a/c"))
+        assert set(response["answers"]) == expected
+        assert response["answers"] == sorted(response["answers"])
+        assert response["validated"] is True
+        assert response["timed_out"] is False
+
+    def test_insert_subtree_and_requery(self, served, client):
+        serving, _ = served
+        new_oids = client.insert_subtree(1, ("c", []))
+        assert len(new_oids) == 1
+        assert serving.graph.label(new_oids[0]) == "c"
+        assert new_oids[0] in set(client.query("//a/c")["answers"])
+
+    def test_add_reference_and_refine(self, served, client):
+        serving, _ = served
+        client.add_reference(4, 3)
+        assert serving.epoch >= 1
+        assert client.refine() >= 0
+
+    def test_stats_exposes_engine_and_server_counters(self, client):
+        client.query("//a/c")
+        stats = client.stats()
+        assert stats["engine"]["queries"] >= 1
+        assert stats["engine"]["queries"] == \
+            stats["engine"]["cache_hits"] + stats["engine"]["misses"]
+        assert stats["server"]["connections"] >= 1
+        assert stats["server"]["requests"] >= 1
+        assert "queued" in stats["server"]
+
+    def test_request_ids_increment_and_are_validated(self, served):
+        _, server = served
+        with NetClient(*server.address) as net_client:
+            for _ in range(5):
+                net_client.ping()
+            assert next(net_client._ids) == 6
+
+    def test_zero_budget_is_late_but_exact(self, served, client):
+        """budget_ms=0 means the deadline passed on arrival: the answer
+        must still be exact, classified timed_out, never dropped."""
+        serving, _ = served
+        response = client.query("//a/c", budget_ms=0)
+        assert response["timed_out"] is True
+        assert set(response["answers"]) == \
+            evaluate_on_data_graph(serving.graph, as_expression("//a/c"))
+
+    def test_engine_failure_reports_error_and_connection_survives(
+            self, served):
+        _, server = served
+        sock = raw_connect(server)
+        try:
+            # QUERY with no "expr" key: the worker's KeyError must come
+            # back as Status.ERROR, not take the worker down.
+            _p.write_frame(sock, _p.encode_request(_p.Opcode.QUERY, 1, {}))
+            status, _, request_id, body = raw_response(sock)
+            assert status is _p.Status.ERROR
+            assert request_id == 1
+            assert "error" in body
+            # Same connection keeps working.
+            _p.write_frame(sock, _p.encode_request(_p.Opcode.PING, 2, {}))
+            status, _, request_id, _ = raw_response(sock)
+            assert status is _p.Status.OK and request_id == 2
+        finally:
+            sock.close()
+
+    def test_client_maps_error_status_to_remote_error(self, served):
+        serving, server = served
+
+        def explode(expr, timeout=_UNSET):
+            raise RuntimeError("engine on fire")
+
+        serving.query = explode
+        with NetClient(*server.address) as net_client:
+            with pytest.raises(RemoteError, match="engine on fire"):
+                net_client.query("//a/c")
+
+
+class TestMalformedInput:
+    def test_garbage_payload_gets_bad_request_then_close(self, served):
+        serving, server = served
+        sock = raw_connect(server)
+        try:
+            _p.write_frame(sock, b"\xde\xad\xbe\xef not a header")
+            status, _, _, _ = raw_response(sock)
+            assert status is _p.Status.BAD_REQUEST
+            # Framing is unsyncable: the server closes the connection.
+            assert _p.read_frame(
+                sock, deadline=time.monotonic() + 5.0) is None
+        finally:
+            sock.close()
+        with NetClient(*server.address) as net_client:
+            assert net_client.ping("still alive") == "still alive"
+        assert_writers_not_stalled(serving)
+
+    def test_oversized_frame_gets_bad_request(self, served):
+        serving, server = served
+        sock = raw_connect(server)
+        try:
+            sock.sendall(struct.pack(">I", _p.MAX_FRAME + 1))
+            status, _, _, _ = raw_response(sock)
+            assert status is _p.Status.BAD_REQUEST
+        finally:
+            sock.close()
+        assert server.counters["bad_requests"] >= 1
+        with NetClient(*server.address) as net_client:
+            assert net_client.ping() == ""
+        assert_writers_not_stalled(serving)
+
+    def test_partial_frame_then_disconnect_does_not_wedge(self, served):
+        serving, server = served
+        sock = raw_connect(server)
+        sock.sendall(struct.pack(">I", 100) + b"ten bytes!")
+        sock.close()
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if server.counters["bad_requests"] >= 1:
+                break
+            time.sleep(0.02)
+        assert server.counters["bad_requests"] >= 1
+        with NetClient(*server.address) as net_client:
+            assert set(net_client.query("//a/c")["answers"]) == \
+                evaluate_on_data_graph(serving.graph, as_expression("//a/c"))
+        assert_writers_not_stalled(serving)
+
+    def test_client_rejects_desynchronised_response_id(self):
+        """A (mis)server echoing the wrong request id is a transport
+        error at the client, never a silently misattributed answer."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+
+        def misbehave() -> None:
+            sock, _ = listener.accept()
+            with sock:
+                payload = _p.read_frame(sock, deadline=time.monotonic() + 5)
+                _, request_id, _, _ = _p.decode_request(payload)
+                _p.write_frame(sock, _p.encode_response(
+                    _p.Status.OK, _p.Opcode.PING, request_id + 41,
+                    {"pong": ""}))
+
+        thread = threading.Thread(target=misbehave)
+        thread.start()
+        try:
+            with NetClient(*listener.getsockname()[:2]) as net_client:
+                with pytest.raises(NetError, match="does not match"):
+                    net_client.ping()
+        finally:
+            thread.join(timeout=5.0)
+            listener.close()
+
+
+class _StubStats:
+    def snapshot(self) -> dict:
+        return {}
+
+
+class _BlockingEngine:
+    """Engine whose first query parks until released (for shed tests)."""
+
+    def __init__(self) -> None:
+        self.started = threading.Event()
+        self.release = threading.Event()
+        self.stats = _StubStats()
+        self.epoch = 0
+
+    def query(self, expr, timeout=_UNSET):
+        self.started.set()
+        assert self.release.wait(timeout=10.0), "never released"
+
+        class _Result:
+            answers = {0}
+            validated = True
+            epoch = 0
+            degraded = False
+            timed_out = False
+            cache_hit = False
+            fallback = False
+            attempts = 1
+            conflicts = 0
+            duration_s = 0.0
+
+        return _Result()
+
+
+class TestAdmissionControl:
+    def test_full_queue_sheds_and_connection_survives(self):
+        engine = _BlockingEngine()
+        with IndexServer(engine, port=0, workers=1, max_queue=1) as server:
+            sock = raw_connect(server)
+            try:
+                # 1 occupies the worker, 2 fills the queue, 3 must shed.
+                _p.write_frame(sock, _p.encode_request(
+                    _p.Opcode.QUERY, 1, {"expr": "/r"}))
+                assert engine.started.wait(timeout=5.0)
+                _p.write_frame(sock, _p.encode_request(
+                    _p.Opcode.QUERY, 2, {"expr": "/r"}))
+                _p.write_frame(sock, _p.encode_request(
+                    _p.Opcode.QUERY, 3, {"expr": "/r"}))
+                # The reader answers SHED itself, while the worker is
+                # still parked — so the first response on the wire is
+                # for request 3.
+                status, _, request_id, _ = raw_response(sock)
+                assert status is _p.Status.SHED and request_id == 3
+                engine.release.set()
+                statuses = {}
+                for _ in range(2):
+                    status, _, request_id, _ = raw_response(sock)
+                    statuses[request_id] = status
+                assert statuses == {1: _p.Status.OK, 2: _p.Status.OK}
+                # Shedding never closes the connection.
+                _p.write_frame(sock, _p.encode_request(
+                    _p.Opcode.PING, 4, {}))
+                status, _, request_id, _ = raw_response(sock)
+                assert status is _p.Status.OK and request_id == 4
+            finally:
+                sock.close()
+            assert server.counters["shed"] == 1
+
+    def test_client_surfaces_shed_as_load_shed_error(self):
+        engine = _BlockingEngine()
+        with IndexServer(engine, port=0, workers=1, max_queue=1) as server:
+            blocker = NetClient(*server.address)
+            filler = NetClient(*server.address)
+            shed = NetClient(*server.address)
+            try:
+                results: list[dict] = []
+                t1 = threading.Thread(
+                    target=lambda: results.append(blocker.query("/r")))
+                t1.start()
+                assert engine.started.wait(timeout=5.0)
+                t2 = threading.Thread(
+                    target=lambda: results.append(filler.query("/r")))
+                t2.start()
+                # Wait for request 2 to actually occupy the queue slot.
+                deadline = time.monotonic() + 5.0
+                while server._queue.qsize() < 1 and \
+                        time.monotonic() < deadline:
+                    time.sleep(0.01)
+                with pytest.raises(LoadShedError):
+                    shed.query("/r")
+                engine.release.set()
+                t1.join(timeout=5.0)
+                t2.join(timeout=5.0)
+                assert len(results) == 2
+            finally:
+                for each in (blocker, filler, shed):
+                    each.close()
+
+
+class TestLifecycle:
+    def test_stop_joins_threads_with_idle_connection(self, simple_tree):
+        """An idle connected peer must not block shutdown: every read
+        in the server is bounded, so stop() returns promptly."""
+        serving = ServingEngine(simple_tree)
+        server = IndexServer(serving, port=0, workers=2).start()
+        sock = raw_connect(server)  # connects, then stays silent
+        try:
+            started = time.monotonic()
+            server.stop()
+            assert time.monotonic() - started < 5.0
+            assert server._threads == []
+        finally:
+            sock.close()
+
+    def test_disconnect_after_request_does_not_wedge_worker(self, served):
+        serving, server = served
+        sock = raw_connect(server)
+        _p.write_frame(sock, _p.encode_request(
+            _p.Opcode.QUERY, 1, {"expr": "//a/c"}))
+        sock.close()  # gone before the response can land
+        with NetClient(*server.address) as net_client:
+            assert set(net_client.query("//a/c")["answers"]) == \
+                evaluate_on_data_graph(serving.graph, as_expression("//a/c"))
+        assert_writers_not_stalled(serving)
+
+    def test_address_requires_started_server(self, simple_tree):
+        server = IndexServer(ServingEngine(simple_tree))
+        with pytest.raises(RuntimeError, match="not started"):
+            server.address
+
+    def test_constructor_validates_knobs(self, simple_tree):
+        serving = ServingEngine(simple_tree)
+        with pytest.raises(ValueError):
+            IndexServer(serving, workers=0)
+        with pytest.raises(ValueError):
+            IndexServer(serving, max_queue=0)

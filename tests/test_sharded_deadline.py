@@ -1,0 +1,183 @@
+"""Deadline propagation through the sharded combiner (the PR 8 fix).
+
+Before the fix the combiner re-applied the caller's full timeout to
+every shard, so a query against N shards could legally take N x its
+deadline.  These tests pin the repaired contract with a slow-shard
+stub: the deadline bounds the *total* fan-out (each shard receives only
+the budget remaining when its turn starts), the no-deadline case
+round-trips the shared ``_UNSET`` sentinel by identity, and a blown
+deadline is classified ``timed_out`` exactly once while the answer
+stays exact.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.graph.datagraph import DataGraph, EdgeKind
+from repro.queries.evaluator import evaluate_on_data_graph
+from repro.queries.pathexpr import as_expression
+from repro.serving.engine import _UNSET
+from repro.sharding import ShardedEngine
+from repro.sharding import engine as sharding_engine
+
+
+def fanout_graph(subtrees: int = 8) -> DataGraph:
+    """Independent ``a -> (b, c)`` subtrees under a spine root: no edge
+    ever leaves a placement unit, so ``_crosses`` is always False and
+    every query exercises the fan-out path."""
+    graph = DataGraph()
+    root = graph.add_node("r")
+    for _ in range(subtrees):
+        top = graph.add_node("a")
+        graph.add_edge(root, top)
+        for label in ("b", "c"):
+            leaf = graph.add_node(label)
+            graph.add_edge(top, leaf)
+    return graph.freeze()
+
+
+def instrument(engine: ShardedEngine, slow_shard: int | None = None,
+               delay_s: float = 0.0) -> list[tuple[int, object]]:
+    """Record every ``(shard_id, timeout)`` the combiner hands down;
+    optionally make one shard slow *before* it answers."""
+    calls: list[tuple[int, object]] = []
+    for shard in engine._shards:
+        original = shard.serving.query
+
+        def wrapper(expr, timeout=_UNSET, *, _original=original,
+                    _sid=shard.shard_id):
+            calls.append((_sid, timeout))
+            if _sid == slow_shard:
+                time.sleep(delay_s)
+            return _original(expr, timeout=timeout)
+
+        shard.serving.query = wrapper
+    return calls
+
+
+@pytest.fixture
+def engine():
+    engine = ShardedEngine(fanout_graph(), 4)
+    # The whole premise: this topology has no cross-shard edges, so
+    # queries cannot be routed around the fan-out we instrument.
+    assert engine._cross_pairs == set()
+    return engine
+
+
+class TestSentinelRoundTrip:
+    def test_combiner_shares_the_serving_sentinel(self):
+        assert sharding_engine._UNSET is _UNSET
+
+    def test_no_deadline_passes_unset_by_identity(self, engine):
+        calls = instrument(engine)
+        result = engine.query("//a/b")
+        assert not result.degraded
+        assert len(calls) == engine.num_shards
+        assert all(timeout is _UNSET for _, timeout in calls)
+
+    def test_explicit_none_also_means_no_deadline(self, engine):
+        calls = instrument(engine)
+        engine.query("//a/b", timeout=None)
+        assert all(timeout is _UNSET for _, timeout in calls)
+
+
+class TestBudgetPropagation:
+    def test_each_shard_gets_remaining_budget_only(self, engine):
+        calls = instrument(engine, slow_shard=0, delay_s=0.1)
+        result = engine.query("//a/b", timeout=0.5)
+        assert not result.timed_out
+        budgets = [timeout for _, timeout in calls]
+        assert len(budgets) == engine.num_shards
+        assert all(not (b is _UNSET) for b in budgets)
+        # The first shard sees (almost) the full timeout...
+        assert 0.0 <= budgets[0] <= 0.5
+        # ...and the slow shard's 100 ms comes out of everyone after it:
+        # the deadline bounds the total, not each shard separately.
+        assert budgets[1] <= 0.5 - 0.09
+        # Budgets never grow as the fan-out proceeds, and never go
+        # negative (the combiner clamps at zero).
+        for earlier, later in zip(budgets, budgets[1:]):
+            assert later <= earlier + 1e-6
+            assert later >= 0.0
+
+    def test_exhausted_budget_clamps_to_zero_not_negative(self, engine):
+        calls = instrument(engine, slow_shard=0, delay_s=0.08)
+        engine.query("//a/b", timeout=0.02)
+        budgets = [timeout for _, timeout in calls]
+        assert budgets[-1] == 0.0
+        assert all(b is _UNSET or b >= 0.0 for b in budgets)
+
+
+class TestSlowShardClassification:
+    def test_blown_deadline_is_timed_out_once_and_still_exact(self,
+                                                              engine):
+        instrument(engine, slow_shard=0, delay_s=0.08)
+        result = engine.query("//a/b", timeout=0.02)
+        assert result.timed_out
+        # The fan-out completed on a clean combiner read: the late
+        # answer is exact and NOT degraded — the two classifications
+        # stay orthogonal.
+        assert not result.degraded
+        assert not result.fallback
+        assert result.answers == \
+            evaluate_on_data_graph(engine.graph, as_expression("//a/b"))
+        snapshot = engine.stats.snapshot()
+        assert snapshot["queries"] == 1
+        assert snapshot["timeouts"] == 1
+        assert snapshot["degraded"] == 0
+        assert snapshot["fallbacks"] == 0
+
+    def test_on_time_fanout_is_not_timed_out(self, engine):
+        instrument(engine)
+        result = engine.query("//a/b", timeout=5.0)
+        assert not result.timed_out
+        assert engine.stats.snapshot()["timeouts"] == 0
+
+
+class TestCrossingFallbackClassification:
+    def crossing_engine(self) -> ShardedEngine:
+        graph = DataGraph()
+        root = graph.add_node("r")
+        leaves = []
+        for _ in range(4):
+            top = graph.add_node("a")
+            graph.add_edge(root, top)
+            leaf = graph.add_node("b")
+            graph.add_edge(top, leaf)
+            leaves.append(leaf)
+        # A reference ring between the owned leaves: whichever way the
+        # placement splits the four units across two shards, at least
+        # one ring edge crosses shards (the subtree tops are replicated
+        # spine, so references must connect owned nodes to cross).
+        for index, leaf in enumerate(leaves):
+            graph.add_edge(leaf, leaves[(index + 1) % len(leaves)],
+                           kind=EdgeKind.REFERENCE)
+        engine = ShardedEngine(graph.freeze(), 2)
+        assert engine._cross_pairs
+        return engine
+
+    def test_fallback_counts_once_in_each_metric(self):
+        engine = self.crossing_engine()
+        result = engine.query("//a//b")
+        assert result.fallback and result.degraded
+        assert not result.timed_out
+        snapshot = engine.stats.snapshot()
+        assert snapshot["queries"] == 1
+        assert snapshot["fallbacks"] == 1
+        assert snapshot["degraded"] == 1
+        assert snapshot["timeouts"] == 0
+
+    def test_zero_timeout_fallback_is_late_exact_and_counted_once(self):
+        engine = self.crossing_engine()
+        result = engine.query("//a//b", timeout=0.0)
+        assert result.fallback and result.degraded and result.timed_out
+        assert result.answers == \
+            evaluate_on_data_graph(engine.graph, as_expression("//a//b"))
+        snapshot = engine.stats.snapshot()
+        assert snapshot["queries"] == 1
+        assert snapshot["fallbacks"] == 1
+        assert snapshot["degraded"] == 1
+        assert snapshot["timeouts"] == 1
