@@ -4,6 +4,6 @@ the same pattern the verify runner uses for oracle families)."""
 
 from __future__ import annotations
 
-from repro.analysis.rules import cost, determinism, epoch, lock
+from repro.analysis.rules import cost, determinism, epoch, lock, storage
 
-__all__ = ["cost", "determinism", "epoch", "lock"]
+__all__ = ["cost", "determinism", "epoch", "lock", "storage"]

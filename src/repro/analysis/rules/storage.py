@@ -1,0 +1,61 @@
+"""Storage I/O discipline: no whole-file slurps in ``storage/``.
+
+The out-of-core storage layer exists so that RAM usage is governed by
+the page size, the buffer-pool capacity, and the spill budget — never
+by the size of the file on disk.  An argless ``.read()`` (or any
+``.readlines()``) materialises the entire file in one call, silently
+reintroducing the O(file) memory floor the pager was built to remove,
+and it defeats the fault-injection contract too: a short read inside an
+unbounded slurp has no page key to blame.
+
+Banned in ``storage/`` (and anything scoped into it):
+
+* ``handle.read()`` with no arguments — size every read explicitly
+  (``read(length)`` after a seek, or ``readv`` through the pager);
+* ``handle.readlines()`` — line-slurping a binary page file is always
+  a bug, and even on text it is an unbounded allocation.
+
+``handle.read(n)`` stays allowed: a sized read is exactly the bounded
+access pattern the layer canonicalises (and the call sites must still
+check the returned length — see ``PageFile.read_page``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import ModuleContext, in_dirs, rule
+
+RULE_ID = "storage-io"
+
+#: Method names whose call always slurps the whole remaining file.
+_ALWAYS_SLURP = ("readlines",)
+
+
+def _check_whole_file_reads(context: ModuleContext) -> None:
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        if func.attr == "read" and not node.args and not node.keywords:
+            context.report(
+                node, RULE_ID,
+                "argless '.read()' slurps the whole file and makes RAM "
+                "scale with file size; size the read explicitly "
+                "(read(length) after a seek, or go through the pager)")
+        elif func.attr in _ALWAYS_SLURP:
+            context.report(
+                node, RULE_ID,
+                f"'.{func.attr}()' materialises every line at once; "
+                f"storage code must read bounded, explicitly sized "
+                f"chunks")
+
+
+@rule(RULE_ID,
+      "no whole-file '.read()' / '.readlines()' slurps in the paged "
+      "storage layer; every read is explicitly sized",
+      applies=in_dirs("storage/"))
+def check_storage_io(context: ModuleContext) -> None:
+    _check_whole_file_reads(context)

@@ -50,11 +50,20 @@ request latency and saturation throughput, and asserts every
 over-the-wire answers digest is byte-identical to an in-process replay
 of the same configuration; see :func:`run_net_bench`.
 
+An eighth group, **ooc**, sweeps the PR 9 out-of-core spill path
+(:mod:`repro.storage.spill`) over XMark scales: A(k) and M*(k)
+hierarchy segments are built under a memory budget of a quarter of the
+extent payload (so the dataset is >= 4x the budget and runs must hit
+disk), digest-checked against the in-RAM builders, peak-bounded at
+1.5x budget, and the segment-backed A(k) is query-spot-checked against
+both ``AkIndex`` and the data-graph oracle; see
+:func:`repro.bench.ooc.run_ooc_bench`.
+
 ``run_bench`` also runs a small differential-oracle campaign (which
 includes cache-on vs cache-off equivalence checks, and the updates
 axis) so the artifact records that the measured configuration is
 *correct*, not just fast.  The JSON lands at the repository root as
-``BENCH_pr8.json`` by default; CI runs ``repro bench --smoke`` and
+``BENCH_pr9.json`` by default; CI runs ``repro bench --smoke`` and
 fails on any oracle discrepancy.  When a committed ``BENCH_pr4.json``
 is readable from the working directory, the report also records
 construction/replay wall-time deltas against that artifact under
@@ -71,6 +80,7 @@ import time
 from dataclasses import asdict, dataclass
 from typing import Callable
 
+from repro.bench.ooc import ooc_criteria, run_ooc_bench
 from repro.core.engine import AdaptiveIndexEngine
 from repro.experiments.config import ExperimentConfig, dataset_for
 from repro.graph.datagraph import DataGraph
@@ -119,6 +129,13 @@ class BenchConfig:
     net_update_rounds: int = 2
     #: Shard count for the sharded over-the-wire row (0 disables it).
     net_shard_check: int = 4
+    #: Scales for the out-of-core spill-build sweep (PR 9); each scale
+    #: builds A(ooc_k) and the M*(ooc_k) hierarchy under a budget of a
+    #: quarter of the extent payload.
+    ooc_scales: tuple[float, ...] = (0.05, 0.1)
+    ooc_k: int = 8
+    #: Queries replayed through the segment-backed A(k) per ooc scale.
+    ooc_queries: int = 60
     smoke: bool = False
 
     @classmethod
@@ -129,7 +146,8 @@ class BenchConfig:
                    serving_update_rounds=2, shard_counts=(2, 4),
                    shard_update_rounds=2,
                    net_connection_counts=(1, 4, 16),
-                   net_update_rounds=2, net_shard_check=4, smoke=True)
+                   net_update_rounds=2, net_shard_check=4,
+                   ooc_scales=(0.05,), ooc_k=4, ooc_queries=30, smoke=True)
 
 
 def _timed(fn: Callable[[], object]) -> tuple[float, object]:
@@ -864,7 +882,7 @@ def run_bench(config: BenchConfig | None = None,
     exp = ExperimentConfig(scale=config.scale, num_queries=config.replay_queries,
                            seed=config.seed)
     report: dict = {
-        "name": "BENCH_pr8",
+        "name": "BENCH_pr9",
         "config": asdict(config),
         "construction": [],
         "replay": [],
@@ -873,6 +891,7 @@ def run_bench(config: BenchConfig | None = None,
         "network": [],
         "trace_overhead": [],
         "compact": [],
+        "ooc": [],
     }
     for dataset in config.datasets:
         graph = dataset_for(dataset, exp)
@@ -915,6 +934,14 @@ def run_bench(config: BenchConfig | None = None,
         say(f"bench: {dataset}: trace overhead done")
         report["compact"].extend(run_compact_bench(graph, dataset))
         say(f"bench: {dataset}: compact data plane done")
+
+    # The out-of-core sweep is an XMark scale sweep (the paper's scaling
+    # dataset), independent of the per-dataset groups above.
+    report["ooc"].extend(
+        run_ooc_bench("xmark", exp, config.ooc_scales, config.ooc_k,
+                      config.ooc_queries, config.max_query_length,
+                      config.seed))
+    say("bench: xmark: out-of-core spill builds done")
 
     from repro.verify.runner import run_verification
 
@@ -982,6 +1009,7 @@ def run_bench(config: BenchConfig | None = None,
     # Vacuously ok when no prior artifact is readable — the bench must
     # not fail because history is missing.
     replay_vs_pr4_ok = replay_vs_pr4_min is None or replay_vs_pr4_min >= 1.0
+    ooc = ooc_criteria(report["ooc"])
     report["criteria"] = {
         "construction_speedup_k4_plus": construction_best,
         "replay_speedup_wall": replay_best,
@@ -1007,9 +1035,10 @@ def run_bench(config: BenchConfig | None = None,
         "replay_baseline_source": ("samebox" if samebox_used
                                    else "artifact"),
         "replay_vs_pr4_ok": replay_vs_pr4_ok,
+        **ooc,
         "passed": bool(verification.ok and trace_overhead_ok and serving_ok
                        and compact_ok and shard_sweep_ok and net_sweep_ok
-                       and replay_vs_pr4_ok
+                       and replay_vs_pr4_ok and ooc["ooc_ok"]
                        and (construction_best >= 2.0 or replay_best >= 2.0)),
     }
     return report

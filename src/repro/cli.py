@@ -193,6 +193,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
               f"{criteria['replay_speedup_vs_pr4_min']}x "
               f"(target {criteria['replay_vs_pr4_target']}x): "
               f"{'OK' if criteria['replay_vs_pr4_ok'] else 'FAILED'}")
+    print(f"bench: ooc sweep {criteria['ooc_rows']} spill builds: worst "
+          f"peak {criteria['ooc_peak_ratio_worst']}x of budget (cap "
+          f"{criteria['ooc_peak_budget']}x), digests "
+          f"{'OK' if criteria['ooc_digest_ok'] else 'FAILED'}")
+    if not criteria["ooc_ok"]:
+        print("bench: FAILED — out-of-core spill builds missed a criterion "
+              "(digest, spills, dataset ratio, or peak bound)")
+        return 1
     if not criteria["shard_sweep_ok"]:
         print("bench: FAILED — sharded answers diverged from single-shard")
         return 1
@@ -207,6 +215,111 @@ def cmd_bench(args: argparse.Namespace) -> int:
         return 1
     print("bench: verify OK (cache-on and cache-off engines agree)")
     return 0
+
+
+def cmd_ooc(args: argparse.Namespace) -> int:
+    """Spill-build an index segment under a byte budget; verify it.
+
+    This is the CI ``ooc-smoke`` entry point: run with a deliberately
+    low ``REPRO_STORAGE_BUDGET`` (or ``--budget``) so the build must
+    spill, then ``--check`` proves the on-disk answers byte-identical
+    to the in-RAM builder and the data-graph oracle.
+    """
+    import os
+    import tempfile
+
+    from repro.indexes.aindex import AkIndex
+    from repro.indexes.segmented import SegmentAkIndex
+    from repro.queries.evaluator import evaluate_on_data_graph
+    from repro.storage.spill import (
+        budget_from_env,
+        build_ak_segment,
+        build_hierarchy_segment,
+        inram_ak_digest,
+        inram_hierarchy_digest,
+    )
+
+    generator = generate_xmark if args.dataset == "xmark" else generate_nasa
+    graph = generator(scale=args.scale, seed=args.seed)
+    budget = args.budget if args.budget else budget_from_env()
+    print(f"ooc: {args.dataset} scale {args.scale}: {graph.num_nodes} "
+          f"nodes, budget {budget} bytes")
+
+    owned_tmp: tempfile.TemporaryDirectory | None = None
+    if args.output:
+        ak_path = args.output
+    else:
+        owned_tmp = tempfile.TemporaryDirectory(prefix="repro-ooc-")
+        ak_path = os.path.join(owned_tmp.name, f"ak{args.k}.seg")
+    try:
+        report = build_ak_segment(graph, args.k, ak_path,
+                                  budget_bytes=budget,
+                                  page_size=args.page_size)
+        print(f"ooc: A({args.k}): {report.records} extents, "
+              f"{report.pairs} pairs through {report.runs} runs "
+              f"({report.spills} spills), payload {report.payload_bytes} "
+              f"bytes ({report.dataset_ratio:.2f}x budget)")
+        print(f"ooc: A({args.k}): peak tracked working set "
+              f"{report.peak_tracked_bytes} bytes "
+              f"({report.peak_ratio:.2f}x budget) in {report.seconds:.3f}s")
+        if report.spills == 0:
+            print("ooc: WARNING — build fit in the budget without "
+                  "spilling; lower the budget to exercise the spill path")
+
+        if not args.check:
+            return 0
+
+        ram_index = AkIndex(graph, args.k)
+        if report.digest != inram_ak_digest(ram_index):
+            print(f"ooc: CHECK FAILED — A({args.k}) segment digest "
+                  f"diverges from the in-RAM build")
+            return 1
+        print(f"ooc: A({args.k}) digest matches the in-RAM build")
+
+        workload = Workload.generate(graph, num_queries=args.queries,
+                                     max_length=args.max_length,
+                                     seed=args.seed)
+        oracle_every = max(1, len(workload.queries) // 8)
+        with SegmentAkIndex(ak_path, graph) as segment_index:
+            for position, expr in enumerate(workload.queries):
+                disk = segment_index.query(expr).answers
+                ram = ram_index.query(expr).answers
+                if disk != ram:
+                    print(f"ooc: CHECK FAILED — segment answers diverge "
+                          f"from in-RAM A(k) on {expr}")
+                    return 1
+                if position % oracle_every == 0 and \
+                        disk != evaluate_on_data_graph(graph, expr):
+                    print(f"ooc: CHECK FAILED — segment answers diverge "
+                          f"from the data-graph oracle on {expr}")
+                    return 1
+            reads, hits = segment_index.io_stats()
+        print(f"ooc: {len(workload.queries)} queries match the in-RAM "
+              f"index ({reads} page reads, {hits} pool hits)")
+
+        hier_dir = owned_tmp.name if owned_tmp else os.path.dirname(
+            os.path.abspath(ak_path))
+        hier_path = os.path.join(hier_dir, f"mstar{args.k}.seg")
+        hier = build_hierarchy_segment(graph, args.k, hier_path,
+                                       budget_bytes=budget,
+                                       page_size=args.page_size)
+        matched = hier.digest == inram_hierarchy_digest(graph, args.k)
+        print(f"ooc: M*({args.k}) hierarchy: {hier.records} extents over "
+              f"{args.k + 1} levels ({hier.spills} spills, peak "
+              f"{hier.peak_ratio:.2f}x budget), digest "
+              f"{'matches' if matched else 'DIVERGES'}")
+        if not owned_tmp and not args.output:
+            os.unlink(hier_path)
+        if not matched:
+            print("ooc: CHECK FAILED — hierarchy digest diverges from the "
+                  "in-RAM levels")
+            return 1
+        print("ooc: check OK — on-disk builds are byte-equivalent to "
+              "in-RAM construction")
+        return 0
+    finally:
+        if owned_tmp is not None:
+            owned_tmp.cleanup()
 
 
 def _parse_hostport(text: str) -> tuple[str, int]:
@@ -625,8 +738,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench = commands.add_parser(
         "bench",
         help="hot-path benchmarks with a persisted JSON trajectory")
-    bench.add_argument("--output", "-o", default="BENCH_pr8.json",
-                       help="JSON artifact path (default: BENCH_pr8.json)")
+    bench.add_argument("--output", "-o", default="BENCH_pr9.json",
+                       help="JSON artifact path (default: BENCH_pr9.json)")
     bench.add_argument("--smoke", action="store_true",
                        help="small fixed configuration for CI")
     bench.add_argument("--scale", type=float, default=0.05)
@@ -640,6 +753,32 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--verbose", "-v", action="store_true",
                        help="print one status line per bench stage")
     bench.set_defaults(handler=cmd_bench)
+
+    ooc = commands.add_parser(
+        "ooc",
+        help="spill-build an index segment under a byte budget and "
+             "verify it against the in-RAM builder")
+    ooc.add_argument("--dataset", choices=("xmark", "nasa"),
+                     default="xmark")
+    ooc.add_argument("--scale", type=float, default=0.05)
+    ooc.add_argument("--seed", type=int, default=7)
+    ooc.add_argument("--k", type=int, default=8,
+                     help="local-similarity resolution to build")
+    ooc.add_argument("--budget", type=int, default=0,
+                     help=f"spill budget in bytes (default: "
+                          f"$REPRO_STORAGE_BUDGET or 64 MiB)")
+    ooc.add_argument("--page-size", type=int, default=2048,
+                     help="segment page size in bytes")
+    ooc.add_argument("--queries", type=int, default=40,
+                     help="spot-check workload size for --check")
+    ooc.add_argument("--max-length", type=int, default=6)
+    ooc.add_argument("--output", "-o", default="",
+                     help="keep the A(k) segment at this path "
+                          "(default: temporary)")
+    ooc.add_argument("--check", action="store_true",
+                     help="verify digests and answers against the "
+                          "in-RAM builder and the data-graph oracle")
+    ooc.set_defaults(handler=cmd_ooc)
 
     trace = commands.add_parser(
         "trace",

@@ -170,9 +170,15 @@ class PinnedSnapshot:
     updates are in flight.
     """
 
-    def __init__(self, serving: "ServingEngine", epoch: int) -> None:
+    def __init__(self, serving: "ServingEngine", epoch: int,
+                 page_epochs: tuple[int, ...] = ()) -> None:
         self._serving = serving
         self.epoch = epoch
+        #: Buffer-pool epochs held for the pin's lifetime — one per pool
+        #: attached via :meth:`ServingEngine.attach_page_pool`.  While
+        #: the pin is open no attached pool evicts, so every page this
+        #: snapshot reads stays resident at exactly these epochs.
+        self.page_epochs = page_epochs
 
     def query(self, expr: "PathExpression | str"):
         """Evaluate through the index at the pinned epoch."""
@@ -244,8 +250,22 @@ class ServingEngine:
         self._fup_lock = threading.Lock()
         self._pending: deque[PathExpression] = deque()
         self._pending_set: set[PathExpression] = set()
+        #: Buffer pools whose eviction epoch pinned snapshots hold (see
+        #: :meth:`attach_page_pool`).
+        self._page_pools: list = []
         self._family = type(self.index).__name__
         self._bind_metrics()
+
+    def attach_page_pool(self, pool) -> None:
+        """Register a storage-layer :class:`BufferPool` with this engine.
+
+        While a :meth:`pin` is open, every attached pool holds its
+        eviction epoch (``BufferPool.hold_epoch``): pages the snapshot
+        reads stay resident until the pin is released, so a pinned
+        reader can re-touch an extent page without re-paying the read —
+        and without a concurrent scan evicting it mid-snapshot.
+        """
+        self._page_pools.append(pool)
 
     def _bind_metrics(self) -> None:
         registry = _metrics.REGISTRY
@@ -574,12 +594,33 @@ class _Pin:
     def __init__(self, serving: ServingEngine) -> None:
         self._serving = serving
         self._cm = None
+        self._page_holds: list = []
 
     def __enter__(self) -> PinnedSnapshot:
-        self._cm = self._serving.clock.pause_writers()
-        epoch = self._cm.__enter__()
-        return PinnedSnapshot(self._serving, epoch)
+        # Hold every attached buffer pool's eviction epoch first: by the
+        # time writers are paused, no page the snapshot reads can be
+        # evicted out from under it.
+        page_epochs = []
+        try:
+            for pool in self._serving._page_pools:
+                hold = pool.hold_epoch()
+                page_epochs.append(hold.__enter__())
+                self._page_holds.append(hold)
+            self._cm = self._serving.clock.pause_writers()
+            epoch = self._cm.__enter__()
+        except BaseException:
+            self._release_page_holds()
+            raise
+        return PinnedSnapshot(self._serving, epoch, tuple(page_epochs))
+
+    def _release_page_holds(self) -> None:
+        holds, self._page_holds = self._page_holds, []
+        for hold in reversed(holds):
+            hold.__exit__(None, None, None)
 
     def __exit__(self, *exc) -> bool:
         cm, self._cm = self._cm, None
-        return bool(cm.__exit__(*exc))
+        try:
+            return bool(cm.__exit__(*exc))
+        finally:
+            self._release_page_holds()

@@ -4,13 +4,44 @@
 a page's records back on demand; ``BufferPool`` keeps a bounded LRU set
 of parsed pages and counts physical reads versus hits — the I/O metric
 the disk-resident benches report.
+
+PR 9 extensions (the out-of-core data plane, see ``docs/storage.md``):
+
+* **mmap-backed reads** — a ``PageFile`` opened with ``use_mmap=True``
+  slices a read-only memory map instead of seek+read, so concurrent
+  readers need no shared-file-position lock on the data path (the
+  counters stay lock-protected).  Segments opened fresh default to it;
+  the legacy index path keeps buffered reads unless
+  ``REPRO_STORAGE_MMAP=1`` asks otherwise.
+* **page checksums** — when the caller supplies per-page CRCs (the
+  segment format stores them in its footer), every physical read is
+  verified before decoding; a mismatch raises a ``ValueError`` naming
+  the page key and never returns bytes.
+* **pin counts** — ``BufferPool.pin``/``unpin`` (or the ``pinned``
+  context manager) keep a page resident; eviction skips pinned pages,
+  overshooting capacity rather than dropping a page a reader holds.
+* **admission policy** — ``admission="scan"`` admits first-touch pages
+  on probation (next in eviction order) so a one-pass scan cannot wipe
+  the hot set; a page re-admitted soon after eviction (tracked in a
+  small ghost list) goes straight to the protected end.
+* **eviction epoch** — ``BufferPool.epoch`` advances once per eviction;
+  ``hold_epoch()`` blocks evictions for its duration, which is how
+  pinned serving snapshots hold their page epoch steady.
+* **prefetch accounting** — ``prefetch(key)`` loads a page without
+  counting a demand miss; later demand hits on prefetched pages are
+  counted separately so the background prefetcher's usefulness is
+  measurable (``pager_prefetch_*`` metrics).
 """
 
 from __future__ import annotations
 
+import mmap
+import os
 import struct
 import threading
+import zlib
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 from repro.obs import metrics as _metrics
@@ -27,6 +58,27 @@ _M_HITS = _metrics.REGISTRY.counter(
     "pager_pool_hits_total", "page requests served from the buffer pool")
 _M_MISSES = _metrics.REGISTRY.counter(
     "pager_pool_misses_total", "page requests that went to disk")
+_M_EVICTIONS = _metrics.REGISTRY.counter(
+    "pager_evictions_total", "pages evicted from the buffer pool")
+_M_PREFETCHES = _metrics.REGISTRY.counter(
+    "pager_prefetch_pages_total", "pages loaded by prefetch")
+_M_PREFETCH_HITS = _metrics.REGISTRY.counter(
+    "pager_prefetch_hits_total",
+    "demand requests served by a previously prefetched page")
+
+
+def _mmap_default() -> bool:
+    return os.environ.get("REPRO_STORAGE_MMAP", "") not in ("", "0")
+
+
+def decode_index_page(data: bytes) -> dict[int, dict]:
+    """Default page decoder: whole index-node records -> nid -> record."""
+    records: dict[int, dict] = {}
+    offset = 0
+    while offset < len(data):
+        record, offset = decode_index_node(data, offset)
+        records[record["nid"]] = record
+    return records
 
 
 @dataclass(frozen=True)
@@ -40,30 +92,61 @@ class PageRef:
 class PageFile:
     """Random-access page reader over an on-disk index payload.
 
-    ``pages`` maps ``(component, page_number) -> PageRef``; every page
-    holds whole index-node records, parsed into ``nid -> record`` dicts
-    on read.
+    ``pages`` maps a page key (``(component, page_number)`` for the
+    legacy disk index, ``(0, page_number)`` for segments) to a
+    :class:`PageRef`.  ``decoder`` turns raw page bytes into the parsed
+    form the pool caches (default: whole index-node records parsed into
+    ``nid -> record`` dicts); ``checksums`` maps page keys to expected
+    CRC-32s, verified before decoding.  ``handle`` lets tests inject a
+    fault-wrapped file object.
     """
 
-    def __init__(self, path: str,
-                 pages: dict[tuple[int, int], PageRef]) -> None:
+    def __init__(self, path: str, pages: dict[tuple[int, int], PageRef],
+                 *, decoder=None, checksums=None, use_mmap: bool | None = None,
+                 handle=None) -> None:
         self.path = path
         self.pages = pages
-        self._handle = open(path, "rb")
+        self._decoder = decoder if decoder is not None else decode_index_page
+        self._checksums = checksums if checksums is not None else {}
+        self._handle = handle if handle is not None else open(path, "rb")
+        self._mmap: mmap.mmap | None = None
+        if use_mmap is None:
+            use_mmap = _mmap_default()
+        if use_mmap:
+            try:
+                self._mmap = mmap.mmap(self._handle.fileno(), 0,
+                                       access=mmap.ACCESS_READ)
+            except (ValueError, OSError, AttributeError):
+                self._mmap = None  # empty file / pipe / fake handle
         #: Physical page reads performed (monotone).
         self.reads = 0
         #: Serialises seek+read pairs and the ``reads`` counter — the
-        #: file handle's position is shared state, so two concurrent
-        #: readers would otherwise interleave seeks and parse garbage.
+        #: buffered file handle's position is shared state, so two
+        #: concurrent readers would otherwise interleave seeks and parse
+        #: garbage.  The mmap path slices without seeking but keeps the
+        #: counter update under the same lock.
         self._lock = threading.Lock()
 
-    def read_page(self, key: tuple[int, int]) -> dict[int, dict]:
-        """Read and parse one page; one physical read.
+    @property
+    def mmapped(self) -> bool:
+        """Whether page reads slice a memory map (no shared seek)."""
+        return self._mmap is not None
 
-        Raises ``ValueError`` naming the page key when the page bytes do
-        not decode as whole index-node records.  ``reads`` counts only
-        successfully parsed pages, so a corrupt page never inflates the
-        I/O metric while returning nothing.
+    def _read_raw(self, ref: PageRef) -> bytes:
+        if self._mmap is not None:
+            return self._mmap[ref.offset:ref.offset + ref.length]
+        with self._lock:
+            self._handle.seek(ref.offset)
+            return self._handle.read(ref.length)
+
+    def read_page(self, key: tuple[int, int]):
+        """Read, verify, and parse one page; one physical read.
+
+        Raises ``ValueError`` naming the page key when the read comes up
+        short, the stored checksum mismatches, or the page bytes do not
+        decode as whole records.  ``reads`` counts only successfully
+        parsed pages, so a corrupt page never inflates the I/O metric
+        while returning nothing.
         """
         tracer = _trace.TRACER
         span = tracer.span("pager.read_page", component=key[0],
@@ -71,29 +154,38 @@ class PageFile:
             else _trace.NULL_SPAN
         with span:
             ref = self.pages[key]
-            with self._lock:
-                self._handle.seek(ref.offset)
-                data = self._handle.read(ref.length)
+            data = self._read_raw(ref)
             if len(data) != ref.length:
                 _M_CORRUPT.inc()
                 raise ValueError(f"truncated page {key} in {self.path}")
-            records: dict[int, dict] = {}
-            offset = 0
+            expected = self._checksums.get(key)
+            if expected is not None:
+                computed = zlib.crc32(data)
+                if computed != expected:
+                    _M_CORRUPT.inc()
+                    raise ValueError(
+                        f"corrupt page {key} in {self.path}: checksum "
+                        f"mismatch (stored 0x{expected:08x}, computed "
+                        f"0x{computed:08x})")
             try:
-                while offset < len(data):
-                    record, offset = decode_index_node(data, offset)
-                    records[record["nid"]] = record
-            except (struct.error, ValueError, IndexError) as exc:
+                records = self._decoder(data)
+            except (struct.error, ValueError, IndexError, KeyError) as exc:
                 _M_CORRUPT.inc()
                 raise ValueError(
                     f"corrupt page {key} in {self.path}: {exc}") from exc
             with self._lock:
                 self.reads += 1
             _M_READS.inc()
-            span.tag(records=len(records))
+            try:
+                span.tag(records=len(records))
+            except TypeError:
+                pass  # decoder may return an unsized object
             return records
 
     def close(self) -> None:
+        if self._mmap is not None:
+            self._mmap.close()
+            self._mmap = None
         self._handle.close()
 
     def __enter__(self) -> "PageFile":
@@ -110,61 +202,247 @@ class BufferPool:
     shard engines at one pool): one lock covers the lookup, the LRU
     reorder, the miss fill, and the counters, so under any interleaving
     ``hits + misses == requests``, every miss is exactly one physical
-    read, and the pool never exceeds its capacity.  Holding the lock
-    across the physical read also means concurrent requests for the
-    *same* cold page collapse into one read instead of racing to fill
-    the slot.
+    read, and the pool never exceeds its capacity while unpinned pages
+    remain.  Holding the lock across the physical read also means
+    concurrent requests for the *same* cold page collapse into one read
+    instead of racing to fill the slot.
+
+    Pinned pages (see :meth:`pin`) are never evicted: when every
+    resident page is pinned the pool overshoots capacity (counted in
+    ``pin_overflows``) rather than invalidating a page a reader holds.
     """
 
-    def __init__(self, file: PageFile, capacity_pages: int) -> None:
+    #: Ghost-list length, as a multiple of capacity (scan admission).
+    GHOST_FACTOR = 4
+
+    def __init__(self, file: PageFile, capacity_pages: int,
+                 *, admission: str = "lru") -> None:
         if capacity_pages < 1:
             raise ValueError("capacity_pages must be >= 1")
+        if admission not in ("lru", "scan"):
+            raise ValueError(f"unknown admission policy {admission!r}")
         self.file = file
         self.capacity = capacity_pages
-        self._cached: OrderedDict[tuple[int, int], dict[int, dict]] = \
-            OrderedDict()
+        self.admission = admission
+        self._cached: OrderedDict[tuple[int, int], object] = OrderedDict()
+        #: Recently evicted keys (scan admission promotes re-admissions).
+        self._ghosts: OrderedDict[tuple[int, int], None] = OrderedDict()
+        self._pins: dict[tuple[int, int], int] = {}
+        self._prefetched: set[tuple[int, int]] = set()
         #: Logical page requests served from the pool.
         self.hits = 0
         #: Logical page requests that went to disk.
         self.misses = 0
+        #: Pages loaded by :meth:`prefetch` (not demand misses).
+        self.prefetches = 0
+        #: Demand requests that found a prefetched page resident.
+        self.prefetch_hits = 0
+        #: Pages dropped to make room (monotone).
+        self.evictions = 0
+        #: Times capacity was overshot because every page was pinned.
+        self.pin_overflows = 0
+        #: Advances once per eviction; constant while an epoch hold or a
+        #: pin keeps the resident set stable.
+        self.epoch = 0
+        self._evict_blocked = 0
+        self._miss_listener = None
         self._lock = threading.Lock()
 
     @property
     def reads(self) -> int:
-        """Physical page reads (cache misses) so far."""
+        """Physical page reads (cache misses + prefetches) so far."""
         return self.file.reads
 
-    def page(self, key: tuple[int, int]) -> dict[int, dict]:
+    # ------------------------------------------------------------------
+    # Core paths (call with the lock held)
+    # ------------------------------------------------------------------
+    def _admit(self, key: tuple[int, int], records) -> None:
+        self._cached[key] = records
+        if self.admission == "scan" and key not in self._ghosts:
+            # First touch: probation — next in eviction order unless it
+            # is referenced again while resident.
+            self._cached.move_to_end(key, last=False)
+        self._ghosts.pop(key, None)
+        self._evict_for_space()
+
+    def _evict_for_space(self) -> None:
+        if self._evict_blocked:
+            return
+        while len(self._cached) > self.capacity:
+            victim = None
+            for key in self._cached:
+                if not self._pins.get(key):
+                    victim = key
+                    break
+            if victim is None:
+                # Everything resident is pinned; overshoot rather than
+                # evict under a pin.
+                self.pin_overflows += 1
+                return
+            del self._cached[victim]
+            self._prefetched.discard(victim)
+            self._ghosts[victim] = None
+            while len(self._ghosts) > self.GHOST_FACTOR * self.capacity:
+                self._ghosts.popitem(last=False)
+            self.evictions += 1
+            self.epoch += 1
+            _M_EVICTIONS.inc()
+
+    def _page_locked(self, key: tuple[int, int]):
+        cached = self._cached.get(key)
+        if cached is not None:
+            self._cached.move_to_end(key)
+            self.hits += 1
+            _M_HITS.inc()
+            if key in self._prefetched:
+                self._prefetched.discard(key)
+                self.prefetch_hits += 1
+                _M_PREFETCH_HITS.inc()
+            return cached
+        self.misses += 1
+        _M_MISSES.inc()
+        records = self.file.read_page(key)
+        self._admit(key, records)
+        listener = self._miss_listener
+        if listener is not None:
+            listener(key)
+        return records
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def page(self, key: tuple[int, int]):
         """Fetch one page through the pool."""
         with self._lock:
-            cached = self._cached.get(key)
-            if cached is not None:
-                self._cached.move_to_end(key)
-                self.hits += 1
-                _M_HITS.inc()
-                return cached
-            self.misses += 1
-            _M_MISSES.inc()
+            return self._page_locked(key)
+
+    def pin(self, key: tuple[int, int]):
+        """Fetch one page and pin it resident; returns the parsed page.
+
+        Balance every ``pin`` with :meth:`unpin` (or use the
+        :meth:`pinned` context manager).  The pin count is registered
+        *before* the fetch, all under one lock acquisition: a miss fill
+        that overflows capacity must never pick the page being pinned
+        as its own eviction victim.
+        """
+        with self._lock:
+            self._pins[key] = self._pins.get(key, 0) + 1
+            try:
+                return self._page_locked(key)
+            except BaseException:
+                self._unpin_locked(key)
+                raise
+
+    def _unpin_locked(self, key: tuple[int, int]) -> None:
+        count = self._pins.get(key, 0)
+        if count <= 0:
+            raise ValueError(f"page {key} is not pinned")
+        if count == 1:
+            del self._pins[key]
+        else:
+            self._pins[key] = count - 1
+        self._evict_for_space()
+
+    def unpin(self, key: tuple[int, int]) -> None:
+        with self._lock:
+            self._unpin_locked(key)
+
+    @contextmanager
+    def pinned(self, key: tuple[int, int]):
+        """Context manager: fetch + pin ``key``, unpin on exit."""
+        records = self.pin(key)
+        try:
+            yield records
+        finally:
+            self.unpin(key)
+
+    def pin_count(self, key: tuple[int, int]) -> int:
+        with self._lock:
+            return self._pins.get(key, 0)
+
+    def pinned_pages(self) -> int:
+        with self._lock:
+            return len(self._pins)
+
+    @contextmanager
+    def hold_epoch(self):
+        """Block evictions for the duration; yields the held epoch.
+
+        While any hold is open the resident set only grows, so every
+        page read under the hold stays resident and :attr:`epoch` does
+        not advance — this is what a pinned serving snapshot wraps
+        around its reads (see ``ServingEngine.attach_page_pool``).  On
+        release the pool trims back to capacity (one epoch step per
+        page dropped).
+        """
+        with self._lock:
+            self._evict_blocked += 1
+            held = self.epoch
+        try:
+            yield held
+        finally:
+            with self._lock:
+                self._evict_blocked -= 1
+                if self._evict_blocked == 0:
+                    self._evict_for_space()
+
+    def prefetch(self, key: tuple[int, int]) -> bool:
+        """Load ``key`` into the pool without counting a demand miss.
+
+        Returns ``True`` when the page was actually loaded.  A corrupt
+        page is *not* swallowed silently into the cache: the read error
+        is suppressed here (prefetch is advisory), but a later demand
+        read of the same page re-reads and raises.
+        """
+        with self._lock:
+            if key in self._cached or key not in self.file.pages:
+                return False
+        try:
             records = self.file.read_page(key)
-            self._cached[key] = records
-            if len(self._cached) > self.capacity:
-                self._cached.popitem(last=False)
-            return records
+        except (ValueError, KeyError, OSError):
+            return False
+        with self._lock:
+            if key in self._cached:
+                return False
+            self._admit(key, records)
+            self._prefetched.add(key)
+            self.prefetches += 1
+            _M_PREFETCHES.inc()
+            return True
+
+    def set_miss_listener(self, listener) -> None:
+        """Install a demand-miss callback (``listener(key)``).
+
+        Called with the pool lock held — the listener must only enqueue
+        (the background prefetcher's ``note``), never call back into the
+        pool synchronously.
+        """
+        with self._lock:
+            self._miss_listener = listener
 
     def cached_pages(self) -> int:
         """Pages currently resident in the pool."""
         with self._lock:
             return len(self._cached)
 
+    def resident(self, key: tuple[int, int]) -> bool:
+        with self._lock:
+            return key in self._cached
+
     def reset_stats(self) -> None:
         """Zero the counters (the cache contents stay warm)."""
         with self._lock:
             self.hits = 0
             self.misses = 0
+            self.prefetches = 0
+            self.prefetch_hits = 0
+            self.evictions = 0
+            self.pin_overflows = 0
             self.file.reads = 0
 
     def __repr__(self) -> str:
         with self._lock:
             return (f"BufferPool(capacity={self.capacity}, "
                     f"cached={len(self._cached)}, reads={self.reads}, "
-                    f"hits={self.hits}, misses={self.misses})")
+                    f"hits={self.hits}, misses={self.misses}, "
+                    f"pinned={len(self._pins)}, epoch={self.epoch})")

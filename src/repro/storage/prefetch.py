@@ -1,0 +1,110 @@
+"""Trace-driven background prefetch for the buffer pool.
+
+The pager already exports its access trace (PR 3 metrics: hits, misses,
+per-page spans); :class:`BackgroundPrefetcher` closes the loop.  It
+watches the pool's demand-miss stream, and when the recent trace shows a
+sequential pattern inside one component — a miss on page ``p`` with
+``p-1`` missed shortly before — it schedules the next ``depth`` pages
+on a daemon thread.  Sequential consumers (extent scans, ``iter_all``,
+hierarchy walks) then find their next page already resident; random
+point lookups never trigger it, so the pool is not polluted by
+speculation on non-sequential workloads.
+
+Usefulness is measurable, not assumed: ``pager_prefetch_pages_total``
+counts speculative loads and ``pager_prefetch_hits_total`` counts the
+demand requests they absorbed (both on the metrics registry, and as
+``prefetches`` / ``prefetch_hits`` pool counters).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from collections import deque
+
+from repro.obs import trace as _trace
+
+_STOP = object()
+
+
+class BackgroundPrefetcher:
+    """Sequential-run detector + background page loader for one pool.
+
+    Attach with ``attach()`` (installs the pool's miss listener); detach
+    with ``stop()``.  The miss listener only enqueues (it runs under the
+    pool lock); all physical I/O happens on the daemon thread through
+    ``pool.prefetch``, which never counts a demand miss and never
+    evicts pinned pages.
+    """
+
+    def __init__(self, pool, *, depth: int = 2, window: int = 16) -> None:
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self.pool = pool
+        self.depth = depth
+        #: Recent demand misses (the trace the heuristic reads).
+        self._recent: deque[tuple[int, int]] = deque(maxlen=window)
+        self._queue: queue.Queue = queue.Queue()
+        self._thread: threading.Thread | None = None
+        self.scheduled = 0
+        self.loaded = 0
+
+    # ------------------------------------------------------------------
+    # Pool-facing side (runs under the pool lock — enqueue only)
+    # ------------------------------------------------------------------
+    def note(self, key: tuple[int, int]) -> None:
+        component, page = key
+        sequential = (component, page - 1) in self._recent
+        self._recent.append(key)
+        if not sequential:
+            return
+        for ahead in range(1, self.depth + 1):
+            target = (component, page + ahead)
+            if target in self.pool.file.pages:
+                self._queue.put(target)
+                self.scheduled += 1
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def attach(self) -> "BackgroundPrefetcher":
+        self.pool.set_miss_listener(self.note)
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-prefetch", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self.pool.set_miss_listener(None)
+        if self._thread is not None:
+            self._queue.put(_STOP)
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def drain(self, timeout: float = 5.0) -> None:
+        """Testing hook: block until the queue has been consumed."""
+        done = threading.Event()
+        self._queue.put(done)
+        done.wait(timeout)
+
+    def _run(self) -> None:
+        tracer = _trace.TRACER
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            if isinstance(item, threading.Event):
+                item.set()
+                continue
+            span = tracer.span("pager.prefetch", component=item[0],
+                               page=item[1]) if tracer.enabled \
+                else _trace.NULL_SPAN
+            with span:
+                if self.pool.prefetch(item):
+                    self.loaded += 1
+
+    def __enter__(self) -> "BackgroundPrefetcher":
+        return self.attach()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()

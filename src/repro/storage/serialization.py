@@ -11,6 +11,7 @@ low-level record encoders defined here.
 
 from __future__ import annotations
 
+import os
 import struct
 from io import BufferedReader, BufferedWriter
 
@@ -207,7 +208,13 @@ def load_mstar(path: str, graph: DataGraph) -> MStarIndex:
             raise ValueError(f"unsupported index format version {version}")
         table = read_label_table(source)
         num_components = read_u32(source)
-        payload = source.read()
+        # Explicit-length read (storage-io discipline): the payload runs
+        # to end-of-file, so size it from fstat instead of slurping an
+        # unbounded read() — a truncated file fails here, loudly.
+        remaining = os.fstat(source.fileno()).st_size - source.tell()
+        payload = source.read(remaining)
+        if len(payload) != remaining:
+            raise ValueError(f"truncated index payload in {path}")
 
     index = MStarIndex.__new__(MStarIndex)
     index.graph = graph

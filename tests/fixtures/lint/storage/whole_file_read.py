@@ -1,0 +1,39 @@
+"""Seeded storage-io violations (see ../README.md).
+
+Whole-file slurps in storage-scoped code: the argless ``.read()`` and
+``.readlines()`` reintroduce the O(file) memory floor the pager
+removes.  The sized-read variants show the compliant pattern.
+"""
+
+import os
+
+
+def slurp_page_file(path):
+    with open(path, "rb") as handle:
+        return handle.read()  # VIOLATION: argless read, RAM = file size
+
+
+def slurp_lines(path):
+    with open(path) as handle:
+        return handle.readlines()  # VIOLATION: unbounded line slurp
+
+
+def sized_read_ok(path, offset, length):
+    with open(path, "rb") as handle:
+        handle.seek(offset)
+        data = handle.read(length)
+        if len(data) != length:
+            raise ValueError(f"truncated read at {offset} in {path}")
+        return data
+
+
+def stat_sized_read_ok(path):
+    with open(path, "rb") as handle:
+        remaining = os.fstat(handle.fileno()).st_size
+        return handle.read(remaining)
+
+
+def suppressed_slurp(path):
+    with open(path, "rb") as handle:
+        # repro-lint: disable=storage-io
+        return handle.read()

@@ -166,6 +166,49 @@ class TestBenchReport:
         assert report["verify"]["ok"]
         assert report["verify"]["discrepancies"] == []
 
+    def test_committed_pr9_artifact_meets_criteria(self):
+        """The repository-root BENCH_pr9.json must record the out-of-core
+        group: every spill build digest-equal to the in-RAM builder, a
+        dataset at least 4x the memory budget for both A(k) and M*(k),
+        actual spilling on every row, and tracked peak working set under
+        1.5x budget."""
+        import os
+
+        root = os.path.join(os.path.dirname(__file__), "..")
+        with open(os.path.join(root, "BENCH_pr9.json")) as handle:
+            report = json.load(handle)
+        assert report["name"] == "BENCH_pr9"
+        criteria = report["criteria"]
+        assert criteria["passed"]
+        assert criteria["ooc_ok"]
+        assert criteria["ooc_digest_ok"]
+        assert criteria["ooc_spills_ok"]
+        assert criteria["ooc_dataset_ratio_ok"]
+        assert criteria["ooc_dataset_ratio_target"] >= 4.0
+        assert criteria["ooc_peak_ratio_worst"] <= criteria["ooc_peak_budget"]
+        rows = report["ooc"]
+        assert rows
+        assert any(row["family"].startswith("A(") for row in rows)
+        assert any(row["family"].startswith("M*(") for row in rows)
+        for row in rows:
+            assert row["digest_matches_inram"], row
+            assert row["spills"] > 0, row
+            assert row["peak_ratio"] <= 1.5, row
+        checked = [row for row in rows if "query_check" in row]
+        assert checked
+        for row in checked:
+            # A mismatch raises inside the bench, so a recorded check
+            # with oracle coverage means every answer agreed.
+            assert row["query_check"]["queries"] > 0
+            assert row["query_check"]["oracle_checked"] > 0
+            assert row["query_check"]["curve"]
+        # The earlier headline criteria all survive the storage layer.
+        assert criteria["net_sweep_ok"]
+        assert criteria["shard_sweep_ok"]
+        assert criteria["compact_ok"]
+        assert report["verify"]["ok"]
+        assert report["verify"]["discrepancies"] == []
+
     def test_committed_pr6_artifact_meets_criteria(self):
         """The repository-root BENCH_pr6.json must record a >= 1.5x win
         on at least one compact-data-plane line, keep the PR 2 headline

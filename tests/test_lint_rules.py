@@ -146,6 +146,33 @@ class TestSocketReadRule:
         assert len(result.findings) == 4
 
 
+class TestStorageIoRule:
+    def test_golden_findings(self):
+        result = lint_fixture("storage", "whole_file_read.py")
+        assert triples(result) == [
+            ("whole_file_read.py", 13, "storage-io"),
+            ("whole_file_read.py", 18, "storage-io"),
+        ]
+        assert [f.symbol for f in result.sorted_findings()] == \
+            ["slurp_page_file", "slurp_lines"]
+
+    def test_sized_reads_not_flagged(self):
+        result = lint_fixture("storage", "whole_file_read.py")
+        symbols = {f.symbol for f in result.findings}
+        assert "sized_read_ok" not in symbols
+        assert "stat_sized_read_ok" not in symbols
+
+    def test_seeded_suppression_is_honoured(self):
+        result = lint_fixture("storage", "whole_file_read.py")
+        assert [f.symbol for f in result.suppressed] == ["suppressed_slurp"]
+
+    def test_rule_scoped_to_storage_only(self):
+        # An argless read outside storage/ is ordinary Python; the
+        # queries/ fixture must stay at its four determinism findings.
+        result = lint_fixture("queries", "determinism_violation.py")
+        assert all(f.rule != "storage-io" for f in result.findings)
+
+
 class TestWholeTree:
     def test_every_rule_family_fires_exactly_once_per_seed(self):
         result = lint_fixture()
@@ -153,8 +180,9 @@ class TestWholeTree:
         for finding in result.findings:
             by_rule.setdefault(finding.rule, []).append(finding)
         assert sorted(by_rule) == ["cost-accounting", "determinism",
-                                   "epoch-discipline", "lock-discipline"]
-        assert len(result.findings) == 16
+                                   "epoch-discipline", "lock-discipline",
+                                   "storage-io"]
+        assert len(result.findings) == 18
 
     def test_clean_fixture_produces_no_findings(self):
         result = lint_fixture("indexes", "clean_module.py")
@@ -164,6 +192,7 @@ class TestWholeTree:
     @pytest.mark.parametrize("rule_id,expected", [
         ("lock-discipline", 2), ("cost-accounting", 1),
         ("epoch-discipline", 5), ("determinism", 8),
+        ("storage-io", 2),
     ])
     def test_rule_filter_isolates_one_family(self, rule_id, expected):
         result = run_lint([FIXTURES], rule_ids=[rule_id])

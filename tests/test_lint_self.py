@@ -43,7 +43,7 @@ class TestCliOnFixtures:
         assert main(["lint", FIXTURES]) == 1
         out = capsys.readouterr().out
         assert "lint: FAILED" in out
-        assert "16 finding(s)" in out
+        assert "18 finding(s)" in out
 
     def test_each_seeded_fixture_fails_alone(self, capsys):
         for relative in (
@@ -52,6 +52,7 @@ class TestCliOnFixtures:
             ("indexes", "epoch_violation.py"),
             ("queries", "determinism_violation.py"),
             ("serving", "window_violation.py"),
+            ("storage", "whole_file_read.py"),
         ):
             path = os.path.join(FIXTURES, *relative)
             assert main(["lint", path]) == 1, relative
@@ -61,11 +62,12 @@ class TestCliOnFixtures:
         assert main(["lint", FIXTURES, "--format", "json"]) == 1
         payload = json.loads(capsys.readouterr().out)
         assert payload["ok"] is False
-        assert len(payload["findings"]) == 16
+        assert len(payload["findings"]) == 18
         assert payload["suppressed"]
         rules = {finding["rule"] for finding in payload["findings"]}
         assert rules == {"lock-discipline", "cost-accounting",
-                         "epoch-discipline", "determinism"}
+                         "epoch-discipline", "determinism",
+                         "storage-io"}
 
     def test_rules_flag_filters(self, capsys):
         assert main(["lint", FIXTURES, "--rules", "lock-discipline",
