@@ -19,6 +19,7 @@ survive review by default.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 
 from repro.analysis.engine import Finding
@@ -96,20 +97,42 @@ def unjustified_entries(
     return flagged
 
 
-def _entry_key(entry: dict[str, object]) -> tuple[str, str, str, str]:
-    return (str(entry["path"]), str(entry["rule"]), str(entry["symbol"]),
+def _canonical_path(path: str, base_dir: str | None) -> str:
+    """Absolute posix form of ``path`` resolved against ``base_dir``.
+
+    Baseline entries store paths relative to the baseline file; findings
+    carry CWD-relative paths.  Resolving both to absolute form before
+    keying makes matching independent of the directory ``repro lint``
+    happens to run from.
+    """
+    root = base_dir if base_dir is not None else os.getcwd()
+    return os.path.abspath(os.path.join(root, path)).replace(os.sep, "/")
+
+
+def _entry_key(entry: dict[str, object],
+               base_dir: str | None) -> tuple[str, str, str, str]:
+    return (_canonical_path(str(entry["path"]), base_dir),
+            str(entry["rule"]), str(entry["symbol"]),
             str(entry["message"]))
 
 
 def apply_baseline(findings: list[Finding],
-                   entries: list[dict[str, object]]) -> BaselineMatch:
-    """Split findings into new vs baselined; report stale entries."""
+                   entries: list[dict[str, object]],
+                   base_dir: str | None = None) -> BaselineMatch:
+    """Split findings into new vs baselined; report stale entries.
+
+    ``base_dir`` is the directory entry paths are relative to — pass the
+    baseline file's directory so matching survives running the linter
+    from outside the repo root.
+    """
     remaining: dict[tuple[str, str, str, str], list[dict[str, object]]] = {}
     for entry in entries:
-        remaining.setdefault(_entry_key(entry), []).append(entry)
+        remaining.setdefault(_entry_key(entry, base_dir), []).append(entry)
     match = BaselineMatch()
     for finding in findings:
-        bucket = remaining.get(finding.key())
+        path, rule, symbol, message = finding.key()
+        bucket = remaining.get(
+            (_canonical_path(path, None), rule, symbol, message))
         if bucket:
             bucket.pop()
             match.baselined.append(finding)

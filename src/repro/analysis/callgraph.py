@@ -1,0 +1,646 @@
+"""Project call graph + per-file function summaries for ``repro lint``.
+
+The interprocedural passes follow the paper's own playbook: precompute
+structure once, answer the frequent questions cheaply.  Each file is
+summarised *independently* into a small JSON-serialisable dict (so the
+content-hash cache can persist it), and a :class:`ProjectGraph` is
+recomposed from the summaries on every run — recomposition is cheap,
+re-parsing is not.
+
+A summary records, per function: parameters, budget-ish parameters, the
+calls it makes (receiver chain, import-resolved target, which ``with``
+items were lexically held at the call, whether a deadline/budget value
+was forwarded), and the ``with`` items themselves (the lock-order pass
+classifies them later, against :class:`~repro.analysis.config.LintConfig`
+registries, so summaries stay config-independent).
+
+Call resolution is deliberately heuristic but conservative-by-union:
+
+* import-resolved dotted targets match project modules exactly;
+* ``self.method`` / ``super().method`` resolve through an approximate
+  MRO built from class ``bases`` names across the project;
+* other receivers resolve through ``LintConfig.receiver_roles`` — a
+  reviewed map from conventional attribute/variable names (``serving``,
+  ``clock``, ``pool``, ...) to the classes they hold in this codebase.
+
+Unknown receivers resolve to nothing: the passes stay quiet rather than
+guessing, and the reviewed role map is the lever for widening coverage.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+__all__ = [
+    "BUDGET_NAME_RE",
+    "ProjectGraph",
+    "attr_chain",
+    "module_name_for",
+    "summarize_module",
+]
+
+#: Identifier fragment marking a value as a deadline/budget carrier.
+BUDGET_NAME_RE = re.compile(r"(timeout|deadline|budget|remaining)",
+                            re.IGNORECASE)
+
+
+def module_name_for(relpath: str) -> str:
+    """Dotted module name for a repo-relative path (``src/`` stripped)."""
+    path = relpath.replace("\\", "/")
+    if path.endswith(".py"):
+        path = path[: -len(".py")]
+    if path.endswith("/__init__"):
+        path = path[: -len("/__init__")]
+    for prefix in ("src/",):
+        if path.startswith(prefix):
+            path = path[len(prefix):]
+    # Site-packages style absolute-ish paths: anchor at the last
+    # occurrence of a top-level package we can name; fall back verbatim.
+    marker = "/repro/"
+    index = path.rfind(marker)
+    if index >= 0:
+        path = path[index + 1:]
+    return path.replace("/", ".")
+
+
+def attr_chain(node: ast.expr) -> list[str] | None:
+    """``a.b.c`` -> ``["a", "b", "c"]``; ``super().m`` ->
+    ``["super()", "m"]``; anything else -> ``None``."""
+    parts: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+    elif isinstance(current, ast.Call) and \
+            isinstance(current.func, ast.Name) and \
+            current.func.id == "super":
+        parts.append("super()")
+    else:
+        return None
+    return list(reversed(parts))
+
+
+def _resolve_import(chain: Sequence[str],
+                    aliases: Mapping[str, str]) -> str | None:
+    base = aliases.get(chain[0])
+    if base is None:
+        return None
+    return ".".join([base, *chain[1:]])
+
+
+# ---------------------------------------------------------------------------
+# Per-file summaries
+# ---------------------------------------------------------------------------
+
+
+def _param_names(args: ast.arguments) -> list[str]:
+    names = [arg.arg for arg in args.posonlyargs]
+    names.extend(arg.arg for arg in args.args)
+    if args.vararg is not None:
+        names.append(args.vararg.arg)
+    names.extend(arg.arg for arg in args.kwonlyargs)
+    if args.kwarg is not None:
+        names.append(args.kwarg.arg)
+    return names
+
+
+def _assigned_names(target: ast.expr) -> list[str]:
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: list[str] = []
+        for element in target.elts:
+            names.extend(_assigned_names(element))
+        return names
+    if isinstance(target, ast.Starred):
+        return _assigned_names(target.value)
+    return []
+
+
+class _FunctionWalker:
+    """Collect calls / withs / budget taint for one function body."""
+
+    def __init__(self, aliases: Mapping[str, str]) -> None:
+        self.aliases = aliases
+        self.calls: list[dict[str, object]] = []
+        self.withs: list[dict[str, object]] = []
+        self.budget_locals: set[str] = set()
+        self.has_budget_attr = False
+        self._with_stack: list[dict[str, object]] = []
+        self._loop_depth = 0
+
+    # -- taint ------------------------------------------------------------
+
+    def _tainted(self, node: ast.expr) -> bool:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and (
+                    sub.id in self.budget_locals
+                    or BUDGET_NAME_RE.search(sub.id)):
+                return True
+            if isinstance(sub, ast.Attribute) and \
+                    BUDGET_NAME_RE.search(sub.attr):
+                return True
+            if isinstance(sub, ast.Call):
+                chain = attr_chain(sub.func)
+                if chain and BUDGET_NAME_RE.search(chain[-1]):
+                    return True
+        return False
+
+    def _seed_taint(self, params: Iterable[str],
+                    body: Sequence[ast.stmt]) -> None:
+        self.budget_locals = {name for name in params
+                              if BUDGET_NAME_RE.search(name)}
+        statements = _own_statements(body)
+        # Two lexical passes approximate the fixpoint for the common
+        # ``budget = deadline - now; arg = budget`` chains.
+        for _ in range(2):
+            for stmt in statements:
+                targets: list[ast.expr] = []
+                value: ast.expr | None = None
+                if isinstance(stmt, ast.Assign):
+                    targets, value = stmt.targets, stmt.value
+                elif isinstance(stmt, ast.AnnAssign) and stmt.value:
+                    targets, value = [stmt.target], stmt.value
+                elif isinstance(stmt, ast.AugAssign):
+                    targets, value = [stmt.target], stmt.value
+                if value is None:
+                    continue
+                names = [name for target in targets
+                         for name in _assigned_names(target)]
+                if any(BUDGET_NAME_RE.search(name) for name in names) \
+                        or self._tainted(value):
+                    self.budget_locals.update(names)
+        for stmt in statements:
+            if isinstance(stmt, ast.AugAssign) and \
+                    isinstance(stmt.value, ast.Constant):
+                # A counter bump (``stats.timeouts += 1``) records that a
+                # timeout *happened*; it does not put a budget in hand.
+                continue
+            for root in _stmt_exprs(stmt):
+                for sub in ast.walk(root):
+                    if isinstance(sub, ast.Attribute) and \
+                            BUDGET_NAME_RE.search(sub.attr):
+                        self.has_budget_attr = True
+                        return
+
+    # -- structural walk ---------------------------------------------------
+
+    def walk(self, function: ast.FunctionDef | ast.AsyncFunctionDef,
+             budget_params: Sequence[str]) -> None:
+        self._seed_taint(_param_names(function.args), function.body)
+        self._budget_params = set(budget_params)
+        self._walk_block(function.body)
+
+    def _walk_block(self, stmts: Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            self._walk_stmt(stmt)
+
+    def _held(self) -> list[dict[str, object]]:
+        return [{"chain": item["chain"], "call": item["call"]}
+                for item in self._with_stack]
+
+    def _record_calls(self, root: ast.AST) -> None:
+        for node in ast.walk(root):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attr_chain(node.func)
+            if chain is None:
+                continue
+            kwargs = [kw.arg for kw in node.keywords
+                      if kw.arg is not None]
+            passes = any(kw.arg is not None
+                         and BUDGET_NAME_RE.search(kw.arg)
+                         for kw in node.keywords)
+            raw = False
+            for value in [*node.args,
+                          *[kw.value for kw in node.keywords]]:
+                if self._tainted(value):
+                    passes = True
+                if isinstance(value, ast.Name) and \
+                        value.id in self._budget_params:
+                    raw = True
+            self.calls.append({
+                "line": node.lineno,
+                "chain": chain,
+                "resolved": _resolve_import(chain, self.aliases),
+                "held": self._held(),
+                "in_loop": self._loop_depth > 0,
+                "nargs": len(node.args),
+                "kwargs": kwargs,
+                "passes_budget": passes,
+                "raw_budget": raw,
+            })
+
+    def _walk_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return  # separate summary units
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            pushed = 0
+            for item in stmt.items:
+                expr = item.context_expr
+                call = isinstance(expr, ast.Call)
+                chain = attr_chain(expr.func if call else expr)
+                self._record_calls(expr)
+                if chain is None:
+                    continue
+                descriptor: dict[str, object] = {
+                    "line": stmt.lineno, "chain": chain, "call": call,
+                    "held": self._held(),
+                }
+                self.withs.append(descriptor)
+                self._with_stack.append(descriptor)
+                pushed += 1
+            self._walk_block(stmt.body)
+            for _ in range(pushed):
+                self._with_stack.pop()
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            for root in _stmt_exprs(stmt):
+                self._record_calls(root)
+            self._loop_depth += 1
+            self._walk_block(stmt.body)
+            self._loop_depth -= 1
+            self._walk_block(stmt.orelse)
+            return
+        if isinstance(stmt, ast.If):
+            self._record_calls(stmt.test)
+            self._walk_block(stmt.body)
+            self._walk_block(stmt.orelse)
+            return
+        if isinstance(stmt, ast.Try):
+            self._walk_block(stmt.body)
+            for handler in stmt.handlers:
+                self._walk_block(handler.body)
+            self._walk_block(stmt.orelse)
+            self._walk_block(stmt.finalbody)
+            return
+        if isinstance(stmt, ast.Match):
+            self._record_calls(stmt.subject)
+            for case in stmt.cases:
+                self._walk_block(case.body)
+            return
+        for root in _stmt_exprs(stmt):
+            self._record_calls(root)
+
+
+def _stmt_exprs(stmt: ast.stmt) -> list[ast.AST]:
+    """Expressions evaluated by ``stmt`` itself (not nested blocks)."""
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Try):
+        return []
+    if isinstance(stmt, ast.Match):
+        return [stmt.subject]
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                         ast.ClassDef)):
+        return []
+    return [stmt]
+
+
+def _own_statements(body: Sequence[ast.stmt]) -> list[ast.stmt]:
+    """All statements of a function body, nested defs excluded."""
+    collected: list[ast.stmt] = []
+    stack: list[ast.stmt] = list(body)
+    while stack:
+        stmt = stack.pop()
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            continue
+        collected.append(stmt)
+        for attr in ("body", "orelse", "finalbody"):
+            stack.extend(getattr(stmt, attr, []))
+        for handler in getattr(stmt, "handlers", []):
+            stack.extend(handler.body)
+        for case in getattr(stmt, "cases", []):
+            stack.extend(case.body)
+    return collected
+
+
+def summarize_module(relpath: str, tree: ast.Module,
+                     aliases: Mapping[str, str]) -> dict[str, object]:
+    """Config-independent summary of one module (JSON-serialisable)."""
+    module = module_name_for(relpath)
+    classes: dict[str, dict[str, object]] = {}
+    functions: dict[str, dict[str, object]] = {}
+
+    def visit(body: Sequence[ast.stmt], stack: tuple[str, ...],
+              cls: str | None) -> None:
+        for node in body:
+            if isinstance(node, ast.ClassDef):
+                bases = [base_name for base in node.bases
+                         if (base_name := _base_name(base)) is not None]
+                classes[node.name] = {
+                    "bases": bases, "methods": [], "attrs": [],
+                    "line": node.lineno,
+                }
+                visit(node.body, stack + (node.name,), node.name)
+            elif isinstance(node, (ast.FunctionDef,
+                                   ast.AsyncFunctionDef)):
+                qual = ".".join(stack + (node.name,))
+                params = _param_names(node.args)
+                budget_params = [name for name in params
+                                 if BUDGET_NAME_RE.search(name)]
+                walker = _FunctionWalker(aliases)
+                walker.walk(node, budget_params)
+                if cls is not None and cls in classes:
+                    methods = classes[cls]["methods"]
+                    assert isinstance(methods, list)
+                    methods.append(node.name)
+                    attrs = classes[cls]["attrs"]
+                    assert isinstance(attrs, list)
+                    for stmt in _own_statements(node.body):
+                        for target in _self_attr_targets(stmt):
+                            if target not in attrs:
+                                attrs.append(target)
+                functions[qual] = {
+                    "line": node.lineno,
+                    "name": node.name,
+                    "cls": cls,
+                    "params": params,
+                    "budget_params": budget_params,
+                    "has_budget": bool(
+                        budget_params or walker.budget_locals
+                        or walker.has_budget_attr),
+                    "calls": walker.calls,
+                    "withs": walker.withs,
+                }
+                visit(node.body, stack + (node.name,), cls)
+            elif isinstance(node, (ast.If, ast.Try)):
+                # Module-level conditional definitions.
+                visit(_flat_bodies(node), stack, cls)
+
+    visit(tree.body, (), None)
+    return {"module": module, "path": relpath,
+            "classes": classes, "functions": functions}
+
+
+def _flat_bodies(node: ast.stmt) -> list[ast.stmt]:
+    bodies: list[ast.stmt] = []
+    for attr in ("body", "orelse", "finalbody"):
+        bodies.extend(getattr(node, attr, []))
+    for handler in getattr(node, "handlers", []):
+        bodies.extend(handler.body)
+    return bodies
+
+
+def _base_name(base: ast.expr) -> str | None:
+    if isinstance(base, ast.Name):
+        return base.id
+    if isinstance(base, ast.Attribute):
+        return base.attr
+    return None
+
+
+def _self_attr_targets(stmt: ast.stmt) -> list[str]:
+    targets: list[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        targets = [stmt.target]
+    names: list[str] = []
+    for target in targets:
+        if isinstance(target, ast.Attribute) and \
+                isinstance(target.value, ast.Name) and \
+                target.value.id == "self":
+            names.append(target.attr)
+        elif isinstance(target, ast.Tuple):
+            for element in target.elts:
+                if isinstance(element, ast.Attribute) and \
+                        isinstance(element.value, ast.Name) and \
+                        element.value.id == "self":
+                    names.append(element.attr)
+    return names
+
+
+# ---------------------------------------------------------------------------
+# Project graph
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FunctionNode:
+    """One function in the project graph (``module:Qual.name`` keyed)."""
+
+    key: str
+    module: str
+    path: str
+    qual: str
+    info: dict[str, object]
+
+    @property
+    def cls(self) -> str | None:
+        cls = self.info.get("cls")
+        return cls if isinstance(cls, str) else None
+
+    @property
+    def name(self) -> str:
+        return str(self.info.get("name", ""))
+
+    @property
+    def line(self) -> int:
+        line = self.info.get("line", 0)
+        return line if isinstance(line, int) else 0
+
+    @property
+    def calls(self) -> list[dict[str, object]]:
+        calls = self.info.get("calls", [])
+        return calls if isinstance(calls, list) else []
+
+    @property
+    def withs(self) -> list[dict[str, object]]:
+        withs = self.info.get("withs", [])
+        return withs if isinstance(withs, list) else []
+
+    @property
+    def budget_params(self) -> list[str]:
+        params = self.info.get("budget_params", [])
+        return params if isinstance(params, list) else []
+
+    @property
+    def has_budget(self) -> bool:
+        return bool(self.info.get("has_budget"))
+
+
+class ProjectGraph:
+    """Call graph recomposed from per-file summaries each run."""
+
+    def __init__(self, summaries: Iterable[Mapping[str, object]],
+                 receiver_roles: Mapping[str, tuple[str, ...]]) -> None:
+        self.receiver_roles = dict(receiver_roles)
+        self.functions: dict[str, FunctionNode] = {}
+        #: (class name, method name) -> function keys (collisions union).
+        self._methods: dict[tuple[str, str], list[str]] = {}
+        #: module-level function name -> keys, per module.
+        self._module_functions: dict[tuple[str, str], str] = {}
+        #: class name -> base-name lists (collisions union).
+        self._bases: dict[str, list[list[str]]] = {}
+        #: class name -> self-assigned attrs (collisions union).
+        self._class_attrs: dict[str, set[str]] = {}
+        self._modules: set[str] = set()
+        self._files = 0
+        for summary in summaries:
+            self._ingest(summary)
+        self._subclasses = self._build_subclass_index()
+
+    def _ingest(self, summary: Mapping[str, object]) -> None:
+        module = str(summary.get("module", ""))
+        path = str(summary.get("path", ""))
+        self._modules.add(module)
+        self._files += 1
+        classes = summary.get("classes", {})
+        if isinstance(classes, Mapping):
+            for cls_name, info in classes.items():
+                if not isinstance(info, Mapping):
+                    continue
+                bases = [str(base) for base in info.get("bases", [])]
+                self._bases.setdefault(cls_name, []).append(bases)
+                attrs = self._class_attrs.setdefault(cls_name, set())
+                attrs.update(str(attr) for attr in info.get("attrs", []))
+        functions = summary.get("functions", {})
+        if not isinstance(functions, Mapping):
+            return
+        for qual, info in functions.items():
+            if not isinstance(info, Mapping):
+                continue
+            key = f"{module}:{qual}"
+            node = FunctionNode(key=key, module=module, path=path,
+                                qual=str(qual), info=dict(info))
+            self.functions[key] = node
+            cls = node.cls
+            if cls is not None:
+                self._methods.setdefault((cls, node.name), []).append(key)
+            elif "." not in str(qual):
+                self._module_functions[(module, node.name)] = key
+
+    # -- class structure ---------------------------------------------------
+
+    def mro(self, cls_name: str) -> list[str]:
+        """Approximate linearisation: BFS over base names."""
+        order: list[str] = []
+        queue = [cls_name]
+        seen: set[str] = set()
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            order.append(current)
+            for bases in self._bases.get(current, []):
+                queue.extend(bases)
+        return order
+
+    def _build_subclass_index(self) -> dict[str, set[str]]:
+        index: dict[str, set[str]] = {}
+        for cls_name in self._bases:
+            for ancestor in self.mro(cls_name)[1:]:
+                index.setdefault(ancestor, set()).add(cls_name)
+        return index
+
+    def attr_owner(self, cls_name: str, attr: str) -> str:
+        """The base-most class in ``cls_name``'s MRO assigning ``attr``
+        (the lock's *defining* owner), else ``cls_name`` itself."""
+        owner = cls_name
+        for candidate in self.mro(cls_name):
+            if attr in self._class_attrs.get(candidate, set()):
+                owner = candidate
+        return owner
+
+    def find_method(self, cls_name: str, method: str) -> list[str]:
+        """Keys of ``method`` resolved through the approximate MRO; on a
+        miss, overriding subclasses are searched (union, conservative)."""
+        for candidate in self.mro(cls_name):
+            keys = self._methods.get((candidate, method))
+            if keys:
+                return list(keys)
+        keys_union: list[str] = []
+        for sub in sorted(self._subclasses.get(cls_name, set())):
+            keys_union.extend(self._methods.get((sub, method), []))
+        return keys_union
+
+    # -- call resolution ---------------------------------------------------
+
+    def resolve_call(self, call: Mapping[str, object],
+                     caller: FunctionNode) -> list[str]:
+        resolved = call.get("resolved")
+        if isinstance(resolved, str):
+            keys = self._resolve_dotted(resolved)
+            if keys:
+                return keys
+        chain = call.get("chain")
+        if not isinstance(chain, list) or not chain:
+            return []
+        chain = [str(part) for part in chain]
+        if len(chain) == 1:
+            return self._resolve_bare(chain[0], caller)
+        receiver, method = chain[-2], chain[-1]
+        if receiver in ("self", "cls"):
+            cls = caller.cls
+            if cls is None:
+                return []
+            return self.find_method(cls, method)
+        if receiver == "super()":
+            cls = caller.cls
+            if cls is None:
+                return []
+            keys: list[str] = []
+            for base in self.mro(cls)[1:]:
+                keys = self._methods.get((base, method), [])
+                if keys:
+                    break
+            return list(keys)
+        return self.resolve_role_method(receiver, method)
+
+    def resolve_role_method(self, receiver: str,
+                            method: str) -> list[str]:
+        """Resolve ``<receiver>.<method>()`` through the role map."""
+        keys: list[str] = []
+        for cls in self.receiver_roles.get(receiver, ()):
+            keys.extend(self.find_method(cls, method))
+        return keys
+
+    def _resolve_dotted(self, dotted: str) -> list[str]:
+        for module in self._modules:
+            if not dotted.startswith(module + "."):
+                continue
+            remainder = dotted[len(module) + 1:]
+            key = f"{module}:{remainder}"
+            if key in self.functions:
+                return [key]
+            # Imported class used as a constructor.
+            init = f"{module}:{remainder}.__init__"
+            if init in self.functions:
+                return [init]
+        return []
+
+    def _resolve_bare(self, name: str,
+                      caller: FunctionNode) -> list[str]:
+        key = self._module_functions.get((caller.module, name))
+        if key is not None:
+            return [key]
+        init = f"{caller.module}:{name}.__init__"
+        if init in self.functions:
+            return [init]
+        return []
+
+    # -- reporting ---------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        calls = sum(len(node.calls) for node in self.functions.values())
+        resolved = sum(
+            1 for node in self.functions.values()
+            for call in node.calls if self.resolve_call(call, node))
+        return {"files": self._files,
+                "functions": len(self.functions),
+                "classes": len(self._bases),
+                "calls": calls,
+                "resolved_calls": resolved}

@@ -1,0 +1,353 @@
+"""Per-function control-flow graphs for the interprocedural passes.
+
+Built from stdlib ``ast`` only.  The graph is statement-granular: every
+simple statement is one node; compound statements contribute a *head*
+node carrying only their own expression part (an ``if`` head carries the
+test, a ``for`` head the iterator, a ``with`` head its items) while
+their blocks are flattened recursively.  Three synthetic nodes exist per
+function — ``entry``, ``exit`` (normal return / fall-off) and
+``raise_exit`` (exception escaping the function) — so a dataflow client
+can distinguish what must hold on normal vs. exceptional termination.
+
+Exception edges are drawn from every *may-raise* statement (anything
+containing a call, ``await``, ``yield``, ``raise`` or ``assert``) to the
+innermost enclosing handler dispatch or ``finally`` block, and from
+there outward.  ``finally`` blocks are built once and shared between the
+normal, exceptional and abrupt (``return``/``break``/``continue``)
+flows that traverse them; the exit of a ``finally`` is linked only to
+the continuations that were actually routed through it, which keeps the
+approximation tight for the common ``try: ... finally: release()``
+shape.  The one deliberate imprecision: when a single ``finally`` is
+traversed by several flavours of flow, their continuations are merged
+(each inbound path may reach each recorded continuation).
+
+``repro-lint`` uses these graphs for the resource-balance pass; the
+structures are intentionally generic so future passes can reuse them.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = ["CFG", "CFGNode", "build_cfg", "may_raise", "effect_exprs"]
+
+
+@dataclass
+class CFGNode:
+    """One CFG node: a statement (or statement head) or a synthetic."""
+
+    index: int
+    stmt: ast.stmt | None
+    kind: str  # "stmt" | "entry" | "exit" | "raise-exit" | "dispatch"
+    #: For "stmt" nodes of compound statements, only the head expressions
+    #: belong to this node (blocks become their own nodes).
+    line: int = 0
+
+
+@dataclass
+class CFG:
+    """Statement-level control-flow graph of one function body."""
+
+    nodes: list[CFGNode] = field(default_factory=list)
+    succs: dict[int, set[int]] = field(default_factory=dict)
+    #: Subset of ``succs``: the edge is taken only when the node's own
+    #: evaluation raises (dataflow clients may propagate a different
+    #: state along it — e.g. an acquire that raises never acquired).
+    exc_succs: dict[int, set[int]] = field(default_factory=dict)
+    entry: int = 0
+    exit: int = 0
+    raise_exit: int = 0
+
+    def successors(self, index: int) -> set[int]:
+        return self.succs.get(index, set())
+
+    def exc_successors(self, index: int) -> set[int]:
+        return self.exc_succs.get(index, set())
+
+
+#: Statement types whose own evaluation can raise even without a call.
+_RAISING_STMTS = (ast.Raise, ast.Assert)
+
+
+def effect_exprs(stmt: ast.stmt) -> list[ast.AST]:
+    """The expression parts evaluated *by the head node* of ``stmt``.
+
+    For simple statements that is the whole statement; for compound
+    statements only the controlling expressions (test / iterator / with
+    items), because nested blocks are separate CFG nodes.
+    """
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.target, stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return list(stmt.items)
+    if isinstance(stmt, ast.Try):
+        return []
+    if isinstance(stmt, ast.Match):
+        return [stmt.subject]
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                         ast.ClassDef)):
+        return []  # a nested definition executes nothing from our body
+    return [stmt]
+
+
+def may_raise(stmt: ast.stmt) -> bool:
+    """Whether the head of ``stmt`` may raise (conservatively: contains a
+    call / await / yield, or is ``raise`` / ``assert``)."""
+    if isinstance(stmt, _RAISING_STMTS):
+        return True
+    for root in effect_exprs(stmt):
+        for node in ast.walk(root):
+            if isinstance(node, (ast.Call, ast.Await, ast.Yield,
+                                 ast.YieldFrom)):
+                return True
+    return False
+
+
+def _catches_everything(handlers: list[ast.ExceptHandler]) -> bool:
+    """True when some handler is ``except:`` / ``except BaseException`` /
+    ``except Exception`` — treated as catching all for path purposes."""
+    for handler in handlers:
+        if handler.type is None:
+            return True
+        if isinstance(handler.type, ast.Name) and \
+                handler.type.id in ("BaseException", "Exception"):
+            return True
+    return False
+
+
+@dataclass
+class _FinallyFrame:
+    """One ``finally`` block shared by every flow routed through it."""
+
+    entry: int
+    exit_frontier: frozenset[int]
+    #: Continuation chains recorded by flows routed through this block:
+    #: each chain is the node ids still to traverse after the block
+    #: (outer finally entries, then the ultimate target).
+    continuations: list[tuple[int, ...]] = field(default_factory=list)
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self.cfg.entry = self._new(None, "entry")
+        self.cfg.exit = self._new(None, "exit")
+        self.cfg.raise_exit = self._new(None, "raise-exit")
+        #: Innermost-last; each element is a dispatch node id or a
+        #: _FinallyFrame.  Exceptions walk this outward.
+        self._exc_stack: list[int | _FinallyFrame] = []
+        #: Finally frames currently open, innermost-last (for abrupt
+        #: jump routing).
+        self._finally_stack: list[_FinallyFrame] = []
+        #: All frames ever created, in creation order.
+        self._frames: list[_FinallyFrame] = []
+        #: (head node id, break targets list, finally depth at entry)
+        self._loops: list[tuple[int, list[int], int]] = []
+
+    # -- graph primitives -------------------------------------------------
+
+    def _new(self, stmt: ast.stmt | None, kind: str) -> int:
+        index = len(self.cfg.nodes)
+        line = getattr(stmt, "lineno", 0) if stmt is not None else 0
+        self.cfg.nodes.append(CFGNode(index, stmt, kind, line))
+        self.cfg.succs[index] = set()
+        return index
+
+    def _link(self, preds: frozenset[int], node: int) -> None:
+        for pred in preds:
+            self.cfg.succs[pred].add(node)
+
+    # -- exception / abrupt-flow routing ----------------------------------
+
+    def _exc_chain(self) -> tuple[int, ...]:
+        """Node chain an escaping exception traverses: zero or more
+        finally entries, then the first dispatch (or the raise exit)."""
+        chain: list[int] = []
+        for element in reversed(self._exc_stack):
+            if isinstance(element, _FinallyFrame):
+                chain.append(element.entry)
+            else:
+                chain.append(element)
+                return tuple(chain)
+        chain.append(self.cfg.raise_exit)
+        return tuple(chain)
+
+    def _route_chain(self, source: int, chain: tuple[int, ...]) -> None:
+        """Link ``source`` to ``chain[0]`` and record the rest on the
+        finally frame that owns ``chain[0]`` (if any)."""
+        if not chain:
+            return
+        self.cfg.succs[source].add(chain[0])
+        if len(chain) > 1:
+            frame = self._frame_by_entry(chain[0])
+            if frame is not None:
+                frame.continuations.append(chain[1:])
+
+    def _frame_by_entry(self, entry: int) -> _FinallyFrame | None:
+        for frame in self._frames:
+            if frame.entry == entry:
+                return frame
+        return None
+
+    def _abrupt_chain(self, ultimate: int,
+                      fstack_floor: int) -> tuple[int, ...]:
+        """Chain for return/break/continue: the finally frames above
+        ``fstack_floor`` (innermost first), then ``ultimate``."""
+        chain = [frame.entry
+                 for frame in reversed(self._finally_stack[fstack_floor:])]
+        chain.append(ultimate)
+        return tuple(chain)
+
+    # -- block construction -----------------------------------------------
+
+    def build_block(self, stmts: list[ast.stmt],
+                    preds: frozenset[int]) -> frozenset[int]:
+        for stmt in stmts:
+            preds = self._build_stmt(stmt, preds)
+        return preds
+
+    def _stmt_node(self, stmt: ast.stmt,
+                   preds: frozenset[int]) -> int:
+        node = self._new(stmt, "stmt")
+        self._link(preds, node)
+        if may_raise(stmt):
+            chain = self._exc_chain()
+            self._route_chain(node, chain)
+            if chain:
+                self.cfg.exc_succs.setdefault(node, set()).add(chain[0])
+        return node
+
+    def _build_stmt(self, stmt: ast.stmt,
+                    preds: frozenset[int]) -> frozenset[int]:
+        if isinstance(stmt, ast.If):
+            head = self._stmt_node(stmt, preds)
+            then = self.build_block(stmt.body, frozenset((head,)))
+            orelse = self.build_block(stmt.orelse, frozenset((head,)))
+            return then | orelse
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            head = self._stmt_node(stmt, preds)
+            breaks: list[int] = []
+            self._loops.append((head, breaks, len(self._finally_stack)))
+            body_exit = self.build_block(stmt.body, frozenset((head,)))
+            self._link(body_exit, head)
+            self._loops.pop()
+            after = self.build_block(stmt.orelse, frozenset((head,)))
+            return after | frozenset(breaks)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            head = self._stmt_node(stmt, preds)
+            return self.build_block(stmt.body, frozenset((head,)))
+        if isinstance(stmt, ast.Try):
+            return self._build_try(stmt, preds)
+        if isinstance(stmt, ast.Match):
+            head = self._stmt_node(stmt, preds)
+            out: frozenset[int] = frozenset((head,))
+            for case in stmt.cases:
+                out |= self.build_block(case.body, frozenset((head,)))
+            return out
+        if isinstance(stmt, ast.Return):
+            node = self._stmt_node(stmt, preds)
+            self._route_chain(node, self._abrupt_chain(self.cfg.exit, 0))
+            return frozenset()
+        if isinstance(stmt, ast.Raise):
+            node = self._stmt_node(stmt, preds)
+            # _stmt_node already routed the exception edge.
+            return frozenset()
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            node = self._stmt_node(stmt, preds)
+            if self._loops:
+                head, breaks, floor = self._loops[-1]
+                if isinstance(stmt, ast.Continue):
+                    self._route_chain(
+                        node, self._abrupt_chain(head, floor))
+                else:
+                    # Route through open finallys, then join the code
+                    # after the loop via the breaks collector.  When no
+                    # finally intervenes the node itself is the join.
+                    chain = self._abrupt_chain(-1, floor)[:-1]
+                    if chain:
+                        self._route_chain(node, chain)
+                        last = self._frame_by_entry(chain[-1])
+                        if last is None:  # pragma: no cover - defensive
+                            breaks.append(node)
+                        else:
+                            breaks.extend(last.exit_frontier)
+                    else:
+                        breaks.append(node)
+            return frozenset()
+        # Simple statement (assign, expr, pass, import, nested def, ...).
+        node = self._stmt_node(stmt, preds)
+        return frozenset((node,))
+
+    def _build_try(self, stmt: ast.Try,
+                   preds: frozenset[int]) -> frozenset[int]:
+        frame: _FinallyFrame | None = None
+        if stmt.finalbody:
+            fentry_marker = len(self.cfg.nodes)
+            fbody = self.build_block(stmt.finalbody, frozenset())
+            if fentry_marker == len(self.cfg.nodes):
+                # Empty finally (can't happen syntactically) — synth.
+                fentry_marker = self._new(stmt, "stmt")
+                fbody = frozenset((fentry_marker,))
+            frame = _FinallyFrame(entry=fentry_marker,
+                                  exit_frontier=fbody)
+            self._frames.append(frame)
+            self._exc_stack.append(frame)
+            self._finally_stack.append(frame)
+
+        dispatch: int | None = None
+        if stmt.handlers:
+            dispatch = self._new(stmt, "dispatch")
+            self._exc_stack.append(dispatch)
+
+        body_exit = self.build_block(stmt.body, preds)
+
+        if dispatch is not None:
+            self._exc_stack.pop()
+        orelse_exit = self.build_block(stmt.orelse, body_exit)
+
+        handler_exits: frozenset[int] = frozenset()
+        if dispatch is not None:
+            for handler in stmt.handlers:
+                handler_exits |= self.build_block(
+                    handler.body, frozenset((dispatch,)))
+            if not _catches_everything(stmt.handlers):
+                # The raised type may match no handler: propagate out.
+                self._route_chain(dispatch, self._exc_chain())
+
+        if frame is not None:
+            self._exc_stack.pop()
+            self._finally_stack.pop()
+            normal_in = orelse_exit | handler_exits
+            self._link(normal_in, frame.entry)
+            return frame.exit_frontier
+        return orelse_exit | handler_exits
+
+    # -- finalisation ------------------------------------------------------
+
+    def finish(self, body_exit: frozenset[int]) -> CFG:
+        self._link(body_exit, self.cfg.exit)
+        # Resolve recorded finally continuations, innermost frame first
+        # (resolution may append continuations to outer frames).
+        for frame in reversed(self._frames):
+            seen: set[tuple[int, ...]] = set()
+            index = 0
+            while index < len(frame.continuations):
+                chain = frame.continuations[index]
+                index += 1
+                if not chain or chain in seen:
+                    continue
+                seen.add(chain)
+                for source in frame.exit_frontier:
+                    self._route_chain(source, chain)
+        return self.cfg
+
+
+def build_cfg(function: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Build the CFG of one function body (nested defs are opaque)."""
+    builder = _Builder()
+    exit_frontier = builder.build_block(
+        function.body, frozenset((builder.cfg.entry,)))
+    return builder.finish(exit_frontier)

@@ -18,9 +18,10 @@ import sys
 import repro
 from repro.analysis import baseline as _baseline
 from repro.analysis.config import LintConfig
-from repro.analysis.engine import RULES, run_lint
+from repro.analysis.engine import PROJECT_RULES, RULES, run_lint
 
 DEFAULT_BASELINE = "lint-baseline.json"
+DEFAULT_CACHE = ".repro-lint-cache.json"
 
 
 def default_paths() -> list[str]:
@@ -41,8 +42,20 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--rules",
                         help="comma-separated rule ids to run "
                              "(default: all)")
-    parser.add_argument("--format", choices=("text", "json"),
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
                         default="text", dest="output_format")
+    parser.add_argument("--sarif-out", metavar="PATH",
+                        help="additionally write a SARIF 2.1.0 report "
+                             "to PATH (for CI artifact upload)")
+    parser.add_argument("--graph", action="store_true",
+                        help="print the call-graph stats and lock-order "
+                             "graph as JSON; exit 1 on lock-order cycles")
+    parser.add_argument("--cache", metavar="PATH", default=None,
+                        help=f"analysis cache file (default: "
+                             f"./{DEFAULT_CACHE}; content-hashed, safe "
+                             f"to delete)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the per-file analysis cache")
     parser.add_argument("--list-rules", action="store_true",
                         help="print registered rules and exit")
     parser.add_argument("--verbose", "-v", action="store_true",
@@ -54,8 +67,10 @@ def run_lint_cli(args: argparse.Namespace) -> int:
     from repro.analysis import rules as _rules  # noqa: F401
 
     if args.list_rules:
-        for rule_id, registered in sorted(RULES.items()):
-            print(f"{rule_id}: {registered.summary}")
+        registry = {**RULES, **PROJECT_RULES}
+        for rule_id, registered in sorted(registry.items()):
+            kind = " [project]" if rule_id in PROJECT_RULES else ""
+            print(f"{rule_id}: {registered.summary}{kind}")
         return 0
 
     paths = args.paths if args.paths else default_paths()
@@ -63,7 +78,19 @@ def run_lint_cli(args: argparse.Namespace) -> int:
     if args.rules:
         rule_ids = [part.strip() for part in args.rules.split(",")
                     if part.strip()]
-    result = run_lint(paths, config=LintConfig(), rule_ids=rule_ids)
+    cache_path = None
+    if not args.no_cache:
+        cache_path = args.cache if args.cache else DEFAULT_CACHE
+    result = run_lint(paths, config=LintConfig(), rule_ids=rule_ids,
+                      cache_path=cache_path)
+
+    if args.graph:
+        json.dump(result.graph_report, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        lock_order = result.graph_report.get("lock_order")
+        cycles = lock_order.get("cycles") \
+            if isinstance(lock_order, dict) else None
+        return 1 if cycles else 0
 
     baseline_path = args.baseline
     if baseline_path is None and os.path.exists(DEFAULT_BASELINE):
@@ -79,9 +106,24 @@ def run_lint_cli(args: argparse.Namespace) -> int:
 
     entries = _baseline.load_baseline(baseline_path) \
         if baseline_path is not None else []
-    match = _baseline.apply_baseline(result.sorted_findings(), entries)
+    base_dir = os.path.dirname(os.path.abspath(baseline_path)) \
+        if baseline_path is not None else None
+    match = _baseline.apply_baseline(result.sorted_findings(), entries,
+                                     base_dir=base_dir)
     unjustified = _baseline.unjustified_entries(entries)
     failed = bool(match.new or match.stale or unjustified)
+
+    if args.sarif_out:
+        with open(args.sarif_out, "w", encoding="utf-8") as handle:
+            json.dump(_sarif_payload(match.new, match.baselined),
+                      handle, indent=2)
+            handle.write("\n")
+
+    if args.output_format == "sarif":
+        json.dump(_sarif_payload(match.new, match.baselined),
+                  sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return 0 if not failed else 1
 
     if args.output_format == "json":
         payload: dict[str, object] = {
@@ -93,6 +135,7 @@ def run_lint_cli(args: argparse.Namespace) -> int:
                            for finding in result.suppressed],
             "stale_baseline": match.stale,
             "unjustified_baseline": unjustified,
+            "cache_hits": result.cache_hits,
             "ok": not failed,
         }
         json.dump(payload, sys.stdout, indent=2)
@@ -115,7 +158,8 @@ def run_lint_cli(args: argparse.Namespace) -> int:
               f"[{entry.get('rule')}] {entry.get('symbol')}: the "
               f"justification is still the generated placeholder — "
               f"explain the suppression or remove the entry")
-    print(f"lint: {result.files_checked} files, "
+    print(f"lint: {result.files_checked} files "
+          f"({result.cache_hits} cached), "
           f"{len(match.new)} finding(s), "
           f"{len(match.baselined)} baselined, "
           f"{len(result.suppressed)} suppressed inline, "
@@ -130,3 +174,51 @@ def run_lint_cli(args: argparse.Namespace) -> int:
         return 1
     print("lint: OK")
     return 0
+
+
+def _sarif_payload(new: list, baselined: list) -> dict:
+    """Minimal SARIF 2.1.0 document: one run, one driver, new findings
+    as ``error`` results and baselined ones as suppressed results."""
+    from repro.analysis.engine import PROJECT_RULES, RULES
+
+    rules_meta = []
+    for rule_id, registered in sorted({**RULES, **PROJECT_RULES}.items()):
+        rules_meta.append({
+            "id": rule_id,
+            "shortDescription": {"text": registered.summary},
+        })
+
+    def _result(finding, suppressed: bool) -> dict:
+        payload: dict = {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": (f"{finding.symbol}: " if finding.symbol
+                                 else "") + finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {"startLine": max(finding.line, 1)},
+                },
+            }],
+        }
+        if suppressed:
+            payload["suppressions"] = [
+                {"kind": "external",
+                 "justification": "documented in lint-baseline.json"}]
+        return payload
+
+    return {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro-lint",
+                "informationUri":
+                    "https://example.invalid/repro/docs/static-analysis",
+                "rules": rules_meta,
+            }},
+            "results": [_result(finding, False) for finding in new]
+            + [_result(finding, True) for finding in baselined],
+        }],
+    }

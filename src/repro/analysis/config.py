@@ -106,6 +106,82 @@ BANNED_CALLS: Mapping[str, str] = MappingProxyType({
 #: unseeded generator (constructing a seeded generator is the fix).
 RANDOM_ALLOWED_MEMBERS = frozenset({"Random"})
 
+# ---------------------------------------------------------------------------
+# Interprocedural pass registries (call graph / CFG passes, PR 10)
+# ---------------------------------------------------------------------------
+
+#: Paired resource methods the resource-balance pass proves balanced on
+#: every CFG path: acquire method -> the release that discharges it.
+#: ``__enter__``/``__exit__`` covers manually driven context managers
+#: (``hold = pool.hold_epoch(); hold.__enter__()``).
+RESOURCE_PAIRS: Mapping[str, str] = MappingProxyType({
+    "pin": "unpin",
+    "acquire": "release",
+    "__enter__": "__exit__",
+})
+
+#: Constructors whose result is an owned OS resource: import-resolved
+#: dotted call -> the method that releases it.  Binding the result to a
+#: local opens an obligation; storing/returning/passing it transfers
+#: ownership instead.
+RESOURCE_CONSTRUCTORS: Mapping[str, str] = MappingProxyType({
+    "socket.socket": "close",
+    "socket.create_connection": "close",
+})
+
+#: Reviewed receiver-name -> candidate-classes map used to resolve
+#: ``<receiver>.<method>()`` calls whose receiver is not ``self``.  The
+#: names mirror this repo's conventions (``shard.serving``, ``self.pool``,
+#: ``conn.send_lock`` ...); unknown receivers resolve to nothing, so
+#: widening coverage is a config review, not a heuristic change.
+RECEIVER_ROLES: Mapping[str, tuple[str, ...]] = MappingProxyType({
+    "serving": ("ServingEngine",),
+    "_serving": ("ServingEngine",),
+    "sharded": ("ShardedEngine",),
+    "engine": ("AdaptiveIndexEngine", "ServingEngine", "ShardedEngine"),
+    "_engine": ("ServingEngine", "ShardedEngine"),
+    "clock": ("EpochClock",),
+    "stats": ("EngineStats", "ServingStats", "ShardedStats"),
+    "pool": ("BufferPool",),
+    "_pool": ("BufferPool",),
+    "pools": (),
+    "file": ("PageFile",),
+    "conn": ("_Connection",),
+    "shard": ("_Shard",),
+    "client": ("NetClient",),
+    "server": ("IndexServer",),
+})
+
+#: Attribute names that *are* locks: ``with self.<attr>:`` on a match
+#: becomes a lock-order graph node ``<OwnerClass>.<attr>`` (owner = the
+#: base-most class assigning the attribute).
+LOCK_ATTRIBUTE_PATTERN = r"^_?[a-z_]*(lock|mutex)$"
+
+#: Call-shaped lock acquisitions: ``with <recv>.clock.write():`` and
+#: ``pause_writers`` enter the seqlock's writer side; both classify as
+#: the ``<OwnerClass>.clock`` node keyed by the receiver before
+#: ``clock`` (``self`` -> enclosing class, else the role map).
+LOCK_METHOD_CALLS: Mapping[str, str] = MappingProxyType({
+    "write": "clock",
+    "pause_writers": "clock",
+})
+
+#: Classes that *implement* a lock: their internal acquisitions (the
+#: seqlock's ``_mutex``) are excluded from composition so the graph
+#: speaks in terms of the public lock, not its implementation detail.
+LOCK_IMPL_CLASSES = frozenset({"EpochClock"})
+
+#: Lock nodes backed by an ``RLock`` (or reentrant seqlock writer):
+#: self-edges on these are legal re-entry, not self-deadlock.
+REENTRANT_LOCK_IDS = frozenset({
+    "ServingEngine.clock", "ShardedEngine.clock", "ServingStats._lock",
+})
+
+#: Functions that fan a query out to multiple downstream engines: inside
+#: these, forwarding a budget *parameter verbatim* in a loop repeats the
+#: PR 8 deadline bug (each hop must receive the decremented remainder).
+FANOUT_FUNCTION_NAMES = frozenset({"_fanout", "fanout", "scatter"})
+
 
 @dataclass(frozen=True)
 class LintConfig:
@@ -127,6 +203,40 @@ class LintConfig:
     banned_calls: Mapping[str, str] = field(
         default_factory=lambda: BANNED_CALLS)
     random_allowed_members: frozenset[str] = RANDOM_ALLOWED_MEMBERS
+    resource_pairs: Mapping[str, str] = field(
+        default_factory=lambda: RESOURCE_PAIRS)
+    resource_constructors: Mapping[str, str] = field(
+        default_factory=lambda: RESOURCE_CONSTRUCTORS)
+    receiver_roles: Mapping[str, tuple[str, ...]] = field(
+        default_factory=lambda: RECEIVER_ROLES)
+    lock_attribute_pattern: str = LOCK_ATTRIBUTE_PATTERN
+    lock_method_calls: Mapping[str, str] = field(
+        default_factory=lambda: LOCK_METHOD_CALLS)
+    lock_impl_classes: frozenset[str] = LOCK_IMPL_CLASSES
+    reentrant_lock_ids: frozenset[str] = REENTRANT_LOCK_IDS
+    fanout_function_names: frozenset[str] = FANOUT_FUNCTION_NAMES
     #: Extra per-rule scope tokens merged into each rule's defaults (so a
     #: config can pull, say, ``storage/`` into the determinism net).
     extra_scope_tokens: tuple[str, ...] = field(default_factory=tuple)
+
+    def fingerprint(self) -> str:
+        """Stable digest of every registry — part of the analysis-cache
+        key, so editing the config invalidates cached results."""
+        import hashlib
+
+        def _stable(value: object) -> object:
+            if isinstance(value, Mapping):
+                return sorted((str(k), _stable(v))
+                              for k, v in value.items())
+            if isinstance(value, (frozenset, set)):
+                return sorted(str(v) for v in value)
+            if isinstance(value, tuple):
+                return [_stable(v) for v in value]
+            return str(value)
+
+        import dataclasses
+        import json
+        payload = {f.name: _stable(getattr(self, f.name))
+                   for f in dataclasses.fields(self)}
+        text = json.dumps(payload, sort_keys=True, default=str)
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()

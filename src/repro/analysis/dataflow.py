@@ -1,0 +1,249 @@
+"""Flow-sensitive dataflow over :mod:`repro.analysis.cfg` graphs.
+
+One client today: the **resource-balance** analysis.  An *obligation*
+opens when a paired acquire runs (``pool.pin`` -> ``unpin``,
+``lock.acquire`` -> ``release``, manual ``__enter__`` -> ``__exit__``)
+or when a tracked constructor's result is bound to a local (``sock =
+socket.socket(...)`` -> ``sock.close()``).  The analysis propagates the
+*may-be-open* obligation set forward through the CFG (union at joins)
+and reports every obligation still open at the normal or exceptional
+exit — i.e. some path leaks it.
+
+Discharges besides the paired release:
+
+* ``with`` statements never open obligations — the context manager owns
+  the release;
+* *ownership transfer* closes local-variable obligations: returning the
+  variable, passing it as a call argument, yielding it, or storing it
+  into an attribute/subscript/collection hands the release duty to the
+  new owner (``self._listener = listener`` ends ``start()``'s duty);
+* method calls **through** the variable (``listener.bind(...)``) are
+  not transfers — the caller still owns the object.
+
+``__enter__`` obligations are tracked only for bare local receivers:
+``self._cm.__enter__()`` stores the manager on the instance, whose
+lifetime the class manages across methods — out of scope for a single
+function's CFG.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.analysis.cfg import CFG, CFGNode, build_cfg
+
+__all__ = ["Obligation", "ResourceViolation", "analyze_resources"]
+
+
+@dataclass(frozen=True)
+class Obligation:
+    """An open acquire awaiting its paired release."""
+
+    receiver: str  # "self.pool", "lock", "listener", ...
+    acquire: str   # "pin", "acquire", "__enter__", or the ctor target
+    release: str   # method that discharges it
+    line: int
+
+
+@dataclass(frozen=True)
+class ResourceViolation:
+    """An obligation open at some function exit."""
+
+    obligation: Obligation
+    exceptional: bool  # leaked on an exception path
+    normal: bool       # leaked on a normal-return path
+
+
+def _chain_text(node: ast.expr) -> str | None:
+    parts: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+class _Transfer:
+    """Per-node transfer function for the resource analysis."""
+
+    def __init__(self, pairs: Mapping[str, str],
+                 ctor_calls: Mapping[str, str],
+                 resolver: Callable[[ast.expr], str | None]) -> None:
+        self.pairs = dict(pairs)
+        self.ctor_calls = dict(ctor_calls)
+        self.resolver = resolver
+
+    # -- helpers -----------------------------------------------------------
+
+    def _acquires(self, expr: ast.AST,
+                  in_with_item: bool) -> list[Obligation]:
+        found: list[Obligation] = []
+        for node in ast.walk(expr):
+            if not isinstance(node, ast.Call) or \
+                    not isinstance(node.func, ast.Attribute):
+                continue
+            method = node.func.attr
+            release = self.pairs.get(method)
+            if release is None:
+                continue
+            if in_with_item:
+                continue  # the with statement balances it
+            receiver = _chain_text(node.func.value)
+            if receiver is None:
+                continue
+            if method == "__enter__" and "." in receiver:
+                continue  # instance-held manager, cross-method lifetime
+            found.append(Obligation(receiver=receiver, acquire=method,
+                                    release=release, line=node.lineno))
+        return found
+
+    def _releases(self, expr: ast.AST) -> list[tuple[str, str]]:
+        """(receiver, method) pairs of release-shaped calls."""
+        released: list[tuple[str, str]] = []
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute):
+                receiver = _chain_text(node.func.value)
+                if receiver is not None:
+                    released.append((receiver, node.func.attr))
+        return released
+
+    def _ctor_bindings(self, stmt: ast.stmt) -> list[Obligation]:
+        """``name = tracked_ctor(...)`` obligations."""
+        if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            return []
+        value = stmt.value
+        if value is None or not isinstance(value, ast.Call):
+            return []
+        dotted = self.resolver(value.func)
+        if dotted is None or dotted not in self.ctor_calls:
+            return []
+        targets = stmt.targets if isinstance(stmt, ast.Assign) \
+            else [stmt.target]
+        found: list[Obligation] = []
+        for target in targets:
+            if isinstance(target, ast.Name):
+                found.append(Obligation(
+                    receiver=target.id, acquire=dotted,
+                    release=self.ctor_calls[dotted], line=value.lineno))
+        return found
+
+    def _escaped_locals(self, stmt: ast.stmt) -> set[str]:
+        """Local names whose value is handed to a new owner by ``stmt``."""
+        escaped: set[str] = set()
+        roots: list[ast.expr] = []
+        if isinstance(stmt, ast.Return) and stmt.value is not None:
+            roots.append(stmt.value)
+        if isinstance(stmt, ast.Expr) and \
+                isinstance(stmt.value, (ast.Yield, ast.YieldFrom)) and \
+                stmt.value.value is not None:
+            roots.append(stmt.value.value)
+        if isinstance(stmt, ast.Assign):
+            if any(not isinstance(target, ast.Name)
+                   for target in stmt.targets):
+                roots.append(stmt.value)
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                roots.extend(node.args)
+                roots.extend(kw.value for kw in node.keywords)
+        for root in roots:
+            for node in ast.walk(root):
+                if isinstance(node, ast.Name):
+                    escaped.add(node.id)
+        return escaped
+
+    # -- the transfer proper ----------------------------------------------
+
+    def apply(self, node: CFGNode, state: frozenset[Obligation],
+              ) -> tuple[frozenset[Obligation], frozenset[Obligation]]:
+        """(normal out-state, exceptional out-state).
+
+        The exceptional state omits the node's own acquires: an acquire
+        call that raises never acquired, so the obligation must not leak
+        onto the exception edge of its own statement.
+        """
+        stmt = node.stmt
+        if stmt is None or node.kind != "stmt":
+            return state, state
+        out = set(state)
+
+        in_with = isinstance(stmt, (ast.With, ast.AsyncWith))
+        exprs: Sequence[ast.AST]
+        if in_with:
+            exprs = [item.context_expr for item in stmt.items]
+        else:
+            exprs = _head_exprs(stmt)
+
+        for expr in exprs:
+            for receiver, method in self._releases(expr):
+                out = {ob for ob in out
+                       if not (ob.receiver == receiver
+                               and ob.release == method)}
+        escaped = self._escaped_locals(stmt)
+        if escaped:
+            out = {ob for ob in out
+                   if not ("." not in ob.receiver
+                           and ob.receiver in escaped)}
+        exc_out = frozenset(out)
+        for expr in exprs:
+            out.update(self._acquires(expr, in_with_item=in_with))
+        out.update(self._ctor_bindings(stmt))
+        return frozenset(out), exc_out
+
+
+def _head_exprs(stmt: ast.stmt) -> list[ast.AST]:
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, ast.Try):
+        return []
+    if isinstance(stmt, ast.Match):
+        return [stmt.subject]
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                         ast.ClassDef)):
+        return []
+    return [stmt]
+
+
+def analyze_resources(
+        function: ast.FunctionDef | ast.AsyncFunctionDef, *,
+        pairs: Mapping[str, str],
+        ctor_calls: Mapping[str, str],
+        resolver: Callable[[ast.expr], str | None],
+) -> list[ResourceViolation]:
+    """May-leak obligations of one function, by forward fixpoint."""
+    cfg: CFG = build_cfg(function)
+    transfer = _Transfer(pairs, ctor_calls, resolver)
+
+    entry_state: dict[int, frozenset[Obligation]] = {
+        cfg.entry: frozenset()}
+    worklist = [cfg.entry]
+    while worklist:
+        index = worklist.pop()
+        state = entry_state.get(index, frozenset())
+        out, exc_out = transfer.apply(cfg.nodes[index], state)
+        exc_targets = cfg.exc_successors(index)
+        for succ in cfg.successors(index):
+            carried = exc_out if succ in exc_targets else out
+            merged = entry_state.get(succ, frozenset()) | carried
+            if succ not in entry_state or \
+                    merged != entry_state[succ]:
+                entry_state[succ] = merged
+                worklist.append(succ)
+
+    at_exit = entry_state.get(cfg.exit, frozenset())
+    at_raise = entry_state.get(cfg.raise_exit, frozenset())
+    violations: list[ResourceViolation] = []
+    for obligation in sorted(at_exit | at_raise,
+                             key=lambda ob: (ob.line, ob.receiver)):
+        violations.append(ResourceViolation(
+            obligation=obligation,
+            exceptional=obligation in at_raise,
+            normal=obligation in at_exit))
+    return violations

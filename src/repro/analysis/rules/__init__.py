@@ -4,6 +4,8 @@ the same pattern the verify runner uses for oracle families)."""
 
 from __future__ import annotations
 
-from repro.analysis.rules import cost, determinism, epoch, lock, storage
+from repro.analysis.rules import (budget, cost, determinism, epoch, lock,
+                                  lockorder, resource, storage)
 
-__all__ = ["cost", "determinism", "epoch", "lock", "storage"]
+__all__ = ["budget", "cost", "determinism", "epoch", "lock", "lockorder",
+           "resource", "storage"]

@@ -1,0 +1,138 @@
+"""Budget/deadline-propagation pass (the PR 8 bug, caught statically).
+
+A function *carries budget* when it has a deadline-ish parameter
+(``timeout``/``deadline``/``budget``...), derives such a local, or
+reads a budget-named attribute (``config.timeout``,
+``request.deadline``).  From any budget-carrying function in the
+``net``/``serving``/``sharding`` request path, this pass flags:
+
+* **direct drops** — a call into a budget-*accepting* project function
+  (one with a deadline-ish parameter) that forwards none of the
+  caller's budget values.  Explicitly passing ``timeout=None`` /
+  ``timeout=_UNSET`` is a decision, not a drop, and stays quiet;
+* **drops through a helper** — a call into a budget-*blind* helper
+  (no deadline parameter, no budget of its own) that transitively
+  reaches a budget-accepting function: the budget cannot possibly
+  arrive, whatever the helper does;
+* **undecayed fan-out** — inside a configured fan-out function
+  (``_fanout`` et al.), forwarding the caller's budget *parameter
+  verbatim* to per-shard calls in a loop: each hop must receive the
+  decremented remainder (``deadline - now``), or later shards inherit
+  time already spent.
+
+Constructors (``__init__``) are exempt sinks: stashing a deadline on a
+request object is configuration, not propagation.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.callgraph import FunctionNode, ProjectGraph
+from repro.analysis.engine import ProjectContext, in_dirs, project_rule
+
+RULE_ID = "budget-propagation"
+
+_SCOPE = in_dirs("net/", "serving/", "sharding/")
+
+#: Transitive search depth for drop-through-helper chains.
+_HELPER_DEPTH = 3
+
+
+def _budget_accepting(node: FunctionNode) -> bool:
+    return bool(node.budget_params) and node.name != "__init__"
+
+
+def _unbudgeted_sink(graph: ProjectGraph, key: str, depth: int,
+                     memo: dict[str, str | None]) -> str | None:
+    """A budget-accepting function reachable from ``key`` with no budget
+    forwarded anywhere along the chain (rendered as the sink's qual)."""
+    if key in memo:
+        return memo[key]
+    memo[key] = None  # cycle guard
+    node = graph.functions.get(key)
+    if node is None or depth <= 0:
+        return None
+    for call in node.calls:
+        if call.get("passes_budget"):
+            continue
+        for target in graph.resolve_call(call, node):
+            target_node = graph.functions.get(target)
+            if target_node is None:
+                continue
+            if _budget_accepting(target_node):
+                memo[key] = target_node.qual
+                return memo[key]
+            if not target_node.budget_params and \
+                    not target_node.has_budget:
+                sink = _unbudgeted_sink(graph, target, depth - 1, memo)
+                if sink is not None:
+                    memo[key] = sink
+                    return sink
+    return None
+
+
+@project_rule(RULE_ID,
+              "deadline/budget values must flow intact from request "
+              "handling into every query/fan-out entry point (and be "
+              "decremented across fan-out hops)")
+def check_budget_propagation(context: ProjectContext) -> None:
+    config = context.config
+    graph = context.graph
+    memo: dict[str, str | None] = {}
+    for key, node in sorted(graph.functions.items()):
+        if not _SCOPE(config, node.path):
+            continue
+        if node.name in config.fanout_function_names:
+            _check_fanout(context, node)
+        if not node.has_budget:
+            continue
+        for call in node.calls:
+            if call.get("passes_budget"):
+                continue
+            line = call.get("line")
+            line_no = line if isinstance(line, int) else node.line
+            targets = graph.resolve_call(call, node)
+            accepting = [graph.functions[t] for t in targets
+                         if _budget_accepting(graph.functions[t])]
+            if accepting:
+                names = ", ".join(sorted(
+                    f"{t.qual}({'/'.join(t.budget_params)})"
+                    for t in accepting))
+                context.report(
+                    node.path, line_no, RULE_ID,
+                    f"{node.qual} carries a deadline/budget but this "
+                    f"call forwards none of it to {names}; pass the "
+                    f"remaining budget (or an explicit "
+                    f"timeout=None/_UNSET if unbounded is intended)")
+                continue
+            for target in targets:
+                target_node = graph.functions[target]
+                if target_node.budget_params or target_node.has_budget:
+                    continue
+                sink = _unbudgeted_sink(graph, target, _HELPER_DEPTH,
+                                        memo)
+                if sink is not None:
+                    context.report(
+                        node.path, line_no, RULE_ID,
+                        f"{node.qual} carries a deadline/budget but "
+                        f"drops it through budget-blind helper "
+                        f"{target_node.qual}, which reaches {sink} "
+                        f"(a budget-accepting entry point) with "
+                        f"nothing to forward")
+                    break
+
+
+def _check_fanout(context: ProjectContext, node: FunctionNode) -> None:
+    for call in node.calls:
+        if not call.get("in_loop") or not call.get("raw_budget"):
+            continue
+        line = call.get("line")
+        line_no = line if isinstance(line, int) else node.line
+        chain = call.get("chain")
+        label = ".".join(str(part) for part in chain) \
+            if isinstance(chain, list) else "<call>"
+        context.report(
+            node.path, line_no, RULE_ID,
+            f"fan-out {node.qual} forwards its budget parameter "
+            f"verbatim to {label} inside a loop; each hop must "
+            f"receive the decremented remainder (deadline - now), or "
+            f"later shards inherit time already spent")

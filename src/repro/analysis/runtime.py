@@ -1,0 +1,157 @@
+"""Test-only runtime complement to the static lock-order pass.
+
+The static pass (``repro.analysis.rules.lockorder``) proves ordering
+over the calls it can resolve; callback indirection (the buffer pool's
+miss listener, injected ``client_io`` hooks) is invisible to it.  This
+recorder closes that gap dynamically: wrap the real locks under their
+*static identities* (``"ServingStats._lock"``), run a stressy
+interleaving, and assert the union of statically derived and observed
+acquisition edges is still acyclic.  A cycle in the union is exactly
+the deadlock neither view can prove alone — the static graph
+contributes orders from paths the test never hit, the observed edges
+contribute orders the resolver could not see.
+
+Nothing in here is imported by production code; the overhead (a
+thread-local stack push per acquire) exists only under tests.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterable
+
+__all__ = ["LockOrderRecorder", "find_cycle", "assert_order_consistent"]
+
+
+class _RecordingLock:
+    """Context-manager/acquire-release proxy feeding one recorder."""
+
+    def __init__(self, recorder: "LockOrderRecorder", lock: object,
+                 lock_id: str) -> None:
+        self._recorder = recorder
+        self._lock = lock
+        self._id = lock_id
+
+    def acquire(self, *args: object, **kwargs: object) -> bool:
+        acquired = bool(self._lock.acquire(*args, **kwargs))  # type: ignore[attr-defined]
+        if acquired:
+            self._recorder.note_acquire(self._id)
+        return acquired
+
+    def release(self) -> None:
+        self._lock.release()  # type: ignore[attr-defined]
+        self._recorder.note_release(self._id)
+
+    def __enter__(self) -> "_RecordingLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.release()
+
+
+class LockOrderRecorder:
+    """Observed lock-acquisition-order edges across all threads.
+
+    Each thread keeps a stack of held lock ids; acquiring ``B`` while
+    ``A`` is held records the edge ``A -> B``.  Re-acquiring the id on
+    top of the same thread's stack (reentrant use) records nothing.
+    """
+
+    def __init__(self) -> None:
+        self._edges: set[tuple[str, str]] = set()
+        self._held = threading.local()
+        self._mutex = threading.Lock()
+        #: Total successful acquisitions (sanity signal that the wrapped
+        #: locks were actually exercised by the test's interleaving).
+        self.acquisitions = 0
+
+    def wrap(self, lock: object, lock_id: str) -> _RecordingLock:
+        """Proxy ``lock`` so every acquisition is recorded as
+        ``lock_id`` (use the static pass's ``Owner.attr`` identity)."""
+        return _RecordingLock(self, lock, lock_id)
+
+    def _stack(self) -> list[str]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = []
+            self._held.stack = stack
+        return stack
+
+    def note_acquire(self, lock_id: str) -> None:
+        stack = self._stack()
+        outer = [held for held in stack if held != lock_id]
+        with self._mutex:
+            self.acquisitions += 1
+            if outer:
+                self._edges.update((held, lock_id) for held in outer)
+        stack.append(lock_id)
+
+    def note_release(self, lock_id: str) -> None:
+        stack = self._stack()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] == lock_id:
+                del stack[index]
+                return
+
+    def edges(self) -> set[tuple[str, str]]:
+        with self._mutex:
+            return set(self._edges)
+
+
+def find_cycle(edges: Iterable[tuple[str, str]]) -> list[str] | None:
+    """A lock cycle in the edge set, as ``[a, b, ..., a]``; else None."""
+    adjacency: dict[str, set[str]] = {}
+    for src, dst in edges:
+        adjacency.setdefault(src, set()).add(dst)
+        adjacency.setdefault(dst, set())
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in adjacency}
+    trail: list[str] = []
+
+    def visit(node: str) -> list[str] | None:
+        color[node] = GREY
+        trail.append(node)
+        for succ in sorted(adjacency[node]):
+            if color[succ] == GREY:
+                return trail[trail.index(succ):] + [succ]
+            if color[succ] == WHITE:
+                found = visit(succ)
+                if found is not None:
+                    return found
+        trail.pop()
+        color[node] = BLACK
+        return None
+
+    for root in sorted(adjacency):
+        if color[root] == WHITE:
+            found = visit(root)
+            if found is not None:
+                return found
+    return None
+
+
+def assert_order_consistent(
+        static_edges: Iterable[tuple[str, str]],
+        observed_edges: Iterable[tuple[str, str]],
+        reentrant: Iterable[str] = ()) -> None:
+    """Fail if static ∪ observed acquisition orders admit a deadlock.
+
+    Self-edges on ids declared ``reentrant`` (RLocks) are legal re-entry
+    and dropped before the check; any other self-edge, and any cycle
+    across the merged edge sets, raises ``AssertionError`` naming it.
+    """
+    reentrant_ids = set(reentrant)
+    merged: set[tuple[str, str]] = set()
+    for src, dst in list(static_edges) + list(observed_edges):
+        if src == dst:
+            if src not in reentrant_ids:
+                raise AssertionError(
+                    f"non-reentrant lock {src} re-acquired while held")
+            continue
+        merged.add((src, dst))
+    cycle = find_cycle(merged)
+    if cycle is not None:
+        raise AssertionError(
+            "lock-order cycle across static+observed edges: "
+            + " -> ".join(cycle))

@@ -12,8 +12,12 @@ from __future__ import annotations
 import itertools
 import socket
 import time
+from typing import TYPE_CHECKING
 
 from repro.net import protocol as _p
+
+if TYPE_CHECKING:
+    from repro.indexes.maintenance import SubtreeSpec
 
 
 class NetError(ConnectionError):
@@ -60,7 +64,7 @@ class NetClient:
     def __enter__(self) -> "NetClient":
         return self
 
-    def __exit__(self, *_exc) -> None:
+    def __exit__(self, *_exc: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------
@@ -106,7 +110,8 @@ class NetClient:
         ``docs/network.md`` (``answers`` come back sorted)."""
         return self._call(_p.Opcode.QUERY, {"expr": str(expr)}, budget_ms)
 
-    def insert_subtree(self, parent_oid: int, subtree) -> list[int]:
+    def insert_subtree(self, parent_oid: int,
+                       subtree: "SubtreeSpec") -> list[int]:
         body = {"parent_oid": int(parent_oid),
                 "subtree": _as_jsonable(subtree)}
         return self._call(_p.Opcode.INSERT_SUBTREE, body)["new_oids"]
@@ -123,7 +128,7 @@ class NetClient:
         return self._call(_p.Opcode.STATS, {})
 
 
-def _as_jsonable(subtree):
+def _as_jsonable(subtree: "SubtreeSpec") -> list:
     """Tuple subtree ``(label, [children])`` to JSON-ready nested lists."""
     label, children = subtree
     return [label, [_as_jsonable(child) for child in children]]

@@ -34,11 +34,19 @@ import random
 import threading
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.indexes import maintenance as _maintenance
 from repro.net.client import LoadShedError, NetClient
 from repro.queries.pathexpr import as_expression
 from repro.serving.replay import _chunks, random_update
+
+if TYPE_CHECKING:
+    from collections.abc import Iterable
+
+    from repro.graph.datagraph import DataGraph
+    from repro.indexes.maintenance import SubtreeSpec
+    from repro.queries.pathexpr import PathExpression
 
 
 def percentile(sorted_values: list[float], fraction: float) -> float:
@@ -135,7 +143,7 @@ class _Mirror:
     the RPC; oid disagreement raises immediately.
     """
 
-    def __init__(self, graph, client: NetClient) -> None:
+    def __init__(self, graph: "DataGraph", client: NetClient) -> None:
         self.graph = graph
         self._client = client
 
@@ -144,7 +152,8 @@ class _Mirror:
                                    indexes=())
         self._client.add_reference(source_oid, target_oid)
 
-    def insert_subtree(self, parent_oid: int, subtree) -> list[int]:
+    def insert_subtree(self, parent_oid: int,
+                       subtree: "SubtreeSpec") -> list[int]:
         local = _maintenance.insert_subtree(self.graph, parent_oid, subtree,
                                             indexes=())
         remote = self._client.insert_subtree(parent_oid, subtree)
@@ -156,7 +165,8 @@ class _Mirror:
         return local
 
 
-def wire_content_digest(client: NetClient, queries) -> str:
+def wire_content_digest(client: NetClient,
+                        queries: "Iterable[PathExpression | str]") -> str:
     """Answers-only digest of the *served* answers, over the wire.
 
     Hashes the same ``expr=[answers]`` lines as
@@ -174,7 +184,8 @@ def wire_content_digest(client: NetClient, queries) -> str:
     return hasher.hexdigest()
 
 
-def run_loadgen(host: str, port: int, graph, queries,
+def run_loadgen(host: str, port: int, graph: "DataGraph",
+                queries: "Iterable[PathExpression | str]",
                 config: LoadgenConfig = LoadgenConfig()) -> LoadgenReport:
     """Replay ``queries`` against a running server at ``(host, port)``.
 
@@ -221,7 +232,8 @@ def run_loadgen(host: str, port: int, graph, queries,
     return report
 
 
-def _serve_chunk(chunk, clients: list[NetClient], report: LoadgenReport,
+def _serve_chunk(chunk: "list[PathExpression]", clients: list[NetClient],
+                 report: LoadgenReport,
                  latencies: list[float], latency_lock: threading.Lock
                  ) -> float:
     """Push one chunk through all connections; returns wall seconds."""

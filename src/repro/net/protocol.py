@@ -42,6 +42,10 @@ import socket
 import struct
 import time
 from enum import IntEnum
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    import threading
 
 MAGIC = 0x5258  # "RX"
 VERSION = 1
@@ -92,7 +96,7 @@ class FrameTooLarge(ProtocolError):
 def recv_exact(sock: socket.socket, count: int,
                deadline: float | None = None,
                poll_s: float = 0.5,
-               stop=None) -> bytes | None:
+               stop: "threading.Event | None" = None) -> bytes | None:
     """Read exactly ``count`` bytes, or ``None`` on EOF at offset 0.
 
     EOF *mid-buffer* raises :class:`ProtocolError` (the peer died in
@@ -138,7 +142,7 @@ def recv_exact(sock: socket.socket, count: int,
 def read_frame(sock: socket.socket,
                deadline: float | None = None,
                poll_s: float = 0.5,
-               stop=None) -> bytes | None:
+               stop: "threading.Event | None" = None) -> bytes | None:
     """Read one frame's payload; ``None`` on clean EOF between frames."""
     header = recv_exact(sock, _LENGTH.size, deadline, poll_s, stop)
     if header is None:

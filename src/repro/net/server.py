@@ -34,10 +34,16 @@ import queue
 import socket
 import threading
 import time
+from typing import TYPE_CHECKING, Any
 
 from repro.net import protocol as _p
 from repro.obs import trace as _trace
 from repro.serving.engine import _UNSET
+
+if TYPE_CHECKING:
+    from repro.indexes.maintenance import SubtreeSpec
+    from repro.serving.engine import ServingEngine
+    from repro.sharding.engine import ShardedEngine
 
 #: Submitted work items carry everything a worker needs; the reader
 #: never blocks on the engine and the worker never touches the socket
@@ -46,8 +52,9 @@ class _Request:
     __slots__ = ("conn", "opcode", "request_id", "deadline", "body",
                  "received_at")
 
-    def __init__(self, conn, opcode, request_id, deadline, body,
-                 received_at) -> None:
+    def __init__(self, conn: "_Connection", opcode: int,
+                 request_id: int, deadline: float | None, body: dict,
+                 received_at: float) -> None:
         self.conn = conn
         self.opcode = opcode
         self.request_id = request_id
@@ -61,7 +68,8 @@ class _Connection:
 
     __slots__ = ("sock", "send_lock", "alive", "peer")
 
-    def __init__(self, sock: socket.socket, peer) -> None:
+    def __init__(self, sock: socket.socket,
+                 peer: "tuple[str, int]") -> None:
         self.sock = sock
         self.send_lock = threading.Lock()
         self.alive = True
@@ -88,7 +96,7 @@ class _Connection:
                 pass
 
 
-def _as_subtree(node):
+def _as_subtree(node: "list | tuple") -> "SubtreeSpec":
     """JSON ``[label, [children...]]`` back to the tuple form."""
     label, children = node
     return (label, [_as_subtree(child) for child in children])
@@ -106,7 +114,8 @@ class IndexServer:
             client = NetClient(*server.address)
     """
 
-    def __init__(self, engine, host: str = "127.0.0.1", port: int = 0, *,
+    def __init__(self, engine: "ServingEngine | ShardedEngine",
+                 host: str = "127.0.0.1", port: int = 0, *,
                  workers: int = 4, max_queue: int = 64,
                  io_timeout_s: float = 30.0) -> None:
         if workers < 1:
@@ -148,10 +157,16 @@ class IndexServer:
         if self._listener is not None:
             raise RuntimeError("server already started")
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        listener.bind((self.host, self.port))
-        listener.listen(128)
-        listener.settimeout(0.2)
+        try:
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self.host, self.port))
+            listener.listen(128)
+            listener.settimeout(0.2)
+        except BaseException:
+            # bind/listen can fail (port taken, bad host); without this
+            # the fd leaks because stop() never sees the socket.
+            listener.close()
+            raise
         self._listener = listener
         self._stop.clear()
         self._threads = [threading.Thread(target=self._accept_loop,
@@ -184,7 +199,7 @@ class IndexServer:
     def __enter__(self) -> "IndexServer":
         return self.start()
 
-    def __exit__(self, *_exc) -> None:
+    def __exit__(self, *_exc: object) -> None:
         self.stop()
 
     # ------------------------------------------------------------------
@@ -292,7 +307,7 @@ class IndexServer:
             else:
                 self._count("send_failures")
 
-    def _timeout_for(self, request: _Request):
+    def _timeout_for(self, request: _Request) -> Any:
         """Remaining budget at execution time (or the shared sentinel)."""
         if request.deadline is None:
             return _UNSET

@@ -37,14 +37,17 @@ import queue as _queue
 import threading
 import time
 from collections import deque
-from collections.abc import Callable
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
 
 from repro.core.engine import AdaptiveIndexEngine
 from repro.core.fup import FupExtractor
 from repro.cost.counters import CostCounter
 from repro.graph.datagraph import DataGraph
 from repro.indexes import maintenance as _maintenance
+from repro.indexes.base import QueryResult
+from repro.indexes.maintenance import SubtreeSpec
 from repro.indexes.mstarindex import MStarIndex
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
@@ -52,8 +55,13 @@ from repro.queries.evaluator import evaluate_on_data_graph
 from repro.queries.pathexpr import PathExpression, as_expression
 from repro.serving.snapshot import EpochClock
 
+if TYPE_CHECKING:
+    from repro.storage.pager import BufferPool
+
 #: Sentinel distinguishing "no timeout given" from "timeout=None".
-_UNSET = object()
+#: Typed ``Any`` so ``timeout: float | None = _UNSET`` keeps the
+#: sentinel default without widening every public signature.
+_UNSET: Any = object()
 
 
 @dataclass
@@ -180,7 +188,7 @@ class PinnedSnapshot:
         #: snapshot reads stays resident at exactly these epochs.
         self.page_epochs = page_epochs
 
-    def query(self, expr: "PathExpression | str"):
+    def query(self, expr: "PathExpression | str") -> QueryResult:
         """Evaluate through the index at the pinned epoch."""
         return self._serving.index.query(as_expression(expr))
 
@@ -206,7 +214,7 @@ class ServingEngine:
     """
 
     def __init__(self, source: "AdaptiveIndexEngine | DataGraph",
-                 index_factory=MStarIndex, *,
+                 index_factory: "Callable[..., Any]" = MStarIndex, *,
                  extractor: FupExtractor | None = None,
                  max_attempts: int = 6,
                  default_timeout: float | None = None,
@@ -256,7 +264,7 @@ class ServingEngine:
         self._family = type(self.index).__name__
         self._bind_metrics()
 
-    def attach_page_pool(self, pool) -> None:
+    def attach_page_pool(self, pool: "BufferPool") -> None:
         """Register a storage-layer :class:`BufferPool` with this engine.
 
         While a :meth:`pin` is open, every attached pool holds its
@@ -321,7 +329,7 @@ class ServingEngine:
     # Reader path
     # ------------------------------------------------------------------
     def query(self, expr: "PathExpression | str",
-              timeout=_UNSET) -> ServedResult:
+              timeout: float | None = _UNSET) -> ServedResult:
         """Answer one query with snapshot isolation.
 
         Optimistic attempts retry on writer conflicts up to
@@ -391,7 +399,8 @@ class ServingEngine:
             time.sleep(0 if conflicts < 2 else min(0.0002 * conflicts, 0.002))
         return self._degraded_query(expr, attempts, conflicts)
 
-    def _attempt(self, expr: PathExpression, seq: int):
+    def _attempt(self, expr: PathExpression, seq: int) -> (
+            "tuple[set[int] | frozenset[int], bool, bool, CostCounter, tuple | None] | None"):
         """One optimistic evaluation; ``None`` signals a torn read."""
         try:
             token = None
@@ -451,8 +460,10 @@ class ServingEngine:
     # ------------------------------------------------------------------
     # Batched serving
     # ------------------------------------------------------------------
-    def serve(self, queries, workers: int = 4, timeout=_UNSET,
-              client_io=None) -> list[ServedResult]:
+    def serve(self, queries: "Iterable[PathExpression | str]",
+              workers: int = 4, timeout: float | None = _UNSET,
+              client_io: "Callable[[ServedResult], None] | None" = None,
+              ) -> list[ServedResult]:
         """Answer a batch on ``workers`` threads; results in input order.
 
         ``client_io``, when given, is called with each result *on the
@@ -505,7 +516,8 @@ class ServingEngine:
     # ------------------------------------------------------------------
     # Writer path
     # ------------------------------------------------------------------
-    def insert_subtree(self, parent_oid: int, subtree) -> list[int]:
+    def insert_subtree(self, parent_oid: int,
+                       subtree: SubtreeSpec) -> list[int]:
         """Insert ``(label, [children])`` under ``parent_oid`` atomically.
 
         The document mutation, index registration, and epoch bump all
@@ -572,7 +584,7 @@ class ServingEngine:
     # ------------------------------------------------------------------
     # Pinned snapshots
     # ------------------------------------------------------------------
-    def pin(self):
+    def pin(self) -> "_Pin":
         """Context manager yielding a :class:`PinnedSnapshot`.
 
         Writers queue until the pin is released; a query issued through
@@ -618,7 +630,7 @@ class _Pin:
         for hold in reversed(holds):
             hold.__exit__(None, None, None)
 
-    def __exit__(self, *exc) -> bool:
+    def __exit__(self, *exc: object) -> bool:
         cm, self._cm = self._cm, None
         try:
             return bool(cm.__exit__(*exc))

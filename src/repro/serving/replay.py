@@ -54,7 +54,8 @@ def load_workload(path: str) -> list[PathExpression]:
     return queries
 
 
-def save_workload(path: str, queries, header: str | None = None) -> None:
+def save_workload(path: str, queries: "Iterable[PathExpression | str]",
+                  header: str | None = None) -> None:
     """Write queries (one per line) in the format :func:`load_workload`
     reads back."""
     with open(path, "w", encoding="utf-8") as handle:
@@ -186,7 +187,8 @@ def _chunks(items: list, pieces: int) -> list[list]:
     return out
 
 
-def answers_digest(serving: ServingEngine, queries) -> str:
+def answers_digest(serving: ServingEngine,
+                   queries: "Iterable[PathExpression | str]") -> str:
     """SHA-256 over final ground-truth answers of the unique queries.
 
     Computed under a pinned snapshot so the digest names one exact
@@ -205,7 +207,8 @@ def answers_digest(serving: ServingEngine, queries) -> str:
     return hasher.hexdigest()
 
 
-def run_replay(serving: ServingEngine, queries,
+def run_replay(serving: ServingEngine,
+               queries: "Iterable[PathExpression | str]",
                config: ReplayConfig = ReplayConfig()) -> ReplayReport:
     """Replay a workload through the serving engine per ``config``.
 
@@ -257,7 +260,7 @@ def run_replay(serving: ServingEngine, queries,
         report.checked = True
         with serving.pin() as snap:
             for expr in sorted(set(exprs), key=str):
-                served = serving.query(expr)
+                served = serving.query(expr, timeout=config.timeout)
                 if served.answers != snap.oracle(expr):
                     report.check_failures += 1
     report.digest = answers_digest(serving, exprs)

@@ -35,6 +35,7 @@ unchanged.
 from __future__ import annotations
 
 import threading
+from collections.abc import Iterator
 from contextlib import contextmanager
 
 
@@ -77,7 +78,7 @@ class EpochClock:
         return self._seq == seq
 
     @contextmanager
-    def write(self):
+    def write(self) -> Iterator[int]:
         """Exclusive write window; yields the epoch being created.
 
         Reentrant from the owning thread (the inner window joins the
@@ -99,7 +100,7 @@ class EpochClock:
                     self._writing = False
 
     @contextmanager
-    def pause_writers(self):
+    def pause_writers(self) -> Iterator[int]:
         """Hold the writer mutex *without* advancing the sequence.
 
         This pins the current epoch: writers queue behind the mutex,

@@ -45,12 +45,15 @@ import queue as _queue
 import threading
 import time
 from array import array
+from collections.abc import Callable, Iterable
 from concurrent.futures import ThreadPoolExecutor
+from typing import Any
 
 from repro.core.extents import Extent, extent_union
 from repro.cost.counters import CostCounter
 from repro.graph.datagraph import DataGraph, EdgeKind
 from repro.indexes import maintenance as _maintenance
+from repro.indexes.maintenance import SubtreeSpec
 from repro.indexes.mstarindex import MStarIndex
 from repro.queries.evaluator import evaluate_on_data_graph
 from repro.queries.pathexpr import PathExpression, WILDCARD, as_expression
@@ -164,7 +167,7 @@ class _ShardedPin:
         epoch = self._cm.__enter__()
         return _ShardedSnapshot(self._engine, epoch)
 
-    def __exit__(self, *exc) -> bool:
+    def __exit__(self, *exc: object) -> bool:
         cm, self._cm = self._cm, None
         return bool(cm.__exit__(*exc))
 
@@ -185,12 +188,12 @@ class ShardedEngine:
     """
 
     def __init__(self, graph: DataGraph, num_shards: int,
-                 index_factory=MStarIndex, *,
+                 index_factory: "Callable[..., Any]" = MStarIndex, *,
                  cache: bool = True,
                  max_attempts: int = 6,
                  default_timeout: float | None = None,
                  parallel_build: bool = True,
-                 now=None) -> None:
+                 now: "Callable[[], float] | None" = None) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         if max_attempts < 1:
@@ -289,7 +292,7 @@ class ShardedEngine:
         return all(shard.serving.supports_updates for shard in self._shards)
 
     @property
-    def index(self):
+    def index(self) -> Any:
         """Shard 0's index (family introspection; shards are homogeneous)."""
         return self._shards[0].serving.index
 
@@ -337,7 +340,8 @@ class ShardedEngine:
                     return True
         return False
 
-    def _fanout(self, expr: PathExpression, deadline: float | None = None):
+    def _fanout(self, expr: PathExpression, deadline: float | None = None,
+                ) -> "tuple[set[int], bool, bool, CostCounter]":
         """Query every shard and union the answers in global-oid space.
 
         ``deadline`` bounds the *total* fan-out: every shard query gets
@@ -373,7 +377,7 @@ class ShardedEngine:
         return answers, validated, cache_hit, cost
 
     def query(self, expr: "PathExpression | str",
-              timeout=_UNSET) -> ServedResult:
+              timeout: float | None = _UNSET) -> ServedResult:
         """Answer one query with combiner-level snapshot isolation.
 
         Non-crossing queries fan out to every shard under an optimistic
@@ -432,8 +436,10 @@ class ShardedEngine:
                             conflicts=conflicts, degraded=True,
                             fallback=fallback)
 
-    def serve(self, queries, workers: int = 4, timeout=_UNSET,
-              client_io=None) -> list[ServedResult]:
+    def serve(self, queries: "Iterable[PathExpression | str]",
+              workers: int = 4, timeout: float | None = _UNSET,
+              client_io: "Callable[[ServedResult], None] | None" = None,
+              ) -> list[ServedResult]:
         """Answer a batch on ``workers`` threads; results in input order.
 
         Same contract as :meth:`ServingEngine.serve` — ``client_io``
@@ -503,7 +509,8 @@ class ShardedEngine:
         self.placement.unit_keys[new_root_gid] = key
         return shard_of_key(key, self.num_shards)
 
-    def insert_subtree(self, parent_oid: int, subtree) -> list[int]:
+    def insert_subtree(self, parent_oid: int,
+                       subtree: SubtreeSpec) -> list[int]:
         """Insert ``(label, [children])`` under global oid ``parent_oid``.
 
         One combiner write window covers the mirror mutation, the

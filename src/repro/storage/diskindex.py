@@ -313,7 +313,7 @@ class DiskMStarIndex:
     def __enter__(self) -> "DiskMStarIndex":
         return self
 
-    def __exit__(self, *_exc) -> None:
+    def __exit__(self, *_exc: object) -> None:
         self.close()
 
     def __repr__(self) -> str:

@@ -41,8 +41,10 @@ import struct
 import threading
 import zlib
 from collections import OrderedDict
+from collections.abc import Callable, Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import Any
 
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
@@ -102,8 +104,10 @@ class PageFile:
     """
 
     def __init__(self, path: str, pages: dict[tuple[int, int], PageRef],
-                 *, decoder=None, checksums=None, use_mmap: bool | None = None,
-                 handle=None) -> None:
+                 *, decoder: "Callable[[bytes], Any] | None" = None,
+                 checksums: "dict[tuple[int, int], int] | None" = None,
+                 use_mmap: bool | None = None,
+                 handle: Any = None) -> None:
         self.path = path
         self.pages = pages
         self._decoder = decoder if decoder is not None else decode_index_page
@@ -139,7 +143,7 @@ class PageFile:
             self._handle.seek(ref.offset)
             return self._handle.read(ref.length)
 
-    def read_page(self, key: tuple[int, int]):
+    def read_page(self, key: tuple[int, int]) -> Any:
         """Read, verify, and parse one page; one physical read.
 
         Raises ``ValueError`` naming the page key when the read comes up
@@ -191,7 +195,7 @@ class PageFile:
     def __enter__(self) -> "PageFile":
         return self
 
-    def __exit__(self, *_exc) -> None:
+    def __exit__(self, *_exc: object) -> None:
         self.close()
 
 
@@ -256,7 +260,7 @@ class BufferPool:
     # ------------------------------------------------------------------
     # Core paths (call with the lock held)
     # ------------------------------------------------------------------
-    def _admit(self, key: tuple[int, int], records) -> None:
+    def _admit(self, key: tuple[int, int], records: Any) -> None:
         self._cached[key] = records
         if self.admission == "scan" and key not in self._ghosts:
             # First touch: probation — next in eviction order unless it
@@ -288,7 +292,7 @@ class BufferPool:
             self.epoch += 1
             _M_EVICTIONS.inc()
 
-    def _page_locked(self, key: tuple[int, int]):
+    def _page_locked(self, key: tuple[int, int]) -> Any:
         cached = self._cached.get(key)
         if cached is not None:
             self._cached.move_to_end(key)
@@ -311,12 +315,12 @@ class BufferPool:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def page(self, key: tuple[int, int]):
+    def page(self, key: tuple[int, int]) -> Any:
         """Fetch one page through the pool."""
         with self._lock:
             return self._page_locked(key)
 
-    def pin(self, key: tuple[int, int]):
+    def pin(self, key: tuple[int, int]) -> Any:
         """Fetch one page and pin it resident; returns the parsed page.
 
         Balance every ``pin`` with :meth:`unpin` (or use the
@@ -348,7 +352,7 @@ class BufferPool:
             self._unpin_locked(key)
 
     @contextmanager
-    def pinned(self, key: tuple[int, int]):
+    def pinned(self, key: tuple[int, int]) -> Iterator[Any]:
         """Context manager: fetch + pin ``key``, unpin on exit."""
         records = self.pin(key)
         try:
@@ -365,7 +369,7 @@ class BufferPool:
             return len(self._pins)
 
     @contextmanager
-    def hold_epoch(self):
+    def hold_epoch(self) -> Iterator[int]:
         """Block evictions for the duration; yields the held epoch.
 
         While any hold is open the resident set only grows, so every
@@ -410,7 +414,9 @@ class BufferPool:
             _M_PREFETCHES.inc()
             return True
 
-    def set_miss_listener(self, listener) -> None:
+    def set_miss_listener(
+            self,
+            listener: "Callable[[tuple[int, int]], None] | None") -> None:
         """Install a demand-miss callback (``listener(key)``).
 
         Called with the pool lock held — the listener must only enqueue

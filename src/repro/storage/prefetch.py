@@ -21,8 +21,12 @@ from __future__ import annotations
 import queue
 import threading
 from collections import deque
+from typing import TYPE_CHECKING
 
 from repro.obs import trace as _trace
+
+if TYPE_CHECKING:
+    from repro.storage.pager import BufferPool
 
 _STOP = object()
 
@@ -37,7 +41,8 @@ class BackgroundPrefetcher:
     evicts pinned pages.
     """
 
-    def __init__(self, pool, *, depth: int = 2, window: int = 16) -> None:
+    def __init__(self, pool: "BufferPool", *, depth: int = 2,
+                 window: int = 16) -> None:
         if depth < 1:
             raise ValueError("depth must be >= 1")
         self.pool = pool
@@ -106,5 +111,5 @@ class BackgroundPrefetcher:
     def __enter__(self) -> "BackgroundPrefetcher":
         return self.attach()
 
-    def __exit__(self, *_exc) -> None:
+    def __exit__(self, *_exc: object) -> None:
         self.stop()

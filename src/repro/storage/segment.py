@@ -41,7 +41,8 @@ import json
 import struct
 import zlib
 from bisect import bisect_right
-from collections.abc import Iterable, Iterator
+from collections.abc import Callable, Iterable, Iterator
+from typing import IO, Any
 
 from repro.storage.pager import DEFAULT_PAGE_SIZE, BufferPool, PageFile, PageRef
 
@@ -94,7 +95,8 @@ class SegmentWriter:
     """
 
     def __init__(self, path: str, *, page_size: int = DEFAULT_PAGE_SIZE,
-                 meta: dict | None = None, opener=open) -> None:
+                 meta: dict | None = None,
+                 opener: "Callable[..., IO[bytes]]" = open) -> None:
         if page_size < 64:
             raise ValueError("page_size must be >= 64 bytes")
         self.path = path
@@ -181,7 +183,7 @@ class SegmentWriter:
     def __enter__(self) -> "SegmentWriter":
         return self
 
-    def __exit__(self, exc_type, *_exc) -> None:
+    def __exit__(self, exc_type: object, *_exc: object) -> None:
         if exc_type is not None:
             self.abort()
         elif not self._finished:
@@ -199,7 +201,7 @@ class Segment:
 
     def __init__(self, path: str, *, buffer_pages: int = 16,
                  use_mmap: bool = True, admission: str = "lru",
-                 opener=open) -> None:
+                 opener: "Callable[..., IO[bytes]]" = open) -> None:
         self.path = path
         handle = opener(path, "rb")
         try:
@@ -220,7 +222,7 @@ class Segment:
                                admission=admission)
         self._first_keys = [entry[0] for entry in self._directory]
 
-    def _parse_catalog(self, handle, path: str) -> None:
+    def _parse_catalog(self, handle: Any, path: str) -> None:
         handle.seek(0, 2)
         size = handle.tell()
         if size < _HEADER_SIZE + _TRAILER_SIZE:
@@ -355,7 +357,7 @@ class Segment:
     def __enter__(self) -> "Segment":
         return self
 
-    def __exit__(self, *_exc) -> None:
+    def __exit__(self, *_exc: object) -> None:
         self.close()
 
     def __repr__(self) -> str:

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import os
 import struct
+from collections.abc import Iterable
 from io import BufferedReader, BufferedWriter
 
 from repro.graph.datagraph import DataGraph, EdgeKind
@@ -37,7 +38,7 @@ def read_u32(source: BufferedReader) -> int:
     return _U32.unpack(data)[0]
 
 
-def write_u32_list(out: BufferedWriter, values) -> None:
+def write_u32_list(out: BufferedWriter, values: "Iterable[int]") -> None:
     values = list(values)
     write_u32(out, len(values))
     out.write(struct.pack(f"<{len(values)}I", *values))

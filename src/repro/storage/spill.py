@@ -29,13 +29,19 @@ import struct
 import tempfile
 import time
 from array import array
+from collections.abc import Callable, Iterable, Iterator
 from dataclasses import dataclass, field
+from typing import IO, TYPE_CHECKING, Any
 
 from repro.core.extents import Extent
 from repro.indexes.partition import kbisimulation_blocks, kbisimulation_levels
 from repro.obs import trace as _trace
 from repro.storage.pager import DEFAULT_PAGE_SIZE
 from repro.storage.segment import SegmentWriter
+
+if TYPE_CHECKING:
+    from repro.graph.datagraph import DataGraph
+    from repro.storage.segment import Segment
 
 #: Environment knob: spill budget in bytes for the construction path.
 BUDGET_ENV = "REPRO_STORAGE_BUDGET"
@@ -147,7 +153,7 @@ class SpillSorter:
             self._buffer = []
             self.spills += 1
 
-    def _iter_run(self, path: str):
+    def _iter_run(self, path: str) -> Iterator[tuple[int, int]]:
         chunk_bytes = self.chunk_pairs() * _PAIR.size
         with open(path, "rb") as source:
             while True:
@@ -159,7 +165,7 @@ class SpillSorter:
                 for position in range(0, count, 2):
                     yield flat[position], flat[position + 1]
 
-    def merge(self):
+    def merge(self) -> "Iterator[tuple[int, int]]":
         """All pairs in sorted order; bounded-chunk run readers."""
         self._buffer.sort()
         self._note_peak(self.merge_bytes())
@@ -177,7 +183,7 @@ class SpillSorter:
     def __enter__(self) -> "SpillSorter":
         return self
 
-    def __exit__(self, *_exc) -> None:
+    def __exit__(self, *_exc: object) -> None:
         self.close()
 
 
@@ -217,7 +223,8 @@ class OocBuildReport:
         return self.payload_bytes / self.budget_bytes
 
 
-def extents_digest(groups) -> str:
+def extents_digest(
+        groups: "Iterable[tuple[int, Iterable[int]]]") -> str:
     """SHA-256 over ``(dense_key, sorted oids)`` groups.
 
     ``groups`` yields ``(key, iterable-of-ascending-oids)`` in key
@@ -233,7 +240,8 @@ def extents_digest(groups) -> str:
     return digest.hexdigest()
 
 
-def _grouped(pairs):
+def _grouped(
+        pairs: "Iterable[tuple[int, int]]") -> Iterator[tuple[int, array]]:
     """Group a sorted pair stream by key; dedupes values per group."""
     current = -1
     values = array("i")
@@ -253,7 +261,8 @@ def _pack_oids(values: array) -> bytes:
     return struct.pack(f"<{len(values)}I", *values)
 
 
-def _block_meta(graph, blocks: list[int], dense_of: dict[int, int],
+def _block_meta(graph: "DataGraph", blocks: list[int],
+                dense_of: dict[int, int],
                 label_ids: dict[str, int]) -> dict:
     """Skeleton meta for one partition level: labels, adjacency, directory.
 
@@ -286,11 +295,12 @@ def _block_meta(graph, blocks: list[int], dense_of: dict[int, int],
     }
 
 
-def build_ak_segment(graph, k: int, path: str, *,
+def build_ak_segment(graph: "DataGraph", k: int, path: str, *,
                      budget_bytes: int | None = None,
                      page_size: int = DEFAULT_PAGE_SIZE,
                      tmpdir: str | None = None,
-                     opener=open) -> OocBuildReport:
+                     opener: "Callable[..., IO[bytes]]" = open,
+                     ) -> OocBuildReport:
     """Build the A(k) extent segment via the spill path.
 
     The block assignment itself is O(n) ints and rides the graph's own
@@ -321,11 +331,12 @@ def build_ak_segment(graph, k: int, path: str, *,
     return report
 
 
-def build_hierarchy_segment(graph, k: int, path: str, *,
+def build_hierarchy_segment(graph: "DataGraph", k: int, path: str, *,
                             budget_bytes: int | None = None,
                             page_size: int = DEFAULT_PAGE_SIZE,
                             tmpdir: str | None = None,
-                            opener=open) -> OocBuildReport:
+                            opener: "Callable[..., IO[bytes]]" = open,
+                            ) -> OocBuildReport:
     """Build the M*(k) resolution hierarchy I_0..I_k via the spill path.
 
     M*(k) draws its components from the k-bisimulation levels (I_0 at
@@ -362,10 +373,12 @@ def build_hierarchy_segment(graph, k: int, path: str, *,
     return report
 
 
-def _write_extent_segment(report: OocBuildReport, level_specs, meta: dict,
-                          path: str, *, budget_bytes: int | None,
-                          page_size: int, tmpdir: str | None,
-                          opener) -> None:
+def _write_extent_segment(
+        report: OocBuildReport,
+        level_specs: "list[tuple[list[int], dict[int, int], int]]",
+        meta: dict, path: str, *, budget_bytes: int | None,
+        page_size: int, tmpdir: str | None,
+        opener: "Callable[..., IO[bytes]]") -> None:
     stride = meta.get("stride", 0)
     digest = hashlib.sha256()
     with SpillSorter(budget_bytes, tmpdir=tmpdir) as sorter:
@@ -406,7 +419,7 @@ def _write_extent_segment(report: OocBuildReport, level_specs, meta: dict,
 # ----------------------------------------------------------------------
 # In-RAM reference digests (what the spill path must reproduce)
 # ----------------------------------------------------------------------
-def inram_ak_digest(index) -> str:
+def inram_ak_digest(index: Any) -> str:
     """Digest of an in-RAM ``AkIndex`` in the segment's key order.
 
     ``IndexGraph.from_blocks`` assigns dense nids over blocks sorted
@@ -419,12 +432,12 @@ def inram_ak_digest(index) -> str:
         for nid in sorted(graph_index.nodes))
 
 
-def inram_hierarchy_digest(graph, k: int) -> str:
+def inram_hierarchy_digest(graph: "DataGraph", k: int) -> str:
     """Digest of the in-RAM level extents, composite-keyed like the segment."""
     levels = kbisimulation_levels(graph, k)
     stride = graph.num_nodes
 
-    def groups():
+    def groups() -> Iterator[tuple[int, list[int]]]:
         for level, blocks in enumerate(levels):
             extents: dict[int, list[int]] = {}
             for oid, block in enumerate(blocks):
@@ -440,9 +453,10 @@ def inram_hierarchy_digest(graph, k: int) -> str:
 # ----------------------------------------------------------------------
 # CSR adjacency spilled to a segment (graph/compact.py's page feed)
 # ----------------------------------------------------------------------
-def build_adjacency_segment(graph, path: str, *,
+def build_adjacency_segment(graph: "DataGraph", path: str, *,
                             page_size: int = DEFAULT_PAGE_SIZE,
-                            opener=open) -> OocBuildReport:
+                            opener: "Callable[..., IO[bytes]]" = open,
+                            ) -> OocBuildReport:
     """Write the frozen CSR adjacency as a segment: key=oid, value=row.
 
     Row payloads come from ``CompactAdjacency.row_bytes`` (pinned
@@ -484,7 +498,7 @@ class PagedAdjacency:
     that holds it.  Physical I/O shows up in ``segment.pool``.
     """
 
-    def __init__(self, segment) -> None:
+    def __init__(self, segment: "Segment") -> None:
         if segment.meta.get("kind") != "csr-adjacency":
             raise ValueError(
                 f"{segment.path} is not an adjacency segment "

@@ -1,0 +1,53 @@
+"""Seeded budget-propagation violations (see ../README.md).
+
+The PR 8 bug shape, three ways: a request handler that carries a
+timeout but (a) calls a budget-accepting sink without forwarding it and
+(b) drops it through a budget-blind helper that reaches the sink
+anyway; plus (c) a fan-out loop forwarding the caller's deadline
+*verbatim* to every shard instead of the decremented remainder.  The
+``scatter`` variant shows the compliant decrement-per-hop pattern.
+"""
+
+import time
+
+
+def parse_expr(payload):
+    return payload.strip()
+
+
+def evaluate(expr, deadline=None):
+    return {"expr": expr, "deadline": deadline}
+
+
+def describe(expr):
+    # Budget-blind: no deadline parameter, yet reaches evaluate().
+    return evaluate(expr)
+
+
+def handle_request(payload, timeout):
+    expr = parse_expr(payload)
+    summary = describe(expr)  # VIOLATION: drops timeout through helper
+    result = evaluate(expr)  # VIOLATION: forwards none of the budget
+    return summary, result
+
+
+def query_shard(expr, deadline):
+    return evaluate(expr, deadline=deadline)
+
+
+def _fanout(exprs, deadline):
+    results = []
+    for expr in exprs:
+        # VIOLATION: verbatim deadline — later shards inherit time
+        # already spent by earlier ones.
+        results.append(query_shard(expr, deadline))
+    return results
+
+
+def scatter(exprs, deadline):
+    started = time.monotonic()
+    results = []
+    for expr in exprs:
+        remaining = deadline - (time.monotonic() - started)
+        results.append(query_shard(expr, remaining))
+    return results

@@ -1,0 +1,37 @@
+"""Seeded lock-order violation (see ../README.md).
+
+Two functions acquire the same two locks in opposite orders — one
+lexically, one through a helper call made while the first lock is held.
+Neither function deadlocks alone; only the composed global ordering
+graph (nesting + transitive acquisitions through the call graph) sees
+the cycle.
+"""
+
+import threading
+
+
+class ShardRegistry:
+    def __init__(self):
+        self._index_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self.routes = {}
+        self.counts = {}
+
+    def reroute(self, shard, route):
+        # Order here: _index_lock, then _stats_lock.
+        with self._index_lock:
+            self.routes[shard] = route
+            with self._stats_lock:
+                self.counts[shard] = 0
+
+    def report(self, shard):
+        # VIOLATION: _stats_lock held, then _refresh takes _index_lock —
+        # the opposite order from reroute(); concurrent calls deadlock.
+        with self._stats_lock:
+            count = self.counts.get(shard, 0)
+            self._refresh(shard)
+        return count
+
+    def _refresh(self, shard):
+        with self._index_lock:
+            self.routes.setdefault(shard, None)

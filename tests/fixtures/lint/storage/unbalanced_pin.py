@@ -1,0 +1,28 @@
+"""Seeded resource-balance violation (see ../README.md).
+
+The PR 9 bug shape: a page pinned for a read is released on the happy
+path but leaks when the decode fails — the except branch returns with
+the pin still held, parking every writer behind the pinned epoch.  The
+balanced variant shows the compliant try/finally pattern.
+"""
+
+
+class PinnedReader:
+    def __init__(self, pool):
+        self.pool = pool
+
+    def read_record(self, key):
+        records = self.pool.pin(key)
+        try:
+            value = records.decode()
+        except ValueError:
+            return None  # VIOLATION: returns with the pin still held
+        self.pool.unpin(key)
+        return value
+
+    def read_balanced(self, key):
+        records = self.pool.pin(key)
+        try:
+            return records.decode()
+        finally:
+            self.pool.unpin(key)

@@ -1,0 +1,177 @@
+"""Unit tests for per-file summaries + the recomposed project graph
+(repro.analysis.callgraph)."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.analysis.callgraph import (ProjectGraph, module_name_for,
+                                      summarize_module)
+
+
+def summary_of(source: str, relpath: str = "src/repro/demo.py",
+               aliases=None):
+    tree = ast.parse(textwrap.dedent(source))
+    return summarize_module(relpath, tree, aliases or {})
+
+
+def graph_of(*summaries, roles=None):
+    return ProjectGraph(summaries, roles or {})
+
+
+class TestModuleNames:
+    def test_src_prefix_and_init_are_stripped(self):
+        assert module_name_for("src/repro/net/server.py") \
+            == "repro.net.server"
+        assert module_name_for("src/repro/net/__init__.py") == "repro.net"
+
+
+class TestSummaries:
+    def test_function_params_and_budget_params(self):
+        summary = summary_of("""\
+            def handle(payload, timeout, *, retries=0):
+                return payload
+            """)
+        info = summary["functions"]["handle"]
+        assert info["params"] == ["payload", "timeout", "retries"]
+        assert info["budget_params"] == ["timeout"]
+        assert info["has_budget"]
+
+    def test_budget_taint_flows_through_locals(self):
+        summary = summary_of("""\
+            def f(deadline):
+                remaining = deadline - 1
+                slack = remaining
+                g(slack)
+            """)
+        call = summary["functions"]["f"]["calls"][0]
+        assert call["passes_budget"]
+
+    def test_counter_bump_is_not_budget(self):
+        summary = summary_of("""\
+            def f(stats):
+                stats.timeouts += 1
+                g()
+            """)
+        assert not summary["functions"]["f"]["has_budget"]
+
+    def test_budget_attribute_read_is_budget(self):
+        summary = summary_of("""\
+            def f(config):
+                limit = config.timeout
+                g()
+            """)
+        assert summary["functions"]["f"]["has_budget"]
+
+    def test_calls_record_loop_depth_and_held_locks(self):
+        summary = summary_of("""\
+            class Engine:
+                def run(self, items):
+                    with self._lock:
+                        for item in items:
+                            self.step(item)
+            """)
+        call = [c for c in summary["functions"]["Engine.run"]["calls"]
+                if c["chain"][-1] == "step"][0]
+        assert call["in_loop"]
+        held = call["held"]
+        assert held and held[0]["chain"] == ["self", "_lock"]
+
+    def test_class_structure_collects_bases_methods_attrs(self):
+        summary = summary_of("""\
+            class Base:
+                def __init__(self):
+                    self._lock = object()
+
+            class Derived(Base):
+                def touch(self):
+                    return self._lock
+            """)
+        classes = summary["classes"]
+        assert classes["Derived"]["bases"] == ["Base"]
+        assert "_lock" in classes["Base"]["attrs"]
+        assert "touch" in classes["Derived"]["methods"]
+
+
+class TestResolution:
+    def test_self_call_resolves_through_mro(self):
+        graph = graph_of(summary_of("""\
+            class Base:
+                def helper(self):
+                    return 1
+
+            class Derived(Base):
+                def run(self):
+                    return self.helper()
+            """))
+        caller = graph.functions["repro.demo:Derived.run"]
+        targets = graph.resolve_call(caller.calls[0], caller)
+        assert targets == ["repro.demo:Base.helper"]
+
+    def test_bare_name_resolves_in_module(self):
+        graph = graph_of(summary_of("""\
+            def helper():
+                return 1
+
+            def run():
+                return helper()
+            """))
+        caller = graph.functions["repro.demo:run"]
+        assert graph.resolve_call(caller.calls[0], caller) \
+            == ["repro.demo:helper"]
+
+    def test_constructor_resolves_to_init(self):
+        graph = graph_of(summary_of("""\
+            class Widget:
+                def __init__(self, size):
+                    self.size = size
+
+            def make():
+                return Widget(3)
+            """))
+        caller = graph.functions["repro.demo:make"]
+        assert graph.resolve_call(caller.calls[0], caller) \
+            == ["repro.demo:Widget.__init__"]
+
+    def test_receiver_role_resolves_methods(self):
+        graph = graph_of(
+            summary_of("""\
+                class Engine:
+                    def query(self, expr):
+                        return expr
+                """),
+            summary_of("""\
+                def drive(engine):
+                    return engine.query("//a")
+                """, relpath="src/repro/driver.py"),
+            roles={"engine": ("Engine",)})
+        caller = graph.functions["repro.driver:drive"]
+        assert graph.resolve_call(caller.calls[0], caller) \
+            == ["repro.demo:Engine.query"]
+
+    def test_attr_owner_finds_defining_base(self):
+        graph = graph_of(summary_of("""\
+            class Base:
+                def __init__(self):
+                    self._lock = object()
+
+            class Derived(Base):
+                def noop(self):
+                    pass
+            """))
+        assert graph.attr_owner("Derived", "_lock") == "Base"
+        assert graph.attr_owner("Derived", "_other") == "Derived"
+
+    def test_stats_count_resolution_coverage(self):
+        graph = graph_of(summary_of("""\
+            def helper():
+                return unknown_external()
+
+            def run():
+                return helper()
+            """))
+        stats = graph.stats()
+        assert stats["functions"] == 2
+        assert stats["calls"] == 2
+        assert stats["resolved_calls"] == 1

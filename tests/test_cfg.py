@@ -1,0 +1,198 @@
+"""Unit tests for the statement-granular CFG (repro.analysis.cfg)."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.analysis.cfg import build_cfg, effect_exprs, may_raise
+
+
+def cfg_of(source: str):
+    tree = ast.parse(textwrap.dedent(source))
+    function = tree.body[0]
+    assert isinstance(function, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return build_cfg(function)
+
+
+def node_at(cfg, line: int) -> int:
+    """Index of the (unique) stmt/dispatch node anchored at ``line``."""
+    matches = [node.index for node in cfg.nodes
+               if node.kind in ("stmt", "dispatch") and node.line == line]
+    assert len(matches) == 1, f"line {line}: {matches}"
+    return matches[0]
+
+
+def reaches(cfg, src: int, dst: int) -> bool:
+    seen: set[int] = set()
+    stack = [src]
+    while stack:
+        current = stack.pop()
+        if current == dst:
+            return True
+        if current in seen:
+            continue
+        seen.add(current)
+        stack.extend(cfg.successors(current))
+    return False
+
+
+class TestStraightLine:
+    def test_linear_chain_reaches_exit(self):
+        cfg = cfg_of("""\
+            def f(x):
+                a = x + 1
+                b = a * 2
+                return b
+            """)
+        assert reaches(cfg, cfg.entry, cfg.exit)
+        assert node_at(cfg, 3) in cfg.successors(node_at(cfg, 2))
+
+    def test_call_statement_gets_exception_edge(self):
+        cfg = cfg_of("""\
+            def f(x):
+                y = work(x)
+                return y
+            """)
+        call = node_at(cfg, 2)
+        assert cfg.raise_exit in cfg.successors(call)
+        assert cfg.raise_exit in cfg.exc_successors(call)
+        # The normal successor is NOT an exception edge.
+        ret = node_at(cfg, 3)
+        assert ret in cfg.successors(call)
+        assert ret not in cfg.exc_successors(call)
+
+    def test_pure_assignment_has_no_exception_edge(self):
+        cfg = cfg_of("""\
+            def f(x):
+                y = x
+                return y
+            """)
+        assert cfg.raise_exit not in cfg.successors(node_at(cfg, 2))
+
+
+class TestBranching:
+    def test_if_else_paths_rejoin(self):
+        cfg = cfg_of("""\
+            def f(x):
+                if x:
+                    a = 1
+                else:
+                    a = 2
+                return a
+            """)
+        head = node_at(cfg, 2)
+        then, orelse, ret = (node_at(cfg, line) for line in (3, 5, 6))
+        assert cfg.successors(head) == {then, orelse}
+        assert ret in cfg.successors(then)
+        assert ret in cfg.successors(orelse)
+
+    def test_while_has_back_edge_and_fallthrough(self):
+        cfg = cfg_of("""\
+            def f(n):
+                while n:
+                    n = n - 1
+                return n
+            """)
+        head = node_at(cfg, 2)
+        body = node_at(cfg, 3)
+        assert head in cfg.successors(body)
+        assert node_at(cfg, 4) in cfg.successors(head)
+
+    def test_break_skips_past_the_loop(self):
+        cfg = cfg_of("""\
+            def f(items):
+                for item in items:
+                    break
+                return 1
+            """)
+        assert node_at(cfg, 4) in cfg.successors(node_at(cfg, 3))
+
+
+class TestTryShapes:
+    def test_finally_is_on_both_normal_and_exception_paths(self):
+        cfg = cfg_of("""\
+            def f(pool):
+                records = pool.pin(1)
+                try:
+                    records.decode()
+                finally:
+                    pool.unpin(1)
+            """)
+        body_call = node_at(cfg, 4)
+        release = node_at(cfg, 6)
+        assert release in cfg.successors(body_call)       # exception route
+        assert cfg.exit in cfg.successors(release)
+        assert cfg.raise_exit in cfg.successors(release)  # re-raise route
+
+    def test_narrow_handler_still_propagates_out(self):
+        cfg = cfg_of("""\
+            def f(x):
+                try:
+                    work(x)
+                except ValueError:
+                    return None
+                return 1
+            """)
+        dispatch = node_at(cfg, 2)
+        assert dispatch in cfg.successors(node_at(cfg, 3))
+        # ValueError may not match the raised type: escape edge exists.
+        assert cfg.raise_exit in cfg.successors(dispatch)
+
+    def test_catch_all_handler_swallows(self):
+        cfg = cfg_of("""\
+            def f(x):
+                try:
+                    work(x)
+                except Exception:
+                    return None
+                return 1
+            """)
+        dispatch = node_at(cfg, 2)
+        assert cfg.raise_exit not in cfg.successors(dispatch)
+
+    def test_return_routes_through_finally(self):
+        cfg = cfg_of("""\
+            def f(x):
+                try:
+                    return work(x)
+                finally:
+                    cleanup()
+            """)
+        ret = node_at(cfg, 3)
+        cleanup = node_at(cfg, 5)
+        assert cfg.successors(ret) == {cleanup}
+        assert cfg.exit in cfg.successors(cleanup)
+
+    def test_break_routes_through_finally_to_after_loop(self):
+        cfg = cfg_of("""\
+            def f(items):
+                for item in items:
+                    try:
+                        break
+                    finally:
+                        cleanup()
+                return 1
+            """)
+        brk = node_at(cfg, 4)
+        cleanup = node_at(cfg, 6)
+        after = node_at(cfg, 7)
+        assert cleanup in cfg.successors(brk)
+        assert after in cfg.successors(cleanup)
+
+
+class TestPredicates:
+    def test_may_raise_shapes(self):
+        raising, benign = ast.parse(textwrap.dedent("""\
+            assert True
+            x = 1
+            """)).body
+        assert may_raise(raising)
+        assert not may_raise(benign)
+
+    def test_compound_heads_expose_only_their_own_exprs(self):
+        stmt = ast.parse("if cond():\n    work()\n").body[0]
+        exprs = effect_exprs(stmt)
+        dumped = " ".join(ast.dump(e) for e in exprs)
+        assert "cond" in dumped
+        assert "work" not in dumped

@@ -1,0 +1,172 @@
+"""Golden tests for the interprocedural passes (resource-balance,
+lock-order, budget-propagation) plus the cache, graph and SARIF CLI
+surfaces added with them."""
+
+from __future__ import annotations
+
+import json
+import os
+import textwrap
+
+from repro.analysis import run_lint
+from repro.cli import main
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "fixtures", "lint")
+
+
+def findings_for(rule_id: str, path: str = FIXTURES):
+    result = run_lint([path], rule_ids=[rule_id])
+    return result.sorted_findings()
+
+
+class TestResourceBalanceGolden:
+    def test_unbalanced_pin_in_except_branch(self):
+        findings = findings_for("resource-balance")
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.path.endswith("storage/unbalanced_pin.py")
+        assert finding.symbol == "PinnedReader.read_record"
+        assert "self.pool.pin()" in finding.message
+        assert "unpin" in finding.message
+
+    def test_balanced_variant_is_quiet(self):
+        findings = findings_for("resource-balance")
+        assert all(f.symbol != "PinnedReader.read_balanced"
+                   for f in findings)
+
+
+class TestLockOrderGolden:
+    def test_cycle_across_two_functions_with_witness(self):
+        findings = findings_for("lock-order")
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.path.endswith("serving/lock_order_cycle.py")
+        assert "lock-order cycle" in finding.message
+        assert "ShardRegistry._index_lock" in finding.message
+        assert "ShardRegistry._stats_lock" in finding.message
+        # The witness names the helper hop that closes the cycle.
+        assert "ShardRegistry._refresh" in finding.message
+
+    def test_src_lock_graph_is_cycle_free(self):
+        package = os.path.join(os.path.dirname(FIXTURES), "..", "..",
+                               "src", "repro")
+        result = run_lint([os.path.normpath(package)])
+        lock_order = result.graph_report["lock_order"]
+        assert lock_order["cycles"] == []
+        assert lock_order["nodes"], "expected real locks in the graph"
+
+
+class TestBudgetGolden:
+    def test_three_drop_shapes_are_found(self):
+        findings = findings_for("budget-propagation")
+        assert len(findings) == 3
+        by_symbol = {f.symbol: f for f in findings}
+        assert "through budget-blind helper describe" \
+            in [f.message for f in findings if "helper" in f.message][0]
+        assert "_fanout" in by_symbol
+        assert "verbatim" in by_symbol["_fanout"].message
+        direct = [f for f in by_symbol.values()
+                  if "forwards none of it to evaluate" in f.message]
+        assert len(direct) == 1
+
+    def test_decremented_scatter_is_quiet(self):
+        findings = findings_for("budget-propagation")
+        assert all(f.symbol != "scatter" for f in findings)
+
+
+class TestProjectSuppressions:
+    def seed(self, tmp_path, disable: bool):
+        target = tmp_path / "storage" / "pinned.py"
+        target.parent.mkdir(parents=True)
+        marker = "  # repro-lint: disable=resource-balance" if disable \
+            else ""
+        target.write_text(textwrap.dedent(f"""\
+            class Reader:
+                def read(self, pool, key):
+                    records = pool.pin(key){marker}
+                    return records
+            """))
+        return tmp_path
+
+    def test_inline_disable_suppresses_project_finding(self, tmp_path):
+        result = run_lint([str(self.seed(tmp_path, disable=True))])
+        assert result.sorted_findings() == []
+        assert [f.rule for f in result.suppressed] == ["resource-balance"]
+
+    def test_without_disable_the_finding_surfaces(self, tmp_path):
+        result = run_lint([str(self.seed(tmp_path, disable=False))])
+        assert [f.rule for f in result.sorted_findings()] \
+            == ["resource-balance"]
+
+
+class TestAnalysisCache:
+    def test_warm_run_hits_cache_and_agrees(self, tmp_path):
+        cache = str(tmp_path / "cache.json")
+        cold = run_lint([FIXTURES], cache_path=cache)
+        assert cold.cache_hits == 0
+        warm = run_lint([FIXTURES], cache_path=cache)
+        assert warm.cache_hits == warm.files_checked > 0
+        assert [f.as_dict() for f in warm.sorted_findings()] \
+            == [f.as_dict() for f in cold.sorted_findings()]
+        assert warm.graph_report["lock_order"]["cycles"] \
+            == cold.graph_report["lock_order"]["cycles"]
+
+    def test_edited_file_misses_cache(self, tmp_path):
+        target = tmp_path / "storage" / "mod.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("def f():\n    return 1\n")
+        cache = str(tmp_path / "cache.json")
+        run_lint([str(tmp_path)], cache_path=cache)
+        target.write_text("def f():\n    return 2\n")
+        edited = run_lint([str(tmp_path)], cache_path=cache)
+        assert edited.cache_hits == 0
+
+    def test_filtered_runs_bypass_the_cache(self, tmp_path):
+        cache = str(tmp_path / "cache.json")
+        run_lint([FIXTURES], cache_path=cache)
+        filtered = run_lint([FIXTURES], rule_ids=["lock-order"],
+                            cache_path=cache)
+        assert filtered.cache_hits == 0
+
+
+class TestGraphCli:
+    def test_graph_flag_exits_nonzero_on_fixture_cycle(self, capsys):
+        assert main(["lint", FIXTURES, "--graph", "--no-cache"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["call_graph"]["functions"] > 0
+        assert payload["lock_order"]["cycles"]
+
+    def test_graph_flag_green_on_src(self, tmp_path, capsys):
+        assert main(["lint", "--graph",
+                     "--cache", str(tmp_path / "cache.json")]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["lock_order"]["cycles"] == []
+        assert payload["call_graph"]["resolved_calls"] > 0
+
+
+class TestSarifOutput:
+    def test_sarif_stdout_lists_new_results(self, tmp_path, capsys):
+        assert main(["lint", FIXTURES, "--format", "sarif",
+                     "--baseline", str(tmp_path / "absent.json"),
+                     "--cache", str(tmp_path / "cache.json")]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = {r["ruleId"] for r in run["results"]}
+        assert {"resource-balance", "lock-order",
+                "budget-propagation"} <= rule_ids
+        assert not any(r.get("suppressions") for r in run["results"])
+
+    def test_sarif_out_marks_baselined_results_suppressed(
+            self, tmp_path, capsys):
+        out_path = tmp_path / "lint.sarif"
+        assert main(["lint", "--sarif-out", str(out_path),
+                     "--cache", str(tmp_path / "cache.json")]) == 0
+        capsys.readouterr()
+        payload = json.loads(out_path.read_text())
+        results = payload["runs"][0]["results"]
+        assert results, "baselined findings must still appear in SARIF"
+        assert all(r["suppressions"][0]["kind"] == "external"
+                   for r in results)

@@ -179,10 +179,11 @@ class TestWholeTree:
         by_rule = {}
         for finding in result.findings:
             by_rule.setdefault(finding.rule, []).append(finding)
-        assert sorted(by_rule) == ["cost-accounting", "determinism",
-                                   "epoch-discipline", "lock-discipline",
-                                   "storage-io"]
-        assert len(result.findings) == 18
+        assert sorted(by_rule) == ["budget-propagation", "cost-accounting",
+                                   "determinism", "epoch-discipline",
+                                   "lock-discipline", "lock-order",
+                                   "resource-balance", "storage-io"]
+        assert len(result.findings) == 23
 
     def test_clean_fixture_produces_no_findings(self):
         result = lint_fixture("indexes", "clean_module.py")

@@ -10,19 +10,27 @@ import os
 
 import repro
 from repro.analysis import run_lint
+from repro.analysis import baseline as _baseline
 from repro.cli import main
 
 FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                         "fixtures", "lint")
 PACKAGE = os.path.dirname(os.path.abspath(repro.__file__))
+REPO_BASELINE = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "lint-baseline.json")
 
 
 class TestSelfLint:
     def test_repo_sources_are_clean(self):
-        """The invariant CI enforces: zero unsuppressed findings in src."""
+        """The invariant CI enforces: zero findings in src beyond the
+        justified baseline, no stale entries, no placeholders."""
         result = run_lint([PACKAGE])
         assert result.files_checked > 50
-        assert result.sorted_findings() == []
+        entries = _baseline.load_baseline(REPO_BASELINE)
+        match = _baseline.apply_baseline(result.sorted_findings(), entries)
+        assert match.new == []
+        assert match.stale == []
+        assert _baseline.unjustified_entries(entries) == []
 
     def test_suppressions_in_src_are_few_and_justified(self):
         """Every inline suppression in the real tree is one we placed
@@ -38,43 +46,62 @@ class TestSelfLint:
         assert "lint: OK" in capsys.readouterr().out
 
 
+def fixture_args(tmp_path):
+    """Isolate fixture runs from the repo's own baseline and cache."""
+    return ["--baseline", str(tmp_path / "absent-baseline.json"),
+            "--cache", str(tmp_path / "cache.json")]
+
+
 class TestCliOnFixtures:
-    def test_exits_nonzero_on_seeded_violations(self, capsys):
-        assert main(["lint", FIXTURES]) == 1
+    def test_exits_nonzero_on_seeded_violations(self, tmp_path, capsys):
+        assert main(["lint", FIXTURES, *fixture_args(tmp_path)]) == 1
         out = capsys.readouterr().out
         assert "lint: FAILED" in out
-        assert "18 finding(s)" in out
+        assert "23 finding(s)" in out
 
-    def test_each_seeded_fixture_fails_alone(self, capsys):
+    def test_each_seeded_fixture_fails_alone(self, tmp_path, capsys):
         for relative in (
             ("core", "lock_violation.py"),
             ("indexes", "cost_violation.py"),
             ("indexes", "epoch_violation.py"),
+            ("net", "budget_drop.py"),
             ("queries", "determinism_violation.py"),
+            ("serving", "lock_order_cycle.py"),
             ("serving", "window_violation.py"),
+            ("storage", "unbalanced_pin.py"),
             ("storage", "whole_file_read.py"),
         ):
             path = os.path.join(FIXTURES, *relative)
-            assert main(["lint", path]) == 1, relative
+            assert main(["lint", path, *fixture_args(tmp_path)]) == 1, \
+                relative
             capsys.readouterr()
 
-    def test_json_format_reports_ok_flag(self, capsys):
-        assert main(["lint", FIXTURES, "--format", "json"]) == 1
+    def test_json_format_reports_ok_flag(self, tmp_path, capsys):
+        assert main(["lint", FIXTURES, *fixture_args(tmp_path),
+                     "--format", "json"]) == 1
         payload = json.loads(capsys.readouterr().out)
         assert payload["ok"] is False
-        assert len(payload["findings"]) == 18
+        assert len(payload["findings"]) == 23
         assert payload["suppressed"]
         rules = {finding["rule"] for finding in payload["findings"]}
         assert rules == {"lock-discipline", "cost-accounting",
                          "epoch-discipline", "determinism",
-                         "storage-io"}
+                         "storage-io", "resource-balance",
+                         "lock-order", "budget-propagation"}
 
-    def test_rules_flag_filters(self, capsys):
-        assert main(["lint", FIXTURES, "--rules", "lock-discipline",
+    def test_rules_flag_filters(self, tmp_path, capsys):
+        assert main(["lint", FIXTURES, *fixture_args(tmp_path),
+                     "--rules", "lock-discipline",
                      "--format", "json"]) == 1
         payload = json.loads(capsys.readouterr().out)
         assert {f["rule"] for f in payload["findings"]} \
             == {"lock-discipline"}
+
+    def test_project_rules_flag_filters(self, tmp_path, capsys):
+        assert main(["lint", FIXTURES, *fixture_args(tmp_path),
+                     "--rules", "lock-order", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert {f["rule"] for f in payload["findings"]} == {"lock-order"}
 
     def test_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
@@ -82,6 +109,10 @@ class TestCliOnFixtures:
         for rule_id in ("lock-discipline", "cost-accounting",
                         "epoch-discipline", "determinism"):
             assert rule_id in out
+        for rule_id in ("resource-balance", "lock-order",
+                        "budget-propagation"):
+            assert f"{rule_id}:" in out
+            assert "[project]" in out
 
 
 class TestCliBaselineFlow:

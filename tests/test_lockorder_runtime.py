@@ -1,0 +1,134 @@
+"""Dynamic lock-order recorder (repro.analysis.runtime) and its
+consistency with the static lock-order graph.
+
+The static pass cannot see callback indirection (the buffer pool's miss
+listener, injected client_io hooks); this test wraps the real locks of
+a live ServingEngine under their static identities, drives a stressy
+interleaving, and asserts the union of static and observed acquisition
+edges stays acyclic — the property whose violation is a deadlock.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import pytest
+
+import repro
+from repro.analysis import run_lint
+from repro.analysis.config import LintConfig
+from repro.analysis.runtime import (LockOrderRecorder,
+                                    assert_order_consistent, find_cycle)
+from repro.queries.workload import Workload
+from repro.serving.engine import ServingEngine
+from tests.conftest import random_graph
+
+PACKAGE = os.path.dirname(os.path.abspath(repro.__file__))
+
+
+class TestRecorderUnit:
+    def test_nested_acquisition_records_an_edge(self):
+        recorder = LockOrderRecorder()
+        outer = recorder.wrap(threading.Lock(), "A")
+        inner = recorder.wrap(threading.Lock(), "B")
+        with outer:
+            with inner:
+                pass
+        assert recorder.edges() == {("A", "B")}
+        assert recorder.acquisitions == 2
+
+    def test_reentrant_same_id_records_no_self_edge(self):
+        recorder = LockOrderRecorder()
+        lock = recorder.wrap(threading.RLock(), "R")
+        with lock:
+            with lock:
+                pass
+        assert recorder.edges() == set()
+
+    def test_edges_are_per_thread_not_global(self):
+        recorder = LockOrderRecorder()
+        first = recorder.wrap(threading.Lock(), "A")
+        second = recorder.wrap(threading.Lock(), "B")
+        entered = threading.Event()
+        release = threading.Event()
+
+        def hold_first():
+            with first:
+                entered.set()
+                release.wait(timeout=5.0)
+
+        thread = threading.Thread(target=hold_first)
+        thread.start()
+        entered.wait(timeout=5.0)
+        with second:  # A held by the OTHER thread: no A->B edge
+            pass
+        release.set()
+        thread.join(timeout=5.0)
+        assert recorder.edges() == set()
+
+    def test_out_of_order_release_is_tolerated(self):
+        recorder = LockOrderRecorder()
+        first = recorder.wrap(threading.Lock(), "A")
+        second = recorder.wrap(threading.Lock(), "B")
+        first.acquire()
+        second.acquire()
+        first.release()
+        second.release()
+        assert recorder.edges() == {("A", "B")}
+
+    def test_find_cycle_on_opposed_orders(self):
+        assert find_cycle({("A", "B"), ("B", "A")}) is not None
+        assert find_cycle({("A", "B"), ("B", "C")}) is None
+
+    def test_assert_order_consistent_merges_both_views(self):
+        # Static saw A->B, the test observed B->A: only the union fails.
+        with pytest.raises(AssertionError, match="cycle"):
+            assert_order_consistent([("A", "B")], [("B", "A")])
+        assert_order_consistent([("A", "B")], [("A", "B")])
+
+    def test_non_reentrant_self_edge_fails(self):
+        with pytest.raises(AssertionError, match="re-acquired"):
+            assert_order_consistent([], [("A", "A")])
+        assert_order_consistent([], [("R", "R")], reentrant={"R"})
+
+
+class TestStaticDynamicConsistency:
+    def test_stress_interleaving_consistent_with_static_graph(self):
+        static_result = run_lint([PACKAGE])
+        static_edges = [(edge["from"], edge["to"]) for edge in
+                        static_result.graph_report["lock_order"]["edges"]]
+        assert static_edges, "static pass should see real lock nesting"
+
+        graph = random_graph(23, num_nodes=60)
+        serving = ServingEngine(graph)
+        recorder = LockOrderRecorder()
+        serving.stats._lock = recorder.wrap(
+            serving.stats._lock, "ServingStats._lock")
+        serving._cache_lock = recorder.wrap(
+            serving._cache_lock, "ServingEngine._cache_lock")
+        serving._fup_lock = recorder.wrap(
+            serving._fup_lock, "ServingEngine._fup_lock")
+
+        queries = list(Workload.generate(graph, num_queries=30,
+                                         max_length=4, seed=5))
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                serving.insert_subtree(0, ("stress", []))
+                serving.refine_pending()
+
+        thread = threading.Thread(target=writer, daemon=True)
+        thread.start()
+        try:
+            for _ in range(3):
+                serving.serve(queries, workers=4)
+        finally:
+            stop.set()
+            thread.join(timeout=10.0)
+
+        assert recorder.acquisitions > 0, "wrapped locks never exercised"
+        assert_order_consistent(
+            static_edges, recorder.edges(),
+            reentrant=LintConfig().reentrant_lock_ids)

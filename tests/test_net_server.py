@@ -343,6 +343,36 @@ class TestLifecycle:
                 evaluate_on_data_graph(serving.graph, as_expression("//a/c"))
         assert_writers_not_stalled(serving)
 
+    def test_failed_start_closes_listener_socket(self, simple_tree,
+                                                 monkeypatch):
+        """Regression: a bind failure (port already taken) used to leak
+        the freshly created listener fd — stop() never saw it because
+        self._listener was only assigned after bind/listen succeeded."""
+        blocker = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        created: list[socket.socket] = []
+        real_socket = socket.socket
+
+        class Recorder(real_socket):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                created.append(self)
+
+        monkeypatch.setattr(socket, "socket", Recorder)
+        server = IndexServer(ServingEngine(simple_tree),
+                             host="127.0.0.1", port=port)
+        try:
+            with pytest.raises(OSError):
+                server.start()
+        finally:
+            blocker.close()
+        assert len(created) == 1
+        assert created[0].fileno() == -1, "listener leaked on bind failure"
+        assert server._listener is None
+        server.stop()  # must be a no-op after the failed start
+
     def test_address_requires_started_server(self, simple_tree):
         server = IndexServer(ServingEngine(simple_tree))
         with pytest.raises(RuntimeError, match="not started"):

@@ -406,6 +406,29 @@ class TestReplayDriver:
             digests.append(run_replay(serving, queries, config).digest)
         assert digests[0] == digests[1]
 
+    def test_check_phase_forwards_replay_timeout(self, monkeypatch):
+        # Regression: the check phase used to call serving.query(expr)
+        # bare, silently discarding config.timeout (the PR 8 bug shape,
+        # this time caught by the budget-propagation lint pass).
+        graph = random_graph(17, num_nodes=40)
+        serving = ServingEngine(graph)
+        queries = list(Workload.generate(graph, num_queries=10,
+                                         max_length=3, seed=3))
+        config = ReplayConfig(workers=2, passes=1, check=True, timeout=5.0)
+        seen: list[object] = []
+        original = ServingEngine.query
+
+        def recording(self, expr, timeout=object()):
+            seen.append(timeout)
+            return original(self, expr, timeout=timeout)
+
+        monkeypatch.setattr(ServingEngine, "query", recording)
+        report = run_replay(serving, queries, config)
+        assert report.checked
+        assert report.check_failures == 0
+        assert seen
+        assert all(value == 5.0 for value in seen)
+
     def test_replay_config_validation(self):
         with pytest.raises(ValueError):
             ReplayConfig(workers=0)
